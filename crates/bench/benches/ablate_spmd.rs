@@ -1,0 +1,76 @@
+//! Ablation bench: SPMD vs MPMD compile cost and naive vs optimized
+//! communication (§4.4, §4.5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("ablate_spmd");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    g
+}
+use multipod_hlo::{
+    CommunicationOpt, GatherStrategy, HloBuilder, MpmdPartitioner, Sharding, SpmdPartitioner,
+};
+use multipod_tensor::{Shape, Tensor};
+
+fn deep_graph(parts: usize) -> multipod_hlo::HloGraph {
+    let mut b = HloBuilder::new();
+    let mut x = b.parameter("x", Shape::of(&[64, 64]), Sharding::split(0, parts));
+    for i in 0..16 {
+        let w = b.parameter(&format!("w{i}"), Shape::of(&[64, 64]), Sharding::Replicated);
+        x = b.matmul(x, w).unwrap();
+        x = b.relu(x).unwrap();
+    }
+    b.build(vec![x])
+}
+
+fn gather_graph(parts: usize) -> multipod_hlo::HloGraph {
+    let mut b = HloBuilder::new();
+    let table = b.parameter("t", Shape::of(&[4096, 64]), Sharding::split(0, parts));
+    let idx = b.constant(Tensor::from_slice(
+        &(0..64).map(|i| (i * 61 % 4096) as f32).collect::<Vec<_>>(),
+    ));
+    let y = b.gather(table, idx).unwrap();
+    b.build(vec![y])
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = quick(c);
+    for strategy in [GatherStrategy::AllGather, GatherStrategy::OneHotMatMul] {
+        g.bench_function(format!("gather-{strategy:?}-8-cores"), |b| {
+            let graph = gather_graph(8);
+            b.iter(|| {
+                SpmdPartitioner::new(8)
+                    .with_gather_strategy(strategy)
+                    .partition(&graph)
+                    .unwrap()
+                    .comm_stats()
+            })
+        });
+    }
+    for parts in [2usize, 8] {
+        g.bench_function(format!("spmd-partition-{parts}"), |b| {
+            let graph = deep_graph(parts);
+            b.iter(|| SpmdPartitioner::new(parts).partition(&graph).unwrap())
+        });
+        g.bench_function(format!("mpmd-partition-{parts}"), |b| {
+            let graph = deep_graph(parts);
+            b.iter(|| MpmdPartitioner::new(parts).partition(&graph).unwrap())
+        });
+        g.bench_function(format!("naive-comm-partition-{parts}"), |b| {
+            let graph = deep_graph(parts);
+            b.iter(|| {
+                SpmdPartitioner::with_comm_opt(parts, CommunicationOpt::Naive)
+                    .partition(&graph)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Ablation bench: 1-D snake ring vs the 2-D schedule (§3.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use multipod_collectives::Precision;
+use multipod_core::ablate::{precision_ablation, summation_ablation};
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("ablate_summation");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    g
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = quick(c);
+    g.bench_function("1d-vs-2d-sweep", |b| {
+        b.iter(|| summation_ablation(25_600_000, Precision::F32, &[64, 1024, 4096]))
+    });
+    g.bench_function("precision-sweep", |b| {
+        b.iter(|| precision_ablation(334_000_000, &[256, 4096]))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

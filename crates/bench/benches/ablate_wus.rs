@@ -1,0 +1,79 @@
+//! Ablation bench: weight-update sharding on/off (§3.2), numeric and
+//! timing layers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("ablate_wus");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    g
+}
+use multipod_collectives::Precision;
+use multipod_core::step::{step_breakdown, StepOptions};
+use multipod_models::catalog;
+use multipod_optim::wus::{replicated_step, sharded_step};
+use multipod_optim::Lamb;
+use multipod_simnet::{Network, NetworkConfig, SimTime};
+use multipod_tensor::{Shape, Tensor, TensorRng};
+use multipod_topology::{Multipod, MultipodConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = quick(c);
+    for wus in [false, true] {
+        g.bench_function(format!("step-model-bert-512-wus-{wus}"), |b| {
+            b.iter(|| {
+                step_breakdown(
+                    &catalog::bert(),
+                    512,
+                    &StepOptions {
+                        weight_update_sharding: wus,
+                        ..Default::default()
+                    },
+                )
+            })
+        });
+    }
+    // Numeric layers: actual tensor math + simulated collectives.
+    let elems = 1 << 14;
+    let n = 8u32;
+    let mut rng = TensorRng::seed(1);
+    let w0 = rng.uniform(Shape::vector(elems), -1.0, 1.0);
+    let grads: Vec<Tensor> = (0..n)
+        .map(|_| rng.uniform(Shape::vector(elems), -0.1, 0.1))
+        .collect();
+    g.bench_function("numeric-replicated-lamb", |b| {
+        b.iter(|| {
+            let mesh = Multipod::new(MultipodConfig::mesh(1, n, true));
+            let mut net = Network::new(mesh, NetworkConfig::tpu_v3());
+            let ring = net.mesh().y_ring(0);
+            let mut opt = Lamb::new(0.01, 0.01);
+            let mut weights: Vec<Tensor> = (0..n).map(|_| w0.clone()).collect();
+            replicated_step(
+                &mut net, &ring, &mut opt, 0, &mut weights, &grads,
+                Precision::F32, SimTime::ZERO,
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("numeric-sharded-lamb", |b| {
+        b.iter(|| {
+            let mesh = Multipod::new(MultipodConfig::mesh(1, n, true));
+            let mut net = Network::new(mesh, NetworkConfig::tpu_v3());
+            let ring = net.mesh().y_ring(0);
+            let mut opt = Lamb::new(0.01, 0.01);
+            let mut weights: Vec<Tensor> = (0..n).map(|_| w0.clone()).collect();
+            sharded_step(
+                &mut net, &ring, &mut opt, 0, &mut weights, &grads,
+                Precision::F32, SimTime::ZERO,
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Bench: §4.6 AUC implementations (the 60 s vs 2 s contrast, scaled
+//! down to bench-friendly sizes).
+//!
+//! Note the regimes: at 4M samples the parallel-merge overhead roughly
+//! cancels the threaded-sort win, so `fast` ≈ `exact`; the multithreaded
+//! path pulls ahead past ~10M samples (at the paper's 90M-sample scale it
+//! wins >2x — see `repro_auc`, which measures 20M).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("auc");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    g
+}
+use multipod_metrics::auc::{auc_exact, auc_fast, auc_naive};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn synthetic(n: usize) -> (Vec<f32>, Vec<bool>) {
+    let mut rng = SmallRng::seed_from_u64(42);
+    let mut scores = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let label = rng.gen_range(0.0..1.0f32) < 0.25;
+        let base: f32 = if label { 0.6 } else { 0.4 };
+        scores.push((base + rng.gen_range(-0.4..0.4f32)).clamp(0.0, 1.0));
+        labels.push(label);
+    }
+    (scores, labels)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = quick(c);
+    let (scores, labels) = synthetic(4_000_000);
+    g.bench_function("naive-4m", |b| b.iter(|| auc_naive(&scores, &labels)));
+    g.bench_function("exact-4m", |b| b.iter(|| auc_exact(&scores, &labels)));
+    g.bench_function("fast-8-threads-4m", |b| {
+        b.iter(|| auc_fast(&scores, &labels, 8))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Micro-bench: the collective substrate itself (numeric rings, 2-D
+//! schedule, timing layer).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("collectives");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    g
+}
+use multipod_collectives::timing::RingCosts;
+use multipod_collectives::twod::{two_dim_all_reduce, two_dim_all_reduce_time};
+use multipod_collectives::{ring, Precision};
+use multipod_simnet::{Network, NetworkConfig, SimTime};
+use multipod_tensor::{Shape, Tensor, TensorRng};
+use multipod_topology::{Multipod, MultipodConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = quick(c);
+    let mut rng = TensorRng::seed(1);
+    let inputs: Vec<Tensor> = (0..32)
+        .map(|_| rng.uniform(Shape::vector(1 << 14), -1.0, 1.0))
+        .collect();
+    g.bench_function("numeric-ring-allreduce-32x16k", |b| {
+        b.iter(|| {
+            let mesh = Multipod::new(MultipodConfig::mesh(1, 32, true));
+            let mut net = Network::new(mesh, NetworkConfig::tpu_v3());
+            let ring_y = net.mesh().y_ring(0);
+            ring::all_reduce(&mut net, &ring_y, &inputs, Precision::F32, SimTime::ZERO)
+                .unwrap()
+        })
+    });
+    let small: Vec<Tensor> = (0..64)
+        .map(|_| rng.uniform(Shape::vector(256), -1.0, 1.0))
+        .collect();
+    g.bench_function("numeric-2d-allreduce-8x8", |b| {
+        b.iter(|| {
+            let mesh = Multipod::new(MultipodConfig::mesh(8, 8, true));
+            let mut net = Network::new(mesh, NetworkConfig::tpu_v3());
+            two_dim_all_reduce(&mut net, &small, Precision::F32, 1, None).unwrap()
+        })
+    });
+    let multipod = Network::new(
+        Multipod::new(MultipodConfig::multipod(4)),
+        NetworkConfig::tpu_v3(),
+    );
+    g.bench_function("timing-2d-allreduce-4096-chips", |b| {
+        b.iter(|| two_dim_all_reduce_time(&multipod, 25_600_000, Precision::F32, 1))
+    });
+    g.bench_function("timing-ring-costs-from-topology", |b| {
+        b.iter(|| RingCosts::from_ring(&multipod, &multipod.mesh().x_line(0), 1))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Bench: the DLRM embedding substrate (§4.6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use multipod_embedding::{
+    masked_self_interaction, EmbeddingSpec, Placement, ShardedEmbedding,
+};
+use multipod_simnet::{Network, NetworkConfig, SimTime};
+use multipod_tensor::{Shape, Tensor, TensorRng};
+use multipod_topology::{Multipod, MultipodConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("embedding");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+
+    let specs: Vec<EmbeddingSpec> = (0..8)
+        .map(|i| EmbeddingSpec {
+            rows: if i < 4 { 256 } else { 100_000 },
+            dim: 16,
+        })
+        .collect();
+    let placement = Placement::plan(&specs, 16, 64 * 1024);
+    let emb = ShardedEmbedding::init(placement, 3);
+    let mut rng = SmallRng::seed_from_u64(9);
+    let indices: Vec<Vec<usize>> = (0..512)
+        .map(|_| {
+            (0..8)
+                .map(|t| rng.gen_range(0..if t < 4 { 256 } else { 100_000 }))
+                .collect()
+        })
+        .collect();
+    g.bench_function("distributed-lookup-512x8", |b| {
+        b.iter(|| {
+            let mesh = Multipod::new(MultipodConfig::mesh(4, 4, true));
+            let mut net = Network::new(mesh, NetworkConfig::tpu_v3());
+            emb.lookup(&mut net, &indices, SimTime::ZERO).unwrap()
+        })
+    });
+
+    let mut trng = TensorRng::seed(4);
+    let feats = trng.uniform(Shape::of(&[256, 26 * 16]), -1.0, 1.0);
+    g.bench_function("masked-self-interaction-256x26", |b| {
+        b.iter(|| masked_self_interaction(&feats, 16))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Bench: Figure-10 TPU-vs-GPU comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("fig10_tpu_vs_gpu");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    g
+}
+use multipod_models::{catalog, GpuCluster, GpuGeneration};
+
+/// Largest GPU count whose replica count still fits each model's batch
+/// cap (MaskRCNN and DLRM cannot scale arbitrarily, Table 1).
+fn gpu_cap(name: &str) -> u32 {
+    match name {
+        "MaskRCNN" => 256,
+        "DLRM" => 64,
+        "Transformer" => 512,
+        _ => 512,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = quick(c);
+    g.bench_function("gpu-baselines-all-models", |b| {
+        b.iter(|| {
+            catalog::all()
+                .iter()
+                .map(|w| {
+                    let gpus = gpu_cap(w.name);
+                    GpuCluster::new(GpuGeneration::A100, gpus).end_to_end_minutes(w)
+                        + GpuCluster::new(GpuGeneration::V100, gpus).end_to_end_minutes(w)
+                })
+                .sum::<f64>()
+        })
+    });
+    g.bench_function("tpu-headline-rows", |b| {
+        b.iter(|| {
+            [("ResNet-50", 4096u32), ("BERT", 4096), ("MaskRCNN", 512)]
+                .iter()
+                .map(|&(n, c)| {
+                    multipod_bench::run(multipod_bench::preset_by_name(n, c))
+                        .end_to_end_minutes()
+                })
+                .sum::<f64>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

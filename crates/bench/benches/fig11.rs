@@ -1,0 +1,33 @@
+//! Bench: Figure-11 normalized speedup computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("fig11_normalized_speedup");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    g
+}
+use multipod_core::scaling::{standard_chip_counts, ScalingCurve};
+use multipod_models::{catalog, GpuCluster, GpuGeneration};
+
+fn bench(c: &mut Criterion) {
+    let mut g = quick(c);
+    g.bench_function("tpu-and-gpu-speedups", |b| {
+        b.iter(|| {
+            let curve = ScalingCurve::sweep(&catalog::bert(), &standard_chip_counts(1024));
+            let tpu = curve.end_to_end_speedups().last().unwrap().1;
+            let base = GpuCluster::new(GpuGeneration::A100, 16)
+                .end_to_end_minutes(&catalog::bert());
+            let top = GpuCluster::new(GpuGeneration::A100, 1024)
+                .end_to_end_minutes(&catalog::bert());
+            tpu + base / top
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Bench: the scaling sweep behind fig7_bert_speedup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("fig7_bert_speedup");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    g
+}
+use multipod_core::scaling::{standard_chip_counts, ScalingCurve};
+use multipod_models::catalog;
+
+fn bench(c: &mut Criterion) {
+    let mut g = quick(c);
+    g.bench_function("sweep-16-to-4096", |b| {
+        b.iter(|| ScalingCurve::sweep(&catalog::bert(), &standard_chip_counts(4096)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

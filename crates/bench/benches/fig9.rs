@@ -1,0 +1,32 @@
+//! Bench: Figure-9 model-parallel speedup curves (SPMD partitioning
+//! included).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("fig9_model_parallel");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    g
+}
+use multipod_core::modelpar::speedup_curve;
+use multipod_models::catalog;
+
+fn bench(c: &mut Criterion) {
+    let mut g = quick(c);
+    g.bench_function("ssd-1-8-cores", |b| {
+        b.iter(|| speedup_curve(&catalog::ssd(), 1.0, &[1, 2, 4, 8]))
+    });
+    g.bench_function("maskrcnn-1-8-cores", |b| {
+        b.iter(|| speedup_curve(&catalog::maskrcnn(), 1.0, &[1, 2, 4, 8]))
+    });
+    g.bench_function("transformer-1-4-cores", |b| {
+        b.iter(|| speedup_curve(&catalog::transformer(), 1.0, &[1, 2, 4]))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

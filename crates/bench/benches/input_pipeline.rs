@@ -1,0 +1,45 @@
+//! Bench: §3.5 host input pipeline simulations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("input_pipeline");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    g
+}
+use multipod_input::host_pipeline::{simulate_run, HostPipelineConfig};
+use multipod_input::shuffle::{buffered_shuffle, run_to_run_spread};
+
+fn bench(c: &mut Criterion) {
+    let mut g = quick(c);
+    g.bench_function("compressed-64-hosts", |b| {
+        b.iter(|| {
+            simulate_run(
+                &HostPipelineConfig::compressed_imagenet(),
+                64, 32, 1.0e-3, 100, 7,
+            )
+        })
+    });
+    g.bench_function("uncompressed-64-hosts", |b| {
+        b.iter(|| {
+            simulate_run(
+                &HostPipelineConfig::uncompressed_imagenet(),
+                64, 32, 1.0e-3, 100, 7,
+            )
+        })
+    });
+    let corpus: Vec<f32> = (0..65536).map(|i| i as f32).collect();
+    g.bench_function("shuffle-buffer-4096", |b| {
+        b.iter(|| buffered_shuffle(&corpus, 4096, 3))
+    });
+    g.bench_function("run-to-run-spread-study", |b| {
+        b.iter(|| run_to_run_spread(8192, 256, 64, 8))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

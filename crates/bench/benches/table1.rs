@@ -1,0 +1,25 @@
+//! Bench: generating every Table-1 row (full executor runs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    g
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = quick(c);
+    for &(name, chips, ..) in multipod_bench::paper::TABLE1 {
+        g.bench_function(format!("{name}@{chips}"), |b| {
+            b.iter(|| multipod_bench::run(multipod_bench::preset_by_name(name, chips)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Bench: Table-2 initialization-time model for both frameworks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    g
+}
+use multipod_framework::{profiles, FrameworkKind, InitModel};
+
+fn bench(c: &mut Criterion) {
+    let mut g = quick(c);
+    let model = InitModel::calibrated();
+    for kind in [FrameworkKind::TensorFlow, FrameworkKind::Jax] {
+        g.bench_function(format!("{:?}-all-benchmarks", kind), |b| {
+            b.iter(|| {
+                multipod_bench::paper::TABLE2
+                    .iter()
+                    .map(|&(name, chips, _, _)| {
+                        model.init_seconds(kind, &profiles::by_name(name), chips)
+                    })
+                    .sum::<f64>()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Ablations of the paper's design choices (DESIGN.md index): 1-D vs 2-D
+//! gradient summation, f32 vs bf16 payloads, weight-update sharding.
+
+use multipod_bench::header;
+use multipod_collectives::Precision;
+use multipod_core::ablate::{precision_ablation, summation_ablation, wus_ablation};
+use multipod_models::catalog;
+
+fn main() {
+    header(
+        "Ablation: 1-D snake ring vs the 2-D Y-then-X schedule (ResNet-50 gradients)",
+        &["Chips", "1-D ring (ms)", "2-D schedule (ms)", "2-D speedup"],
+    );
+    for r in summation_ablation(25_600_000, Precision::F32, &[64, 256, 1024, 4096]) {
+        println!(
+            "{} | {:.2} | {:.2} | {:.1}x",
+            r.chips,
+            1e3 * r.one_dim,
+            1e3 * r.two_dim,
+            r.speedup()
+        );
+    }
+
+    header(
+        "Ablation: gradient payload precision (BERT gradients, 2-D schedule)",
+        &["Chips", "f32 (ms)", "bf16 (ms)", "saving"],
+    );
+    for r in precision_ablation(334_000_000, &[256, 1024, 4096]) {
+        println!(
+            "{} | {:.2} | {:.2} | {:.0}%",
+            r.chips,
+            1e3 * r.f32_time,
+            1e3 * r.bf16_time,
+            100.0 * (1.0 - r.bf16_time / r.f32_time)
+        );
+    }
+
+    header(
+        "Ablation: weight-update sharding (BERT at a ~4k global batch)",
+        &["Chips", "replicated step (ms)", "sharded step (ms)", "update share (repl.)"],
+    );
+    let mut bert = catalog::bert();
+    bert.max_per_core_batch = 4;
+    for r in wus_ablation(&bert, &[256, 512, 1024]) {
+        println!(
+            "{} | {:.2} | {:.2} | {:.1}%",
+            r.chips,
+            1e3 * r.replicated_step,
+            1e3 * r.sharded_step,
+            100.0 * r.replicated_update_share
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Runs every reproduction and dumps one JSON document (the source of
+//! EXPERIMENTS.md's measured values).
+
+use multipod_bench::{paper, preset_by_name};
+use multipod_collectives::Precision;
+use multipod_core::ablate::{precision_ablation, summation_ablation, wus_ablation};
+use multipod_core::modelpar::speedup_curve;
+use multipod_core::scaling::{standard_chip_counts, ScalingCurve};
+use multipod_core::{presets, Executor};
+use multipod_framework::{profiles, FrameworkKind, InitModel};
+use multipod_models::{catalog, GpuCluster, GpuGeneration};
+use serde_json::json;
+
+fn main() {
+    // Table 1.
+    let mut table1 = Vec::new();
+    for &(name, chips, tf_paper, jax_paper, v06_paper) in paper::TABLE1 {
+        let tf = Executor::new(preset_by_name(name, chips)).run();
+        let jax_ours = jax_paper.map(|_| {
+            let mut p = preset_by_name(name, chips);
+            p.framework = FrameworkKind::Jax;
+            Executor::new(p).run().end_to_end_minutes()
+        });
+        let v06_ours = v06_paper.and_then(|_| {
+            presets::v06(name)
+                .map(|p| Executor::new(p).run().end_to_end_minutes() / tf.end_to_end_minutes())
+        });
+        table1.push(json!({
+            "benchmark": name,
+            "chips": chips,
+            "tf_paper_minutes": tf_paper,
+            "tf_ours_minutes": tf.end_to_end_minutes(),
+            "jax_paper_minutes": jax_paper,
+            "jax_ours_minutes": jax_ours,
+            "v06_speedup_paper": v06_paper,
+            "v06_speedup_ours": v06_ours,
+            "steps": tf.steps,
+            "global_batch": tf.global_batch,
+            "allreduce_share": tf.step.all_reduce_fraction(),
+        }));
+    }
+
+    // Table 2.
+    let model = InitModel::calibrated();
+    let table2: Vec<_> = paper::TABLE2
+        .iter()
+        .map(|&(name, chips, tf_paper, jax_paper)| {
+            let p = profiles::by_name(name);
+            let jax_chips = if name == "SSD" { 2048 } else { chips };
+            json!({
+                "benchmark": name,
+                "tf_paper": tf_paper,
+                "tf_ours": model.init_seconds(FrameworkKind::TensorFlow, &p, chips),
+                "jax_paper": jax_paper,
+                "jax_ours": model.init_seconds(FrameworkKind::Jax, &p, jax_chips),
+            })
+        })
+        .collect();
+
+    // Figures 5-8 (sweeps).
+    let sweep = |w: &multipod_models::Workload| {
+        let curve = ScalingCurve::sweep(w, &standard_chip_counts(4096));
+        let e2e = curve.end_to_end_speedups();
+        let thr = curve.throughput_speedups();
+        let rows: Vec<_> = curve
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                json!({
+                    "chips": p.chips,
+                    "e2e_speedup": e2e[i].1,
+                    "throughput_speedup": thr[i].1,
+                    "compute_ms": 1e3 * p.report.step.compute,
+                    "allreduce_ms": 1e3 * p.report.step.gradient_comm.total(),
+                    "allreduce_share": p.report.step.all_reduce_fraction(),
+                })
+            })
+            .collect();
+        rows
+    };
+    let fig5_6 = sweep(&catalog::resnet50());
+    let fig7_8 = sweep(&catalog::bert());
+
+    // Figure 9.
+    let fig9 = json!({
+        "ssd": speedup_curve(&catalog::ssd(), 1.0, &[1, 2, 4, 8]),
+        "maskrcnn": speedup_curve(&catalog::maskrcnn(), 1.0, &[1, 2, 4, 8]),
+        "transformer": speedup_curve(&catalog::transformer(), 1.0, &[1, 2, 4]),
+    });
+
+    // Figures 10-11 (GPU baselines).
+    let fig10: Vec<_> = [
+        ("ResNet-50", 4096u32, u32::MAX),
+        ("BERT", 4096, u32::MAX),
+        ("SSD", 4096, u32::MAX),
+        ("Transformer", 4096, 512),
+        ("MaskRCNN", 512, 256),
+        ("DLRM", 256, 64),
+    ]
+    .into_iter()
+    .map(|(name, chips, gpu_cap)| {
+        let tpu = Executor::new(preset_by_name(name, chips)).run();
+        let w = catalog::all().into_iter().find(|w| w.name == name).unwrap();
+        json!({
+            "benchmark": name,
+            "tpu_minutes": tpu.end_to_end_minutes(),
+            "v100_minutes":
+                GpuCluster::new(GpuGeneration::V100, 1536.min(gpu_cap)).end_to_end_minutes(&w),
+            "a100_minutes":
+                GpuCluster::new(GpuGeneration::A100, 2048.min(gpu_cap)).end_to_end_minutes(&w),
+        })
+    })
+    .collect();
+
+    // Ablations.
+    let mut bert_small = catalog::bert();
+    bert_small.max_per_core_batch = 4;
+    let wus_rows = wus_ablation(&bert_small, &[256, 512, 1024]);
+    let ablations = json!({
+        "summation_1d_vs_2d":
+            summation_ablation(25_600_000, Precision::F32, &[64, 256, 1024, 4096]),
+        "payload_precision": precision_ablation(334_000_000, &[256, 1024, 4096]),
+        "weight_update_sharding": wus_rows,
+    });
+
+    let doc = json!({
+        "table1": table1,
+        "table2": table2,
+        "fig5_fig6_resnet": fig5_6,
+        "fig7_fig8_bert": fig7_8,
+        "fig9_model_parallel": fig9,
+        "fig10_tpu_vs_gpu": fig10,
+        "ablations": ablations,
+    });
+    println!("{}", serde_json::to_string_pretty(&doc).unwrap());
+}

@@ -1,0 +1,48 @@
+//! Regenerates Figure 10: MLPerf v0.7 end-to-end minutes, TPU-v3 multipod
+//! vs V100/A100 GPU clusters.
+
+use multipod_bench::{header, preset_by_name, run};
+use multipod_models::{catalog, GpuCluster, GpuGeneration};
+
+fn main() {
+    header(
+        "Figure 10: end-to-end minutes, TPU vs GPU",
+        &["Benchmark", "TPU chips", "TPU (ours)", "V100x1536", "A100x2048"],
+    );
+    let rows = [
+        ("ResNet-50", 4096),
+        ("BERT", 4096),
+        ("SSD", 4096),
+        ("Transformer", 4096),
+        ("MaskRCNN", 512),
+        ("DLRM", 256),
+    ];
+    for (name, chips) in rows {
+        let tpu = run(preset_by_name(name, chips));
+        let w = catalog::all()
+            .into_iter()
+            .find(|w| w.name == name)
+            .expect("catalog entry");
+        let v100 = GpuCluster::new(GpuGeneration::V100, 1536.min(gpu_cap(name)))
+            .end_to_end_minutes(&w);
+        let a100 = GpuCluster::new(GpuGeneration::A100, 2048.min(gpu_cap(name)))
+            .end_to_end_minutes(&w);
+        println!(
+            "{name} | {chips} | {:.2} | {:.2} | {:.2}",
+            tpu.end_to_end_minutes(),
+            v100,
+            a100
+        );
+    }
+    println!("(paper: TPU multipod submissions lead at the largest scales)");
+}
+
+/// GPU submissions also cannot exceed the models' batch-bound scale.
+fn gpu_cap(name: &str) -> u32 {
+    match name {
+        "MaskRCNN" => 256,
+        "DLRM" => 64,
+        "Transformer" => 512,
+        _ => u32::MAX,
+    }
+}

@@ -1,0 +1,31 @@
+//! Regenerates Figure 11: end-to-end speedups over 16 accelerator chips of
+//! their own type (TPU-v3 vs A100).
+
+use multipod_bench::header;
+use multipod_core::scaling::{standard_chip_counts, ScalingCurve};
+use multipod_models::{catalog, GpuCluster, GpuGeneration};
+
+fn main() {
+    header(
+        "Figure 11: speedup over 16 accelerators of the same type",
+        &["Benchmark", "TPU chips", "TPU speedup", "GPU count", "GPU speedup"],
+    );
+    for (w, tpu_max, gpu_max) in [
+        (catalog::resnet50(), 4096u32, 2048u32),
+        (catalog::bert(), 4096, 2048),
+        (catalog::ssd(), 4096, 1024),
+        (catalog::transformer(), 4096, 512),
+    ] {
+        let curve = ScalingCurve::sweep(&w, &standard_chip_counts(tpu_max));
+        let tpu_speedup = curve.end_to_end_speedups().last().unwrap().1;
+        let gpu_base = GpuCluster::new(GpuGeneration::A100, 16).end_to_end_minutes(&w);
+        let gpu_top = GpuCluster::new(GpuGeneration::A100, gpu_max).end_to_end_minutes(&w);
+        println!(
+            "{} | {tpu_max} | {:.1} | {gpu_max} | {:.1}",
+            w.name,
+            tpu_speedup,
+            gpu_base / gpu_top
+        );
+    }
+    println!("(paper: TPUs achieve lower end-to-end times and higher speedups)");
+}

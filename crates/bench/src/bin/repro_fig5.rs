@@ -1,0 +1,25 @@
+//! Regenerates Figure 5: ResNet-50 end-to-end and throughput speedup vs
+//! chips (vs ideal scaling).
+
+use multipod_bench::header;
+use multipod_core::scaling::{standard_chip_counts, ScalingCurve};
+use multipod_models::catalog;
+
+fn main() {
+    let curve = ScalingCurve::sweep(&catalog::resnet50(), &standard_chip_counts(4096));
+    header(
+        "Figure 5: ResNet-50 speedup vs chips (base = 16 chips)",
+        &["Chips", "End-to-end speedup", "Throughput speedup", "Ideal"],
+    );
+    let e2e = curve.end_to_end_speedups();
+    let thr = curve.throughput_speedups();
+    let ideal = curve.ideal_speedups();
+    for i in 0..e2e.len() {
+        println!(
+            "{} | {:.1} | {:.1} | {:.0}",
+            e2e[i].0, e2e[i].1, thr[i].1, ideal[i].1
+        );
+    }
+    println!("(paper: throughput tracks ideal more closely than end-to-end,");
+    println!(" because the 64k batch needs 88 epochs vs 44 at 4k)");
+}

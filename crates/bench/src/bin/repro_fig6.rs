@@ -1,0 +1,30 @@
+//! Regenerates Figure 6: ResNet-50 per-step computation vs all-reduce time.
+
+use multipod_bench::{header, paper, pct};
+use multipod_core::scaling::{standard_chip_counts, ScalingCurve};
+use multipod_models::catalog;
+
+fn main() {
+    let curve = ScalingCurve::sweep(&catalog::resnet50(), &standard_chip_counts(4096));
+    header(
+        "Figure 6: ResNet-50 step-time breakdown (ms)",
+        &["Chips", "Batch/chip", "Compute", "All-reduce", "All-reduce share"],
+    );
+    for p in &curve.points {
+        let r = &p.report;
+        println!(
+            "{} | {} | {:.2} | {:.2} | {}",
+            p.chips,
+            r.global_batch / p.chips,
+            1e3 * (r.step.compute + r.step.weight_update),
+            1e3 * r.step.gradient_comm.total(),
+            pct(r.step.all_reduce_fraction()),
+        );
+    }
+    let last = curve.points.last().unwrap();
+    println!(
+        "(paper @4096: all-reduce = {}; ours = {})",
+        pct(paper::RESNET_ALLREDUCE_SHARE),
+        pct(last.report.step.all_reduce_fraction())
+    );
+}

@@ -1,0 +1,19 @@
+//! Regenerates Figure 7: BERT speedup vs chips.
+
+use multipod_bench::header;
+use multipod_core::scaling::{standard_chip_counts, ScalingCurve};
+use multipod_models::catalog;
+
+fn main() {
+    let curve = ScalingCurve::sweep(&catalog::bert(), &standard_chip_counts(4096));
+    header(
+        "Figure 7: BERT speedup vs chips (base = 16 chips)",
+        &["Chips", "End-to-end speedup", "Ideal"],
+    );
+    let e2e = curve.end_to_end_speedups();
+    let ideal = curve.ideal_speedups();
+    for i in 0..e2e.len() {
+        println!("{} | {:.1} | {:.0}", e2e[i].0, e2e[i].1, ideal[i].1);
+    }
+    println!("(paper: BERT shows the highest scaling from 16 to 4096 chips)");
+}

@@ -1,0 +1,32 @@
+//! Regenerates Figure 9: speedup via model parallelism (SSD, MaskRCNN,
+//! Transformer).
+
+use multipod_bench::{header, paper};
+use multipod_core::modelpar::speedup_curve;
+use multipod_models::catalog;
+
+fn main() {
+    header(
+        "Figure 9: model-parallel speedup over 1 core",
+        &["Cores", "SSD", "MaskRCNN", "Transformer"],
+    );
+    let ssd = speedup_curve(&catalog::ssd(), 1.0, &[1, 2, 4, 8]);
+    let mask = speedup_curve(&catalog::maskrcnn(), 1.0, &[1, 2, 4, 8]);
+    let tra = speedup_curve(&catalog::transformer(), 1.0, &[1, 2, 4]);
+    for i in 0..4 {
+        let t = if i < tra.len() {
+            format!("{:.2}", tra[i].speedup)
+        } else {
+            "-".into()
+        };
+        println!(
+            "{} | {:.2} | {:.2} | {}",
+            ssd[i].cores, ssd[i].speedup, mask[i].speedup, t
+        );
+    }
+    println!(
+        "(paper: Transformer reaches {:.1}x on 4 cores; ours = {:.2}x)",
+        paper::TRANSFORMER_4CORE_SPEEDUP,
+        tra.last().unwrap().speedup
+    );
+}

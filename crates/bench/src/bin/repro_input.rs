@@ -1,0 +1,59 @@
+//! §3.5 input-pipeline studies: uncompressed cache, shuffle quality,
+//! DLRM input path.
+
+use multipod_bench::header;
+use multipod_input::dlrm::{DlrmInputConfig, ParseGranularity, PcieLayout};
+use multipod_input::host_pipeline::{simulate_run, HostPipelineConfig};
+use multipod_input::shuffle::{
+    cross_epoch_stochasticity, file_stream, run_to_run_spread, FileOrder,
+};
+
+fn main() {
+    header(
+        "ResNet-50 host input pipeline (64 hosts, 32 samples/host/ms)",
+        &["Pipeline", "Mean stall (us)", "Stalled steps"],
+    );
+    for (label, cfg) in [
+        ("compressed JPEG", HostPipelineConfig::compressed_imagenet()),
+        ("uncompressed cache", HostPipelineConfig::uncompressed_imagenet()),
+    ] {
+        let s = simulate_run(&cfg, 64, 32, 1.0e-3, 300, 7);
+        println!(
+            "{label} | {:.1} | {:.0}%",
+            1e6 * s.mean_stall,
+            100.0 * s.stalled_fraction
+        );
+    }
+
+    header(
+        "BERT file-level shuffle (500 files, 4 epochs)",
+        &["Order", "Cross-epoch stochasticity"],
+    );
+    for (label, order) in [
+        ("shuffle -> repeat", FileOrder::ShuffleThenRepeat),
+        ("repeat -> shuffle", FileOrder::RepeatThenShuffle),
+    ] {
+        let s = file_stream(500, 4, order, 1);
+        println!("{label} | {:.2}", cross_epoch_stochasticity(&s, 500));
+    }
+
+    header(
+        "BERT sequence shuffle-buffer size vs run-to-run spread",
+        &["Buffer", "Final-loss spread (stddev)"],
+    );
+    for buffer in [16usize, 256, 4096] {
+        println!("{buffer} | {:.5}", run_to_run_spread(8192, buffer, 64, 12));
+    }
+
+    header(
+        "DLRM host input path (batch 2048/host)",
+        &["Path", "Time (us)"],
+    );
+    let cfg = DlrmInputConfig::criteo();
+    for (label, g, l) in [
+        ("per-sample parse + per-feature PCIe", ParseGranularity::PerSample, PcieLayout::PerFeature),
+        ("batch parse + stacked PCIe", ParseGranularity::PerBatch, PcieLayout::Stacked),
+    ] {
+        println!("{label} | {:.1}", 1e6 * cfg.step_input_time(2048, g, l));
+    }
+}

@@ -1,0 +1,38 @@
+//! Regenerates Table 1: end-to-end training minutes on the multipod.
+
+use multipod_bench::{header, paper, preset_by_name, run};
+use multipod_core::Executor;
+use multipod_framework::FrameworkKind;
+
+fn main() {
+    header(
+        "Table 1: end-to-end time (minutes)",
+        &[
+            "Benchmark", "Chips", "TF (paper)", "TF (ours)", "JAX (paper)", "JAX (ours)",
+            "v0.6 speedup (paper)", "v0.6 speedup (ours)",
+        ],
+    );
+    for &(name, chips, tf_paper, jax_paper, v06_paper) in paper::TABLE1 {
+        let tf = run(preset_by_name(name, chips));
+        let jax = jax_paper.map(|_| {
+            let mut p = preset_by_name(name, chips);
+            p.framework = FrameworkKind::Jax;
+            Executor::new(p).run()
+        });
+        // The v0.6 baseline configuration (old batch caps, MPMD tiles,
+        // compressed input, no WUS).
+        let v06 = v06_paper.and_then(|_| multipod_core::presets::v06(name).map(|p| Executor::new(p).run()));
+        println!(
+            "{name} | {chips} | {tf_paper} | {:.2} | {} | {} | {} | {}",
+            tf.end_to_end_minutes(),
+            jax_paper.map_or("-".into(), |v| format!("{v}")),
+            jax.as_ref()
+                .map_or("-".into(), |r| format!("{:.2}", r.end_to_end_minutes())),
+            v06_paper.map_or("-".into(), |v| format!("{v}")),
+            v06.as_ref().map_or("-".into(), |r| format!(
+                "{:.2}",
+                r.end_to_end_minutes() / tf.end_to_end_minutes()
+            )),
+        );
+    }
+}

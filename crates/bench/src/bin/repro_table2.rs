@@ -1,0 +1,20 @@
+//! Regenerates Table 2: initialization time, TensorFlow vs JAX.
+
+use multipod_bench::{header, paper};
+use multipod_framework::{profiles, FrameworkKind, InitModel};
+
+fn main() {
+    header(
+        "Table 2: initialization time (seconds)",
+        &["Benchmark", "Chips", "TF (paper)", "TF (ours)", "JAX (paper)", "JAX (ours)"],
+    );
+    let model = InitModel::calibrated();
+    for &(name, chips, tf_paper, jax_paper) in paper::TABLE2 {
+        let profile = profiles::by_name(name);
+        // The paper measured SSD's JAX entry at 2048 chips.
+        let jax_chips = if name == "SSD" { 2048 } else { chips };
+        let tf = model.init_seconds(FrameworkKind::TensorFlow, &profile, chips);
+        let jax = model.init_seconds(FrameworkKind::Jax, &profile, jax_chips);
+        println!("{name} | {chips} | {tf_paper} | {tf:.0} | {jax_paper} | {jax:.0}");
+    }
+}

@@ -1,0 +1,34 @@
+//! §3.2 ablation: weight-update sharding on/off for BERT at 512 chips.
+
+use multipod_bench::{header, paper, pct};
+use multipod_core::step::{step_breakdown, StepOptions};
+use multipod_models::catalog;
+
+fn main() {
+    let mut w = catalog::bert();
+    w.max_per_core_batch = 4; // the ~4k-batch configuration of the anchor
+    header(
+        "Weight-update sharding ablation (BERT, 512 chips)",
+        &["Config", "Step (ms)", "Update (ms)", "Update share"],
+    );
+    for (label, wus) in [("replicated", false), ("sharded (WUS)", true)] {
+        let b = step_breakdown(
+            &w,
+            512,
+            &StepOptions {
+                weight_update_sharding: wus,
+                ..Default::default()
+            },
+        );
+        println!(
+            "{label} | {:.2} | {:.3} | {}",
+            1e3 * b.total(),
+            1e3 * b.weight_update,
+            pct(b.weight_update / b.total())
+        );
+    }
+    println!(
+        "(paper: the replicated LAMB update is ~{} of the step at 512 chips)",
+        pct(paper::BERT_WUS_SHARE)
+    );
+}

@@ -1,0 +1,106 @@
+//! Shared helpers for the repro binaries and Criterion benches.
+//!
+//! Every table and figure of the paper's evaluation has a `repro_*`
+//! binary (printing the same rows/series the paper reports, alongside the
+//! paper's published values) and a Criterion bench measuring the
+//! generator. [`paper`] records the published numbers so the binaries can
+//! print paper-vs-measured side by side; `EXPERIMENTS.md` is generated
+//! from the same data.
+
+use multipod_core::{presets, Executor, Preset, Report};
+
+/// The paper's published values, used for side-by-side output.
+pub mod paper {
+    /// One Table-1 row: (benchmark, chips, TF minutes, JAX minutes, v0.6
+    /// speedup).
+    pub type Table1Row = (&'static str, u32, f64, Option<f64>, Option<f64>);
+
+    /// Table 1 — end-to-end minutes.
+    pub const TABLE1: &[Table1Row] = &[
+        ("ResNet-50", 4096, 0.48, Some(0.47), Some(2.67)),
+        ("BERT", 4096, 0.39, Some(0.4), None),
+        ("SSD", 4096, 0.46, None, Some(2.63)),
+        ("SSD", 2048, 0.623, Some(0.55), Some(1.94)),
+        ("Transformer", 4096, 0.32, Some(0.26), Some(2.65)),
+        ("MaskRCNN", 512, 8.1, None, Some(4.4)),
+        ("DLRM", 256, 2.4, None, None),
+    ];
+
+    /// Table 2 — initialization seconds: (benchmark, chips, TF, JAX).
+    /// SSD's JAX column was measured at 2048 chips.
+    pub const TABLE2: &[(&str, u32, f64, f64)] = &[
+        ("ResNet-50", 4096, 498.0, 134.0),
+        ("BERT", 4096, 1040.0, 190.0),
+        ("SSD", 4096, 772.0, 122.0),
+        ("Transformer", 4096, 868.0, 294.0),
+    ];
+
+    /// Figure 6/8 anchors: all-reduce share of device step time at 4096
+    /// chips.
+    pub const RESNET_ALLREDUCE_SHARE: f64 = 0.22;
+    /// See [`RESNET_ALLREDUCE_SHARE`].
+    pub const BERT_ALLREDUCE_SHARE: f64 = 0.273;
+
+    /// §5: Transformer model-parallel speedup on 4 cores.
+    pub const TRANSFORMER_4CORE_SPEEDUP: f64 = 2.3;
+
+    /// §3.2: replicated LAMB update share of the BERT step at 512 chips.
+    pub const BERT_WUS_SHARE: f64 = 0.18;
+}
+
+/// Formats a ratio as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Runs a preset and returns its report.
+pub fn run(preset: Preset) -> Report {
+    Executor::new(preset).run()
+}
+
+/// The preset for a named benchmark at a chip count.
+///
+/// # Panics
+///
+/// Panics on unknown names.
+pub fn preset_by_name(name: &str, chips: u32) -> Preset {
+    match name {
+        "ResNet-50" => presets::resnet50(chips),
+        "BERT" => presets::bert(chips),
+        "SSD" => presets::ssd(chips),
+        "Transformer" => presets::transformer(chips),
+        "MaskRCNN" => presets::maskrcnn(chips),
+        "DLRM" => presets::dlrm(chips),
+        other => panic!("unknown benchmark '{other}'"),
+    }
+}
+
+/// Prints a markdown-ish table header.
+pub fn header(title: &str, columns: &[&str]) {
+    println!("\n== {title} ==");
+    println!("{}", columns.join(" | "));
+    println!("{}", vec!["---"; columns.len()].join(" | "));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_tables_have_expected_shapes() {
+        assert_eq!(paper::TABLE1.len(), 7);
+        assert_eq!(paper::TABLE2.len(), 4);
+    }
+
+    #[test]
+    fn preset_lookup_runs() {
+        let r = run(preset_by_name("ResNet-50", 256));
+        assert_eq!(r.name, "ResNet-50");
+        assert!(r.end_to_end_minutes() > 0.0);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.225), "22.5%");
+    }
+}

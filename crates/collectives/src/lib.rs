@@ -1,0 +1,57 @@
+//! Collective communication on the multipod.
+//!
+//! Implements the paper's gradient-summation machinery (§3.3, Figure 4):
+//!
+//! * **Ring collectives** ([`ring`]) — unidirectional and bidirectional
+//!   ring reduce-scatter, all-gather, all-reduce and broadcast, executed
+//!   *numerically* over real [`multipod_tensor::Tensor`] buffers with
+//!   per-step timing from the simulated network. These are the ground-truth
+//!   implementations the tests verify against scalar references.
+//! * **The 2-D schedule** ([`twod`]) — the paper's optimized global
+//!   summation: reduce-scatter along the torus Y rings, then along the X
+//!   lines (payload 1/32nd), an optional weight-update at the shard owner,
+//!   then broadcast X and Y. Supports the model-parallel variant whose X
+//!   rings hop over model-parallelism neighbours.
+//! * **Halo exchange** ([`halo`]) — boundary exchange for spatially
+//!   partitioned convolutions (§3.1).
+//! * **All-to-all** ([`alltoall`]) — the bisection-bound exchange behind
+//!   DLRM's partitioned embedding lookups (§4.6).
+//! * **Pipelined execution** ([`pipelined`]) — non-barrier timing of the
+//!   same schedules, where chunks are forwarded the moment they arrive
+//!   (how hardware collectives actually run).
+//! * **α–β timing** ([`timing`]) — closed-form, topology-aware cost models
+//!   for the same schedules, used at 4096-chip scale where materializing
+//!   per-chip tensors is pointless. Parameters come from the same
+//!   [`multipod_simnet::NetworkConfig`] the numeric layer uses.
+//!
+//! ```
+//! use multipod_tensor::{Shape, Tensor};
+//! use multipod_topology::{Multipod, MultipodConfig};
+//! use multipod_simnet::{Network, NetworkConfig, SimTime};
+//! use multipod_collectives::{ring, Precision};
+//!
+//! let mesh = Multipod::new(MultipodConfig::mesh(1, 4, true));
+//! let mut net = Network::new(mesh, NetworkConfig::tpu_v3());
+//! let ring_y = net.mesh().y_ring(0);
+//! let inputs: Vec<Tensor> =
+//!     (0..4).map(|i| Tensor::fill(Shape::of(&[8]), i as f32)).collect();
+//! let out =
+//!     ring::all_reduce(&mut net, &ring_y, &inputs, Precision::F32, SimTime::ZERO).unwrap();
+//! // Every participant ends with the elementwise sum 0+1+2+3 = 6.
+//! assert!(out.outputs.iter().all(|t| t.data().iter().all(|&v| v == 6.0)));
+//! ```
+
+pub mod alltoall;
+pub mod halo;
+pub mod pipelined;
+pub mod ring;
+pub mod timing;
+pub mod twod;
+
+mod error;
+mod precision;
+mod schedule;
+
+pub use error::CollectiveError;
+pub use precision::Precision;
+pub use schedule::{ChunkMove, Schedule};

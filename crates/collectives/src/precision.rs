@@ -1,0 +1,67 @@
+//! Payload precision for collective transfers.
+
+use serde::{Deserialize, Serialize};
+
+use multipod_tensor::Tensor;
+
+/// Element width of a collective payload.
+///
+/// The paper halves gradient-summation bytes by demoting payloads to
+/// bfloat16 (§3.3: "we also used the brain-float 16-bit floating point
+/// precision to further reduce gradient summation overheads").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// 4-byte IEEE-754 single precision.
+    F32,
+    /// 2-byte brain float; payloads are quantized at every hop.
+    Bf16,
+}
+
+impl Precision {
+    /// Bytes per element on the wire.
+    pub fn bytes(self) -> u64 {
+        match self {
+            Precision::F32 => 4,
+            Precision::Bf16 => 2,
+        }
+    }
+
+    /// Applies the wire precision to a tensor (identity for `F32`).
+    pub fn quantize(self, tensor: &Tensor) -> Tensor {
+        match self {
+            Precision::F32 => tensor.clone(),
+            Precision::Bf16 => tensor.to_bf16_precision(),
+        }
+    }
+
+    /// Wire size of `elems` elements.
+    pub fn wire_bytes(self, elems: usize) -> u64 {
+        elems as u64 * self.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multipod_tensor::{Shape, Tensor};
+
+    #[test]
+    fn byte_widths() {
+        assert_eq!(Precision::F32.bytes(), 4);
+        assert_eq!(Precision::Bf16.bytes(), 2);
+        assert_eq!(Precision::Bf16.wire_bytes(100), 200);
+    }
+
+    #[test]
+    fn f32_quantize_is_identity() {
+        let t = Tensor::fill(Shape::of(&[4]), 1.0 + 1.0 / 512.0);
+        assert_eq!(Precision::F32.quantize(&t), t);
+    }
+
+    #[test]
+    fn bf16_quantize_rounds() {
+        let t = Tensor::fill(Shape::of(&[4]), 1.0 + 1.0 / 512.0);
+        let q = Precision::Bf16.quantize(&t);
+        assert!(q.data().iter().all(|&v| v == 1.0));
+    }
+}

@@ -1,0 +1,491 @@
+//! The paper's optimized 2-D global summation (§3.3, Figure 4).
+//!
+//! Gradient summation on the multipod proceeds in four pipelined phases:
+//!
+//! 1. reduce-scatter along the torus **Y** rings (bulk of the payload),
+//! 2. reduce-scatter along the **X** lines on the Y-shards (payload is
+//!    `1/y_len`, i.e. 32× smaller on the paper's machine),
+//! 3. an optional **weight update** computed by the shard owner
+//!    (weight-update sharding, §3.2),
+//! 4. broadcast of the updated shards: all-gather along X, then Y.
+//!
+//! With model parallelism, the X-phase rings *hop over* the
+//! model-parallelism neighbours (`stride = tile width`): only chips holding
+//! the same weight shard sum their gradients (dotted blue rings in Fig. 4).
+//!
+//! The numeric entry point is [`two_dim_all_reduce`]; the α–β counterpart
+//! is [`two_dim_all_reduce_time`].
+
+use serde::{Deserialize, Serialize};
+
+use multipod_simnet::{Network, SimTime};
+use multipod_tensor::Tensor;
+use multipod_topology::ChipId;
+
+use crate::ring::{self, Direction};
+use crate::timing::RingCosts;
+use crate::{CollectiveError, Precision, Schedule};
+
+/// Per-phase breakdown of a 2-D all-reduce, seconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TwoDimBreakdown {
+    /// Phase 1: reduce-scatter along Y.
+    pub y_reduce_scatter: f64,
+    /// Phase 2: reduce-scatter along X.
+    pub x_reduce_scatter: f64,
+    /// Phase 4a: all-gather along X.
+    pub x_all_gather: f64,
+    /// Phase 4b: all-gather along Y.
+    pub y_all_gather: f64,
+}
+
+impl TwoDimBreakdown {
+    /// Total communication time.
+    pub fn total(&self) -> f64 {
+        self.y_reduce_scatter + self.x_reduce_scatter + self.x_all_gather + self.y_all_gather
+    }
+}
+
+/// A weight-update hook applied at each shard owner between the reduce
+/// and broadcast halves (weight-update sharding, §3.2).
+pub type ShardUpdateFn<'a> = &'a mut dyn FnMut(ChipId, &mut Tensor);
+
+/// Result of the numeric 2-D all-reduce.
+#[derive(Clone, Debug)]
+pub struct TwoDimOutput {
+    /// Per-chip outputs in chip-id order: the sum over the chip's replica
+    /// group (all chips with the same `x % stride` offset).
+    pub outputs: Vec<Tensor>,
+    /// Completion time.
+    pub time: SimTime,
+    /// Per-phase times.
+    pub breakdown: TwoDimBreakdown,
+}
+
+/// Executes the 2-D gradient summation numerically over one tensor per
+/// chip (chip-id order), with an optional weight-update applied at each
+/// shard owner between the reduce and broadcast halves.
+///
+/// `model_stride` is the model-parallel tile width: 1 for pure data
+/// parallelism; `k > 1` makes the X-phase rings hop over model peers so
+/// that only same-shard chips reduce together.
+///
+/// # Errors
+///
+/// Fails when `inputs.len()` differs from the chip count, payloads do not
+/// divide evenly across ring members, or shapes disagree.
+pub fn two_dim_all_reduce(
+    net: &mut Network,
+    inputs: &[Tensor],
+    precision: Precision,
+    model_stride: u32,
+    mut shard_update: Option<ShardUpdateFn<'_>>,
+) -> Result<TwoDimOutput, CollectiveError> {
+    let mesh = net.mesh().clone();
+    if inputs.len() != mesh.num_chips() {
+        return Err(CollectiveError::ParticipantMismatch {
+            inputs: inputs.len(),
+            members: mesh.num_chips(),
+        });
+    }
+    let shape = inputs[0].shape().clone();
+    let x_len = mesh.x_len();
+    let y_len = mesh.y_len();
+
+    // Phase 1: reduce-scatter along every Y ring (all columns concurrent).
+    let mut y_shards: Vec<Option<Tensor>> = vec![None; inputs.len()];
+    let mut phase_end = SimTime::ZERO;
+    for x in 0..x_len {
+        let ring_y = mesh.y_ring(x);
+        let col_inputs: Vec<Tensor> = ring_y
+            .members()
+            .iter()
+            .map(|c| inputs[c.index()].clone())
+            .collect();
+        let rs = ring::reduce_scatter(
+            net,
+            &ring_y,
+            &col_inputs,
+            precision,
+            Direction::Forward,
+            SimTime::ZERO,
+        )?;
+        for (member, shard) in ring_y.members().iter().zip(rs.shards) {
+            y_shards[member.index()] = Some(shard);
+        }
+        phase_end = phase_end.max(rs.time);
+    }
+    let y_rs_end = phase_end;
+
+    // Phase 2: reduce-scatter along X (strided over model peers).
+    let mut x_shards: Vec<Option<Tensor>> = vec![None; inputs.len()];
+    let mut x_rs_end = y_rs_end;
+    for y in 0..y_len {
+        for offset in 0..model_stride {
+            let ring_x = mesh.x_line_strided(y, offset, model_stride);
+            if ring_x.len() < 2 {
+                for &member in ring_x.members() {
+                    x_shards[member.index()] = y_shards[member.index()].clone();
+                }
+                continue;
+            }
+            let row_inputs: Vec<Tensor> = ring_x
+                .members()
+                .iter()
+                .map(|c| y_shards[c.index()].clone().expect("y shard"))
+                .collect();
+            let rs = ring::reduce_scatter(
+                net,
+                &ring_x,
+                &row_inputs,
+                precision,
+                Direction::Forward,
+                y_rs_end,
+            )?;
+            for (i, member) in ring_x.members().iter().enumerate() {
+                x_shards[member.index()] = Some(rs.shards[i].clone());
+            }
+            x_rs_end = x_rs_end.max(rs.time);
+        }
+    }
+
+    // Phase 3: the shard owner updates its slice (weight-update sharding).
+    if let Some(update) = shard_update.as_mut() {
+        for chip in mesh.chips() {
+            if let Some(shard) = x_shards[chip.index()].as_mut() {
+                update(chip, shard);
+            }
+        }
+    }
+
+    // Phase 4a: all-gather along X.
+    let mut x_full: Vec<Option<Tensor>> = vec![None; inputs.len()];
+    let mut x_ag_end = x_rs_end;
+    for y in 0..y_len {
+        for offset in 0..model_stride {
+            let ring_x = mesh.x_line_strided(y, offset, model_stride);
+            if ring_x.len() < 2 {
+                for &member in ring_x.members() {
+                    x_full[member.index()] = x_shards[member.index()].clone();
+                }
+                continue;
+            }
+            let shards: Vec<Tensor> = ring_x
+                .members()
+                .iter()
+                .map(|c| x_shards[c.index()].clone().expect("x shard"))
+                .collect();
+            let ag = ring::all_gather(net, &ring_x, &shards, precision, Direction::Forward, x_rs_end)?;
+            for (i, member) in ring_x.members().iter().enumerate() {
+                x_full[member.index()] = Some(ag.outputs[i].clone());
+            }
+            x_ag_end = x_ag_end.max(ag.time);
+        }
+    }
+
+    // Phase 4b: all-gather along Y.
+    let mut outputs: Vec<Option<Tensor>> = vec![None; inputs.len()];
+    let mut y_ag_end = x_ag_end;
+    for x in 0..x_len {
+        let ring_y = mesh.y_ring(x);
+        if ring_y.len() < 2 {
+            for &member in ring_y.members() {
+                outputs[member.index()] = x_full[member.index()].clone();
+            }
+            continue;
+        }
+        let shards: Vec<Tensor> = ring_y
+            .members()
+            .iter()
+            .map(|c| x_full[c.index()].clone().expect("x full"))
+            .collect();
+        let ag = ring::all_gather(net, &ring_y, &shards, precision, Direction::Forward, x_ag_end)?;
+        for (i, member) in ring_y.members().iter().enumerate() {
+            outputs[member.index()] = Some(ag.outputs[i].clone());
+        }
+        y_ag_end = y_ag_end.max(ag.time);
+    }
+
+    let outputs: Vec<Tensor> = outputs
+        .into_iter()
+        .map(|t| {
+            t.expect("every chip produced output")
+                .reshape(shape.clone())
+                .expect("reshape 2-D output")
+        })
+        .collect();
+    Ok(TwoDimOutput {
+        outputs,
+        time: y_ag_end,
+        breakdown: TwoDimBreakdown {
+            y_reduce_scatter: y_rs_end - SimTime::ZERO,
+            x_reduce_scatter: x_rs_end - y_rs_end,
+            x_all_gather: x_ag_end - x_rs_end,
+            y_all_gather: y_ag_end - x_ag_end,
+        },
+    })
+}
+
+/// The index of the (flattened) payload chunk that `chip` owns between
+/// the reduce and broadcast halves of [`two_dim_all_reduce`] — i.e. which
+/// slice of `payload.split(0, shards)` a weight-update closure receives.
+/// Total shards = `y_len × (x_len / model_stride)`.
+///
+/// # Panics
+///
+/// Panics when `model_stride` does not divide the mesh X extent.
+pub fn shard_index(mesh: &multipod_topology::Multipod, chip: ChipId, model_stride: u32) -> usize {
+    let c = mesh.coord_of(chip);
+    let y_len = mesh.y_len() as usize;
+    let y_chunk = if y_len < 2 {
+        0
+    } else {
+        Schedule::reduce_scatter(y_len, Direction::Forward).owned_chunk(c.y as usize)
+    };
+    assert_eq!(mesh.x_len() % model_stride, 0, "stride must divide x_len");
+    let x_members = (mesh.x_len() / model_stride) as usize;
+    if x_members < 2 {
+        return y_chunk;
+    }
+    let x_idx = (c.x / model_stride) as usize;
+    let x_chunk = Schedule::reduce_scatter(x_members, Direction::Forward).owned_chunk(x_idx);
+    y_chunk * x_members + x_chunk
+}
+
+/// α–β time for the 2-D all-reduce of `elems` gradient elements per
+/// replica, with optional model-parallel stride.
+///
+/// Matches the schedule of [`two_dim_all_reduce`] but uses bidirectional
+/// rings (the production configuration) and never materializes tensors.
+pub fn two_dim_all_reduce_time(
+    net: &Network,
+    elems: usize,
+    precision: Precision,
+    model_stride: u32,
+) -> TwoDimBreakdown {
+    let mesh = net.mesh();
+    let y_costs = RingCosts::from_ring(net, &mesh.y_ring(0), 1);
+    let x_ring = mesh.x_line_strided(0, 0, model_stride);
+    let x_costs = RingCosts::from_ring(net, &x_ring, model_stride);
+    let y_len = mesh.y_len() as usize;
+    let x_elems = elems.div_ceil(y_len.max(1));
+    TwoDimBreakdown {
+        y_reduce_scatter: y_costs.reduce_scatter_time(elems, precision, true),
+        x_reduce_scatter: x_costs.reduce_scatter_time(x_elems, precision, true),
+        x_all_gather: x_costs.all_gather_time(x_elems, precision, true),
+        y_all_gather: y_costs.all_gather_time(elems, precision, true),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multipod_simnet::NetworkConfig;
+    use multipod_tensor::{Shape, TensorRng};
+    use multipod_topology::{Multipod, MultipodConfig};
+
+    fn setup(x: u32, y: u32) -> Network {
+        Network::new(
+            Multipod::new(MultipodConfig::mesh(x, y, true)),
+            NetworkConfig::tpu_v3(),
+        )
+    }
+
+    fn random_inputs(n: usize, elems: usize, seed: u64) -> Vec<Tensor> {
+        let mut rng = TensorRng::seed(seed);
+        (0..n)
+            .map(|_| rng.uniform(Shape::vector(elems), -1.0, 1.0))
+            .collect()
+    }
+
+    #[test]
+    fn data_parallel_sum_over_all_chips() {
+        let mut net = setup(4, 4);
+        let n = net.mesh().num_chips();
+        let ins = random_inputs(n, 64, 7);
+        let reference = Tensor::sum_all(&ins);
+        let out = two_dim_all_reduce(&mut net, &ins, Precision::F32, 1, None).unwrap();
+        for (i, o) in out.outputs.iter().enumerate() {
+            assert!(o.max_abs_diff(&reference) < 1e-4, "chip {i}");
+        }
+        assert!(out.time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn phases_are_ordered_and_positive() {
+        let mut net = setup(4, 4);
+        let n = net.mesh().num_chips();
+        let ins = random_inputs(n, 64, 8);
+        let out = two_dim_all_reduce(&mut net, &ins, Precision::F32, 1, None).unwrap();
+        let b = out.breakdown;
+        assert!(b.y_reduce_scatter > 0.0);
+        assert!(b.x_reduce_scatter > 0.0);
+        assert!(b.x_all_gather > 0.0);
+        assert!(b.y_all_gather > 0.0);
+        assert!((b.total() - out.time.seconds()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn model_parallel_groups_sum_separately() {
+        // 8 chips wide, stride 2: even-x chips form one replica group,
+        // odd-x the other.
+        let mut net = setup(8, 4);
+        let mesh = net.mesh().clone();
+        let n = mesh.num_chips();
+        let ins = random_inputs(n, 32, 9);
+        let out = two_dim_all_reduce(&mut net, &ins, Precision::F32, 2, None).unwrap();
+        for offset in 0..2u32 {
+            let group: Vec<Tensor> = mesh
+                .chips()
+                .filter(|&c| mesh.coord_of(c).x % 2 == offset)
+                .map(|c| ins[c.index()].clone())
+                .collect();
+            let reference = Tensor::sum_all(&group);
+            for chip in mesh.chips().filter(|&c| mesh.coord_of(c).x % 2 == offset) {
+                assert!(
+                    out.outputs[chip.index()].max_abs_diff(&reference) < 1e-4,
+                    "chip {chip}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_index_names_the_owned_slice() {
+        // The closure's shard must equal payload.split(shards)[shard_index].
+        let mut net = setup(4, 4);
+        let mesh = net.mesh().clone();
+        let n = mesh.num_chips();
+        let ins = random_inputs(n, 64, 12);
+        let reference = Tensor::sum_all(&ins);
+        let expected = reference.split(0, n).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        let mut check = |chip: ChipId, shard: &mut Tensor| {
+            let idx = shard_index(&mesh, chip, 1);
+            assert!(
+                shard.max_abs_diff(&expected[idx]) < 1e-4,
+                "chip {chip} does not own shard {idx}"
+            );
+            assert!(seen.insert(idx), "shard {idx} owned twice");
+        };
+        two_dim_all_reduce(&mut net, &ins, Precision::F32, 1, Some(&mut check)).unwrap();
+        assert_eq!(seen.len(), n);
+    }
+
+    #[test]
+    fn shard_update_is_applied_everywhere() {
+        // Updating each shard (scale by 2) must yield 2 * sum at every chip:
+        // exactly the weight-update-sharding dataflow of §3.2.
+        let mut net = setup(4, 4);
+        let n = net.mesh().num_chips();
+        let ins = random_inputs(n, 64, 10);
+        let reference = Tensor::sum_all(&ins).scale(2.0);
+        let mut update = |_chip: ChipId, shard: &mut Tensor| {
+            *shard = shard.scale(2.0);
+        };
+        let out =
+            two_dim_all_reduce(&mut net, &ins, Precision::F32, 1, Some(&mut update)).unwrap();
+        for o in &out.outputs {
+            assert!(o.max_abs_diff(&reference) < 1e-4);
+        }
+    }
+
+    #[test]
+    fn x_dimension_carries_y_len_times_less_payload() {
+        // §3.3 verbatim: "the payload transferred along the X-dimension is
+        // 32 times less than the data transferred along the Y-dimension."
+        // On this 8-row mesh the factor is y_len = 8; the simulator's
+        // per-link byte counters measure it directly.
+        let mut net = setup(8, 8);
+        let n = net.mesh().num_chips();
+        let ins = random_inputs(n, 1 << 12, 3);
+        net.clear_traffic_stats();
+        two_dim_all_reduce(&mut net, &ins, Precision::F32, 1, None).unwrap();
+        let (x_bytes, y_bytes) = net.traffic_by_dimension();
+        let ratio = y_bytes as f64 / x_bytes as f64;
+        // The logical payload ratio is y_len = 8. Physical X-link bytes
+        // are inflated up to ~2x because the open X chain's logical wrap
+        // edge re-crosses the whole row (the torus Y wrap is free), so
+        // the measured link-byte ratio sits between y_len/2 and y_len.
+        assert!(
+            (4.0..11.0).contains(&ratio),
+            "expected ~{}x more Y traffic, got {ratio} ({y_bytes} vs {x_bytes})",
+            net.mesh().y_len()
+        );
+    }
+
+    #[test]
+    fn timing_layer_x_phase_is_latency_bound() {
+        let net = Network::new(
+            Multipod::new(MultipodConfig::multipod(4)),
+            NetworkConfig::tpu_v3(),
+        );
+        // ResNet-50-sized payload: the Y phase dominates on bytes, the X
+        // phase is dominated by its 127 latency-bound line steps. Together
+        // they land in the low-millisecond range the paper's Fig. 6
+        // breakdown implies (~3 ms all-reduce at 4096 chips).
+        let b = two_dim_all_reduce_time(&net, 25_600_000, Precision::F32, 1);
+        assert!(b.total() > 1e-3 && b.total() < 8e-3, "total={}", b.total());
+        // Doubling payload moves Y but barely moves X.
+        let b2 = two_dim_all_reduce_time(&net, 51_200_000, Precision::F32, 1);
+        assert!(b2.y_reduce_scatter > 1.8 * b.y_reduce_scatter);
+        assert!(b2.x_reduce_scatter < 1.2 * b.x_reduce_scatter);
+    }
+
+    #[test]
+    fn timing_layer_strided_rings_pay_contention() {
+        // Hold the ring membership fixed (32 members) and compare a dense
+        // ring against a stride-4 peer ring whose 4 offset copies share the
+        // same X links: the strided ring must be slower per §3.3's
+        // communication-overhead discussion.
+        let wide = Network::new(
+            Multipod::new(MultipodConfig::mesh(128, 1, false)),
+            NetworkConfig::tpu_v3(),
+        );
+        let narrow = Network::new(
+            Multipod::new(MultipodConfig::mesh(32, 1, false)),
+            NetworkConfig::tpu_v3(),
+        );
+        let strided = RingCosts::from_ring(&wide, &wide.mesh().x_line_strided(0, 0, 4), 4);
+        let dense = RingCosts::from_ring(&narrow, &narrow.mesh().x_line(0), 1);
+        assert_eq!(strided.n, dense.n);
+        let elems = 1 << 24; // bandwidth-dominated
+        let t_strided = strided.all_reduce_time(elems, Precision::Bf16, true);
+        let t_dense = dense.all_reduce_time(elems, Precision::Bf16, true);
+        assert!(
+            t_strided > 2.0 * t_dense,
+            "strided={t_strided} dense={t_dense}"
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_input_count() {
+        let mut net = setup(2, 2);
+        let ins = random_inputs(3, 16, 1);
+        assert!(matches!(
+            two_dim_all_reduce(&mut net, &ins, Precision::F32, 1, None),
+            Err(CollectiveError::ParticipantMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn numeric_and_timing_layers_agree_on_shape() {
+        // Same mesh, same payload: the α–β total should be within a small
+        // factor of the numeric barrier-step simulation (they model the
+        // same schedule with different synchronization assumptions).
+        let mut net = setup(8, 8);
+        let n = net.mesh().num_chips();
+        let elems = 1 << 14;
+        let ins = random_inputs(n, elems, 11);
+        let numeric = two_dim_all_reduce(&mut net, &ins, Precision::F32, 1, None).unwrap();
+        let fresh = setup(8, 8);
+        let analytic = two_dim_all_reduce_time(&fresh, elems, Precision::F32, 1);
+        let ratio = numeric.time.seconds() / analytic.total();
+        assert!(
+            (0.3..6.0).contains(&ratio),
+            "numeric={} analytic={} ratio={ratio}",
+            numeric.time.seconds(),
+            analytic.total()
+        );
+    }
+}

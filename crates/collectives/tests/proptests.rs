@@ -1,0 +1,168 @@
+//! Property tests: collective numerics vs scalar references on arbitrary
+//! mesh shapes and payloads.
+
+use multipod_collectives::{ring, twod, Precision};
+use multipod_simnet::{Network, NetworkConfig, SimTime};
+use multipod_tensor::{Shape, Tensor, TensorRng};
+use multipod_topology::{Multipod, MultipodConfig};
+use proptest::prelude::*;
+
+fn random_inputs(n: usize, elems: usize, seed: u64) -> Vec<Tensor> {
+    let mut rng = TensorRng::seed(seed);
+    (0..n)
+        .map(|_| rng.uniform(Shape::vector(elems), -8.0, 8.0))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Ring all-reduce equals the scalar sum for any ring length and any
+    /// payload divisible into chunks, in both directions.
+    #[test]
+    fn ring_all_reduce_is_sum(
+        y in 2u32..9,
+        chunk in 1usize..7,
+        seed in 0u64..10_000,
+        forward in any::<bool>(),
+    ) {
+        let mesh = Multipod::new(MultipodConfig::mesh(1, y, true));
+        let mut net = Network::new(mesh, NetworkConfig::tpu_v3());
+        let ring_y = net.mesh().y_ring(0);
+        let ins = random_inputs(y as usize, chunk * y as usize, seed);
+        let reference = Tensor::sum_all(&ins);
+        let dir = if forward { ring::Direction::Forward } else { ring::Direction::Backward };
+        let out = ring::all_reduce_unidirectional(
+            &mut net, &ring_y, &ins, Precision::F32, dir, SimTime::ZERO,
+        ).unwrap();
+        for o in &out.outputs {
+            prop_assert!(o.max_abs_diff(&reference) < 1e-3);
+        }
+    }
+
+    /// Bidirectional all-reduce agrees with the unidirectional one
+    /// numerically (and with the scalar sum).
+    #[test]
+    fn bidirectional_matches_unidirectional(
+        y in 2u32..8,
+        chunk in 1usize..5,
+        seed in 0u64..10_000,
+    ) {
+        let elems = 2 * chunk * y as usize;
+        let mesh = Multipod::new(MultipodConfig::mesh(1, y, true));
+        let mut net = Network::new(mesh, NetworkConfig::tpu_v3());
+        let ring_y = net.mesh().y_ring(0);
+        let ins = random_inputs(y as usize, elems, seed);
+        let reference = Tensor::sum_all(&ins);
+        let out = ring::all_reduce(&mut net, &ring_y, &ins, Precision::F32, SimTime::ZERO)
+            .unwrap();
+        for o in &out.outputs {
+            prop_assert!(o.max_abs_diff(&reference) < 1e-3);
+        }
+    }
+
+    /// Reduce-scatter followed by all-gather reproduces the all-reduce
+    /// output exactly (same schedule family).
+    #[test]
+    fn rs_then_ag_equals_ar(
+        y in 2u32..8,
+        chunk in 1usize..5,
+        seed in 0u64..10_000,
+    ) {
+        let mesh = Multipod::new(MultipodConfig::mesh(1, y, true));
+        let mut net = Network::new(mesh, NetworkConfig::tpu_v3());
+        let ring_y = net.mesh().y_ring(0);
+        let ins = random_inputs(y as usize, chunk * y as usize, seed);
+        let rs = ring::reduce_scatter(
+            &mut net, &ring_y, &ins, Precision::F32, ring::Direction::Forward, SimTime::ZERO,
+        ).unwrap();
+        let ag = ring::all_gather(
+            &mut net, &ring_y, &rs.shards, Precision::F32, ring::Direction::Forward, rs.time,
+        ).unwrap();
+        let reference = Tensor::sum_all(&ins);
+        for o in &ag.outputs {
+            prop_assert!(o.max_abs_diff(&reference) < 1e-3);
+        }
+        prop_assert!(ag.time >= rs.time);
+    }
+
+    /// The 2-D schedule sums over exactly the replica groups defined by
+    /// `x % stride`, for arbitrary mesh shapes and strides.
+    #[test]
+    fn two_dim_all_reduce_sums_replica_groups(
+        xs in 1u32..4,       // x_len = stride * xs
+        stride in 1u32..4,
+        y in 2u32..6,
+        chunk in 1usize..3,
+        seed in 0u64..10_000,
+    ) {
+        let x_len = stride * xs;
+        let mesh = Multipod::new(MultipodConfig::mesh(x_len, y, true));
+        let mut net = Network::new(mesh.clone(), NetworkConfig::tpu_v3());
+        // Payload must split across Y then X rings.
+        let elems = chunk * (y as usize) * (xs as usize);
+        let ins = random_inputs(mesh.num_chips(), elems, seed);
+        let out = twod::two_dim_all_reduce(&mut net, &ins, Precision::F32, stride, None)
+            .unwrap();
+        for offset in 0..stride {
+            let group: Vec<Tensor> = mesh
+                .chips()
+                .filter(|&c| mesh.coord_of(c).x % stride == offset)
+                .map(|c| ins[c.index()].clone())
+                .collect();
+            let reference = Tensor::sum_all(&group);
+            for chip in mesh.chips().filter(|&c| mesh.coord_of(c).x % stride == offset) {
+                prop_assert!(
+                    out.outputs[chip.index()].max_abs_diff(&reference) < 1e-3,
+                    "chip {chip} offset {offset}"
+                );
+            }
+        }
+    }
+
+    /// bf16 all-reduce stays within the precision bound implied by the
+    /// format: relative error per element bounded by ~n * epsilon.
+    #[test]
+    fn bf16_all_reduce_error_bounded(
+        y in 2u32..7,
+        seed in 0u64..10_000,
+    ) {
+        let n = y as usize;
+        let mesh = Multipod::new(MultipodConfig::mesh(1, y, true));
+        let mut net = Network::new(mesh, NetworkConfig::tpu_v3());
+        let ring_y = net.mesh().y_ring(0);
+        let mut rng = TensorRng::seed(seed);
+        let ins: Vec<Tensor> = (0..n)
+            .map(|_| rng.uniform(Shape::vector(4 * n), 0.5, 1.5))
+            .collect();
+        let reference = Tensor::sum_all(&ins);
+        let out = ring::all_reduce_unidirectional(
+            &mut net, &ring_y, &ins, Precision::Bf16, ring::Direction::Forward, SimTime::ZERO,
+        ).unwrap();
+        let bound = reference.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+            * (n as f32) * (1.0 / 128.0);
+        for o in &out.outputs {
+            prop_assert!(o.max_abs_diff(&reference) <= bound);
+        }
+    }
+
+    /// Timing monotonicity: more bytes never complete faster, at either
+    /// precision, on any ring.
+    #[test]
+    fn timing_is_monotone_in_payload(
+        y in 2u32..9,
+        small in 1usize..50,
+        extra in 1usize..50,
+    ) {
+        use multipod_collectives::timing::RingCosts;
+        let mesh = Multipod::new(MultipodConfig::mesh(1, y, true));
+        let net = Network::new(mesh, NetworkConfig::tpu_v3());
+        let costs = RingCosts::from_ring(&net, &net.mesh().y_ring(0), 1);
+        let n = y as usize;
+        let a = costs.all_reduce_time(small * n * 1000, Precision::F32, true);
+        let b = costs.all_reduce_time((small + extra) * n * 1000, Precision::F32, true);
+        prop_assert!(b >= a);
+        let c = costs.all_reduce_time(small * n * 1000, Precision::Bf16, true);
+        prop_assert!(c <= a);
+    }
+}

@@ -1,0 +1,145 @@
+//! Model-parallel speedup curves (Figure 9).
+//!
+//! For SSD, MaskRCNN and the Transformer, the paper plots the speedup of
+//! one training step as the model-parallel tile grows from 1 to 8 cores.
+//! Here the per-core compute comes from the SPMD-partitioned
+//! representative graph (so partitioning imbalance/duplication is
+//! captured) and the tile communication from the same program's
+//! collectives — the speedup is sublinear exactly because communication
+//! does not parallelize (§5: "The scaling is limited by communication
+//! overhead introduced for partitioning and inefficiencies from smaller
+//! dimensions after partitioning").
+
+use serde::{Deserialize, Serialize};
+
+use multipod_models::{TpuV3, Workload};
+use multipod_simnet::NetworkConfig;
+
+use crate::graphs;
+
+/// One point of the Figure-9 curves.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ModelParallelPoint {
+    /// Cores in the model-parallel tile.
+    pub cores: u32,
+    /// Per-step time at this tile width, seconds.
+    pub step_time: f64,
+    /// Speedup over the 1-core step.
+    pub speedup: f64,
+}
+
+/// Sweeps tile widths for one workload.
+///
+/// `per_replica_batch` is the number of samples one replica processes per
+/// step (e.g. 1 for the Transformer at the multipod scale).
+///
+/// # Panics
+///
+/// Panics when the workload is purely data-parallel (no representative
+/// graph) or `cores_list` is empty/not starting at 1.
+pub fn speedup_curve(
+    workload: &Workload,
+    per_replica_batch: f64,
+    cores_list: &[u32],
+) -> Vec<ModelParallelPoint> {
+    assert!(!cores_list.is_empty() && cores_list[0] == 1, "sweep starts at 1 core");
+    let tpu = TpuV3::new();
+    let cfg = NetworkConfig::tpu_v3();
+    let points: Vec<(u32, f64)> = cores_list
+        .iter()
+        .map(|&cores| {
+            let rep = graphs::representative(workload, cores as usize)
+                .expect("model-parallel workload");
+            // Compute: partitioned per-core FLOPs, with utilization
+            // degrading as the per-core work shrinks.
+            let rep_flops = rep.flops_per_core_per_sample(cores as usize) * per_replica_batch;
+            // Scale representative FLOPs to the full model's budget.
+            let full_flops_1 = graphs::representative(workload, 1)
+                .expect("base graph")
+                .flops_per_core_per_sample(1);
+            let scale = workload.flops_per_sample / full_flops_1;
+            let flops = rep_flops * scale;
+            // Partition-efficiency discount: √(cores) rather than cores
+            // (tiles keep large local shapes but lose peak to small
+            // post-partition dimensions).
+            let eff = workload
+                .efficiency
+                .at((per_replica_batch / (cores as f64).sqrt()).max(1e-3));
+            let compute =
+                tpu.step_overhead + flops / (tpu.peak_matmul_flops / 2.0 * eff);
+            // Tile communication: bytes and collective count from the
+            // partitioned program.
+            let comm = if cores > 1 {
+                let bytes = rep.comm_bytes_per_core_per_sample(cores as usize)
+                    * per_replica_batch
+                    * workload.grad_precision.bytes() as f64
+                    / 4.0;
+                let collectives = rep.collectives_per_step(cores as usize);
+                collectives * (cfg.message_overhead + cfg.hop_latency)
+                    + bytes / cfg.link_bandwidth
+            } else {
+                0.0
+            };
+            (cores, compute + comm)
+        })
+        .collect();
+    let base = points[0].1;
+    points
+        .into_iter()
+        .map(|(cores, step_time)| ModelParallelPoint {
+            cores,
+            step_time,
+            speedup: base / step_time,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multipod_models::catalog;
+
+    #[test]
+    fn transformer_reaches_paper_speedup_at_4_cores() {
+        // §5: "The transformer model also achieves comparable speedup of
+        // 2.3× on four TPU-v3 cores."
+        let curve = speedup_curve(&catalog::transformer(), 1.0, &[1, 2, 4]);
+        let at4 = curve.last().unwrap();
+        assert_eq!(at4.cores, 4);
+        assert!(
+            (1.6..3.4).contains(&at4.speedup),
+            "transformer 4-core speedup = {}",
+            at4.speedup
+        );
+    }
+
+    #[test]
+    fn spatial_models_speed_up_through_8_cores() {
+        for w in [catalog::ssd(), catalog::maskrcnn()] {
+            let curve = speedup_curve(&w, 1.0, &[1, 2, 4, 8]);
+            // Monotone but sublinear.
+            for pair in curve.windows(2) {
+                assert!(
+                    pair[1].speedup > pair[0].speedup,
+                    "{}: {curve:?}",
+                    w.name
+                );
+            }
+            let at8 = curve.last().unwrap().speedup;
+            assert!(at8 > 1.5 && at8 < 8.0, "{}: speedup at 8 = {at8}", w.name);
+        }
+    }
+
+    #[test]
+    fn speedup_is_sublinear_due_to_comm() {
+        let curve = speedup_curve(&catalog::ssd(), 4.0, &[1, 2, 4, 8]);
+        let at8 = curve.last().unwrap().speedup;
+        assert!(at8 < 7.0, "comm must make 8-core speedup sublinear: {at8}");
+    }
+
+    #[test]
+    #[should_panic(expected = "model-parallel workload")]
+    fn data_parallel_models_are_rejected() {
+        speedup_curve(&catalog::bert(), 1.0, &[1, 2]);
+    }
+}

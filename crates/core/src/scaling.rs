@@ -1,0 +1,160 @@
+//! Chip-count sweeps (Figures 5–8 and 11).
+
+use serde::Serialize;
+
+use multipod_models::Workload;
+
+use crate::executor::{Executor, Preset, Report};
+use crate::step::StepOptions;
+
+/// One point of a scaling sweep.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct ScalePoint {
+    /// Chips at this point.
+    pub chips: u32,
+    /// The full simulated report.
+    pub report: Report,
+}
+
+/// A scaling curve over chip counts.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct ScalingCurve {
+    /// Sweep points, ascending in chips.
+    pub points: Vec<ScalePoint>,
+}
+
+impl ScalingCurve {
+    /// Sweeps a workload across chip counts with default options.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `chip_counts` is empty or not ascending.
+    pub fn sweep(workload: &Workload, chip_counts: &[u32]) -> ScalingCurve {
+        assert!(!chip_counts.is_empty(), "sweep needs chip counts");
+        assert!(
+            chip_counts.windows(2).all(|w| w[0] < w[1]),
+            "chip counts must ascend"
+        );
+        let points = chip_counts
+            .iter()
+            .map(|&chips| {
+                let preset = Preset {
+                    workload: workload.clone(),
+                    chips,
+                    framework: multipod_framework::FrameworkKind::TensorFlow,
+                    options: StepOptions::default(),
+                };
+                ScalePoint {
+                    chips,
+                    report: Executor::new(preset).run(),
+                }
+            })
+            .collect();
+        ScalingCurve { points }
+    }
+
+    /// End-to-end speedup of each point over the first (Figures 5/7/11).
+    pub fn end_to_end_speedups(&self) -> Vec<(u32, f64)> {
+        let base = self.points[0].report.end_to_end_minutes();
+        self.points
+            .iter()
+            .map(|p| (p.chips, base / p.report.end_to_end_minutes()))
+            .collect()
+    }
+
+    /// Throughput speedup of each point over the first (Figure 5's second
+    /// series).
+    pub fn throughput_speedups(&self) -> Vec<(u32, f64)> {
+        let base = self.points[0].report.throughput();
+        self.points
+            .iter()
+            .map(|p| (p.chips, p.report.throughput() / base))
+            .collect()
+    }
+
+    /// The ideal (linear) speedup at each point, for reference lines.
+    pub fn ideal_speedups(&self) -> Vec<(u32, f64)> {
+        let base = self.points[0].chips as f64;
+        self.points
+            .iter()
+            .map(|p| (p.chips, p.chips as f64 / base))
+            .collect()
+    }
+
+    /// Per-point (compute seconds, all-reduce seconds) — the stacked areas
+    /// of Figures 6 and 8.
+    pub fn step_time_breakdown(&self) -> Vec<(u32, f64, f64)> {
+        self.points
+            .iter()
+            .map(|p| {
+                (
+                    p.chips,
+                    p.report.step.compute
+                        + p.report.step.model_parallel_comm
+                        + p.report.step.weight_update,
+                    p.report.step.gradient_comm.total(),
+                )
+            })
+            .collect()
+    }
+}
+
+/// The paper's standard sweep: 16 to `max` chips by powers of two.
+pub fn standard_chip_counts(max: u32) -> Vec<u32> {
+    let mut counts = Vec::new();
+    let mut c = 16u32;
+    while c <= max {
+        counts.push(c);
+        c *= 2;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multipod_models::catalog;
+
+    #[test]
+    fn resnet_throughput_scales_better_than_end_to_end() {
+        // Fig. 5: "the throughput speedup is closer to ideal scaling than
+        // the end-to-end speedup" (epoch count doubles at large batch).
+        let curve = ScalingCurve::sweep(&catalog::resnet50(), &standard_chip_counts(4096));
+        let e2e = curve.end_to_end_speedups();
+        let thr = curve.throughput_speedups();
+        let last = e2e.len() - 1;
+        assert!(thr[last].1 > e2e[last].1, "thr={thr:?} e2e={e2e:?}");
+        // Both improve monotonically up to the multipod.
+        assert!(e2e[last].1 > e2e[last / 2].1);
+    }
+
+    #[test]
+    fn bert_scales_through_4096_chips() {
+        // Fig. 7: BERT shows the highest scaling 16 → 4096.
+        let curve = ScalingCurve::sweep(&catalog::bert(), &standard_chip_counts(4096));
+        let e2e = curve.end_to_end_speedups();
+        let last = e2e.last().unwrap();
+        assert_eq!(last.0, 4096);
+        // 256x more chips: well past 30x end-to-end.
+        assert!(last.1 > 30.0, "bert speedup at 4096 = {}", last.1);
+    }
+
+    #[test]
+    fn breakdown_series_shapes_match_fig6() {
+        let curve = ScalingCurve::sweep(&catalog::resnet50(), &standard_chip_counts(4096));
+        let rows = curve.step_time_breakdown();
+        let (first_compute, first_comm) = (rows[0].1, rows[0].2);
+        let (last_compute, last_comm) = (rows[rows.len() - 1].1, rows[rows.len() - 1].2);
+        // Compute keeps decreasing; comm is ~flat.
+        assert!(first_compute > 3.0 * last_compute);
+        assert!(last_comm > 0.2 * first_comm && last_comm < 5.0 * first_comm);
+    }
+
+    #[test]
+    fn standard_counts_are_powers_of_two() {
+        let counts = standard_chip_counts(4096);
+        assert_eq!(counts.first(), Some(&16));
+        assert_eq!(counts.last(), Some(&4096));
+        assert!(counts.windows(2).all(|w| w[1] == 2 * w[0]));
+    }
+}

@@ -1,0 +1,139 @@
+//! The masked feature self-interaction (§4.6).
+//!
+//! DLRM crosses its features by taking all pairwise dot products of the
+//! per-feature embedding vectors. The reference implementation *gathers*
+//! the strictly-lower-triangular entries of the interaction matrix to
+//! drop the redundant (symmetric and diagonal) ones; gathers are slow on
+//! TPUs, so the paper instead "masks the redundant features with zeros
+//! and modifies the downstream fully connected layers to ignore the null
+//! features during initialization".
+
+use multipod_tensor::{Shape, Tensor};
+
+/// The self-interaction output in both layouts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InteractionOutput {
+    /// Gather layout: the `f·(f−1)/2` strictly-lower-triangular products
+    /// per sample (reference semantics).
+    pub gathered: Tensor,
+    /// Masked layout: the full `f·f` matrix per sample with redundant
+    /// entries zeroed (the TPU-friendly layout).
+    pub masked: Tensor,
+}
+
+/// Computes the pairwise feature interactions for a batch.
+///
+/// `features` is `[batch × (tables · dim)]` as produced by the embedding
+/// lookup; it is interpreted as `tables` vectors of length `dim` per
+/// sample.
+///
+/// # Panics
+///
+/// Panics when the feature width is not divisible by `dim`.
+pub fn masked_self_interaction(features: &Tensor, dim: usize) -> InteractionOutput {
+    let batch = features.shape().dim(0);
+    let width = features.shape().dim(1);
+    assert_eq!(width % dim, 0, "feature width must be tables * dim");
+    let f = width / dim;
+    let tri = f * (f - 1) / 2;
+    let mut gathered = Vec::with_capacity(batch * tri);
+    let mut masked = vec![0.0f32; batch * f * f];
+    for b in 0..batch {
+        let row = &features.data()[b * width..(b + 1) * width];
+        for i in 0..f {
+            for j in 0..f {
+                let dot: f32 = (0..dim)
+                    .map(|k| row[i * dim + k] * row[j * dim + k])
+                    .sum();
+                if j < i {
+                    gathered.push(dot);
+                    masked[b * f * f + i * f + j] = dot;
+                }
+                // Diagonal and upper triangle stay zero in the masked
+                // layout (the "null features" downstream layers ignore).
+            }
+        }
+    }
+    InteractionOutput {
+        gathered: Tensor::new(Shape::of(&[batch, tri]), gathered),
+        masked: Tensor::new(Shape::of(&[batch, f * f]), masked),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multipod_tensor::TensorRng;
+
+    #[test]
+    fn layouts_carry_the_same_information() {
+        let mut rng = TensorRng::seed(4);
+        let feats = rng.uniform(Shape::of(&[3, 4 * 2]), -1.0, 1.0); // 4 tables, dim 2
+        let out = masked_self_interaction(&feats, 2);
+        assert_eq!(out.gathered.shape().dims(), &[3, 6]);
+        assert_eq!(out.masked.shape().dims(), &[3, 16]);
+        // Every gathered value appears at its (i,j) slot in the masked
+        // layout; everything else is zero.
+        for b in 0..3 {
+            let mut g = out.gathered.data()[b * 6..(b + 1) * 6].iter();
+            for i in 0..4 {
+                for j in 0..4 {
+                    let m = out.masked.data()[b * 16 + i * 4 + j];
+                    if j < i {
+                        assert_eq!(m, *g.next().unwrap());
+                    } else {
+                        assert_eq!(m, 0.0, "redundant slot must be masked");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interactions_are_dot_products() {
+        // Two orthogonal and two identical features.
+        let feats = Tensor::new(
+            Shape::of(&[1, 6]),
+            vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0], // f0=(1,0), f1=(0,1), f2=(1,0)
+        );
+        let out = masked_self_interaction(&feats, 2);
+        // gathered order: (1,0), (2,0), (2,1)
+        assert_eq!(out.gathered.data(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn downstream_layer_ignoring_nulls_matches_gather_path() {
+        // A linear layer whose weights are zero at the null slots gives
+        // identical outputs for both layouts — the paper's invariant.
+        let mut rng = TensorRng::seed(8);
+        let feats = rng.uniform(Shape::of(&[5, 3 * 2]), -1.0, 1.0);
+        let out = masked_self_interaction(&feats, 2);
+        let f = 3;
+        let tri = 3;
+        let w_tri = rng.uniform(Shape::of(&[tri, 4]), -1.0, 1.0);
+        // Expand to the masked layout: weight rows at (i,j) slots, zeros
+        // elsewhere.
+        let mut w_full = vec![0.0f32; f * f * 4];
+        let mut r = 0;
+        for i in 0..f {
+            for j in 0..f {
+                if j < i {
+                    w_full[(i * f + j) * 4..(i * f + j + 1) * 4]
+                        .copy_from_slice(&w_tri.data()[r * 4..(r + 1) * 4]);
+                    r += 1;
+                }
+            }
+        }
+        let w_full = Tensor::new(Shape::of(&[f * f, 4]), w_full);
+        let a = out.gathered.matmul(&w_tri);
+        let b = out.masked.matmul(&w_full);
+        assert!(a.max_abs_diff(&b) < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width")]
+    fn rejects_indivisible_width() {
+        let feats = Tensor::zeros(Shape::of(&[1, 7]));
+        masked_self_interaction(&feats, 2);
+    }
+}

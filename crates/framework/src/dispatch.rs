@@ -1,0 +1,107 @@
+//! Steady-state dispatch overheads (§2).
+//!
+//! Beyond initialization, the two control planes pay different *per-step*
+//! costs: "TensorFlow has additional compilation steps, which we
+//! accelerated using multithreading, while JAX requires more careful
+//! management of Python bottlenecks (for instance, moving blocking tasks
+//! like data infeed off of the main thread)." Both fixes are modeled and
+//! ablatable here.
+
+use serde::{Deserialize, Serialize};
+
+/// TensorFlow's client-side compilation pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TfCompilePipeline {
+    /// Independently compilable subgraphs.
+    pub subgraphs: u32,
+    /// Single-threaded cost per subgraph, seconds.
+    pub cost_per_subgraph: f64,
+    /// Compiler threads (the paper's acceleration; 1 = the old behaviour).
+    pub threads: u32,
+}
+
+impl TfCompilePipeline {
+    /// Wall-clock compile time: subgraphs are spread over threads
+    /// (longest-processing-time bound: ceil-div batches of parallel work).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads` is zero.
+    pub fn wall_clock(&self) -> f64 {
+        assert!(self.threads > 0, "need at least one compiler thread");
+        let rounds = self.subgraphs.div_ceil(self.threads);
+        rounds as f64 * self.cost_per_subgraph
+    }
+}
+
+/// The JAX host main-loop, with or without the paper's off-thread infeed.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JaxHostLoop {
+    /// Python dispatch work per step (argument donation, token plumbing),
+    /// seconds.
+    pub python_dispatch: f64,
+    /// Data-infeed work per step, seconds.
+    pub infeed: f64,
+    /// Whether infeed runs on a background thread (the paper's fix).
+    pub infeed_off_main_thread: bool,
+}
+
+impl JaxHostLoop {
+    /// Host-side overhead added to one device step.
+    ///
+    /// On the main thread the two costs serialize; off-thread they
+    /// overlap and only the larger can stall the device.
+    pub fn per_step_overhead(&self) -> f64 {
+        if self.infeed_off_main_thread {
+            self.python_dispatch.max(self.infeed)
+        } else {
+            self.python_dispatch + self.infeed
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multithreading_cuts_tf_compile_time() {
+        let slow = TfCompilePipeline {
+            subgraphs: 64,
+            cost_per_subgraph: 0.5,
+            threads: 1,
+        };
+        let fast = TfCompilePipeline {
+            threads: 16,
+            ..slow
+        };
+        assert_eq!(slow.wall_clock(), 32.0);
+        assert_eq!(fast.wall_clock(), 2.0);
+    }
+
+    #[test]
+    fn compile_speedup_saturates_at_subgraph_count() {
+        let p = TfCompilePipeline {
+            subgraphs: 4,
+            cost_per_subgraph: 1.0,
+            threads: 64,
+        };
+        assert_eq!(p.wall_clock(), 1.0);
+    }
+
+    #[test]
+    fn off_thread_infeed_overlaps() {
+        let on_main = JaxHostLoop {
+            python_dispatch: 2.0e-3,
+            infeed: 3.0e-3,
+            infeed_off_main_thread: false,
+        };
+        let off_main = JaxHostLoop {
+            infeed_off_main_thread: true,
+            ..on_main
+        };
+        assert!((on_main.per_step_overhead() - 5.0e-3).abs() < 1e-12);
+        assert!((off_main.per_step_overhead() - 3.0e-3).abs() < 1e-12);
+        assert!(off_main.per_step_overhead() < on_main.per_step_overhead());
+    }
+}

@@ -1,0 +1,26 @@
+//! TensorFlow vs JAX distributed control planes (§2, Table 2).
+//!
+//! The two frameworks program the same hardware with opposite
+//! architectures:
+//!
+//! * **TensorFlow (single-client)**: one Python process holds the whole
+//!   multi-device graph. Graph construction and optimization grow with
+//!   the number of workers, the graph is compiled once, and partitioned
+//!   subgraphs are shipped to every worker over RPC — an Amdahl
+//!   bottleneck at 4096 chips (498–1040 s init in Table 2).
+//! * **JAX (multi-client)**: every host runs the same program,
+//!   compiles its own XLA executable (deterministic compilation keeps
+//!   them compatible) and only coordinates at mesh setup — so init time
+//!   is roughly constant in worker count (122–294 s).
+//!
+//! [`InitModel`] reproduces both laws; [`profiles`] carries the
+//! per-benchmark constants calibrated against Table 2; [`TfCompilePipeline`]
+//! and [`JaxHostLoop`] model the §2 steady-state fixes (multithreaded TF
+//! compilation, JAX's off-main-thread infeed).
+
+mod dispatch;
+mod init;
+pub mod profiles;
+
+pub use dispatch::{JaxHostLoop, TfCompilePipeline};
+pub use init::{FrameworkKind, InitBreakdown, InitModel, ModelInitProfile};

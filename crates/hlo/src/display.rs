@@ -1,0 +1,179 @@
+//! Human-readable dumps of graphs and partitioned programs.
+//!
+//! XLA's HLO text form is the lingua franca for debugging partitioner
+//! behaviour; these `Display` impls provide the equivalent here, e.g.:
+//!
+//! ```text
+//! %2 = matmul(%0, %1) : [8×8]
+//! ```
+
+use std::fmt;
+
+use crate::graph::HloGraph;
+use crate::op::Op;
+use crate::program::{ComputeOp, Instr, PartitionedProgram};
+use crate::sharding::Sharding;
+
+fn sharding_suffix(s: Option<Sharding>) -> String {
+    match s {
+        None => String::new(),
+        Some(Sharding::Replicated) => " {replicated}".to_string(),
+        Some(Sharding::Split { axis, parts }) => format!(" {{split axis={axis} parts={parts}}}"),
+    }
+}
+
+impl fmt::Display for HloGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for id in self.node_ids() {
+            let op = self.op(id);
+            let shape = self.shape(id);
+            let ann = sharding_suffix(self.annotation(id));
+            let body = match op {
+                Op::Parameter { name } => format!("parameter \"{name}\""),
+                Op::Constant { .. } => "constant".to_string(),
+                Op::MatMul { lhs, rhs } => format!("matmul({lhs:?}, {rhs:?})"),
+                Op::Conv2dSame { input, kernel } => {
+                    format!("conv2d_same({input:?}, {kernel:?})")
+                }
+                Op::Add { lhs, rhs } => format!("add({lhs:?}, {rhs:?})"),
+                Op::Mul { lhs, rhs } => format!("mul({lhs:?}, {rhs:?})"),
+                Op::Relu { input } => format!("relu({input:?})"),
+                Op::ReluGrad { input, upstream } => {
+                    format!("relu_grad({input:?}, {upstream:?})")
+                }
+                Op::ReduceSum { input, axis } => {
+                    format!("reduce_sum({input:?}, axis={axis})")
+                }
+                Op::Gather { input, indices } => format!("gather({input:?}, {indices:?})"),
+                Op::TopK { input, k } => format!("top_k({input:?}, k={k})"),
+                Op::Transpose { input } => format!("transpose({input:?})"),
+                Op::BroadcastAxis {
+                    input,
+                    axis,
+                    extent,
+                } => format!("broadcast_axis({input:?}, axis={axis}, extent={extent})"),
+                Op::Rot180 { input } => format!("rot180({input:?})"),
+                Op::ConvKernelGrad {
+                    input,
+                    upstream,
+                    kh,
+                    kw,
+                } => format!("conv_kernel_grad({input:?}, {upstream:?}, {kh}x{kw})"),
+                Op::ScatterAdd {
+                    indices,
+                    upstream,
+                    rows,
+                } => format!("scatter_add({indices:?}, {upstream:?}, rows={rows})"),
+            };
+            writeln!(f, "{id:?} = {body} : {shape}{ann}")?;
+        }
+        write!(f, "outputs: {:?}", self.outputs())
+    }
+}
+
+impl fmt::Display for PartitionedProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "// SPMD program over {} cores", self.num_parts())?;
+        for instr in self.instrs() {
+            let out = instr.out();
+            let shape = &self.shapes[out.0];
+            let body = match instr {
+                Instr::Compute { op, .. } => match op {
+                    ComputeOp::Feed { name, sharding } => {
+                        format!("feed \"{name}\"{}", sharding_suffix(Some(*sharding)))
+                    }
+                    ComputeOp::Constant { .. } => "constant".to_string(),
+                    ComputeOp::MatMul { lhs, rhs } => format!("matmul({lhs:?}, {rhs:?})"),
+                    ComputeOp::ConvSame { input, kernel } => {
+                        format!("conv2d_same({input:?}, {kernel:?})")
+                    }
+                    ComputeOp::ConvHalo {
+                        input,
+                        kernel,
+                        valid_axis,
+                    } => format!("conv_halo({input:?}, {kernel:?}, valid_axis={valid_axis})"),
+                    ComputeOp::Add { lhs, rhs } => format!("add({lhs:?}, {rhs:?})"),
+                    ComputeOp::Mul { lhs, rhs } => format!("mul({lhs:?}, {rhs:?})"),
+                    ComputeOp::Relu { input } => format!("relu({input:?})"),
+                    ComputeOp::ReluGrad { input, upstream } => {
+                        format!("relu_grad({input:?}, {upstream:?})")
+                    }
+                    ComputeOp::ReduceSum { input, axis } => {
+                        format!("reduce_sum({input:?}, axis={axis})")
+                    }
+                    ComputeOp::SliceAxis { input, axis } => {
+                        format!("slice_axis({input:?}, axis={axis})")
+                    }
+                    ComputeOp::Gather { input, indices } => {
+                        format!("gather({input:?}, {indices:?})")
+                    }
+                    ComputeOp::GatherPartial { input, indices } => {
+                        format!("gather_partial[onehot-matmul]({input:?}, {indices:?})")
+                    }
+                    ComputeOp::TopK { input, k } => format!("top_k({input:?}, k={k})"),
+                    ComputeOp::Transpose { input } => format!("transpose({input:?})"),
+                    ComputeOp::BroadcastAxis {
+                        input,
+                        axis,
+                        extent,
+                    } => format!("broadcast_axis({input:?}, axis={axis}, extent={extent})"),
+                    ComputeOp::Rot180 { input } => format!("rot180({input:?})"),
+                    ComputeOp::ConvKernelGrad {
+                        input,
+                        upstream,
+                        kh,
+                        kw,
+                    } => format!("conv_kernel_grad({input:?}, {upstream:?}, {kh}x{kw})"),
+                    ComputeOp::ScatterAdd {
+                        indices,
+                        upstream,
+                        rows,
+                    } => format!("scatter_add({indices:?}, {upstream:?}, rows={rows})"),
+                },
+                Instr::AllReduce { input, .. } => format!("ALL-REDUCE({input:?})"),
+                Instr::AllGather { input, axis, .. } => {
+                    format!("ALL-GATHER({input:?}, axis={axis})")
+                }
+                Instr::HaloExchange {
+                    input, axis, halo, ..
+                } => format!("HALO-EXCHANGE({input:?}, axis={axis}, halo={halo})"),
+            };
+            writeln!(f, "{out:?} = {body} : {shape}")?;
+        }
+        write!(f, "outputs: {:?}", self.outputs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{HloBuilder, Sharding, SpmdPartitioner};
+    use multipod_tensor::Shape;
+
+    #[test]
+    fn graph_display_lists_every_node() {
+        let mut b = HloBuilder::new();
+        let x = b.parameter("x", Shape::of(&[4, 8]), Sharding::Replicated);
+        let w = b.parameter("w", Shape::of(&[8, 2]), Sharding::split(1, 2));
+        let y = b.matmul(x, w).unwrap();
+        let g = b.build(vec![y]);
+        let text = g.to_string();
+        assert!(text.contains("parameter \"x\""));
+        assert!(text.contains("{split axis=1 parts=2}"));
+        assert!(text.contains("matmul(%0, %1)"));
+        assert!(text.contains("outputs: [%2]"));
+    }
+
+    #[test]
+    fn program_display_shows_collectives() {
+        let mut b = HloBuilder::new();
+        let x = b.parameter("x", Shape::of(&[4, 8]), Sharding::split(1, 2));
+        let w = b.parameter("w", Shape::of(&[8, 2]), Sharding::split(0, 2));
+        let y = b.matmul(x, w).unwrap();
+        let g = b.build(vec![y]);
+        let p = SpmdPartitioner::new(2).partition(&g).unwrap();
+        let text = p.to_string();
+        assert!(text.contains("SPMD program over 2 cores"));
+        assert!(text.contains("ALL-REDUCE"));
+        assert!(text.contains("feed \"x\""));
+    }
+}

@@ -1,0 +1,99 @@
+//! Errors for graph construction and partitioning.
+
+use std::error::Error;
+use std::fmt;
+
+use multipod_tensor::Shape;
+
+use crate::graph::NodeId;
+use crate::sharding::Sharding;
+
+/// Error raised by HLO graph construction, partitioning or execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HloError {
+    /// Operand shapes are incompatible for the op.
+    ShapeMismatch {
+        /// The op being built.
+        op: &'static str,
+        /// The offending shapes.
+        shapes: Vec<Shape>,
+    },
+    /// A sharding cannot be applied to a shape (axis out of range or
+    /// extent not divisible by the part count).
+    BadSharding {
+        /// The sharding.
+        sharding: Sharding,
+        /// The shape it was applied to.
+        shape: Shape,
+    },
+    /// A node id referenced a node that does not exist.
+    UnknownNode(NodeId),
+    /// A required parameter feed was missing at execution time.
+    MissingFeed(String),
+    /// A feed's shape disagreed with its parameter declaration.
+    FeedShape {
+        /// Parameter name.
+        name: String,
+        /// Declared shape.
+        expected: Shape,
+        /// Supplied shape.
+        got: Shape,
+    },
+    /// The partitioner hit an op/sharding combination it cannot rewrite.
+    Unpartitionable {
+        /// The node that failed.
+        node: NodeId,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A collective failed during partitioned execution.
+    Collective(String),
+}
+
+impl fmt::Display for HloError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HloError::ShapeMismatch { op, shapes } => {
+                write!(f, "shape mismatch in {op}: {shapes:?}")
+            }
+            HloError::BadSharding { sharding, shape } => {
+                write!(f, "sharding {sharding:?} invalid for shape {shape}")
+            }
+            HloError::UnknownNode(id) => write!(f, "unknown node {id:?}"),
+            HloError::MissingFeed(name) => write!(f, "missing feed for parameter '{name}'"),
+            HloError::FeedShape {
+                name,
+                expected,
+                got,
+            } => write!(f, "feed '{name}' has shape {got}, expected {expected}"),
+            HloError::Unpartitionable { node, reason } => {
+                write!(f, "cannot partition node {node:?}: {reason}")
+            }
+            HloError::Collective(msg) => write!(f, "collective failed: {msg}"),
+        }
+    }
+}
+
+impl Error for HloError {}
+
+impl From<multipod_collectives::CollectiveError> for HloError {
+    fn from(e: multipod_collectives::CollectiveError) -> Self {
+        HloError::Collective(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = HloError::MissingFeed("x".into());
+        assert!(e.to_string().contains("'x'"));
+        let e = HloError::BadSharding {
+            sharding: Sharding::split(0, 3),
+            shape: Shape::of(&[4]),
+        };
+        assert!(e.to_string().contains("invalid"));
+    }
+}

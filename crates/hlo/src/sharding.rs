@@ -1,0 +1,113 @@
+//! Sharding annotations.
+
+use serde::{Deserialize, Serialize};
+
+use multipod_tensor::Shape;
+
+use crate::HloError;
+
+/// Where a tensor's data lives across the model-parallel tile.
+///
+/// The paper's spatial partitioning (§3.1) splits image tensors along a
+/// spatial axis; its feature sharding (Transformer, §4.3) splits weights
+/// along vocab/heads/hidden axes. Both are 1-D tilings, which is all this
+/// partitioner supports (GShard-style multi-axis tilings are out of the
+/// paper's scope).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Sharding {
+    /// Every core holds the full tensor.
+    Replicated,
+    /// The tensor is split along `axis` into `parts` equal tiles; core `i`
+    /// holds tile `i`.
+    Split {
+        /// The split axis.
+        axis: usize,
+        /// Number of tiles (= cores in the model-parallel tile).
+        parts: usize,
+    },
+}
+
+impl Sharding {
+    /// Convenience constructor for [`Sharding::Split`].
+    pub fn split(axis: usize, parts: usize) -> Sharding {
+        Sharding::Split { axis, parts }
+    }
+
+    /// Whether the tensor is replicated.
+    pub fn is_replicated(self) -> bool {
+        matches!(self, Sharding::Replicated)
+    }
+
+    /// The per-core shape of a tensor with this sharding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HloError::BadSharding`] when the axis is out of range or
+    /// the extent does not divide evenly.
+    pub fn local_shape(self, global: &Shape) -> Result<Shape, HloError> {
+        match self {
+            Sharding::Replicated => Ok(global.clone()),
+            Sharding::Split { axis, parts } => global
+                .split_axis(axis, parts)
+                .ok_or(HloError::BadSharding {
+                    sharding: self,
+                    shape: global.clone(),
+                }),
+        }
+    }
+
+    /// Validates this sharding against a shape and part count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HloError::BadSharding`] when invalid, including when a
+    /// `Split` declares a different part count than `expected_parts`.
+    pub fn validate(self, global: &Shape, expected_parts: usize) -> Result<(), HloError> {
+        if let Sharding::Split { parts, .. } = self {
+            if parts != expected_parts {
+                return Err(HloError::BadSharding {
+                    sharding: self,
+                    shape: global.clone(),
+                });
+            }
+        }
+        self.local_shape(global).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicated_keeps_shape() {
+        let s = Shape::of(&[4, 6]);
+        assert_eq!(Sharding::Replicated.local_shape(&s).unwrap(), s);
+        assert!(Sharding::Replicated.is_replicated());
+    }
+
+    #[test]
+    fn split_divides_axis() {
+        let s = Shape::of(&[4, 6]);
+        assert_eq!(
+            Sharding::split(1, 3).local_shape(&s).unwrap(),
+            Shape::of(&[4, 2])
+        );
+        assert!(!Sharding::split(1, 3).is_replicated());
+    }
+
+    #[test]
+    fn split_rejects_indivisible_or_bad_axis() {
+        let s = Shape::of(&[4, 6]);
+        assert!(Sharding::split(1, 4).local_shape(&s).is_err());
+        assert!(Sharding::split(2, 2).local_shape(&s).is_err());
+    }
+
+    #[test]
+    fn validate_checks_part_count() {
+        let s = Shape::of(&[8]);
+        assert!(Sharding::split(0, 4).validate(&s, 4).is_ok());
+        assert!(Sharding::split(0, 2).validate(&s, 4).is_err());
+        assert!(Sharding::Replicated.validate(&s, 4).is_ok());
+    }
+}

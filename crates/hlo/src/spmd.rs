@@ -1,0 +1,1133 @@
+//! The SPMD partitioner.
+//!
+//! Rewrites an annotated [`HloGraph`] into a single per-core
+//! [`PartitionedProgram`] (Lepikhin et al. 2020). Sharding propagates
+//! forward through the graph; collectives are inserted exactly where data
+//! crosses shard boundaries:
+//!
+//! * matmul with a split contracting dimension → partial matmul +
+//!   **all-reduce** (the Transformer feature sharding of §3.1/§4.3);
+//! * convolution with a split spatial dimension → **halo exchange** +
+//!   mixed valid/same convolution (the SSD/MaskRCNN spatial partitioning);
+//! * sharding disagreements → reshard (**all-gather** + local slice).
+//!
+//! [`CommunicationOpt::Naive`] disables propagation and reshards every
+//! operand to replicated before each op — the straw-man whose overhead the
+//! paper's MaskRCNN communication optimizations cut "from 30% to about
+//! 10%" (§4.5).
+
+use std::collections::HashMap;
+
+use multipod_tensor::Shape;
+
+use crate::graph::{HloGraph, NodeId};
+use crate::op::Op;
+use crate::program::{ComputeOp, Instr, PartitionedProgram, ValueId};
+use crate::sharding::Sharding;
+use crate::HloError;
+
+/// How a gather over a row-partitioned table is rewritten (§4.5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GatherStrategy {
+    /// Replicate the table first (all-gather), then gather locally — the
+    /// pre-optimization behaviour whose communication made gathers an
+    /// Amdahl bottleneck.
+    AllGather,
+    /// Rewrite as a onehot partial matmul + all-reduce: dense MXU work
+    /// that achieves "linear speedups when increasing the number of model
+    /// parallelism partitions" (§4.5).
+    OneHotMatMul,
+}
+
+/// How aggressively the partitioner minimizes communication.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommunicationOpt {
+    /// Propagate shardings and insert the minimal collective at each
+    /// boundary (the paper's optimized partitioner).
+    Optimized,
+    /// Reshard every operand to replicated before every op (ablation
+    /// baseline for the §4.5 communication-overhead comparison).
+    Naive,
+}
+
+/// Partitions annotated graphs over a model-parallel tile of `parts` cores.
+#[derive(Clone, Debug)]
+pub struct SpmdPartitioner {
+    parts: usize,
+    comm_opt: CommunicationOpt,
+    gather: GatherStrategy,
+}
+
+struct Emitter {
+    instrs: Vec<Instr>,
+    shapes: Vec<Shape>,
+    shardings: Vec<Sharding>,
+    global_shapes: Vec<Shape>,
+}
+
+impl Emitter {
+    fn push(
+        &mut self,
+        instr_of: impl FnOnce(ValueId) -> Instr,
+        shape: Shape,
+        sharding: Sharding,
+        global: Shape,
+    ) -> ValueId {
+        let out = ValueId(self.shapes.len());
+        self.instrs.push(instr_of(out));
+        self.shapes.push(shape);
+        self.shardings.push(sharding);
+        self.global_shapes.push(global);
+        out
+    }
+
+    fn compute(
+        &mut self,
+        op: ComputeOp,
+        shape: Shape,
+        sharding: Sharding,
+        global: Shape,
+    ) -> ValueId {
+        self.push(|out| Instr::Compute { out, op }, shape, sharding, global)
+    }
+
+    fn all_reduce(&mut self, input: ValueId) -> ValueId {
+        let shape = self.shapes[input.0].clone();
+        let global = self.global_shapes[input.0].clone();
+        self.push(
+            |out| Instr::AllReduce { out, input },
+            shape,
+            Sharding::Replicated,
+            global,
+        )
+    }
+
+    /// Reshards `value` to `to`, inserting the cheapest collective
+    /// sequence.
+    fn reshard(&mut self, value: ValueId, to: Sharding, node: NodeId) -> Result<ValueId, HloError> {
+        let from = self.shardings[value.0];
+        if from == to {
+            return Ok(value);
+        }
+        let global = self.global_shapes[value.0].clone();
+        match (from, to) {
+            (Sharding::Replicated, Sharding::Split { axis, parts }) => {
+                let local = Sharding::split(axis, parts).local_shape(&global)?;
+                Ok(self.compute(
+                    ComputeOp::SliceAxis { input: value, axis },
+                    local,
+                    to,
+                    global,
+                ))
+            }
+            (Sharding::Split { axis, .. }, Sharding::Replicated) => {
+                Ok(self.push(
+                    |out| Instr::AllGather {
+                        out,
+                        input: value,
+                        axis,
+                    },
+                    global.clone(),
+                    Sharding::Replicated,
+                    global,
+                ))
+            }
+            (Sharding::Split { .. }, Sharding::Split { .. }) => {
+                let replicated = self.reshard(value, Sharding::Replicated, node)?;
+                self.reshard(replicated, to, node)
+            }
+            _ => Err(HloError::Unpartitionable {
+                node,
+                reason: format!("cannot reshard {from:?} to {to:?}"),
+            }),
+        }
+    }
+}
+
+impl SpmdPartitioner {
+    /// A partitioner for `parts`-way model parallelism with optimized
+    /// communication.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `parts` is zero.
+    pub fn new(parts: usize) -> SpmdPartitioner {
+        SpmdPartitioner::with_comm_opt(parts, CommunicationOpt::Optimized)
+    }
+
+    /// A partitioner with an explicit communication strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `parts` is zero.
+    pub fn with_comm_opt(parts: usize, comm_opt: CommunicationOpt) -> SpmdPartitioner {
+        assert!(parts > 0, "parts must be positive");
+        SpmdPartitioner {
+            parts,
+            comm_opt,
+            gather: GatherStrategy::OneHotMatMul,
+        }
+    }
+
+    /// Overrides the gather rewrite strategy (ablations compare the two).
+    pub fn with_gather_strategy(mut self, gather: GatherStrategy) -> SpmdPartitioner {
+        self.gather = gather;
+        self
+    }
+
+    /// Whether this partitioner can express weight-update sharding
+    /// (always true for SPMD; the MPMD baseline cannot — §4.4).
+    pub fn supports_weight_update_sharding(&self) -> bool {
+        true
+    }
+
+    /// Rewrites `graph` into a single per-core program.
+    ///
+    /// # Errors
+    ///
+    /// Fails when an annotation is invalid for its shape or an
+    /// op/sharding combination cannot be rewritten.
+    pub fn partition(&self, graph: &HloGraph) -> Result<PartitionedProgram, HloError> {
+        let mut em = Emitter {
+            instrs: Vec::new(),
+            shapes: Vec::new(),
+            shardings: Vec::new(),
+            global_shapes: Vec::new(),
+        };
+        let mut value_of_node: HashMap<NodeId, ValueId> = HashMap::new();
+
+        for id in graph.node_ids() {
+            let op = graph.op(id).clone();
+            let global_shape = graph.shape(id).clone();
+            let value = match &op {
+                Op::Parameter { name } => {
+                    let sharding = graph.annotation(id).unwrap_or(Sharding::Replicated);
+                    sharding.validate(&global_shape, self.parts)?;
+                    let local = sharding.local_shape(&global_shape)?;
+                    em.compute(
+                        ComputeOp::Feed {
+                            name: name.clone(),
+                            sharding,
+                        },
+                        local,
+                        sharding,
+                        global_shape.clone(),
+                    )
+                }
+                Op::Constant { value } => em.compute(
+                    ComputeOp::Constant {
+                        value: value.clone(),
+                    },
+                    global_shape.clone(),
+                    Sharding::Replicated,
+                    global_shape.clone(),
+                ),
+                _ => {
+                    let operands: Vec<ValueId> =
+                        op.operands().iter().map(|o| value_of_node[o]).collect();
+                    match self.comm_opt {
+                        CommunicationOpt::Optimized => {
+                            self.emit_optimized(&mut em, id, &op, &operands, &global_shape)?
+                        }
+                        CommunicationOpt::Naive => {
+                            self.emit_naive(&mut em, id, &op, &operands, &global_shape)?
+                        }
+                    }
+                }
+            };
+            // Honour an explicit output annotation.
+            let value = match graph.annotation(id) {
+                Some(want) if !matches!(op, Op::Parameter { .. }) => {
+                    want.validate(&global_shape, self.parts)?;
+                    em.reshard(value, want, id)?
+                }
+                _ => value,
+            };
+            value_of_node.insert(id, value);
+        }
+
+        let outputs = graph
+            .outputs()
+            .iter()
+            .map(|o| value_of_node[o])
+            .collect();
+        let compile_cost = em.instrs.len() as u64;
+        Ok(PartitionedProgram {
+            parts: self.parts,
+            instrs: em.instrs,
+            shapes: em.shapes,
+            shardings: em.shardings,
+            value_of_node,
+            outputs,
+            compile_cost,
+        })
+    }
+
+    fn emit_optimized(
+        &self,
+        em: &mut Emitter,
+        id: NodeId,
+        op: &Op,
+        operands: &[ValueId],
+        global: &Shape,
+    ) -> Result<ValueId, HloError> {
+        match op {
+            Op::MatMul { .. } => self.emit_matmul(em, id, operands, global),
+            Op::Conv2dSame { .. } => self.emit_conv(em, id, operands, global),
+            Op::Gather { .. } => self.emit_gather(em, id, operands, global),
+            Op::TopK { k, .. } => self.emit_topk(em, id, operands, global, *k),
+            Op::Add { .. } => {
+                let (mut l, mut r) = (operands[0], operands[1]);
+                let (sl, sr) = (em.shardings[l.0], em.shardings[r.0]);
+                let out_sharding = match (sl, sr) {
+                    (a, b) if a == b => a,
+                    (Sharding::Replicated, s @ Sharding::Split { .. }) => {
+                        l = em.reshard(l, s, id)?;
+                        s
+                    }
+                    (s @ Sharding::Split { .. }, Sharding::Replicated) => {
+                        r = em.reshard(r, s, id)?;
+                        s
+                    }
+                    (s @ Sharding::Split { .. }, Sharding::Split { .. }) => {
+                        r = em.reshard(r, s, id)?;
+                        s
+                    }
+                    _ => unreachable!("covered above"),
+                };
+                let shape = em.shapes[l.0].clone();
+                Ok(em.compute(
+                    ComputeOp::Add { lhs: l, rhs: r },
+                    shape,
+                    out_sharding,
+                    global.clone(),
+                ))
+            }
+            Op::Relu { .. } => {
+                let input = operands[0];
+                let shape = em.shapes[input.0].clone();
+                let sharding = em.shardings[input.0];
+                Ok(em.compute(
+                    ComputeOp::Relu { input },
+                    shape,
+                    sharding,
+                    global.clone(),
+                ))
+            }
+            Op::Transpose { .. } => {
+                let input = operands[0];
+                let local = em.shapes[input.0].clone();
+                let out_local = Shape::of(&[local.dim(1), local.dim(0)]);
+                let sharding = match em.shardings[input.0] {
+                    Sharding::Replicated => Sharding::Replicated,
+                    Sharding::Split { axis, parts } => Sharding::split(1 - axis, parts),
+                };
+                Ok(em.compute(
+                    ComputeOp::Transpose { input },
+                    out_local,
+                    sharding,
+                    global.clone(),
+                ))
+            }
+            Op::Mul { .. } => {
+                let (l, r) = self.align_elementwise(em, id, operands[0], operands[1])?;
+                let shape = em.shapes[l.0].clone();
+                let sharding = em.shardings[l.0];
+                Ok(em.compute(
+                    ComputeOp::Mul { lhs: l, rhs: r },
+                    shape,
+                    sharding,
+                    global.clone(),
+                ))
+            }
+            Op::ReluGrad { .. } => {
+                let (l, r) = self.align_elementwise(em, id, operands[0], operands[1])?;
+                let shape = em.shapes[l.0].clone();
+                let sharding = em.shardings[l.0];
+                Ok(em.compute(
+                    ComputeOp::ReluGrad {
+                        input: l,
+                        upstream: r,
+                    },
+                    shape,
+                    sharding,
+                    global.clone(),
+                ))
+            }
+            // Gradient bookkeeping ops without a sharded fast path:
+            // replicate inputs, compute once (always correct; the paper's
+            // partitioner has bespoke rules we do not need for fidelity).
+            Op::BroadcastAxis { axis, extent, .. } => {
+                let input = em.reshard(operands[0], Sharding::Replicated, id)?;
+                Ok(em.compute(
+                    ComputeOp::BroadcastAxis {
+                        input,
+                        axis: *axis,
+                        extent: *extent,
+                    },
+                    global.clone(),
+                    Sharding::Replicated,
+                    global.clone(),
+                ))
+            }
+            Op::Rot180 { .. } => {
+                let input = em.reshard(operands[0], Sharding::Replicated, id)?;
+                Ok(em.compute(
+                    ComputeOp::Rot180 { input },
+                    global.clone(),
+                    Sharding::Replicated,
+                    global.clone(),
+                ))
+            }
+            Op::ConvKernelGrad { kh, kw, .. } => {
+                let input = em.reshard(operands[0], Sharding::Replicated, id)?;
+                let upstream = em.reshard(operands[1], Sharding::Replicated, id)?;
+                Ok(em.compute(
+                    ComputeOp::ConvKernelGrad {
+                        input,
+                        upstream,
+                        kh: *kh,
+                        kw: *kw,
+                    },
+                    global.clone(),
+                    Sharding::Replicated,
+                    global.clone(),
+                ))
+            }
+            Op::ScatterAdd { rows, .. } => {
+                let indices = em.reshard(operands[0], Sharding::Replicated, id)?;
+                let upstream = em.reshard(operands[1], Sharding::Replicated, id)?;
+                Ok(em.compute(
+                    ComputeOp::ScatterAdd {
+                        indices,
+                        upstream,
+                        rows: *rows,
+                    },
+                    global.clone(),
+                    Sharding::Replicated,
+                    global.clone(),
+                ))
+            }
+            Op::ReduceSum { axis, .. } => {
+                let input = operands[0];
+                let sharding = em.shardings[input.0];
+                let local_in = em.shapes[input.0].clone();
+                let local_out = Op::ReduceSum {
+                    input: NodeId(0),
+                    axis: *axis,
+                }
+                .infer_shape(&[&local_in])?;
+                match sharding {
+                    Sharding::Split { axis: s, .. } if s == *axis => {
+                        // Reducing over the split axis: local partials,
+                        // then all-reduce.
+                        let partial = em.compute(
+                            ComputeOp::ReduceSum {
+                                input,
+                                axis: *axis,
+                            },
+                            local_out,
+                            Sharding::Replicated,
+                            global.clone(),
+                        );
+                        Ok(em.all_reduce(partial))
+                    }
+                    Sharding::Split { axis: s, parts } => {
+                        let s_after = if *axis < s { s - 1 } else { s };
+                        Ok(em.compute(
+                            ComputeOp::ReduceSum {
+                                input,
+                                axis: *axis,
+                            },
+                            local_out,
+                            Sharding::split(s_after, parts),
+                            global.clone(),
+                        ))
+                    }
+                    Sharding::Replicated => Ok(em.compute(
+                        ComputeOp::ReduceSum {
+                            input,
+                            axis: *axis,
+                        },
+                        local_out,
+                        Sharding::Replicated,
+                        global.clone(),
+                    )),
+                }
+            }
+            Op::Parameter { .. } | Op::Constant { .. } => unreachable!("leaves handled earlier"),
+        }
+    }
+
+    /// Aligns two elementwise operands onto a common sharding (slicing a
+    /// replicated side for free, resharding on disagreement), returning
+    /// the aligned value ids.
+    fn align_elementwise(
+        &self,
+        em: &mut Emitter,
+        id: NodeId,
+        mut l: ValueId,
+        mut r: ValueId,
+    ) -> Result<(ValueId, ValueId), HloError> {
+        let (sl, sr) = (em.shardings[l.0], em.shardings[r.0]);
+        match (sl, sr) {
+            (a, b) if a == b => {}
+            (Sharding::Replicated, s @ Sharding::Split { .. }) => {
+                l = em.reshard(l, s, id)?;
+            }
+            (s @ Sharding::Split { .. }, _) => {
+                r = em.reshard(r, s, id)?;
+            }
+            _ => unreachable!("covered above"),
+        }
+        Ok((l, r))
+    }
+
+    fn emit_gather(
+        &self,
+        em: &mut Emitter,
+        id: NodeId,
+        operands: &[ValueId],
+        global: &Shape,
+    ) -> Result<ValueId, HloError> {
+        let (table, mut indices) = (operands[0], operands[1]);
+        indices = em.reshard(indices, Sharding::Replicated, id)?;
+        let k = em.shapes[indices.0].dim(0);
+        match em.shardings[table.0] {
+            Sharding::Replicated => Ok(em.compute(
+                ComputeOp::Gather {
+                    input: table,
+                    indices,
+                },
+                global.clone(),
+                Sharding::Replicated,
+                global.clone(),
+            )),
+            // Column-sharded table: rows are whole on every core, so the
+            // gather is local and the output inherits the column split.
+            Sharding::Split { axis: 1, parts } => {
+                let local = Shape::of(&[k, em.shapes[table.0].dim(1)]);
+                Ok(em.compute(
+                    ComputeOp::Gather {
+                        input: table,
+                        indices,
+                    },
+                    local,
+                    Sharding::split(1, parts),
+                    global.clone(),
+                ))
+            }
+            // Row-partitioned table: the interesting §4.5 case.
+            Sharding::Split { axis: 0, .. } => match self.gather {
+                GatherStrategy::AllGather => {
+                    let replicated = em.reshard(table, Sharding::Replicated, id)?;
+                    Ok(em.compute(
+                        ComputeOp::Gather {
+                            input: replicated,
+                            indices,
+                        },
+                        global.clone(),
+                        Sharding::Replicated,
+                        global.clone(),
+                    ))
+                }
+                GatherStrategy::OneHotMatMul => {
+                    let partial = em.compute(
+                        ComputeOp::GatherPartial {
+                            input: table,
+                            indices,
+                        },
+                        global.clone(),
+                        Sharding::Replicated,
+                        global.clone(),
+                    );
+                    Ok(em.all_reduce(partial))
+                }
+            },
+            s => Err(HloError::Unpartitionable {
+                node: id,
+                reason: format!("gather table sharding {s:?}"),
+            }),
+        }
+    }
+
+    fn emit_topk(
+        &self,
+        em: &mut Emitter,
+        id: NodeId,
+        operands: &[ValueId],
+        global: &Shape,
+        k: usize,
+    ) -> Result<ValueId, HloError> {
+        let input = operands[0];
+        match em.shardings[input.0] {
+            Sharding::Replicated => Ok(em.compute(
+                ComputeOp::TopK { input, k },
+                Shape::vector(k),
+                Sharding::Replicated,
+                global.clone(),
+            )),
+            Sharding::Split { axis: 0, parts } => {
+                let local_len = em.shapes[input.0].dim(0);
+                if k > local_len {
+                    return Err(HloError::Unpartitionable {
+                        node: id,
+                        reason: format!(
+                            "top-{k} exceeds the {local_len}-element local shard"
+                        ),
+                    });
+                }
+                // Local candidates → all-gather → final top-k (the
+                // distributed top-k rewrite the paper added to XLA, §4.5).
+                let candidates = em.compute(
+                    ComputeOp::TopK { input, k },
+                    Shape::vector(k),
+                    Sharding::split(0, parts),
+                    Shape::vector(k * parts),
+                );
+                let gathered = em.reshard(candidates, Sharding::Replicated, id)?;
+                Ok(em.compute(
+                    ComputeOp::TopK { input: gathered, k },
+                    Shape::vector(k),
+                    Sharding::Replicated,
+                    global.clone(),
+                ))
+            }
+            s => Err(HloError::Unpartitionable {
+                node: id,
+                reason: format!("top-k input sharding {s:?}"),
+            }),
+        }
+    }
+
+    fn emit_matmul(
+        &self,
+        em: &mut Emitter,
+        id: NodeId,
+        operands: &[ValueId],
+        global: &Shape,
+    ) -> Result<ValueId, HloError> {
+        let (mut lhs, mut rhs) = (operands[0], operands[1]);
+        let (sl, sr) = (em.shardings[lhs.0], em.shardings[rhs.0]);
+        let parts = self.parts;
+        let matmul_shape = |em: &Emitter, l: ValueId, r: ValueId| {
+            Shape::of(&[em.shapes[l.0].dim(0), em.shapes[r.0].dim(1)])
+        };
+        match (sl, sr) {
+            // Contracting dimension split on both sides: partial matmul
+            // followed by an all-reduce over the tile (§3.1).
+            (Sharding::Split { axis: 1, .. }, Sharding::Split { axis: 0, .. }) => {
+                let shape = matmul_shape(em, lhs, rhs);
+                let partial = em.compute(
+                    ComputeOp::MatMul { lhs, rhs },
+                    shape,
+                    Sharding::Replicated,
+                    global.clone(),
+                );
+                Ok(em.all_reduce(partial))
+            }
+            // Row (batch/spatial) split: replicate the weights.
+            (Sharding::Split { axis: 0, .. }, _) => {
+                rhs = em.reshard(rhs, Sharding::Replicated, id)?;
+                let shape = matmul_shape(em, lhs, rhs);
+                Ok(em.compute(
+                    ComputeOp::MatMul { lhs, rhs },
+                    shape,
+                    Sharding::split(0, parts),
+                    global.clone(),
+                ))
+            }
+            // Output-feature split: replicate the activations.
+            (_, Sharding::Split { axis: 1, .. }) => {
+                lhs = em.reshard(lhs, Sharding::Replicated, id)?;
+                let shape = matmul_shape(em, lhs, rhs);
+                Ok(em.compute(
+                    ComputeOp::MatMul { lhs, rhs },
+                    shape,
+                    Sharding::split(1, parts),
+                    global.clone(),
+                ))
+            }
+            // One-sided contracting split: slice the other side locally
+            // (communication-free) and take the partial-sum path.
+            (Sharding::Split { axis: 1, .. }, Sharding::Replicated) => {
+                rhs = em.reshard(rhs, Sharding::split(0, parts), id)?;
+                let shape = matmul_shape(em, lhs, rhs);
+                let partial = em.compute(
+                    ComputeOp::MatMul { lhs, rhs },
+                    shape,
+                    Sharding::Replicated,
+                    global.clone(),
+                );
+                Ok(em.all_reduce(partial))
+            }
+            (Sharding::Replicated, Sharding::Split { axis: 0, .. }) => {
+                lhs = em.reshard(lhs, Sharding::split(1, parts), id)?;
+                let shape = matmul_shape(em, lhs, rhs);
+                let partial = em.compute(
+                    ComputeOp::MatMul { lhs, rhs },
+                    shape,
+                    Sharding::Replicated,
+                    global.clone(),
+                );
+                Ok(em.all_reduce(partial))
+            }
+            (Sharding::Replicated, Sharding::Replicated) => {
+                let shape = matmul_shape(em, lhs, rhs);
+                Ok(em.compute(
+                    ComputeOp::MatMul { lhs, rhs },
+                    shape,
+                    Sharding::Replicated,
+                    global.clone(),
+                ))
+            }
+            (from, to) => Err(HloError::Unpartitionable {
+                node: id,
+                reason: format!("matmul with shardings {from:?} × {to:?}"),
+            }),
+        }
+    }
+
+    fn emit_conv(
+        &self,
+        em: &mut Emitter,
+        id: NodeId,
+        operands: &[ValueId],
+        global: &Shape,
+    ) -> Result<ValueId, HloError> {
+        let (input, mut kernel) = (operands[0], operands[1]);
+        kernel = em.reshard(kernel, Sharding::Replicated, id)?;
+        let kernel_shape = em.shapes[kernel.0].clone();
+        match em.shardings[input.0] {
+            Sharding::Replicated => {
+                let shape = em.shapes[input.0].clone();
+                Ok(em.compute(
+                    ComputeOp::ConvSame { input, kernel },
+                    shape,
+                    Sharding::Replicated,
+                    global.clone(),
+                ))
+            }
+            Sharding::Split { axis, parts } if axis < 2 => {
+                let tile_shape = em.shapes[input.0].clone();
+                let halo = kernel_shape.dim(axis) / 2;
+                let conv_input = if halo > 0 {
+                    let padded =
+                        tile_shape.with_dim(axis, tile_shape.dim(axis) + 2 * halo);
+                    em.push(
+                        |out| Instr::HaloExchange {
+                            out,
+                            input,
+                            axis,
+                            halo,
+                        },
+                        padded,
+                        Sharding::split(axis, parts),
+                        global.clone(),
+                    )
+                } else {
+                    input
+                };
+                Ok(em.compute(
+                    ComputeOp::ConvHalo {
+                        input: conv_input,
+                        kernel,
+                        valid_axis: axis,
+                    },
+                    tile_shape,
+                    Sharding::split(axis, parts),
+                    global.clone(),
+                ))
+            }
+            s => Err(HloError::Unpartitionable {
+                node: id,
+                reason: format!("conv input sharding {s:?}"),
+            }),
+        }
+    }
+
+    fn emit_naive(
+        &self,
+        em: &mut Emitter,
+        id: NodeId,
+        op: &Op,
+        operands: &[ValueId],
+        global: &Shape,
+    ) -> Result<ValueId, HloError> {
+        // Reshard everything to replicated, compute globally.
+        let replicated: Vec<ValueId> = operands
+            .iter()
+            .map(|&v| em.reshard(v, Sharding::Replicated, id))
+            .collect::<Result<_, _>>()?;
+        let compute = match op {
+            Op::MatMul { .. } => ComputeOp::MatMul {
+                lhs: replicated[0],
+                rhs: replicated[1],
+            },
+            Op::Conv2dSame { .. } => ComputeOp::ConvSame {
+                input: replicated[0],
+                kernel: replicated[1],
+            },
+            Op::Add { .. } => ComputeOp::Add {
+                lhs: replicated[0],
+                rhs: replicated[1],
+            },
+            Op::Relu { .. } => ComputeOp::Relu {
+                input: replicated[0],
+            },
+            Op::ReduceSum { axis, .. } => ComputeOp::ReduceSum {
+                input: replicated[0],
+                axis: *axis,
+            },
+            Op::Gather { .. } => ComputeOp::Gather {
+                input: replicated[0],
+                indices: replicated[1],
+            },
+            Op::TopK { k, .. } => ComputeOp::TopK {
+                input: replicated[0],
+                k: *k,
+            },
+            Op::Transpose { .. } => ComputeOp::Transpose {
+                input: replicated[0],
+            },
+            Op::Mul { .. } => ComputeOp::Mul {
+                lhs: replicated[0],
+                rhs: replicated[1],
+            },
+            Op::ReluGrad { .. } => ComputeOp::ReluGrad {
+                input: replicated[0],
+                upstream: replicated[1],
+            },
+            Op::BroadcastAxis { axis, extent, .. } => ComputeOp::BroadcastAxis {
+                input: replicated[0],
+                axis: *axis,
+                extent: *extent,
+            },
+            Op::Rot180 { .. } => ComputeOp::Rot180 {
+                input: replicated[0],
+            },
+            Op::ConvKernelGrad { kh, kw, .. } => ComputeOp::ConvKernelGrad {
+                input: replicated[0],
+                upstream: replicated[1],
+                kh: *kh,
+                kw: *kw,
+            },
+            Op::ScatterAdd { rows, .. } => ComputeOp::ScatterAdd {
+                indices: replicated[0],
+                upstream: replicated[1],
+                rows: *rows,
+            },
+            Op::Parameter { .. } | Op::Constant { .. } => {
+                unreachable!("leaves handled earlier")
+            }
+        };
+        Ok(em.compute(
+            compute,
+            global.clone(),
+            Sharding::Replicated,
+            global.clone(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::HloBuilder;
+    use multipod_simnet::{Network, NetworkConfig};
+    use multipod_tensor::{Tensor, TensorRng};
+    use multipod_topology::{ChipId, Multipod, MultipodConfig};
+    use std::collections::HashMap;
+
+    fn tile_net(parts: u32) -> (Network, Vec<ChipId>) {
+        let mesh = Multipod::new(MultipodConfig::mesh(parts, 1, false));
+        let net = Network::new(mesh, NetworkConfig::tpu_v3());
+        let tile = net.mesh().chips().collect();
+        (net, tile)
+    }
+
+    fn feeds(pairs: &[(&str, Tensor)]) -> HashMap<String, Tensor> {
+        pairs
+            .iter()
+            .map(|(n, t)| (n.to_string(), t.clone()))
+            .collect()
+    }
+
+    /// Partition, execute, assemble, and compare against the reference
+    /// interpreter.
+    fn verify(
+        graph: &crate::HloGraph,
+        program: &PartitionedProgram,
+        feed_map: &HashMap<String, Tensor>,
+    ) {
+        let reference = graph.evaluate(feed_map).unwrap();
+        let (mut net, tile) = tile_net(program.num_parts() as u32);
+        let (outputs, _t) = program.execute(&mut net, feed_map, &tile).unwrap();
+        for (i, per_core) in outputs.iter().enumerate() {
+            let assembled = program.assemble_output(i, per_core);
+            assert!(
+                assembled.max_abs_diff(&reference[i]) < 1e-3,
+                "output {i} mismatch: {:?} vs {:?}",
+                assembled,
+                reference[i]
+            );
+        }
+    }
+
+    #[test]
+    fn feature_sharded_matmul_inserts_all_reduce() {
+        // §3.1: weights split on the contracting dim, partial matmuls
+        // reduced via all-reduce.
+        let mut b = HloBuilder::new();
+        let x = b.parameter("x", Shape::of(&[4, 8]), Sharding::split(1, 4));
+        let w = b.parameter("w", Shape::of(&[8, 6]), Sharding::split(0, 4));
+        let y = b.matmul(x, w).unwrap();
+        let g = b.build(vec![y]);
+        let p = SpmdPartitioner::new(4).partition(&g).unwrap();
+        assert_eq!(p.comm_stats().all_reduces, 1);
+        assert_eq!(p.comm_stats().all_gathers, 0);
+
+        let mut rng = TensorRng::seed(2);
+        let f = feeds(&[
+            ("x", rng.uniform(Shape::of(&[4, 8]), -1.0, 1.0)),
+            ("w", rng.uniform(Shape::of(&[8, 6]), -1.0, 1.0)),
+        ]);
+        verify(&g, &p, &f);
+    }
+
+    #[test]
+    fn batch_split_matmul_is_communication_free() {
+        let mut b = HloBuilder::new();
+        let x = b.parameter("x", Shape::of(&[8, 4]), Sharding::split(0, 4));
+        let w = b.parameter("w", Shape::of(&[4, 6]), Sharding::Replicated);
+        let y = b.matmul(x, w).unwrap();
+        let g = b.build(vec![y]);
+        let p = SpmdPartitioner::new(4).partition(&g).unwrap();
+        assert_eq!(p.comm_stats().total_collectives(), 0);
+        assert_eq!(p.value_shape(y).dims(), &[2, 6]);
+        assert_eq!(p.value_sharding(y), Sharding::split(0, 4));
+
+        let mut rng = TensorRng::seed(3);
+        let f = feeds(&[
+            ("x", rng.uniform(Shape::of(&[8, 4]), -1.0, 1.0)),
+            ("w", rng.uniform(Shape::of(&[4, 6]), -1.0, 1.0)),
+        ]);
+        verify(&g, &p, &f);
+    }
+
+    #[test]
+    fn output_feature_split_keeps_weights_sharded() {
+        let mut b = HloBuilder::new();
+        let x = b.parameter("x", Shape::of(&[4, 8]), Sharding::Replicated);
+        let w = b.parameter("w", Shape::of(&[8, 12]), Sharding::split(1, 4));
+        let y = b.matmul(x, w).unwrap();
+        let g = b.build(vec![y]);
+        let p = SpmdPartitioner::new(4).partition(&g).unwrap();
+        assert_eq!(p.comm_stats().total_collectives(), 0);
+        assert_eq!(p.value_shape(y).dims(), &[4, 3]);
+
+        let mut rng = TensorRng::seed(4);
+        let f = feeds(&[
+            ("x", rng.uniform(Shape::of(&[4, 8]), -1.0, 1.0)),
+            ("w", rng.uniform(Shape::of(&[8, 12]), -1.0, 1.0)),
+        ]);
+        verify(&g, &p, &f);
+    }
+
+    #[test]
+    fn spatially_partitioned_conv_uses_halo_exchange() {
+        // §3.1: spatial partitioning of segmentation models.
+        let mut b = HloBuilder::new();
+        let img = b.parameter("img", Shape::of(&[16, 8]), Sharding::split(0, 4));
+        let k = b.parameter("k", Shape::of(&[3, 3]), Sharding::Replicated);
+        let y = b.conv2d_same(img, k).unwrap();
+        let g = b.build(vec![y]);
+        let p = SpmdPartitioner::new(4).partition(&g).unwrap();
+        assert_eq!(p.comm_stats().halo_exchanges, 1);
+        assert_eq!(p.comm_stats().all_reduces, 0);
+        assert_eq!(p.value_shape(y).dims(), &[4, 8]);
+
+        let mut rng = TensorRng::seed(5);
+        let f = feeds(&[
+            ("img", rng.uniform(Shape::of(&[16, 8]), -1.0, 1.0)),
+            ("k", rng.uniform(Shape::of(&[3, 3]), -1.0, 1.0)),
+        ]);
+        verify(&g, &p, &f);
+    }
+
+    #[test]
+    fn conv_split_along_width_also_works() {
+        let mut b = HloBuilder::new();
+        let img = b.parameter("img", Shape::of(&[6, 12]), Sharding::split(1, 2));
+        let k = b.parameter("k", Shape::of(&[5, 3]), Sharding::Replicated);
+        let y = b.conv2d_same(img, k).unwrap();
+        let g = b.build(vec![y]);
+        let p = SpmdPartitioner::new(2).partition(&g).unwrap();
+        assert_eq!(p.comm_stats().halo_exchanges, 1);
+
+        let mut rng = TensorRng::seed(6);
+        let f = feeds(&[
+            ("img", rng.uniform(Shape::of(&[6, 12]), -1.0, 1.0)),
+            ("k", rng.uniform(Shape::of(&[5, 3]), -1.0, 1.0)),
+        ]);
+        verify(&g, &p, &f);
+    }
+
+    #[test]
+    fn deep_network_mixes_mechanisms() {
+        // conv (spatial) → relu → reduce over the split axis (all-reduce).
+        let mut b = HloBuilder::new();
+        let img = b.parameter("img", Shape::of(&[8, 4]), Sharding::split(0, 2));
+        let k = b.parameter("k", Shape::of(&[3, 1]), Sharding::Replicated);
+        let c = b.conv2d_same(img, k).unwrap();
+        let r = b.relu(c).unwrap();
+        let s = b.reduce_sum(r, 0).unwrap();
+        let g = b.build(vec![s]);
+        let p = SpmdPartitioner::new(2).partition(&g).unwrap();
+        assert!(p.comm_stats().all_reduces >= 1);
+        assert!(p.comm_stats().halo_exchanges >= 1);
+
+        let mut rng = TensorRng::seed(7);
+        let f = feeds(&[
+            ("img", rng.uniform(Shape::of(&[8, 4]), -1.0, 1.0)),
+            ("k", rng.uniform(Shape::of(&[3, 1]), -1.0, 1.0)),
+        ]);
+        verify(&g, &p, &f);
+    }
+
+    #[test]
+    fn reduce_over_unsplit_axis_stays_local() {
+        let mut b = HloBuilder::new();
+        let x = b.parameter("x", Shape::of(&[8, 4]), Sharding::split(0, 4));
+        let s = b.reduce_sum(x, 1).unwrap();
+        let g = b.build(vec![s]);
+        let p = SpmdPartitioner::new(4).partition(&g).unwrap();
+        assert_eq!(p.comm_stats().total_collectives(), 0);
+        assert_eq!(p.value_sharding(s), Sharding::split(0, 4));
+
+        let mut rng = TensorRng::seed(8);
+        let f = feeds(&[("x", rng.uniform(Shape::of(&[8, 4]), -1.0, 1.0))]);
+        verify(&g, &p, &f);
+    }
+
+    #[test]
+    fn add_slices_replicated_operand_for_free() {
+        let mut b = HloBuilder::new();
+        let x = b.parameter("x", Shape::of(&[8, 4]), Sharding::split(0, 2));
+        let bias = b.parameter("bias", Shape::of(&[8, 4]), Sharding::Replicated);
+        let y = b.add(x, bias).unwrap();
+        let g = b.build(vec![y]);
+        let p = SpmdPartitioner::new(2).partition(&g).unwrap();
+        assert_eq!(p.comm_stats().total_collectives(), 0);
+
+        let mut rng = TensorRng::seed(9);
+        let f = feeds(&[
+            ("x", rng.uniform(Shape::of(&[8, 4]), -1.0, 1.0)),
+            ("bias", rng.uniform(Shape::of(&[8, 4]), -1.0, 1.0)),
+        ]);
+        verify(&g, &p, &f);
+    }
+
+    #[test]
+    fn output_annotation_forces_reshard() {
+        let mut b = HloBuilder::new();
+        let x = b.parameter("x", Shape::of(&[8, 4]), Sharding::split(0, 2));
+        let w = b.parameter("w", Shape::of(&[4, 4]), Sharding::Replicated);
+        let y = b.matmul(x, w).unwrap();
+        b.annotate(y, Sharding::Replicated);
+        let g = b.build(vec![y]);
+        let p = SpmdPartitioner::new(2).partition(&g).unwrap();
+        assert_eq!(p.comm_stats().all_gathers, 1);
+        assert_eq!(p.value_sharding(y), Sharding::Replicated);
+
+        let mut rng = TensorRng::seed(10);
+        let f = feeds(&[
+            ("x", rng.uniform(Shape::of(&[8, 4]), -1.0, 1.0)),
+            ("w", rng.uniform(Shape::of(&[4, 4]), -1.0, 1.0)),
+        ]);
+        verify(&g, &p, &f);
+    }
+
+    #[test]
+    fn naive_mode_reshards_everything() {
+        // Build a two-layer network; naive partitioning must move far more
+        // bytes than the optimized one (§4.5's 30% → 10%).
+        let mut b = HloBuilder::new();
+        let x = b.parameter("x", Shape::of(&[16, 8]), Sharding::split(0, 4));
+        let w1 = b.parameter("w1", Shape::of(&[8, 8]), Sharding::Replicated);
+        let h = b.matmul(x, w1).unwrap();
+        let r = b.relu(h).unwrap();
+        let w2 = b.parameter("w2", Shape::of(&[8, 4]), Sharding::Replicated);
+        let y = b.matmul(r, w2).unwrap();
+        let g = b.build(vec![y]);
+
+        let optimized = SpmdPartitioner::new(4).partition(&g).unwrap();
+        let naive = SpmdPartitioner::with_comm_opt(4, CommunicationOpt::Naive)
+            .partition(&g)
+            .unwrap();
+        assert_eq!(optimized.comm_stats().bytes_per_core, 0);
+        assert!(naive.comm_stats().bytes_per_core > 0);
+        // Both still compute the right answer.
+        let mut rng = TensorRng::seed(11);
+        let f = feeds(&[
+            ("x", rng.uniform(Shape::of(&[16, 8]), -1.0, 1.0)),
+            ("w1", rng.uniform(Shape::of(&[8, 8]), -1.0, 1.0)),
+            ("w2", rng.uniform(Shape::of(&[8, 4]), -1.0, 1.0)),
+        ]);
+        verify(&g, &optimized, &f);
+        verify(&g, &naive, &f);
+        // Naive mode also computes k times the FLOPs per core.
+        assert!(naive.flops_per_core() > optimized.flops_per_core());
+    }
+
+    #[test]
+    fn invalid_annotations_are_rejected() {
+        let mut b = HloBuilder::new();
+        // 7 rows cannot split 4 ways.
+        let _x = b.parameter("x", Shape::of(&[7, 4]), Sharding::split(0, 4));
+        let g = b.build(vec![NodeId(0)]);
+        assert!(matches!(
+            SpmdPartitioner::new(4).partition(&g),
+            Err(HloError::BadSharding { .. })
+        ));
+        // Declared parts must match the partitioner's.
+        let mut b = HloBuilder::new();
+        let _x = b.parameter("x", Shape::of(&[8, 4]), Sharding::split(0, 2));
+        let g = b.build(vec![NodeId(0)]);
+        assert!(matches!(
+            SpmdPartitioner::new(4).partition(&g),
+            Err(HloError::BadSharding { .. })
+        ));
+    }
+
+    #[test]
+    fn single_part_degenerates_to_reference() {
+        let mut b = HloBuilder::new();
+        let x = b.parameter("x", Shape::of(&[4, 4]), Sharding::Replicated);
+        let w = b.parameter("w", Shape::of(&[4, 4]), Sharding::Replicated);
+        let y = b.matmul(x, w).unwrap();
+        let g = b.build(vec![y]);
+        let p = SpmdPartitioner::new(1).partition(&g).unwrap();
+        assert_eq!(p.comm_stats().total_collectives(), 0);
+        let mut rng = TensorRng::seed(12);
+        let f = feeds(&[
+            ("x", rng.uniform(Shape::of(&[4, 4]), -1.0, 1.0)),
+            ("w", rng.uniform(Shape::of(&[4, 4]), -1.0, 1.0)),
+        ]);
+        verify(&g, &p, &f);
+    }
+
+    #[test]
+    fn compile_cost_is_independent_of_parts() {
+        let build = || {
+            let mut b = HloBuilder::new();
+            let x = b.parameter("x", Shape::of(&[16, 16]), Sharding::Replicated);
+            let w = b.parameter("w", Shape::of(&[16, 16]), Sharding::Replicated);
+            let y = b.matmul(x, w).unwrap();
+            b.build(vec![y])
+        };
+        let p2 = SpmdPartitioner::new(2).partition(&build()).unwrap();
+        let p8 = SpmdPartitioner::new(8).partition(&build()).unwrap();
+        assert_eq!(p2.compile_cost(), p8.compile_cost());
+    }
+}

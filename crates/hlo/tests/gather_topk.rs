@@ -1,0 +1,141 @@
+//! The §4.5 partitioner extensions: gather → onehot-matmul and
+//! distributed top-k, verified numerically against the reference
+//! interpreter and checked for the paper's cost claims.
+
+use std::collections::HashMap;
+
+use multipod_hlo::{GatherStrategy, HloBuilder, Sharding, SpmdPartitioner};
+use multipod_simnet::{Network, NetworkConfig};
+use multipod_tensor::{Shape, Tensor, TensorRng};
+use multipod_topology::{ChipId, Multipod, MultipodConfig};
+
+fn tile_net(parts: u32) -> (Network, Vec<ChipId>) {
+    let mesh = Multipod::new(MultipodConfig::mesh(parts, 1, false));
+    let net = Network::new(mesh, NetworkConfig::tpu_v3());
+    let tile = net.mesh().chips().collect();
+    (net, tile)
+}
+
+fn gather_graph(parts: usize) -> (multipod_hlo::HloGraph, HashMap<String, Tensor>) {
+    let mut b = HloBuilder::new();
+    let table = b.parameter("table", Shape::of(&[32, 4]), Sharding::split(0, parts));
+    let mut rng = TensorRng::seed(13);
+    let indices = b.constant(Tensor::from_slice(&[3.0, 31.0, 0.0, 17.0, 8.0]));
+    let y = b.gather(table, indices).unwrap();
+    let g = b.build(vec![y]);
+    let feeds = [("table", rng.uniform(Shape::of(&[32, 4]), -1.0, 1.0))]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    (g, feeds)
+}
+
+#[test]
+fn onehot_gather_matches_reference() {
+    for parts in [2usize, 4, 8] {
+        let (g, feeds) = gather_graph(parts);
+        let p = SpmdPartitioner::new(parts)
+            .with_gather_strategy(GatherStrategy::OneHotMatMul)
+            .partition(&g)
+            .unwrap();
+        assert!(p.comm_stats().all_reduces >= 1);
+        assert_eq!(p.comm_stats().all_gathers, 0);
+        let (mut net, tile) = tile_net(parts as u32);
+        let (outs, _) = p.execute(&mut net, &feeds, &tile).unwrap();
+        let reference = g.evaluate(&feeds).unwrap();
+        for core_out in &outs[0] {
+            assert!(core_out.max_abs_diff(&reference[0]) < 1e-5);
+        }
+    }
+}
+
+#[test]
+fn allgather_gather_matches_reference_but_moves_the_table() {
+    let parts = 4;
+    let (g, feeds) = gather_graph(parts);
+    let slow = SpmdPartitioner::new(parts)
+        .with_gather_strategy(GatherStrategy::AllGather)
+        .partition(&g)
+        .unwrap();
+    let fast = SpmdPartitioner::new(parts)
+        .with_gather_strategy(GatherStrategy::OneHotMatMul)
+        .partition(&g)
+        .unwrap();
+    assert!(slow.comm_stats().all_gathers >= 1);
+    // The all-gather strategy ships the whole table; the onehot strategy
+    // all-reduces only the [k x d] result.
+    assert!(
+        slow.comm_stats().bytes_per_core > fast.comm_stats().bytes_per_core,
+        "slow={:?} fast={:?}",
+        slow.comm_stats(),
+        fast.comm_stats()
+    );
+    let (mut net, tile) = tile_net(parts as u32);
+    let (outs, _) = slow.execute(&mut net, &feeds, &tile).unwrap();
+    let reference = g.evaluate(&feeds).unwrap();
+    for core_out in &outs[0] {
+        assert!(core_out.max_abs_diff(&reference[0]) < 1e-5);
+    }
+}
+
+#[test]
+fn onehot_flops_run_on_the_mxu_and_split_linearly() {
+    // §4.5: onehot-matmul gathers "execute on the TPU matrix unit
+    // achieving linear speedups when increasing the number of model
+    // parallelism partitions".
+    let (g2, _) = gather_graph(2);
+    let (g8, _) = gather_graph(8);
+    let p2 = SpmdPartitioner::new(2).partition(&g2).unwrap();
+    let p8 = SpmdPartitioner::new(8).partition(&g8).unwrap();
+    assert!(p2.flops_per_core() > 0, "onehot gather must be MXU work");
+    let ratio = p2.flops_per_core() as f64 / p8.flops_per_core() as f64;
+    assert!((3.5..4.5).contains(&ratio), "linear split: ratio={ratio}");
+}
+
+#[test]
+fn distributed_topk_matches_reference() {
+    for parts in [2usize, 4] {
+        let mut b = HloBuilder::new();
+        let x = b.parameter("x", Shape::of(&[64]), Sharding::split(0, parts));
+        let y = b.top_k(x, 5).unwrap();
+        let g = b.build(vec![y]);
+        let p = SpmdPartitioner::new(parts).partition(&g).unwrap();
+        // Local top-k → all-gather candidates → final top-k.
+        assert!(p.comm_stats().all_gathers >= 1);
+
+        let mut rng = TensorRng::seed(7 + parts as u64);
+        let feeds: HashMap<String, Tensor> =
+            [("x", rng.uniform(Shape::of(&[64]), -10.0, 10.0))]
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect();
+        let (mut net, tile) = tile_net(parts as u32);
+        let (outs, _) = p.execute(&mut net, &feeds, &tile).unwrap();
+        let reference = g.evaluate(&feeds).unwrap();
+        for core_out in &outs[0] {
+            assert!(core_out.max_abs_diff(&reference[0]) < 1e-6);
+        }
+    }
+}
+
+#[test]
+fn topk_larger_than_shard_is_rejected() {
+    let mut b = HloBuilder::new();
+    let x = b.parameter("x", Shape::of(&[16]), Sharding::split(0, 4));
+    let y = b.top_k(x, 8).unwrap(); // 8 > 16/4
+    let g = b.build(vec![y]);
+    assert!(SpmdPartitioner::new(4).partition(&g).is_err());
+}
+
+#[test]
+fn replicated_gather_and_topk_stay_local() {
+    let mut b = HloBuilder::new();
+    let table = b.parameter("table", Shape::of(&[16, 2]), Sharding::Replicated);
+    let idx = b.constant(Tensor::from_slice(&[1.0, 2.0]));
+    let gathered = b.gather(table, idx).unwrap();
+    let summed = b.reduce_sum(gathered, 1).unwrap();
+    let top = b.top_k(summed, 1).unwrap();
+    let g = b.build(vec![top]);
+    let p = SpmdPartitioner::new(4).partition(&g).unwrap();
+    assert_eq!(p.comm_stats().total_collectives(), 0);
+}

@@ -1,0 +1,138 @@
+//! DLRM input-path optimizations (§3.5, §4.6).
+//!
+//! DLRM "can quickly become input bound as the model accommodates a large
+//! per-core batch size while having a small step latency". Three fixes
+//! from the paper are modeled:
+//!
+//! * parse at **batch granularity** instead of per sample;
+//! * transmit the ~40 input features over PCIe in **stacked** form
+//!   (one transfer) instead of one transfer per feature;
+//! * pre-serialize data in batch form so batching costs nothing at run
+//!   time.
+
+use serde::{Deserialize, Serialize};
+
+/// Host-side parsing strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParseGranularity {
+    /// One parser invocation per sample (the slow default).
+    PerSample,
+    /// One parser invocation per batch (the paper's optimization).
+    PerBatch,
+}
+
+/// PCIe transfer layout for the per-step features.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PcieLayout {
+    /// One DMA per feature (~40 transfers per step).
+    PerFeature,
+    /// All features stacked into a single DMA.
+    Stacked,
+}
+
+/// Cost model of the DLRM host input path.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DlrmInputConfig {
+    /// Features per sample (~40 for Criteo).
+    pub features: u32,
+    /// Bytes per feature value.
+    pub bytes_per_feature: u32,
+    /// Fixed cost of one parser invocation, seconds.
+    pub parse_invocation_cost: f64,
+    /// Marginal parse cost per sample, seconds.
+    pub parse_per_sample_cost: f64,
+    /// PCIe DMA setup latency per transfer, seconds.
+    pub pcie_latency: f64,
+    /// PCIe bandwidth, bytes/second.
+    pub pcie_bandwidth: f64,
+}
+
+impl DlrmInputConfig {
+    /// Criteo-like defaults on a PCIe-3 x16 host link.
+    pub fn criteo() -> DlrmInputConfig {
+        DlrmInputConfig {
+            features: 40,
+            bytes_per_feature: 4,
+            parse_invocation_cost: 15.0e-6,
+            parse_per_sample_cost: 0.3e-6,
+            pcie_latency: 10.0e-6,
+            pcie_bandwidth: 12.0e9,
+        }
+    }
+
+    /// Host parse time for one batch.
+    pub fn parse_time(&self, batch: usize, granularity: ParseGranularity) -> f64 {
+        match granularity {
+            ParseGranularity::PerSample => {
+                batch as f64 * (self.parse_invocation_cost + self.parse_per_sample_cost)
+            }
+            ParseGranularity::PerBatch => {
+                self.parse_invocation_cost + batch as f64 * self.parse_per_sample_cost
+            }
+        }
+    }
+
+    /// PCIe time to move one batch of features to the accelerator.
+    pub fn pcie_time(&self, batch: usize, layout: PcieLayout) -> f64 {
+        let bytes = batch as f64 * self.features as f64 * self.bytes_per_feature as f64;
+        match layout {
+            PcieLayout::PerFeature => {
+                self.features as f64 * self.pcie_latency + bytes / self.pcie_bandwidth
+            }
+            PcieLayout::Stacked => self.pcie_latency + bytes / self.pcie_bandwidth,
+        }
+    }
+
+    /// Total host input time per step for a per-host batch.
+    pub fn step_input_time(
+        &self,
+        batch: usize,
+        granularity: ParseGranularity,
+        layout: PcieLayout,
+    ) -> f64 {
+        self.parse_time(batch, granularity) + self.pcie_time(batch, layout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_parsing_beats_per_sample_by_orders_of_magnitude() {
+        let cfg = DlrmInputConfig::criteo();
+        let batch = 2048; // per-host share of a 65536 global batch
+        let per_sample = cfg.parse_time(batch, ParseGranularity::PerSample);
+        let per_batch = cfg.parse_time(batch, ParseGranularity::PerBatch);
+        assert!(per_sample > 20.0 * per_batch, "{per_sample} vs {per_batch}");
+    }
+
+    #[test]
+    fn stacked_pcie_saves_per_feature_latencies() {
+        let cfg = DlrmInputConfig::criteo();
+        let per_feature = cfg.pcie_time(2048, PcieLayout::PerFeature);
+        let stacked = cfg.pcie_time(2048, PcieLayout::Stacked);
+        assert!((per_feature - stacked - 39.0 * cfg.pcie_latency).abs() < 1e-9);
+        assert!(stacked < per_feature);
+    }
+
+    #[test]
+    fn optimized_path_fits_the_dlrm_step_budget() {
+        // §4.6: DLRM step latency is ~2.4 ms; the optimized input path per
+        // host must fit inside it, the naive one must not.
+        let cfg = DlrmInputConfig::criteo();
+        let batch = 2048;
+        let naive = cfg.step_input_time(batch, ParseGranularity::PerSample, PcieLayout::PerFeature);
+        let tuned = cfg.step_input_time(batch, ParseGranularity::PerBatch, PcieLayout::Stacked);
+        assert!(naive > 2.4e-3, "naive={naive}");
+        assert!(tuned < 2.4e-3, "tuned={tuned}");
+    }
+
+    #[test]
+    fn input_time_grows_linearly_in_batch() {
+        let cfg = DlrmInputConfig::criteo();
+        let t1 = cfg.step_input_time(1024, ParseGranularity::PerBatch, PcieLayout::Stacked);
+        let t2 = cfg.step_input_time(4096, ParseGranularity::PerBatch, PcieLayout::Stacked);
+        assert!(t2 > t1 && t2 < 4.5 * t1);
+    }
+}

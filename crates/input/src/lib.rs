@@ -1,0 +1,20 @@
+//! Host input pipeline simulation (§3.5).
+//!
+//! At multipod scale the host input pipelines become first-order
+//! performance objects. The paper describes three problems and their
+//! fixes, all reproduced here:
+//!
+//! * **ResNet-50 load imbalance** — JPEG decode times have a heavy tail,
+//!   and with thousands of hosts *some* host is always slow; storing
+//!   uncompressed images plus a deep prefetch buffer removes the
+//!   imbalance ([`host_pipeline`]).
+//! * **BERT shuffle quality** — `shuffle→repeat` at the file level plus a
+//!   large sequence-level shuffle buffer gives both coverage and
+//!   stochasticity; small buffers create biased batches and run-to-run
+//!   convergence variance ([`shuffle`]).
+//! * **DLRM input bound** — batch-granularity parsing and stacked PCIe
+//!   transfers of the ~40 features ([`dlrm`]).
+
+pub mod dlrm;
+pub mod host_pipeline;
+pub mod shuffle;

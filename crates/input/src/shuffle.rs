@@ -1,0 +1,279 @@
+//! Data-shuffling quality for BERT (§3.5).
+//!
+//! Two knobs matter at scale, and both are reproduced over synthetic
+//! corpora:
+//!
+//! 1. **File-level order of shuffle and repeat.** With 500 files over 128
+//!    hosts each host owns ~4 files. `repeat → shuffle` reshuffles across
+//!    epoch boundaries (good coverage *and* stochasticity);
+//!    `shuffle → repeat` fixes one file permutation and replays it every
+//!    epoch, so batches repeat across epochs.
+//! 2. **Sequence-level shuffle-buffer size.** A small buffer can only
+//!    reorder locally, so batches stay biased toward the (correlated)
+//!    stream order, and different runs see very different convergence
+//!    trajectories.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The relative order of the file-level `shuffle` and `repeat` stages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FileOrder {
+    /// `tf.data.shuffle` before `tf.data.repeat`: one permutation, then
+    /// replayed identically every epoch.
+    ShuffleThenRepeat,
+    /// `tf.data.repeat` before `tf.data.shuffle`: every epoch is freshly
+    /// permuted (the paper's recommendation).
+    RepeatThenShuffle,
+}
+
+/// Streams file indices for `epochs` epochs over `files` files in the
+/// given order.
+pub fn file_stream(files: usize, epochs: usize, order: FileOrder, seed: u64) -> Vec<usize> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(files * epochs);
+    match order {
+        FileOrder::ShuffleThenRepeat => {
+            let mut perm: Vec<usize> = (0..files).collect();
+            perm.shuffle(&mut rng);
+            for _ in 0..epochs {
+                out.extend_from_slice(&perm);
+            }
+        }
+        FileOrder::RepeatThenShuffle => {
+            for _ in 0..epochs {
+                let mut perm: Vec<usize> = (0..files).collect();
+                perm.shuffle(&mut rng);
+                out.extend_from_slice(&perm);
+            }
+        }
+    }
+    out
+}
+
+/// Fraction of all `files` seen in the first `window` stream entries
+/// (coverage) — both orders cover well within one epoch, which is why
+/// the paper cares about *cross-epoch* stochasticity too.
+pub fn coverage(stream: &[usize], files: usize, window: usize) -> f64 {
+    let mut seen = vec![false; files];
+    for &f in stream.iter().take(window) {
+        seen[f] = true;
+    }
+    seen.iter().filter(|&&s| s).count() as f64 / files as f64
+}
+
+/// Cross-epoch stochasticity: the fraction of positions at which epoch
+/// `e` differs from epoch `e+1`. `ShuffleThenRepeat` scores 0.
+pub fn cross_epoch_stochasticity(stream: &[usize], files: usize) -> f64 {
+    let epochs = stream.len() / files;
+    if epochs < 2 {
+        return 0.0;
+    }
+    let mut diff = 0usize;
+    let mut total = 0usize;
+    for e in 0..epochs - 1 {
+        for i in 0..files {
+            total += 1;
+            if stream[e * files + i] != stream[(e + 1) * files + i] {
+                diff += 1;
+            }
+        }
+    }
+    diff as f64 / total as f64
+}
+
+/// Fraction of the global file set a single host ever reads in `epochs`
+/// epochs, when the per-epoch file stream is dealt round-robin to
+/// `hosts` hosts (host `h` takes stream positions `≡ h (mod hosts)`).
+///
+/// With 500 files over 128 hosts a host reads ~4 files per epoch (§3.5);
+/// under `shuffle→repeat` those are the *same* 4 files every epoch, so
+/// per-host coverage is stuck at ~4/500, while `repeat→shuffle` deals a
+/// fresh hand each epoch and coverage grows toward 1 — "the latter
+/// guarantees the model catches all information available in the
+/// dataset".
+pub fn host_file_coverage(
+    files: usize,
+    hosts: usize,
+    epochs: usize,
+    order: FileOrder,
+    seed: u64,
+) -> f64 {
+    assert!(hosts > 0 && files > 0 && epochs > 0);
+    let stream = file_stream(files, epochs, order, seed);
+    let mut seen = vec![false; files];
+    for epoch in 0..epochs {
+        for pos in (0..files).filter(|p| p % hosts == 0) {
+            seen[stream[epoch * files + pos]] = true;
+        }
+    }
+    seen.iter().filter(|&&s| s).count() as f64 / files as f64
+}
+
+/// Applies a bounded shuffle buffer of `capacity` to a stream, exactly
+/// like `tf.data.shuffle(buffer_size)`: the buffer is kept full and a
+/// random occupant is emitted each step.
+pub fn buffered_shuffle(stream: &[f32], capacity: usize, seed: u64) -> Vec<f32> {
+    assert!(capacity > 0, "buffer capacity must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut buffer: Vec<f32> = Vec::with_capacity(capacity);
+    let mut out = Vec::with_capacity(stream.len());
+    for &x in stream {
+        if buffer.len() < capacity {
+            buffer.push(x);
+            continue;
+        }
+        let idx = rng.gen_range(0..buffer.len());
+        out.push(buffer[idx]);
+        buffer[idx] = x;
+    }
+    while !buffer.is_empty() {
+        let idx = rng.gen_range(0..buffer.len());
+        out.push(buffer.swap_remove(idx));
+    }
+    out
+}
+
+/// Per-batch bias of a shuffled stream: the RMS deviation of batch means
+/// from the global mean. Correlated (e.g. sorted) input that is only
+/// locally shuffled keeps biased batches; the paper links this to
+/// run-to-run convergence variance.
+pub fn batch_bias(stream: &[f32], batch: usize) -> f64 {
+    assert!(batch > 0 && stream.len() >= batch);
+    let global_mean = stream.iter().map(|&x| x as f64).sum::<f64>() / stream.len() as f64;
+    let batches = stream.len() / batch;
+    let mut acc = 0.0f64;
+    for b in 0..batches {
+        let mean = stream[b * batch..(b + 1) * batch]
+            .iter()
+            .map(|&x| x as f64)
+            .sum::<f64>()
+            / batch as f64;
+        acc += (mean - global_mean).powi(2);
+    }
+    (acc / batches as f64).sqrt()
+}
+
+/// Run-to-run variance: trains a 1-D quadratic model on differently
+/// seeded shuffles of the same correlated corpus and reports the spread
+/// of outcomes. Larger buffers make runs land closer together (§3.5:
+/// "with larger buffer sizes, every training batch of different runs can
+/// be more uniformly sampled").
+pub fn run_to_run_spread(corpus_len: usize, buffer: usize, batch: usize, runs: usize) -> f64 {
+    // Correlated "dataset": a sorted ramp split into file-sized blocks.
+    // Each run sees its own file order (as real runs do), so a small
+    // sequence-level buffer preserves run-specific order bias while a
+    // large buffer approaches uniform sampling for every run.
+    let block = (corpus_len / 64).max(1);
+    let outcomes: Vec<f64> = (0..runs)
+        .map(|r| {
+            let mut rng = SmallRng::seed_from_u64(5000 + r as u64);
+            let mut blocks: Vec<usize> = (0..corpus_len.div_ceil(block)).collect();
+            blocks.shuffle(&mut rng);
+            let corpus: Vec<f32> = blocks
+                .iter()
+                .flat_map(|&b| {
+                    (b * block..((b + 1) * block).min(corpus_len))
+                        .map(|i| i as f32 / corpus_len as f32)
+                })
+                .collect();
+            let shuffled = buffered_shuffle(&corpus, buffer, 1000 + r as u64);
+            // One pass of SGD on f(w) = (w - x)²/2 with small lr; the
+            // final w depends on the order bias of late batches.
+            let mut w = 0.0f64;
+            let lr = 0.05f64;
+            for chunk in shuffled.chunks(batch) {
+                let grad: f64 = chunk.iter().map(|&x| w - x as f64).sum::<f64>() / chunk.len() as f64;
+                w -= lr * grad;
+            }
+            w
+        })
+        .collect();
+    let mean = outcomes.iter().sum::<f64>() / runs as f64;
+    (outcomes.iter().map(|o| (o - mean).powi(2)).sum::<f64>() / runs as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_orders_cover_one_epoch_fully() {
+        for order in [FileOrder::ShuffleThenRepeat, FileOrder::RepeatThenShuffle] {
+            let s = file_stream(500, 3, order, 1);
+            assert_eq!(coverage(&s, 500, 500), 1.0);
+        }
+    }
+
+    #[test]
+    fn repeat_then_shuffle_is_stochastic_across_epochs() {
+        let fixed = file_stream(500, 4, FileOrder::ShuffleThenRepeat, 2);
+        let fresh = file_stream(500, 4, FileOrder::RepeatThenShuffle, 2);
+        assert_eq!(cross_epoch_stochasticity(&fixed, 500), 0.0);
+        assert!(cross_epoch_stochasticity(&fresh, 500) > 0.95);
+    }
+
+    #[test]
+    fn small_host_shards_make_order_matter_more() {
+        // 128 hosts × ~4 files: a host's epoch under shuffle→repeat is the
+        // same 4 files in the same order forever.
+        let files_per_host = 4;
+        let s = file_stream(files_per_host, 8, FileOrder::ShuffleThenRepeat, 3);
+        assert_eq!(cross_epoch_stochasticity(&s, files_per_host), 0.0);
+    }
+
+    #[test]
+    fn repeat_then_shuffle_grows_per_host_coverage() {
+        // The paper's 500-file / 128-host configuration.
+        let fixed = host_file_coverage(500, 128, 8, FileOrder::ShuffleThenRepeat, 4);
+        let fresh = host_file_coverage(500, 128, 8, FileOrder::RepeatThenShuffle, 4);
+        // shuffle→repeat: the host re-reads its ~4 files forever.
+        assert!(fixed < 0.02, "fixed={fixed}");
+        // repeat→shuffle: ~4 new files per epoch.
+        assert!(fresh > 3.0 * fixed, "fresh={fresh} fixed={fixed}");
+        // And with enough epochs coverage approaches the whole dataset.
+        let long = host_file_coverage(500, 128, 200, FileOrder::RepeatThenShuffle, 4);
+        assert!(long > 0.7, "long={long}");
+    }
+
+    #[test]
+    fn buffered_shuffle_is_a_permutation() {
+        let input: Vec<f32> = (0..1000).map(|i| i as f32).collect();
+        let mut out = buffered_shuffle(&input, 64, 5);
+        assert_eq!(out.len(), input.len());
+        out.sort_by(f32::total_cmp);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn bigger_buffers_reduce_batch_bias() {
+        let corpus: Vec<f32> = (0..8192).map(|i| i as f32 / 8192.0).collect();
+        let small = batch_bias(&buffered_shuffle(&corpus, 16, 7), 64);
+        let large = batch_bias(&buffered_shuffle(&corpus, 4096, 7), 64);
+        assert!(
+            large < 0.5 * small,
+            "large buffer bias {large} vs small {small}"
+        );
+    }
+
+    #[test]
+    fn bigger_buffers_reduce_run_to_run_spread() {
+        let small = run_to_run_spread(4096, 16, 64, 8);
+        let large = run_to_run_spread(4096, 4096, 64, 8);
+        assert!(
+            large < small,
+            "large-buffer spread {large} vs small {small}"
+        );
+    }
+
+    #[test]
+    fn file_streams_are_deterministic_per_seed() {
+        let a = file_stream(100, 2, FileOrder::RepeatThenShuffle, 9);
+        let b = file_stream(100, 2, FileOrder::RepeatThenShuffle, 9);
+        assert_eq!(a, b);
+        let c = file_stream(100, 2, FileOrder::RepeatThenShuffle, 10);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,188 @@
+//! Distributed top-1 accuracy (§3.4).
+
+use multipod_collectives::timing::RingCosts;
+use multipod_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// One worker's slice of the evaluation set: logits for its examples plus
+/// which of them are real (MLPerf pads the eval set with dummy examples
+/// when the eval batch exceeds the dataset, §3.4).
+#[derive(Clone, Debug)]
+pub struct EvalShard {
+    /// `[examples × classes]` logits.
+    pub logits: Tensor,
+    /// True labels, one per example.
+    pub labels: Vec<usize>,
+    /// `false` for padding examples that must not count.
+    pub real: Vec<bool>,
+}
+
+impl EvalShard {
+    /// Builds a shard, padding bookkeeping included.
+    ///
+    /// # Panics
+    ///
+    /// Panics when lengths disagree.
+    pub fn new(logits: Tensor, labels: Vec<usize>, real: Vec<bool>) -> EvalShard {
+        let n = logits.shape().dim(0);
+        assert_eq!(labels.len(), n, "labels per example");
+        assert_eq!(real.len(), n, "real-mask per example");
+        EvalShard {
+            logits,
+            labels,
+            real,
+        }
+    }
+
+    /// Local (correct, counted) sums — the quantities that are globally
+    /// summed.
+    pub fn local_counts(&self) -> (u64, u64) {
+        let n = self.logits.shape().dim(0);
+        let classes = self.logits.shape().dim(1);
+        let mut correct = 0u64;
+        let mut total = 0u64;
+        for i in 0..n {
+            if !self.real[i] {
+                continue;
+            }
+            total += 1;
+            let row = &self.logits.data()[i * classes..(i + 1) * classes];
+            let argmax = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(idx, _)| idx)
+                .expect("non-empty row");
+            if argmax == self.labels[i] {
+                correct += 1;
+            }
+        }
+        (correct, total)
+    }
+}
+
+/// Globally combined accuracy from per-worker shards, exactly as the JAX
+/// implementation computes it (a global sum of local (correct, total)
+/// pairs).
+///
+/// # Panics
+///
+/// Panics when no real examples exist.
+pub fn distributed_accuracy(shards: &[EvalShard]) -> f64 {
+    let (mut correct, mut total) = (0u64, 0u64);
+    for s in shards {
+        let (c, t) = s.local_counts();
+        correct += c;
+        total += t;
+    }
+    assert!(total > 0, "no real eval examples");
+    correct as f64 / total as f64
+}
+
+/// How the combined metric reaches the training loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricCombine {
+    /// TF: every worker RPCs its local counts to the coordinator CPU.
+    CoordinatorGather,
+    /// JAX: an on-device all-reduce of the (correct, total) pair.
+    DeviceAllReduce,
+}
+
+/// Time to combine local metrics across `workers`.
+///
+/// TF's coordinator deserializes one RPC per worker (Θ(workers) on one
+/// host); JAX's all-reduce of two scalars costs only ring latency.
+pub fn combine_time(
+    mode: MetricCombine,
+    workers: usize,
+    rpc_latency: f64,
+    ring: &RingCosts,
+) -> f64 {
+    match mode {
+        MetricCombine::CoordinatorGather => rpc_latency * workers as f64,
+        MetricCombine::DeviceAllReduce => {
+            ring.all_reduce_time(2.max(ring.n), multipod_collectives::Precision::F32, false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multipod_tensor::Shape;
+
+    fn shard(rows: &[(Vec<f32>, usize, bool)]) -> EvalShard {
+        let classes = rows[0].0.len();
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        let mut real = Vec::new();
+        for (logits, label, is_real) in rows {
+            data.extend_from_slice(logits);
+            labels.push(*label);
+            real.push(*is_real);
+        }
+        EvalShard::new(
+            Tensor::new(Shape::of(&[rows.len(), classes]), data),
+            labels,
+            real,
+        )
+    }
+
+    #[test]
+    fn counts_correct_predictions() {
+        let s = shard(&[
+            (vec![0.9, 0.1], 0, true),  // correct
+            (vec![0.2, 0.8], 0, true),  // wrong
+            (vec![0.1, 0.9], 1, true),  // correct
+        ]);
+        assert_eq!(s.local_counts(), (2, 3));
+        assert!((distributed_accuracy(&[s]) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn padding_examples_do_not_count() {
+        let s = shard(&[
+            (vec![0.9, 0.1], 0, true),
+            (vec![0.9, 0.1], 0, false), // dummy: would be correct, ignored
+            (vec![0.1, 0.9], 0, false), // dummy: would be wrong, ignored
+        ]);
+        assert_eq!(s.local_counts(), (1, 1));
+        assert_eq!(distributed_accuracy(&[s]), 1.0);
+    }
+
+    #[test]
+    fn sharded_equals_pooled() {
+        let a = shard(&[(vec![1.0, 0.0], 0, true), (vec![0.0, 1.0], 0, true)]);
+        let b = shard(&[(vec![1.0, 0.0], 0, true), (vec![1.0, 0.0], 1, true)]);
+        let pooled = shard(&[
+            (vec![1.0, 0.0], 0, true),
+            (vec![0.0, 1.0], 0, true),
+            (vec![1.0, 0.0], 0, true),
+            (vec![1.0, 0.0], 1, true),
+        ]);
+        assert!(
+            (distributed_accuracy(&[a, b]) - distributed_accuracy(&[pooled])).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn device_all_reduce_beats_coordinator_at_scale() {
+        use multipod_simnet::{Network, NetworkConfig};
+        use multipod_topology::{Multipod, MultipodConfig};
+        let net = Network::new(
+            Multipod::new(MultipodConfig::mesh(1, 32, true)),
+            NetworkConfig::tpu_v3(),
+        );
+        let ring = RingCosts::from_ring(&net, &net.mesh().y_ring(0), 1);
+        let tf = combine_time(MetricCombine::CoordinatorGather, 1024, 1.0e-3, &ring);
+        let jax = combine_time(MetricCombine::DeviceAllReduce, 1024, 1.0e-3, &ring);
+        assert!(tf > 100.0 * jax, "tf={tf} jax={jax}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no real eval examples")]
+    fn all_padding_is_an_error() {
+        let s = shard(&[(vec![1.0, 0.0], 0, false)]);
+        distributed_accuracy(&[s]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Eval placement: coordinator vs round-robin workers (§4.4).
+//!
+//! "In TF SSD, the results of the predictions are all brought to the TF
+//! coordinator process via host calls, and COCO eval is executed by the
+//! TF coordinator process's CPUs. Since JAX does not have a separate
+//! coordinator process, COCO eval is executed on the worker processes in
+//! a round robin fashion to improve the load-imbalance."
+
+use serde::{Deserialize, Serialize};
+
+/// Where the host-side metric computation (e.g. COCO eval) runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvalPlacement {
+    /// All evals run on the single coordinator host (TF).
+    Coordinator,
+    /// Eval `i` runs on worker `i % workers` (JAX).
+    RoundRobin {
+        /// Number of worker hosts.
+        workers: usize,
+    },
+}
+
+/// Timeline of periodic evals during a training run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EvalTimeline {
+    /// Total wall-clock added to the run by waiting on evals, seconds.
+    pub stall: f64,
+    /// Per-host busy time of the most loaded host, seconds.
+    pub max_host_busy: f64,
+}
+
+/// Simulates `evals` evaluations of `eval_cost` seconds each, issued
+/// every `interval` seconds, under a placement policy. An eval must
+/// finish before the *next* eval of the same host starts; training only
+/// stalls when the assigned host is still busy at issue time.
+///
+/// # Panics
+///
+/// Panics when `interval` or `eval_cost` is negative, or `evals` is zero.
+pub fn simulate_evals(
+    placement: EvalPlacement,
+    evals: usize,
+    eval_cost: f64,
+    interval: f64,
+) -> EvalTimeline {
+    assert!(evals > 0 && eval_cost >= 0.0 && interval >= 0.0);
+    let workers = match placement {
+        EvalPlacement::Coordinator => 1,
+        EvalPlacement::RoundRobin { workers } => workers.max(1),
+    };
+    let mut host_free = vec![0.0f64; workers];
+    let mut busy = vec![0.0f64; workers];
+    let mut stall = 0.0f64;
+    let mut clock = 0.0f64;
+    for e in 0..evals {
+        clock += interval;
+        let host = e % workers;
+        if host_free[host] > clock {
+            // Training waits for the host to pick the new eval up.
+            stall += host_free[host] - clock;
+            clock = host_free[host];
+        }
+        host_free[host] = clock + eval_cost;
+        busy[host] += eval_cost;
+    }
+    EvalTimeline {
+        stall,
+        max_host_busy: busy.iter().copied().fold(0.0, f64::max),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coordinator_serializes_slow_evals() {
+        // Evals cost 30 s but arrive every 10 s: the coordinator falls
+        // behind and training stalls.
+        let tf = simulate_evals(EvalPlacement::Coordinator, 10, 30.0, 10.0);
+        assert!(tf.stall > 100.0, "{tf:?}");
+    }
+
+    #[test]
+    fn round_robin_absorbs_the_same_load() {
+        let jax = simulate_evals(EvalPlacement::RoundRobin { workers: 8 }, 10, 30.0, 10.0);
+        assert_eq!(jax.stall, 0.0, "{jax:?}");
+        // Load spread across hosts.
+        assert!(jax.max_host_busy <= 2.0 * 30.0 + 1e-9);
+    }
+
+    #[test]
+    fn fast_evals_never_stall_either_way() {
+        let tf = simulate_evals(EvalPlacement::Coordinator, 20, 1.0, 10.0);
+        let jax = simulate_evals(EvalPlacement::RoundRobin { workers: 4 }, 20, 1.0, 10.0);
+        assert_eq!(tf.stall, 0.0);
+        assert_eq!(jax.stall, 0.0);
+    }
+
+    #[test]
+    fn round_robin_with_one_worker_equals_coordinator() {
+        let a = simulate_evals(EvalPlacement::Coordinator, 7, 12.0, 5.0);
+        let b = simulate_evals(EvalPlacement::RoundRobin { workers: 1 }, 7, 12.0, 5.0);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,335 @@
+//! The six MLPerf v0.7 benchmarks the paper scales (§4, Table 1).
+//!
+//! Parameter counts, FLOP budgets and batch limits come from the paper
+//! and the MLPerf v0.7 reference implementations; efficiency-curve
+//! constants are calibrated so the paper's disclosed anchors hold (see
+//! `EXPERIMENTS.md`): ResNet-50's all-reduce ≈ 22% of step time at 4096
+//! chips (Fig. 6), BERT's ≈ 27.3% (Fig. 8), ResNet epochs 44 → 88 from
+//! batch 4k → 64k (§5).
+
+use multipod_collectives::Precision;
+
+use crate::{
+    ConvergenceModel, EfficiencyCurve, EmbeddingConfig, ParallelismPlan, Workload,
+};
+
+/// ImageNet-1K training-set size.
+pub const IMAGENET_TRAIN: u64 = 1_281_167;
+/// ImageNet-1K validation-set size.
+pub const IMAGENET_EVAL: u64 = 50_000;
+/// COCO-2017 training images.
+pub const COCO_TRAIN: u64 = 117_266;
+/// COCO-2017 validation images.
+pub const COCO_EVAL: u64 = 5_000;
+
+/// BERT-large pre-training on Wikipedia (§4.1).
+///
+/// 334M parameters, sequence length 512. LAMB lets it stay data-parallel
+/// at 4096 chips with a per-chip batch of 2 (global 8192, Fig. 8).
+pub fn bert() -> Workload {
+    Workload {
+        name: "BERT",
+        params: 334_000_000,
+        // ~6 FLOPs per parameter per token for fwd+bwd, 512 tokens.
+        flops_per_sample: 6.0 * 334.0e6 * 512.0,
+        dataset_samples: 156_000_000,
+        eval_samples: 10_000,
+        grad_precision: Precision::Bf16,
+        optimizer_flops_per_param: 20, // LAMB
+        // Long sequences fill the MXUs even at batch 1/core.
+        efficiency: EfficiencyCurve {
+            max: 0.60,
+            half_batch: 0.12,
+        },
+        convergence: ConvergenceModel {
+            base_samples: 4_600_000,
+            critical_batch: 8192,
+            penalty: 0.6,
+            // LAMB converges beyond this, but 8192 (2/chip at 4096 chips,
+            // Fig. 8) gave the best time-to-accuracy in the submission.
+            max_batch: Some(8192),
+        },
+        parallelism: ParallelismPlan::DataParallel,
+        max_per_core_batch: 24, // 48 per chip at small scale (Fig. 8)
+        input_bytes_per_sample: 512 * 8, // token + mask ids
+        activation_bytes_per_sample: 420 << 20, // 24 layers at seq 512, bf16 with remat
+        evals_per_run: 6,
+        embedding: None,
+    }
+}
+
+/// ResNet-50 v1.5 on ImageNet (§4.2).
+///
+/// LARS enables batch 65536 (16 per chip at 4096 chips); the epoch budget
+/// doubles from 44 (batch 4k) to 88 (batch 64k) per §5.
+pub fn resnet50() -> Workload {
+    Workload {
+        name: "ResNet-50",
+        params: 25_600_000,
+        // ~4.1 GFLOPs forward at 224x224, 3x for training.
+        flops_per_sample: 12.3e9,
+        dataset_samples: IMAGENET_TRAIN,
+        eval_samples: IMAGENET_EVAL,
+        grad_precision: Precision::F32,
+        optimizer_flops_per_param: 9, // LARS
+        // Shrinking spatial dims penalize small per-core batches (Fig. 6).
+        efficiency: EfficiencyCurve {
+            max: 0.65,
+            half_batch: 30.0,
+        },
+        convergence: ConvergenceModel {
+            base_samples: 44 * IMAGENET_TRAIN,
+            critical_batch: 8192,
+            penalty: 1.0 / 7.0, // 2x samples at 64k
+            max_batch: Some(65536),
+        },
+        parallelism: ParallelismPlan::DataParallel,
+        max_per_core_batch: 128, // 256 per chip at small scale (Fig. 6)
+        input_bytes_per_sample: 224 * 224 * 3,
+        activation_bytes_per_sample: 100 << 20,
+        evals_per_run: 12,
+        embedding: None,
+    }
+}
+
+/// The MLPerf Transformer (big) on WMT English-German (§4.3).
+///
+/// The fixed global batch of 2048 cannot scale further (Shallue et al.
+/// 2018), so weights are feature-sharded over 4-core tiles, giving
+/// "less than batch one per core" at 4096 chips.
+pub fn transformer() -> Workload {
+    Workload {
+        name: "Transformer",
+        params: 210_000_000,
+        // ~6 FLOPs/param/token, ~256 tokens per sentence pair.
+        flops_per_sample: 6.0 * 210.0e6 * 256.0,
+        dataset_samples: 4_500_000,
+        eval_samples: 3_000,
+        grad_precision: Precision::Bf16,
+        optimizer_flops_per_param: 10, // Adam
+        efficiency: EfficiencyCurve {
+            max: 0.50,
+            half_batch: 0.35,
+        },
+        convergence: ConvergenceModel {
+            base_samples: 4_300_000,
+            critical_batch: 2048,
+            penalty: 4.0,
+            max_batch: Some(2048),
+        },
+        parallelism: ParallelismPlan::FeatureSharded { tile: 4 },
+        max_per_core_batch: 16,
+        input_bytes_per_sample: 256 * 8,
+        activation_bytes_per_sample: 560 << 20,
+        evals_per_run: 4,
+        embedding: None,
+    }
+}
+
+/// SSD with a ResNet-34 backbone on COCO (§4.4).
+///
+/// Batch 4096 (up from 2048 in v0.6); SPMD spatial partitioning over
+/// 8-core tiles scaled it from 2048 to 8192 cores.
+pub fn ssd() -> Workload {
+    Workload {
+        name: "SSD",
+        params: 36_000_000,
+        // ~8 GFLOPs forward at 300x300, 3x for training.
+        flops_per_sample: 24.0e9,
+        dataset_samples: COCO_TRAIN,
+        eval_samples: COCO_EVAL,
+        grad_precision: Precision::Bf16,
+        optimizer_flops_per_param: 4, // SGD-momentum
+        // Small 300x300 inputs shrink to 1x1 in the last layer (§4.4),
+        // so sub-sample per-core batches run far below peak.
+        efficiency: EfficiencyCurve {
+            max: 0.55,
+            half_batch: 20.0,
+        },
+        convergence: ConvergenceModel {
+            base_samples: 49 * COCO_TRAIN,
+            critical_batch: 2048,
+            penalty: 0.35,
+            max_batch: Some(4096),
+        },
+        parallelism: ParallelismPlan::SpatialSharded { tile: 8 },
+        max_per_core_batch: 32,
+        input_bytes_per_sample: 300 * 300 * 3,
+        activation_bytes_per_sample: 300 << 20,
+        evals_per_run: 5,
+        embedding: None,
+    }
+}
+
+/// Mask-RCNN on COCO (§4.5).
+///
+/// Two-stage detector with 800×1333 inputs; the largest converging batch
+/// is 256, so it runs on a 512-chip slice with 4-core spatial tiles
+/// (data-parallel to 128 cores, model-parallel to 1024).
+pub fn maskrcnn() -> Workload {
+    Workload {
+        name: "MaskRCNN",
+        params: 46_000_000,
+        // ~400 GFLOPs forward at 800x1333 with FPN + both stages, 3x for
+        // training.
+        flops_per_sample: 1.2e12,
+        dataset_samples: COCO_TRAIN,
+        eval_samples: COCO_EVAL,
+        grad_precision: Precision::F32,
+        optimizer_flops_per_param: 4,
+        // Gathers, ROIAlign and per-image head work keep utilization low
+        // even after the paper's onehot-matmul optimization (§4.5).
+        efficiency: EfficiencyCurve {
+            max: 0.30,
+            half_batch: 0.5,
+        },
+        convergence: ConvergenceModel {
+            base_samples: 13 * COCO_TRAIN,
+            critical_batch: 128,
+            penalty: 0.2,
+            max_batch: Some(256),
+        },
+        parallelism: ParallelismPlan::SpatialSharded { tile: 4 },
+        max_per_core_batch: 4,
+        input_bytes_per_sample: 800 * 1333 * 3,
+        activation_bytes_per_sample: 2600 << 20, // 800x1333 two-stage features
+        evals_per_run: 6,
+        embedding: None,
+    }
+}
+
+/// DLRM on the Criteo Terabyte click logs (§4.6).
+///
+/// Small dense MLPs plus huge embedding tables; batch 65536 is the
+/// largest converging batch and communication overheads cap useful scale
+/// at a 256-chip slice.
+pub fn dlrm() -> Workload {
+    Workload {
+        name: "DLRM",
+        params: 2_400_000, // dense parameters (bottom + top MLPs)
+        flops_per_sample: 5.0e6,
+        dataset_samples: 4_000_000_000,
+        eval_samples: 90_000_000,
+        grad_precision: Precision::F32,
+        optimizer_flops_per_param: 4,
+        efficiency: EfficiencyCurve {
+            max: 0.30,
+            half_batch: 16.0,
+        },
+        convergence: ConvergenceModel {
+            base_samples: 4_000_000_000, // one epoch of Criteo
+            critical_batch: 65536,
+            penalty: 2.0,
+            max_batch: Some(65536),
+        },
+        parallelism: ParallelismPlan::DataParallel,
+        max_per_core_batch: 512,
+        input_bytes_per_sample: 160, // ~40 int/categorical features
+        activation_bytes_per_sample: 1 << 20,
+        evals_per_run: 20,
+        embedding: Some(EmbeddingConfig {
+            tables: 26,
+            dim: 128,
+            total_params: 25_600_000_000,
+        }),
+    }
+}
+
+/// All six benchmarks, in Table-1 order.
+pub fn all() -> Vec<Workload> {
+    vec![
+        resnet50(),
+        bert(),
+        ssd(),
+        transformer(),
+        maskrcnn(),
+        dlrm(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_paper_batch_anchors() {
+        // ResNet-50: 64k batch at 4096 chips (16 per chip, Fig. 6),
+        // 256 per chip at 128 chips.
+        let r = resnet50();
+        assert_eq!(r.global_batch(4096), 65536);
+        assert_eq!(r.per_core_batch(4096), 8.0);
+        assert_eq!(r.global_batch(128), 32768); // hardware-bound: 256/chip
+        // BERT: per-chip batch 2 at 4096 chips (global 8192 ≤ LAMB cap).
+        let b = bert();
+        assert!(b.global_batch(4096) <= 32768);
+        // Transformer: fixed 2048 regardless of scale.
+        let t = transformer();
+        assert_eq!(t.global_batch(4096), 2048);
+        assert_eq!(t.global_batch(64), 2048);
+        // MaskRCNN: capped at 256.
+        assert_eq!(maskrcnn().global_batch(512), 256);
+        // DLRM: capped at 65536.
+        assert_eq!(dlrm().global_batch(256), 65536);
+    }
+
+    #[test]
+    fn six_models_with_unique_names() {
+        let names: Vec<&str> = all().iter().map(|w| w.name).collect();
+        assert_eq!(names.len(), 6);
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 6);
+    }
+
+    #[test]
+    fn resnet_epoch_anchor() {
+        let r = resnet50();
+        let at_4k = r.convergence.samples_for_batch(4096) as f64;
+        let at_64k = r.convergence.samples_for_batch(65536) as f64;
+        assert!((at_64k / at_4k - 2.0).abs() < 0.05);
+        // 88 epochs at 64k.
+        assert!((at_64k / IMAGENET_TRAIN as f64 - 88.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn model_parallel_models_declare_tiles() {
+        assert_eq!(transformer().parallelism.cores_per_replica(), 4);
+        assert_eq!(ssd().parallelism.cores_per_replica(), 8);
+        assert_eq!(maskrcnn().parallelism.cores_per_replica(), 4);
+    }
+
+    #[test]
+    fn per_core_batch_caps_are_memory_binding() {
+        // Every model's max per-core batch fits a 16 GiB TensorCore, and
+        // doubling it would not — the caps are HBM limits, not choices.
+        let core_hbm: u64 = 16 * (1 << 30);
+        for w in all() {
+            let at_cap = w.memory_per_core(w.max_per_core_batch as f64);
+            assert!(
+                at_cap <= core_hbm,
+                "{}: {} GiB at the cap",
+                w.name,
+                at_cap >> 30
+            );
+            if w.embedding.is_none() {
+                let doubled = w.memory_per_core(2.0 * w.max_per_core_batch as f64);
+                assert!(
+                    doubled > core_hbm * 3 / 4,
+                    "{}: cap should be near-binding ({} GiB doubled)",
+                    w.name,
+                    doubled >> 30
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dlrm_embedding_does_not_fit_on_one_chip() {
+        let d = dlrm();
+        let emb = d.embedding.unwrap();
+        let bytes = emb.total_params * 4;
+        assert!(bytes > crate::TpuV3::new().hbm_bytes);
+        assert_eq!(emb.lookup_bytes_per_sample(), 26 * 128 * 4);
+    }
+}

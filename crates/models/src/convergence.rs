@@ -1,0 +1,126 @@
+//! Steps-to-quality as a function of global batch size.
+//!
+//! Large-batch training does not scale forever: past a model-specific
+//! critical batch, more parallelism buys fewer steps per epoch but *more*
+//! epochs (Shallue et al. 2018). The paper discloses several anchor
+//! points — ResNet-50 needs 44 epochs at batch 4k but 88 at 64k (§5);
+//! the Transformer cannot usefully exceed batch 2048 (§4.3); MaskRCNN is
+//! capped at 256 (§4.5); DLRM at 65536 (§4.6). This module encodes those
+//! curves.
+
+use serde::{Deserialize, Serialize};
+
+/// A piecewise model of samples-to-converge vs. global batch.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceModel {
+    /// Samples needed in the perfect-scaling regime (batch ≤
+    /// `critical_batch`).
+    pub base_samples: u64,
+    /// Batch size beyond which extra samples are needed.
+    pub critical_batch: u32,
+    /// Extra sample fraction per `critical_batch` of batch growth beyond
+    /// the critical point: at batch `critical * (1 + x)` the total
+    /// samples grow by `penalty * x`.
+    pub penalty: f64,
+    /// Hard cap: the largest batch with converging hyperparameters
+    /// (`None` when the paper scaled batch freely).
+    pub max_batch: Option<u32>,
+}
+
+impl ConvergenceModel {
+    /// Steps to reach target quality at a global batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch` is zero or exceeds the model's `max_batch`.
+    pub fn steps_for_batch(&self, batch: u32) -> u64 {
+        assert!(batch > 0, "batch must be positive");
+        if let Some(max) = self.max_batch {
+            assert!(
+                batch <= max,
+                "batch {batch} exceeds the largest converging batch {max}"
+            );
+        }
+        let samples = self.samples_for_batch(batch);
+        samples.div_ceil(batch as u64)
+    }
+
+    /// Total samples processed to reach target quality.
+    pub fn samples_for_batch(&self, batch: u32) -> u64 {
+        if batch <= self.critical_batch {
+            return self.base_samples;
+        }
+        let over = (batch - self.critical_batch) as f64 / self.critical_batch as f64;
+        (self.base_samples as f64 * (1.0 + self.penalty * over)) as u64
+    }
+
+    /// The largest usable batch, given a hardware-imposed ceiling.
+    pub fn usable_batch(&self, hardware_max: u32) -> u32 {
+        match self.max_batch {
+            Some(max) => max.min(hardware_max),
+            None => hardware_max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resnet_like() -> ConvergenceModel {
+        // 44 epochs of 1.28M images at batch ≤ 8k; 88 epochs at 64k.
+        ConvergenceModel {
+            base_samples: 44 * 1_281_167,
+            critical_batch: 8192,
+            penalty: 1.0 / 7.0,
+            max_batch: Some(65536),
+        }
+    }
+
+    #[test]
+    fn perfect_scaling_below_critical_batch() {
+        let m = resnet_like();
+        let s1 = m.steps_for_batch(4096);
+        let s2 = m.steps_for_batch(8192);
+        // Half the steps for double the batch.
+        assert!((s1 as f64 / s2 as f64 - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn resnet_anchor_doubles_epochs_at_64k() {
+        let m = resnet_like();
+        let samples_64k = m.samples_for_batch(65536);
+        let samples_4k = m.samples_for_batch(4096);
+        let ratio = samples_64k as f64 / samples_4k as f64;
+        assert!((1.9..2.1).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    fn steps_never_increase_with_batch() {
+        let m = resnet_like();
+        let mut prev = u64::MAX;
+        for b in [1024u32, 2048, 4096, 8192, 16384, 32768, 65536] {
+            let s = m.steps_for_batch(b);
+            assert!(s <= prev, "steps increased at batch {b}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "largest converging batch")]
+    fn batch_cap_is_enforced() {
+        resnet_like().steps_for_batch(131072);
+    }
+
+    #[test]
+    fn usable_batch_honours_both_limits() {
+        let m = resnet_like();
+        assert_eq!(m.usable_batch(32768), 32768);
+        assert_eq!(m.usable_batch(1 << 20), 65536);
+        let uncapped = ConvergenceModel {
+            max_batch: None,
+            ..resnet_like()
+        };
+        assert_eq!(uncapped.usable_batch(1 << 20), 1 << 20);
+    }
+}

@@ -1,0 +1,38 @@
+//! MLPerf v0.7 workload and machine models.
+//!
+//! The paper evaluates six MLPerf models (BERT, ResNet-50, Transformer,
+//! SSD, Mask-RCNN, DLRM) on the TPU-v3 multipod and compares against
+//! NVIDIA V100/A100 clusters (Figures 10–11). This crate provides the
+//! *analytic descriptions* that drive the executor:
+//!
+//! * [`Workload`] — parameter counts, FLOPs/sample, dataset sizes,
+//!   gradient precisions, parallelism plans and per-model MXU-efficiency
+//!   curves, with the paper's disclosed values documented inline
+//!   ([`catalog`]).
+//! * [`ConvergenceModel`] — steps-to-target-quality as a function of
+//!   global batch, anchored to the paper's disclosed points (ResNet-50:
+//!   44 epochs @ 4k → 88 @ 64k; Transformer capped at batch 2048;
+//!   MaskRCNN at 256; DLRM at 65536).
+//! * [`TpuV3`] / [`GpuCluster`] — machine constants (123 TFLOP/s bf16
+//!   MXU, ~70 GB/s ICI links; V100/A100 tensor-core peaks, NVLink islands
+//!   + InfiniBand fat-tree) used by the step-time models.
+//!
+//! ```
+//! use multipod_models::catalog;
+//!
+//! let bert = catalog::bert();
+//! assert_eq!(bert.params, 334_000_000);
+//! // LAMB keeps BERT data-parallel at a global batch of 8192.
+//! assert!(bert.convergence.steps_for_batch(8192) > 0);
+//! ```
+
+pub mod catalog;
+mod convergence;
+mod gpu;
+mod machine;
+mod workload;
+
+pub use convergence::ConvergenceModel;
+pub use gpu::{GpuCluster, GpuGeneration};
+pub use machine::{EfficiencyCurve, TpuV3};
+pub use workload::{EmbeddingConfig, ParallelismPlan, Workload};

@@ -1,0 +1,209 @@
+//! The workload description consumed by the executor.
+
+use serde::{Deserialize, Serialize};
+
+use multipod_collectives::Precision;
+
+use crate::{ConvergenceModel, EfficiencyCurve};
+
+/// How a model is spread across the multipod (§3.1, Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParallelismPlan {
+    /// Pure data parallelism — one replica per core (BERT, ResNet-50).
+    DataParallel,
+    /// Data parallelism over tiles of `tile` cores, each tile holding one
+    /// model copy sharded on the feature dimension (Transformer).
+    FeatureSharded {
+        /// Cores per model-parallel tile.
+        tile: u32,
+    },
+    /// Data parallelism over tiles of `tile` cores, each tile splitting
+    /// images spatially (SSD, MaskRCNN).
+    SpatialSharded {
+        /// Cores per model-parallel tile.
+        tile: u32,
+    },
+}
+
+impl ParallelismPlan {
+    /// Cores occupied by one model replica.
+    pub fn cores_per_replica(self) -> u32 {
+        match self {
+            ParallelismPlan::DataParallel => 1,
+            ParallelismPlan::FeatureSharded { tile }
+            | ParallelismPlan::SpatialSharded { tile } => tile,
+        }
+    }
+
+    /// The model-parallel tile width in chips (2 cores per chip; a
+    /// 1-core replica occupies "half a chip" and is reported as stride 1).
+    pub fn chip_stride(self) -> u32 {
+        (self.cores_per_replica() / 2).max(1)
+    }
+}
+
+/// Embedding-table configuration for recommendation models (DLRM §4.6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EmbeddingConfig {
+    /// Number of categorical feature tables.
+    pub tables: u32,
+    /// Embedding dimension.
+    pub dim: u32,
+    /// Total embedding parameters across all tables (the reason large
+    /// tables must be partitioned across chips).
+    pub total_params: u64,
+}
+
+impl EmbeddingConfig {
+    /// Bytes fetched from HBM per sample (one row per table, f32).
+    pub fn lookup_bytes_per_sample(&self) -> u64 {
+        self.tables as u64 * self.dim as u64 * 4
+    }
+}
+
+/// Analytic description of one MLPerf benchmark.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Benchmark name (as in Table 1).
+    pub name: &'static str,
+    /// Trainable parameters.
+    pub params: u64,
+    /// Training FLOPs per sample (forward + backward).
+    pub flops_per_sample: f64,
+    /// Training-set size in samples.
+    pub dataset_samples: u64,
+    /// Evaluation-set size in samples.
+    pub eval_samples: u64,
+    /// Wire precision of gradient summation (§3.3).
+    pub grad_precision: Precision,
+    /// Optimizer cost (see `multipod_optim`).
+    pub optimizer_flops_per_param: u64,
+    /// MXU utilization curve.
+    pub efficiency: EfficiencyCurve,
+    /// Steps-to-quality model.
+    pub convergence: ConvergenceModel,
+    /// Parallelization strategy used at multipod scale.
+    pub parallelism: ParallelismPlan,
+    /// Largest per-core batch that fits in HBM.
+    pub max_per_core_batch: u32,
+    /// Host input bytes per sample (after decode).
+    pub input_bytes_per_sample: u64,
+    /// Peak activation memory per sample on device (bf16, with the
+    /// layer-level rematerialization the submissions use), bytes.
+    pub activation_bytes_per_sample: u64,
+    /// Evaluation cadence: evals per training run mandated by the MLPerf
+    /// rules.
+    pub evals_per_run: u32,
+    /// Embedding tables (recommendation models only).
+    pub embedding: Option<EmbeddingConfig>,
+}
+
+impl Workload {
+    /// Peak HBM bytes one core needs at a given per-core batch: the
+    /// weight + optimizer-state arrays (three f32 copies for
+    /// momentum/Adam state, divided across the model-parallel tile) plus
+    /// activations. This is what makes `max_per_core_batch` a hardware
+    /// limit rather than a tuning choice.
+    pub fn memory_per_core(&self, per_core_batch: f64) -> u64 {
+        let weight_state =
+            self.params * 4 * 3 / self.parallelism.cores_per_replica() as u64;
+        let embedding_shard = self
+            .embedding
+            .map(|e| e.total_params * 4 / 512) // shard across a typical slice
+            .unwrap_or(0);
+        let activations =
+            (per_core_batch * self.activation_bytes_per_sample as f64) as u64;
+        weight_state + embedding_shard + activations
+    }
+
+    /// Gradient elements exchanged per replica per step.
+    pub fn gradient_elems(&self) -> usize {
+        self.params as usize
+    }
+
+    /// The global batch used on `chips` chips (2 cores each), respecting
+    /// the convergence cap and HBM limits.
+    pub fn global_batch(&self, chips: u32) -> u32 {
+        let cores = chips * 2;
+        let replicas = (cores / self.parallelism.cores_per_replica()).max(1);
+        let hardware_max = replicas.saturating_mul(self.max_per_core_batch)
+            .saturating_mul(self.parallelism.cores_per_replica());
+        let capped = self.convergence.usable_batch(hardware_max);
+        // Keep at least one sample per replica group.
+        capped.max(replicas)
+    }
+
+    /// Per-core batch at a given chip count.
+    pub fn per_core_batch(&self, chips: u32) -> f64 {
+        self.global_batch(chips) as f64 / (chips as f64 * 2.0)
+    }
+
+    /// Forward+backward FLOPs per core per step at a given chip count.
+    pub fn flops_per_core_step(&self, chips: u32) -> f64 {
+        self.global_batch(chips) as f64 * self.flops_per_sample / (chips as f64 * 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Workload {
+        Workload {
+            name: "toy",
+            params: 1_000_000,
+            flops_per_sample: 1e9,
+            dataset_samples: 100_000,
+            eval_samples: 10_000,
+            grad_precision: Precision::Bf16,
+            optimizer_flops_per_param: 4,
+            efficiency: EfficiencyCurve {
+                max: 0.6,
+                half_batch: 8.0,
+            },
+            convergence: ConvergenceModel {
+                base_samples: 1_000_000,
+                critical_batch: 4096,
+                penalty: 0.5,
+                max_batch: Some(16384),
+            },
+            parallelism: ParallelismPlan::DataParallel,
+            max_per_core_batch: 128,
+            input_bytes_per_sample: 1 << 20,
+            activation_bytes_per_sample: 50 << 20,
+            evals_per_run: 5,
+            embedding: None,
+        }
+    }
+
+    #[test]
+    fn global_batch_respects_convergence_cap() {
+        let w = toy();
+        // 1024 chips × 2 cores × 128/core = 262144 hardware max, capped
+        // at 16384 by convergence.
+        assert_eq!(w.global_batch(1024), 16384);
+        // Small slice is hardware-bound: 8 chips × 2 × 128 = 2048.
+        assert_eq!(w.global_batch(8), 2048);
+    }
+
+    #[test]
+    fn per_core_batch_shrinks_with_scale() {
+        let w = toy();
+        assert!(w.per_core_batch(1024) < w.per_core_batch(64));
+        assert_eq!(w.per_core_batch(1024), 16384.0 / 2048.0);
+    }
+
+    #[test]
+    fn model_parallel_plans_report_strides() {
+        assert_eq!(ParallelismPlan::DataParallel.chip_stride(), 1);
+        assert_eq!(ParallelismPlan::FeatureSharded { tile: 8 }.chip_stride(), 4);
+        assert_eq!(ParallelismPlan::SpatialSharded { tile: 8 }.cores_per_replica(), 8);
+    }
+
+    #[test]
+    fn flops_split_across_cores() {
+        let w = toy();
+        let per_core = w.flops_per_core_step(8);
+        assert!((per_core - 2048.0 * 1e9 / 16.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! The two-phase optimizer interface.
+
+use multipod_tensor::Tensor;
+
+/// Identifies the state slot an update touches: a layer plus the shard of
+/// that layer being updated (`shard = 0, of = 1` for replicated updates).
+///
+/// Weight-update sharding gives every accelerator its own slice of each
+/// layer; keying state by `(layer, shard)` keeps the sharded and
+/// replicated paths from aliasing each other's momenta.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct StateKey {
+    /// Layer index.
+    pub layer: usize,
+    /// Shard index within the layer.
+    pub shard: usize,
+}
+
+impl StateKey {
+    /// The whole-layer key used by replicated updates.
+    pub fn full_layer(layer: usize) -> StateKey {
+        StateKey { layer, shard: 0 }
+    }
+}
+
+/// Partial layerwise statistics produced by [`Optimizer::prepare`].
+///
+/// For a sharded update these are summed across all shards of the layer
+/// (a scalar all-reduce) before [`Optimizer::apply`] runs, which is what
+/// makes LARS/LAMB trust ratios — functions of *whole-layer* norms —
+/// computable under weight-update sharding.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LayerStats {
+    /// Σ w².
+    pub weight_sq: f64,
+    /// Σ u² of the raw update direction.
+    pub update_sq: f64,
+}
+
+impl LayerStats {
+    /// Componentwise sum, used when combining shard contributions.
+    pub fn merge(self, other: LayerStats) -> LayerStats {
+        LayerStats {
+            weight_sq: self.weight_sq + other.weight_sq,
+            update_sq: self.update_sq + other.update_sq,
+        }
+    }
+}
+
+/// A large-batch optimizer with a shardable two-phase step.
+///
+/// `prepare` consumes the gradient, advances any internal state
+/// (momentum, Adam moments) for the given [`StateKey`], and returns the
+/// raw update direction plus partial layer statistics. `apply` then
+/// scales the direction by whatever function of the *global* statistics
+/// the optimizer defines and subtracts it from the weights.
+///
+/// A plain (replicated) step is `prepare` followed immediately by `apply`
+/// with the local stats; [`Optimizer::step`] does exactly that.
+pub trait Optimizer {
+    /// Human-readable optimizer name.
+    fn name(&self) -> &'static str;
+
+    /// Phase 1: advance state, produce the raw update direction and
+    /// partial statistics for this shard.
+    fn prepare(&mut self, key: StateKey, weights: &Tensor, grad: &Tensor) -> (Tensor, LayerStats);
+
+    /// Phase 2: apply the update direction under global layer statistics.
+    fn apply(&self, weights: &mut Tensor, update: &Tensor, stats: LayerStats);
+
+    /// Approximate floating-point operations per parameter per step, for
+    /// the weight-update compute-time model (§3.2's 18% anchor).
+    fn flops_per_param(&self) -> u64;
+
+    /// Overrides the base learning rate (driven per step by an
+    /// [`crate::LrSchedule`]).
+    fn set_learning_rate(&mut self, lr: f32);
+
+    /// Convenience: a full replicated step on one layer.
+    fn step(&mut self, layer: usize, weights: &mut Tensor, grad: &Tensor) {
+        let (update, stats) = self.prepare(StateKey::full_layer(layer), weights, grad);
+        self.apply(weights, &update, stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_key_full_layer() {
+        assert_eq!(StateKey::full_layer(3), StateKey { layer: 3, shard: 0 });
+    }
+
+    #[test]
+    fn stats_merge_adds() {
+        let a = LayerStats {
+            weight_sq: 1.0,
+            update_sq: 2.0,
+        };
+        let b = LayerStats {
+            weight_sq: 3.0,
+            update_sq: 4.0,
+        };
+        let m = a.merge(b);
+        assert_eq!(m.weight_sq, 4.0);
+        assert_eq!(m.update_sq, 6.0);
+    }
+}

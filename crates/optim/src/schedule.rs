@@ -1,0 +1,129 @@
+//! Learning-rate schedules.
+//!
+//! The MLPerf submissions pair their optimizers with warmup + decay
+//! schedules: LARS ResNet-50 uses linear warmup into polynomial decay
+//! (Goyal et al. 2017, §4.2's "momentum hyperparameters are tuned"),
+//! and LAMB BERT warms up then decays polynomially (You et al. 2019).
+
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule evaluated per step.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// A constant rate.
+    Constant {
+        /// The rate.
+        lr: f32,
+    },
+    /// Linear warmup from 0 to `peak` over `warmup_steps`, then
+    /// polynomial decay to `end_lr` at `total_steps`.
+    WarmupPolyDecay {
+        /// Peak learning rate reached at the end of warmup.
+        peak: f32,
+        /// Warmup steps.
+        warmup_steps: u64,
+        /// Total training steps.
+        total_steps: u64,
+        /// Decay exponent (2.0 for the LARS ResNet schedule, 1.0 for
+        /// BERT's linear decay).
+        power: f32,
+        /// Final learning rate.
+        end_lr: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The standard large-batch ResNet-50 schedule shape: warmup over the
+    /// first ~5 epochs, quadratic decay to zero.
+    pub fn lars_resnet(peak: f32, warmup_steps: u64, total_steps: u64) -> LrSchedule {
+        LrSchedule::WarmupPolyDecay {
+            peak,
+            warmup_steps,
+            total_steps,
+            power: 2.0,
+            end_lr: 0.0,
+        }
+    }
+
+    /// The LAMB BERT schedule shape: warmup then linear decay.
+    pub fn lamb_bert(peak: f32, warmup_steps: u64, total_steps: u64) -> LrSchedule {
+        LrSchedule::WarmupPolyDecay {
+            peak,
+            warmup_steps,
+            total_steps,
+            power: 1.0,
+            end_lr: 0.0,
+        }
+    }
+
+    /// The learning rate at (0-based) `step`.
+    pub fn at(&self, step: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::WarmupPolyDecay {
+                peak,
+                warmup_steps,
+                total_steps,
+                power,
+                end_lr,
+            } => {
+                if warmup_steps > 0 && step < warmup_steps {
+                    return peak * (step + 1) as f32 / warmup_steps as f32;
+                }
+                if step >= total_steps {
+                    return end_lr;
+                }
+                let span = (total_steps - warmup_steps).max(1) as f32;
+                let progress = (step - warmup_steps) as f32 / span;
+                end_lr + (peak - end_lr) * (1.0 - progress).powf(power)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_rises_linearly_to_peak() {
+        let s = LrSchedule::lars_resnet(10.0, 100, 1000);
+        assert!((s.at(0) - 0.1).abs() < 1e-6);
+        assert!((s.at(49) - 5.0).abs() < 1e-6);
+        assert!((s.at(99) - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn decay_reaches_end_lr() {
+        let s = LrSchedule::lamb_bert(1.0, 10, 100);
+        assert!(s.at(10) <= 1.0);
+        assert!(s.at(99) < 0.05);
+        assert_eq!(s.at(100), 0.0);
+        assert_eq!(s.at(10_000), 0.0);
+    }
+
+    #[test]
+    fn quadratic_decays_faster_than_linear() {
+        let quad = LrSchedule::lars_resnet(1.0, 0, 100);
+        let lin = LrSchedule::lamb_bert(1.0, 0, 100);
+        assert!(quad.at(50) < lin.at(50));
+    }
+
+    #[test]
+    fn schedule_is_monotone_after_warmup() {
+        let s = LrSchedule::lars_resnet(3.0, 20, 200);
+        let mut prev = f32::MAX;
+        for step in 20..200 {
+            let lr = s.at(step);
+            assert!(lr <= prev + 1e-9, "decay must be monotone at {step}");
+            prev = lr;
+        }
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant { lr: 0.25 };
+        assert_eq!(s.at(0), 0.25);
+        assert_eq!(s.at(1_000_000), 0.25);
+    }
+}

@@ -1,0 +1,114 @@
+//! SGD with momentum.
+
+use std::collections::HashMap;
+
+use multipod_tensor::Tensor;
+
+use crate::{LayerStats, Optimizer, StateKey};
+
+/// Plain SGD with heavyball momentum: `v ← μ v + g`, `w ← w − lr v`.
+///
+/// The baseline optimizer; its update is purely elementwise, so it shards
+/// trivially (no layerwise statistics needed).
+#[derive(Debug, Clone)]
+pub struct SgdMomentum {
+    lr: f32,
+    momentum: f32,
+    velocity: HashMap<StateKey, Tensor>,
+}
+
+impl SgdMomentum {
+    /// Creates the optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-positive learning rates or momentum outside [0, 1).
+    pub fn new(lr: f32, momentum: f32) -> SgdMomentum {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        SgdMomentum {
+            lr,
+            momentum,
+            velocity: HashMap::new(),
+        }
+    }
+
+    /// The learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+impl Optimizer for SgdMomentum {
+    fn name(&self) -> &'static str {
+        "sgd-momentum"
+    }
+
+    fn prepare(&mut self, key: StateKey, weights: &Tensor, grad: &Tensor) -> (Tensor, LayerStats) {
+        let v = self
+            .velocity
+            .entry(key)
+            .or_insert_with(|| Tensor::zeros(weights.shape().clone()));
+        *v = v.scale(self.momentum);
+        v.axpy(1.0, grad).expect("velocity/grad shape");
+        (v.clone(), LayerStats::default())
+    }
+
+    fn apply(&self, weights: &mut Tensor, update: &Tensor, _stats: LayerStats) {
+        weights.axpy(-self.lr, update).expect("weights/update shape");
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        assert!(lr >= 0.0, "learning rate must be non-negative");
+        self.lr = lr;
+    }
+
+    fn flops_per_param(&self) -> u64 {
+        4 // momentum decay, add, scale, subtract
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multipod_tensor::Shape;
+
+    #[test]
+    fn first_step_is_plain_sgd() {
+        let mut opt = SgdMomentum::new(0.5, 0.9);
+        let mut w = Tensor::fill(Shape::of(&[3]), 1.0);
+        let g = Tensor::fill(Shape::of(&[3]), 1.0);
+        opt.step(0, &mut w, &g);
+        assert!(w.data().iter().all(|&v| (v - 0.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut opt = SgdMomentum::new(1.0, 0.5);
+        let mut w = Tensor::fill(Shape::of(&[1]), 0.0);
+        let g = Tensor::fill(Shape::of(&[1]), 1.0);
+        opt.step(0, &mut w, &g); // v = 1, w = -1
+        opt.step(0, &mut w, &g); // v = 1.5, w = -2.5
+        assert!((w.data()[0] + 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn layers_have_independent_state() {
+        let mut opt = SgdMomentum::new(1.0, 0.9);
+        let mut w0 = Tensor::fill(Shape::of(&[1]), 0.0);
+        let mut w1 = Tensor::fill(Shape::of(&[1]), 0.0);
+        let g = Tensor::fill(Shape::of(&[1]), 1.0);
+        opt.step(0, &mut w0, &g);
+        opt.step(0, &mut w0, &g);
+        opt.step(1, &mut w1, &g);
+        // Layer 1's first step has no accumulated momentum.
+        assert!((w1.data()[0] + 1.0).abs() < 1e-6);
+        assert!(w0.data()[0] < -2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn validates_hyperparameters() {
+        SgdMomentum::new(0.1, 1.5);
+    }
+}

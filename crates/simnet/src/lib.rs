@@ -1,0 +1,33 @@
+//! Discrete-event simulation of the multipod interconnect.
+//!
+//! The paper's performance analysis (§5) hinges on how long transfers take
+//! on the ICI network: ring reduce-scatters along the torus Y dimension,
+//! open-chain reductions along the 128-chip X dimension, and peer-hopping
+//! rings that traverse intermediate chips. This crate provides:
+//!
+//! * [`SimTime`] — simulated seconds.
+//! * [`EventQueue`] — a deterministic discrete-event queue (also used by
+//!   the host input-pipeline simulator).
+//! * [`Network`] — a cut-through, per-directed-link occupancy model over a
+//!   [`multipod_topology::Multipod`], used to time every message the
+//!   collective schedules issue.
+//!
+//! ```
+//! use multipod_topology::{Multipod, MultipodConfig, ChipId};
+//! use multipod_simnet::{Network, NetworkConfig, SimTime};
+//!
+//! let mesh = Multipod::new(MultipodConfig::mesh(4, 4, true));
+//! let mut net = Network::new(mesh, NetworkConfig::tpu_v3());
+//! let t = net
+//!     .transfer(ChipId(0), ChipId(1), 1 << 20, SimTime::ZERO)
+//!     .unwrap();
+//! assert!(t.finish > SimTime::ZERO);
+//! ```
+
+mod engine;
+mod network;
+mod time;
+
+pub use engine::EventQueue;
+pub use network::{Network, NetworkConfig, Transfer};
+pub use time::SimTime;

@@ -1,0 +1,377 @@
+//! Cut-through network timing with per-directed-link occupancy.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use multipod_topology::{ChipId, LinkClass, Multipod, Route, TopologyError};
+
+use crate::SimTime;
+
+/// Physical parameters of the ICI network.
+///
+/// Defaults are calibrated for TPU-v3 (Jouppi et al. 2020: ~656 Gb/s links,
+/// microsecond-class hop latencies). They are *simulation* constants — the
+/// reproduction targets the shape of the paper's scaling curves, not
+/// absolute seconds.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Per-direction bandwidth of one ICI link, bytes/second.
+    pub link_bandwidth: f64,
+    /// Propagation + switching latency of one intra-pod hop, seconds.
+    /// Cross-pod and wrap links multiply this by their
+    /// [`LinkClass::latency_multiplier`].
+    pub hop_latency: f64,
+    /// Fixed software/DMA overhead charged once per message, seconds.
+    pub message_overhead: f64,
+}
+
+impl NetworkConfig {
+    /// TPU-v3 interconnect constants.
+    pub fn tpu_v3() -> NetworkConfig {
+        NetworkConfig {
+            link_bandwidth: 70.0e9,
+            hop_latency: 1.0e-6,
+            message_overhead: 1.5e-6,
+        }
+    }
+
+    /// TPU-v4 projection: roughly doubled ICI bandwidth per link with
+    /// similar latencies (used with
+    /// `multipod_models::TpuV3::v4_projection` for the paper's DLRM
+    /// footnote).
+    pub fn tpu_v4() -> NetworkConfig {
+        NetworkConfig {
+            link_bandwidth: 140.0e9,
+            hop_latency: 1.0e-6,
+            message_overhead: 1.0e-6,
+        }
+    }
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig::tpu_v3()
+    }
+}
+
+/// The outcome of a simulated transfer.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Transfer {
+    /// When the last byte arrives at the destination.
+    pub finish: SimTime,
+    /// Links traversed.
+    pub num_hops: usize,
+    /// Bytes moved.
+    pub bytes: u64,
+}
+
+/// The simulated interconnect: a [`Multipod`] plus per-directed-link
+/// occupancy state.
+///
+/// The timing model is cut-through (wormhole) routing: a message's finish
+/// time is `depart + Σ hop latencies + bytes / bandwidth`, where `depart`
+/// waits for every link on the route to drain earlier traffic. Each link is
+/// then held busy for the serialization time, which is what creates
+/// contention between overlapping transfers (e.g. peer-hopping gradient
+/// rings crossing model-parallel tiles, §3.3).
+#[derive(Debug, Clone)]
+pub struct Network {
+    mesh: Multipod,
+    config: NetworkConfig,
+    link_free: HashMap<(u32, u32), SimTime>,
+    link_bytes: HashMap<(u32, u32), u64>,
+}
+
+impl Network {
+    /// Builds a quiescent network over `mesh`.
+    pub fn new(mesh: Multipod, config: NetworkConfig) -> Network {
+        Network {
+            mesh,
+            config,
+            link_free: HashMap::new(),
+            link_bytes: HashMap::new(),
+        }
+    }
+
+    /// The underlying topology.
+    pub fn mesh(&self) -> &Multipod {
+        &self.mesh
+    }
+
+    /// Mutable access to the topology (e.g. to fail links mid-simulation).
+    pub fn mesh_mut(&mut self) -> &mut Multipod {
+        &mut self.mesh
+    }
+
+    /// The physical parameters.
+    pub fn config(&self) -> NetworkConfig {
+        self.config
+    }
+
+    /// Forgets all in-flight occupancy (start of a new simulated step).
+    /// Cumulative traffic statistics are kept; see
+    /// [`Network::clear_traffic_stats`].
+    pub fn reset(&mut self) {
+        self.link_free.clear();
+    }
+
+    /// Clears the cumulative per-link byte counters.
+    pub fn clear_traffic_stats(&mut self) {
+        self.link_bytes.clear();
+    }
+
+    /// Cumulative bytes carried by the directed link `from → to`.
+    pub fn link_traffic(&self, from: ChipId, to: ChipId) -> u64 {
+        self.link_bytes.get(&(from.0, to.0)).copied().unwrap_or(0)
+    }
+
+    /// Total bytes moved over X-direction links vs Y-direction links —
+    /// the quantity behind §3.3's "the payload transferred along the
+    /// X-dimension is 32 times less than the data transferred along the
+    /// Y-dimension".
+    pub fn traffic_by_dimension(&self) -> (u64, u64) {
+        let mut x = 0u64;
+        let mut y = 0u64;
+        for (&(from, to), &bytes) in &self.link_bytes {
+            let a = self.mesh.coord_of(ChipId(from));
+            let b = self.mesh.coord_of(ChipId(to));
+            if a.y == b.y {
+                x += bytes;
+            } else {
+                y += bytes;
+            }
+        }
+        (x, y)
+    }
+
+    /// Times a message of `bytes` from `from` to `to`, issued at `start`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::NoRoute`] when no route exists (failed
+    /// links).
+    pub fn transfer(
+        &mut self,
+        from: ChipId,
+        to: ChipId,
+        bytes: u64,
+        start: SimTime,
+    ) -> Result<Transfer, TopologyError> {
+        let route = self.mesh.route(from, to)?;
+        Ok(self.transfer_along(&route, bytes, start))
+    }
+
+    /// Times a message along a precomputed route.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the route does not match the current topology.
+    pub fn transfer_along(&mut self, route: &Route, bytes: u64, start: SimTime) -> Transfer {
+        if route.num_hops() == 0 {
+            return Transfer {
+                finish: start,
+                num_hops: 0,
+                bytes,
+            };
+        }
+        let serialization = bytes as f64 / self.config.link_bandwidth;
+        let mut depart = start + self.config.message_overhead;
+        for w in route.chips.windows(2) {
+            if let Some(free) = self.link_free.get(&(w[0].0, w[1].0)) {
+                depart = depart.max(*free);
+            }
+        }
+        let latency: f64 = route
+            .link_classes(&self.mesh)
+            .iter()
+            .map(|c| self.config.hop_latency * c.latency_multiplier())
+            .sum();
+        let finish = depart + latency + serialization;
+        let busy_until = depart + serialization;
+        for w in route.chips.windows(2) {
+            self.link_free.insert((w[0].0, w[1].0), busy_until);
+            *self.link_bytes.entry((w[0].0, w[1].0)).or_insert(0) += bytes;
+        }
+        Transfer {
+            finish,
+            num_hops: route.num_hops(),
+            bytes,
+        }
+    }
+
+    /// Issues a batch of transfers at the same instant and returns the time
+    /// the last one completes.
+    ///
+    /// Transfers are reserved in argument order, which makes contention
+    /// resolution deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any message has no route.
+    pub fn parallel_transfers(
+        &mut self,
+        messages: &[(ChipId, ChipId, u64)],
+        start: SimTime,
+    ) -> Result<SimTime, TopologyError> {
+        let mut finish = start;
+        for &(from, to, bytes) in messages {
+            let t = self.transfer(from, to, bytes, start)?;
+            finish = finish.max(t.finish);
+        }
+        Ok(finish)
+    }
+
+    /// Pure (state-free) time for a contention-free message over `hops`
+    /// intra-pod links; used by analytic fast paths and tests.
+    pub fn uncontended_time(&self, hops: usize, bytes: u64) -> f64 {
+        self.config.message_overhead
+            + hops as f64 * self.config.hop_latency
+            + bytes as f64 / self.config.link_bandwidth
+    }
+
+    /// Latency multiplier-aware hop latency of a single link.
+    pub fn hop_latency(&self, class: LinkClass) -> f64 {
+        self.config.hop_latency * class.latency_multiplier()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multipod_topology::{Coord, MultipodConfig};
+
+    fn net(x: u32, y: u32) -> Network {
+        Network::new(
+            Multipod::new(MultipodConfig::mesh(x, y, true)),
+            NetworkConfig::tpu_v3(),
+        )
+    }
+
+    #[test]
+    fn one_hop_transfer_time_matches_formula() {
+        let mut n = net(4, 4);
+        let t = n
+            .transfer(ChipId(0), ChipId(1), 70_000_000, SimTime::ZERO)
+            .unwrap();
+        // 70 MB at 70 GB/s = 1 ms, plus 1 µs hop and 1.5 µs overhead.
+        let expect = 1e-3 + 1e-6 + 1.5e-6;
+        assert!((t.finish.seconds() - expect).abs() < 1e-12);
+        assert_eq!(t.num_hops, 1);
+    }
+
+    #[test]
+    fn multi_hop_adds_latency_not_serialization() {
+        let mut a = net(8, 1);
+        let t1 = a
+            .transfer(ChipId(0), ChipId(1), 1_000_000, SimTime::ZERO)
+            .unwrap();
+        let mut b = net(8, 1);
+        let t4 = b
+            .transfer(ChipId(0), ChipId(4), 1_000_000, SimTime::ZERO)
+            .unwrap();
+        // Cut-through: 3 extra hops only add 3 µs of latency.
+        assert!((t4.finish.seconds() - t1.finish.seconds() - 3e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contention_serializes_same_link() {
+        let mut n = net(4, 1);
+        let bytes = 70_000_000u64; // 1 ms serialization
+        let first = n.transfer(ChipId(0), ChipId(1), bytes, SimTime::ZERO).unwrap();
+        let second = n.transfer(ChipId(0), ChipId(1), bytes, SimTime::ZERO).unwrap();
+        assert!(second.finish.seconds() > first.finish.seconds() + 0.9e-3);
+    }
+
+    #[test]
+    fn opposite_directions_do_not_contend() {
+        let mut n = net(4, 1);
+        let bytes = 70_000_000u64;
+        let fwd = n.transfer(ChipId(0), ChipId(1), bytes, SimTime::ZERO).unwrap();
+        let bwd = n.transfer(ChipId(1), ChipId(0), bytes, SimTime::ZERO).unwrap();
+        assert!((fwd.finish.seconds() - bwd.finish.seconds()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_links_run_in_parallel() {
+        let mut n = net(8, 1);
+        let msgs = vec![
+            (ChipId(0), ChipId(1), 70_000_000u64),
+            (ChipId(2), ChipId(3), 70_000_000u64),
+            (ChipId(4), ChipId(5), 70_000_000u64),
+        ];
+        let finish = n.parallel_transfers(&msgs, SimTime::ZERO).unwrap();
+        assert!(finish.seconds() < 1.1e-3);
+    }
+
+    #[test]
+    fn cross_pod_links_cost_more_latency() {
+        let mesh = Multipod::new(MultipodConfig::multipod(2));
+        let mut n = Network::new(mesh, NetworkConfig::tpu_v3());
+        let a = n.mesh().chip_at(Coord::new(31, 0));
+        let b = n.mesh().chip_at(Coord::new(32, 0));
+        let c = n.mesh().chip_at(Coord::new(30, 0));
+        let cross = n.transfer(a, b, 1000, SimTime::ZERO).unwrap();
+        n.reset();
+        let intra = n.transfer(c, a, 1000, SimTime::ZERO).unwrap();
+        assert!(cross.finish > intra.finish);
+    }
+
+    #[test]
+    fn reset_clears_occupancy() {
+        let mut n = net(2, 1);
+        n.transfer(ChipId(0), ChipId(1), 700_000_000, SimTime::ZERO)
+            .unwrap();
+        n.reset();
+        let t = n
+            .transfer(ChipId(0), ChipId(1), 1000, SimTime::ZERO)
+            .unwrap();
+        assert!(t.finish.seconds() < 1e-4);
+    }
+
+    #[test]
+    fn self_transfer_is_free() {
+        let mut n = net(2, 2);
+        let t = n
+            .transfer(ChipId(0), ChipId(0), 12345, SimTime::from_seconds(1.0))
+            .unwrap();
+        assert_eq!(t.finish, SimTime::from_seconds(1.0));
+        assert_eq!(t.num_hops, 0);
+    }
+
+    #[test]
+    fn failed_link_reroutes_or_errors() {
+        let mesh = Multipod::new(MultipodConfig::mesh(3, 3, false));
+        let mut n = Network::new(mesh, NetworkConfig::tpu_v3());
+        let a = n.mesh().chip_at(Coord::new(0, 0));
+        let x_next = n.mesh().chip_at(Coord::new(1, 0));
+        let dst = n.mesh().chip_at(Coord::new(1, 1));
+        n.mesh_mut().fail_link(a, x_next);
+        // X-first is blocked at the first hop; Y-then-X succeeds.
+        let t = n.transfer(a, dst, 1000, SimTime::ZERO).unwrap();
+        assert_eq!(t.num_hops, 2);
+    }
+
+    #[test]
+    fn traffic_stats_accumulate_per_link() {
+        let mut n = net(4, 1);
+        n.transfer(ChipId(0), ChipId(1), 100, SimTime::ZERO).unwrap();
+        n.transfer(ChipId(0), ChipId(1), 50, SimTime::ZERO).unwrap();
+        n.transfer(ChipId(0), ChipId(2), 10, SimTime::ZERO).unwrap();
+        assert_eq!(n.link_traffic(ChipId(0), ChipId(1)), 160);
+        assert_eq!(n.link_traffic(ChipId(1), ChipId(2)), 10);
+        assert_eq!(n.link_traffic(ChipId(1), ChipId(0)), 0);
+        let (x, y) = n.traffic_by_dimension();
+        assert_eq!(x, 170);
+        assert_eq!(y, 0);
+        n.clear_traffic_stats();
+        assert_eq!(n.link_traffic(ChipId(0), ChipId(1)), 0);
+    }
+
+    #[test]
+    fn uncontended_time_formula() {
+        let n = net(2, 2);
+        let t = n.uncontended_time(3, 70_000_000);
+        assert!((t - (1.5e-6 + 3e-6 + 1e-3)).abs() < 1e-12);
+    }
+}

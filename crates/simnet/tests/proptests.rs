@@ -1,0 +1,106 @@
+//! Property tests for the network simulator.
+
+use multipod_simnet::{EventQueue, Network, NetworkConfig, SimTime};
+use multipod_topology::{ChipId, Multipod, MultipodConfig};
+use proptest::prelude::*;
+
+fn net(x: u32, y: u32) -> Network {
+    Network::new(
+        Multipod::new(MultipodConfig::mesh(x, y, true)),
+        NetworkConfig::tpu_v3(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Transfer times are deterministic and monotone in payload size.
+    #[test]
+    fn transfers_deterministic_and_monotone(
+        x in 2u32..8, y in 1u32..8,
+        a_sel in 0usize..1000, b_sel in 0usize..1000,
+        bytes in 1u64..100_000_000,
+        extra in 1u64..100_000_000,
+    ) {
+        let run = |payload: u64| {
+            let mut n = net(x, y);
+            let chips = n.mesh().num_chips();
+            let a = ChipId((a_sel % chips) as u32);
+            let b = ChipId((b_sel % chips) as u32);
+            n.transfer(a, b, payload, SimTime::ZERO).unwrap().finish
+        };
+        prop_assert_eq!(run(bytes), run(bytes));
+        prop_assert!(run(bytes + extra) >= run(bytes));
+    }
+
+    /// Contention never makes things faster: issuing a second transfer on
+    /// the same link after a first one finishes no earlier than the first
+    /// alone.
+    #[test]
+    fn contention_is_monotone(
+        bytes1 in 1u64..50_000_000,
+        bytes2 in 1u64..50_000_000,
+    ) {
+        let mut quiet = net(2, 1);
+        let alone = quiet
+            .transfer(ChipId(0), ChipId(1), bytes2, SimTime::ZERO)
+            .unwrap()
+            .finish;
+        let mut busy = net(2, 1);
+        busy.transfer(ChipId(0), ChipId(1), bytes1, SimTime::ZERO)
+            .unwrap();
+        let contended = busy
+            .transfer(ChipId(0), ChipId(1), bytes2, SimTime::ZERO)
+            .unwrap()
+            .finish;
+        prop_assert!(contended >= alone);
+    }
+
+    /// A later start time never produces an earlier finish.
+    #[test]
+    fn start_time_shifts_finish(
+        bytes in 1u64..10_000_000,
+        delay in 0.0f64..1.0,
+    ) {
+        let mut a = net(4, 4);
+        let early = a
+            .transfer(ChipId(0), ChipId(1), bytes, SimTime::ZERO)
+            .unwrap()
+            .finish;
+        let mut b = net(4, 4);
+        let late = b
+            .transfer(ChipId(0), ChipId(1), bytes, SimTime::from_seconds(delay))
+            .unwrap()
+            .finish;
+        prop_assert!(late.seconds() >= early.seconds());
+        prop_assert!((late.seconds() - delay - early.seconds()).abs() < 1e-12);
+    }
+
+    /// The event queue pops every scheduled event exactly once, in
+    /// non-decreasing time order with FIFO ties.
+    #[test]
+    fn event_queue_total_order(times in prop::collection::vec(0u32..1000, 1..50)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_seconds(t as f64), i);
+        }
+        let mut popped = Vec::new();
+        let mut last = SimTime::ZERO;
+        while let Some((t, payload)) = q.pop() {
+            prop_assert!(t >= last);
+            // FIFO among equal times: payload indices with the same time
+            // appear in insertion order.
+            if t == last {
+                if let Some(&prev) = popped.last() {
+                    let prev: usize = prev;
+                    if times[prev] == times[payload] {
+                        prop_assert!(prev < payload);
+                    }
+                }
+            }
+            last = t;
+            popped.push(payload);
+        }
+        prop_assert_eq!(popped.len(), times.len());
+    }
+}

@@ -1,0 +1,225 @@
+//! Software bfloat16.
+//!
+//! TPUs natively compute in bfloat16 (Wang & Kanwar 2019); the paper uses it
+//! for activations and gradient all-reduce payloads (§3.3, §4.1, §4.3) to
+//! halve communication bytes. This module implements the format in software:
+//! the top 16 bits of an IEEE-754 `f32` with round-to-nearest-even.
+
+use std::fmt;
+
+/// A 16-bit brain floating point number.
+///
+/// `Bf16` keeps the `f32` exponent range (8 bits) but only 7 mantissa bits.
+/// Conversion from `f32` rounds to nearest, ties to even, matching TPU
+/// hardware behaviour.
+///
+/// ```
+/// use multipod_tensor::Bf16;
+///
+/// let x = Bf16::from_f32(1.0 + 1.0 / 256.0);
+/// // 1 + 2^-8 is exactly halfway between two bf16 values; ties go to even,
+/// // which here is 1.0.
+/// assert_eq!(x.to_f32(), 1.0);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bf16(u16);
+
+impl Bf16 {
+    /// Positive zero.
+    pub const ZERO: Bf16 = Bf16(0);
+    /// One.
+    pub const ONE: Bf16 = Bf16(0x3f80);
+    /// The machine epsilon of the format (2⁻⁷).
+    pub const EPSILON: f32 = 1.0 / 128.0;
+
+    /// Converts an `f32` to `Bf16` with round-to-nearest-even.
+    pub fn from_f32(value: f32) -> Bf16 {
+        let bits = value.to_bits();
+        if value.is_nan() {
+            // Preserve NaN; force a quiet NaN payload that survives truncation.
+            return Bf16(((bits >> 16) as u16) | 0x0040);
+        }
+        // Round to nearest even on the 16 discarded bits.
+        let round_bit = 0x0000_8000u32;
+        let lsb = (bits >> 16) & 1;
+        let rounded = bits.wrapping_add(0x0000_7fff + lsb);
+        let _ = round_bit;
+        Bf16((rounded >> 16) as u16)
+    }
+
+    /// Converts back to `f32` (exact; bf16 values are a subset of f32).
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// Raw bit pattern.
+    pub fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Builds a `Bf16` from a raw bit pattern.
+    pub fn from_bits(bits: u16) -> Bf16 {
+        Bf16(bits)
+    }
+
+    /// Returns `true` when the value is NaN.
+    pub fn is_nan(self) -> bool {
+        self.to_f32().is_nan()
+    }
+
+    /// Rounds an `f32` through bf16 precision and back.
+    ///
+    /// This is the operation applied to every element of a gradient buffer
+    /// when the all-reduce payload is demoted to bf16.
+    pub fn round_trip(value: f32) -> f32 {
+        Bf16::from_f32(value).to_f32()
+    }
+
+    /// Applies [`Bf16::round_trip`] to every element of a slice in place.
+    pub fn quantize_slice(values: &mut [f32]) {
+        for v in values.iter_mut() {
+            *v = Bf16::round_trip(*v);
+        }
+    }
+}
+
+impl From<f32> for Bf16 {
+    fn from(value: f32) -> Bf16 {
+        Bf16::from_f32(value)
+    }
+}
+
+impl From<Bf16> for f32 {
+    fn from(value: Bf16) -> f32 {
+        value.to_f32()
+    }
+}
+
+impl fmt::Debug for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bf16({})", self.to_f32())
+    }
+}
+
+impl fmt::Display for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl std::ops::Add for Bf16 {
+    type Output = Bf16;
+    fn add(self, rhs: Bf16) -> Bf16 {
+        Bf16::from_f32(self.to_f32() + rhs.to_f32())
+    }
+}
+
+impl std::ops::Sub for Bf16 {
+    type Output = Bf16;
+    fn sub(self, rhs: Bf16) -> Bf16 {
+        Bf16::from_f32(self.to_f32() - rhs.to_f32())
+    }
+}
+
+impl std::ops::Mul for Bf16 {
+    type Output = Bf16;
+    fn mul(self, rhs: Bf16) -> Bf16 {
+        Bf16::from_f32(self.to_f32() * rhs.to_f32())
+    }
+}
+
+impl std::ops::Div for Bf16 {
+    type Output = Bf16;
+    fn div(self, rhs: Bf16) -> Bf16 {
+        Bf16::from_f32(self.to_f32() / rhs.to_f32())
+    }
+}
+
+impl std::ops::Neg for Bf16 {
+    type Output = Bf16;
+    fn neg(self) -> Bf16 {
+        Bf16::from_f32(-self.to_f32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_one_round_trip_exactly() {
+        assert_eq!(Bf16::from_f32(0.0).to_f32(), 0.0);
+        assert_eq!(Bf16::from_f32(1.0).to_f32(), 1.0);
+        assert_eq!(Bf16::ONE.to_f32(), 1.0);
+        assert_eq!(Bf16::ZERO.to_f32(), 0.0);
+    }
+
+    #[test]
+    fn negative_values_keep_sign() {
+        assert_eq!(Bf16::from_f32(-2.5).to_f32(), -2.5);
+        assert!(Bf16::from_f32(-1e-20).to_f32() <= 0.0);
+    }
+
+    #[test]
+    fn rounds_to_nearest() {
+        // 1.0 + 2^-7 is representable; 1.0 + 2^-9 rounds down to 1.0,
+        // 1.0 + 3*2^-9 rounds up to 1.0 + 2^-7.
+        assert_eq!(Bf16::round_trip(1.0 + 1.0 / 128.0), 1.0 + 1.0 / 128.0);
+        assert_eq!(Bf16::round_trip(1.0 + 1.0 / 512.0), 1.0);
+        assert_eq!(Bf16::round_trip(1.0 + 3.0 / 512.0), 1.0 + 1.0 / 128.0);
+    }
+
+    #[test]
+    fn ties_round_to_even() {
+        // 1 + 2^-8 is exactly between 1.0 (mantissa 0, even) and 1 + 2^-7.
+        assert_eq!(Bf16::round_trip(1.0 + 1.0 / 256.0), 1.0);
+        // 1 + 3*2^-8 is between 1+2^-7 (odd mantissa) and 1+2^-6 (even).
+        assert_eq!(Bf16::round_trip(1.0 + 3.0 / 256.0), 1.0 + 1.0 / 64.0);
+    }
+
+    #[test]
+    fn nan_and_infinity_survive() {
+        assert!(Bf16::from_f32(f32::NAN).is_nan());
+        assert_eq!(Bf16::from_f32(f32::INFINITY).to_f32(), f32::INFINITY);
+        assert_eq!(
+            Bf16::from_f32(f32::NEG_INFINITY).to_f32(),
+            f32::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn large_values_do_not_overflow_prematurely() {
+        // bf16 keeps the full f32 exponent range: values near f32::MAX stay
+        // finite (within bf16 relative precision) instead of overflowing.
+        let r = Bf16::round_trip(3.0e38);
+        assert!(r.is_finite());
+        assert!(((r - 3.0e38) / 3.0e38).abs() <= Bf16::EPSILON / 2.0);
+        assert!(Bf16::round_trip(1e38).is_finite());
+    }
+
+    #[test]
+    fn relative_error_is_bounded_by_epsilon() {
+        for &x in &[1.0f32, 3.14159, 1234.5, 1e-6, 7.7e20] {
+            let r = Bf16::round_trip(x);
+            assert!(((r - x) / x).abs() <= Bf16::EPSILON / 2.0 + 1e-9, "x={x}");
+        }
+    }
+
+    #[test]
+    fn quantize_slice_quantizes_every_element() {
+        let mut v = vec![1.0f32 + 1.0 / 512.0; 8];
+        Bf16::quantize_slice(&mut v);
+        assert!(v.iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn arithmetic_goes_through_f32() {
+        let a = Bf16::from_f32(1.5);
+        let b = Bf16::from_f32(2.0);
+        assert_eq!((a + b).to_f32(), 3.5);
+        assert_eq!((a * b).to_f32(), 3.0);
+        assert_eq!((a - b).to_f32(), -0.5);
+        assert_eq!((a / b).to_f32(), 0.75);
+        assert_eq!((-a).to_f32(), -1.5);
+    }
+}

@@ -1,0 +1,31 @@
+//! Dense tensors and software bfloat16.
+//!
+//! The paper's gradient summation and optimizer math run on TPU HBM in
+//! `f32` with `bfloat16` used for activation/gradient payloads (§3.3, §4.1).
+//! This crate provides the minimal numeric substrate the rest of the
+//! workspace builds on: a flat-storage [`Tensor`] over [`Shape`]d data,
+//! a round-to-nearest-even [`Bf16`] type, basic BLAS-like kernels and a
+//! deterministic fill RNG.
+//!
+//! ```
+//! use multipod_tensor::{Tensor, Shape};
+//!
+//! let a = Tensor::fill(Shape::of(&[2, 3]), 1.5);
+//! let b = Tensor::fill(Shape::of(&[3, 2]), 2.0);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.shape().dims(), &[2, 2]);
+//! assert!((c.data()[0] - 9.0).abs() < 1e-6);
+//! ```
+
+mod bf16;
+mod error;
+mod ops;
+mod rng;
+mod shape;
+mod tensor;
+
+pub use bf16::Bf16;
+pub use error::TensorError;
+pub use rng::TensorRng;
+pub use shape::Shape;
+pub use tensor::Tensor;

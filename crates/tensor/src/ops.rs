@@ -1,0 +1,270 @@
+//! Elementwise and linear-algebra kernels on [`Tensor`].
+//!
+//! These back the numerically real parts of the reproduction: optimizer
+//! steps (LAMB/LARS need norms and axpy), collective reductions, partial
+//! matmuls in the model-parallel forward pass, and evaluation metrics.
+
+use crate::{Shape, Tensor, TensorError};
+
+impl Tensor {
+    /// Elementwise sum, consuming neither operand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn add(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn sub(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    /// Elementwise product (Hadamard).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn mul(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with(rhs, "mul", |a, b| a * b)
+    }
+
+    /// In-place `self += alpha * rhs` (BLAS axpy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn axpy(&mut self, alpha: f32, rhs: &Tensor) -> Result<(), TensorError> {
+        if self.shape() != rhs.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "axpy",
+                lhs: self.shape().clone(),
+                rhs: rhs.shape().clone(),
+            });
+        }
+        for (a, b) in self.data_mut().iter_mut().zip(rhs.data()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Returns `self * alpha`.
+    pub fn scale(&self, alpha: f32) -> Tensor {
+        let data = self.data().iter().map(|v| v * alpha).collect();
+        Tensor::new(self.shape().clone(), data)
+    }
+
+    /// Applies a function to every element.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let data = self.data().iter().map(|&v| f(v)).collect();
+        Tensor::new(self.shape().clone(), data)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data().iter().sum()
+    }
+
+    /// Euclidean (L2) norm of the flattened tensor.
+    ///
+    /// LARS and LAMB use per-layer weight and update norms for their trust
+    /// ratios.
+    pub fn norm2(&self) -> f32 {
+        self.data().iter().map(|v| (*v as f64) * (*v as f64)).sum::<f64>().sqrt() as f32
+    }
+
+    /// Dot product of two same-shape tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn dot(&self, rhs: &Tensor) -> Result<f32, TensorError> {
+        if self.shape() != rhs.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "dot",
+                lhs: self.shape().clone(),
+                rhs: rhs.shape().clone(),
+            });
+        }
+        Ok(self
+            .data()
+            .iter()
+            .zip(rhs.data())
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum::<f64>() as f32)
+    }
+
+    /// Rank-2 matrix multiplication.
+    ///
+    /// Model-parallel layers compute *partial* matmuls on weight shards and
+    /// then all-reduce (§3.1); tests use this kernel as the ground truth the
+    /// sharded computation must reproduce.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self` is `[m×k]` and `rhs` is `[k×n]`.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape().rank(), 2, "matmul lhs must be rank 2");
+        assert_eq!(rhs.shape().rank(), 2, "matmul rhs must be rank 2");
+        let (m, k) = (self.shape().dim(0), self.shape().dim(1));
+        let (k2, n) = (rhs.shape().dim(0), rhs.shape().dim(1));
+        assert_eq!(k, k2, "matmul inner dimensions must agree: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        let a = self.data();
+        let b = rhs.data();
+        for i in 0..m {
+            for p in 0..k {
+                let aip = a[i * k + p];
+                if aip == 0.0 {
+                    continue;
+                }
+                let row = &b[p * n..(p + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(row) {
+                    *o += aip * bv;
+                }
+            }
+        }
+        Tensor::new(Shape::of(&[m, n]), out)
+    }
+
+    /// Sums a list of same-shape tensors; the scalar reference that every
+    /// all-reduce implementation is tested against.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the list is empty or shapes disagree.
+    pub fn sum_all(tensors: &[Tensor]) -> Tensor {
+        let first = tensors.first().expect("sum_all of empty list");
+        let mut acc = first.clone();
+        for t in &tensors[1..] {
+            acc.axpy(1.0, t).expect("sum_all shape mismatch");
+        }
+        acc
+    }
+
+    /// Maximum absolute difference between two tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes differ.
+    pub fn max_abs_diff(&self, rhs: &Tensor) -> f32 {
+        assert_eq!(self.shape(), rhs.shape(), "max_abs_diff shape mismatch");
+        self.data()
+            .iter()
+            .zip(rhs.data())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    fn zip_with(
+        &self,
+        rhs: &Tensor,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor, TensorError> {
+        if self.shape() != rhs.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: self.shape().clone(),
+                rhs: rhs.shape().clone(),
+            });
+        }
+        let data = self
+            .data()
+            .iter()
+            .zip(rhs.data())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Tensor::new(self.shape().clone(), data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elementwise_ops_work() {
+        let a = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let b = Tensor::from_slice(&[4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).unwrap().data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(a.sub(&b).unwrap().data(), &[-3.0, -3.0, -3.0]);
+        assert_eq!(a.mul(&b).unwrap().data(), &[4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    fn elementwise_ops_reject_mismatch() {
+        let a = Tensor::from_slice(&[1.0]);
+        let b = Tensor::from_slice(&[1.0, 2.0]);
+        assert!(a.add(&b).is_err());
+        assert!(a.dot(&b).is_err());
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::from_slice(&[1.0, 1.0]);
+        let b = Tensor::from_slice(&[2.0, 3.0]);
+        a.axpy(0.5, &b).unwrap();
+        assert_eq!(a.data(), &[2.0, 2.5]);
+    }
+
+    #[test]
+    fn norms_and_dot() {
+        let a = Tensor::from_slice(&[3.0, 4.0]);
+        assert!((a.norm2() - 5.0).abs() < 1e-6);
+        assert_eq!(a.dot(&a).unwrap(), 25.0);
+        assert_eq!(a.sum(), 7.0);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Tensor::new(Shape::of(&[2, 3]), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::new(Shape::of(&[3, 2]), vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_identity() {
+        let a = Tensor::new(Shape::of(&[2, 2]), vec![1.0, 2.0, 3.0, 4.0]);
+        let i = Tensor::new(Shape::of(&[2, 2]), vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_rejects_bad_inner_dim() {
+        let a = Tensor::zeros(Shape::of(&[2, 3]));
+        let b = Tensor::zeros(Shape::of(&[2, 2]));
+        a.matmul(&b);
+    }
+
+    #[test]
+    fn sum_all_is_associative_reference() {
+        let ts: Vec<Tensor> = (0..5)
+            .map(|i| Tensor::fill(Shape::of(&[4]), i as f32))
+            .collect();
+        let s = Tensor::sum_all(&ts);
+        assert_eq!(s.data(), &[10.0; 4]);
+    }
+
+    #[test]
+    fn map_and_scale() {
+        let a = Tensor::from_slice(&[1.0, -2.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, -4.0]);
+        assert_eq!(a.map(f32::abs).data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn max_abs_diff_finds_worst_element() {
+        let a = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let b = Tensor::from_slice(&[1.0, 2.5, 2.0]);
+        assert_eq!(a.max_abs_diff(&b), 1.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Tensor shapes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The extents of a tensor, one entry per dimension.
+///
+/// Rank-0 (scalar) shapes are allowed and have one element.
+///
+/// ```
+/// use multipod_tensor::Shape;
+///
+/// let s = Shape::of(&[4, 8, 3]);
+/// assert_eq!(s.len(), 96);
+/// assert_eq!(s.rank(), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Builds a shape from a slice of extents.
+    pub fn of(dims: &[usize]) -> Shape {
+        Shape(dims.to_vec())
+    }
+
+    /// The scalar (rank-0) shape.
+    pub fn scalar() -> Shape {
+        Shape(Vec::new())
+    }
+
+    /// A rank-1 shape of the given length.
+    pub fn vector(len: usize) -> Shape {
+        Shape(vec![len])
+    }
+
+    /// The extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Extent of one dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Total number of elements (product of extents; 1 for scalars).
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Whether the shape contains zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.rank()];
+        for i in (0..self.rank().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-index into a flat row-major offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or any coordinate is out of
+    /// bounds.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.rank(), "index rank mismatch");
+        let mut off = 0usize;
+        for (axis, (&i, &d)) in index.iter().zip(self.0.iter()).enumerate() {
+            assert!(i < d, "index {i} out of bounds for axis {axis} (dim {d})");
+            off = off * d + i;
+        }
+        off
+    }
+
+    /// Returns a copy with `axis` replaced by `extent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.rank()`.
+    pub fn with_dim(&self, axis: usize, extent: usize) -> Shape {
+        let mut dims = self.0.clone();
+        dims[axis] = extent;
+        Shape(dims)
+    }
+
+    /// Splits `axis` into `parts` equal chunks, returning the chunk shape.
+    ///
+    /// Returns `None` when the extent is not divisible by `parts`.
+    pub fn split_axis(&self, axis: usize, parts: usize) -> Option<Shape> {
+        if axis >= self.rank() || parts == 0 || !self.0[axis].is_multiple_of(parts) {
+            return None;
+        }
+        Some(self.with_dim(axis, self.0[axis] / parts))
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Shape {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Shape {
+        Shape(dims.to_vec())
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "×")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_has_one_element() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn len_is_product_of_dims() {
+        assert_eq!(Shape::of(&[2, 3, 4]).len(), 24);
+        assert_eq!(Shape::of(&[7]).len(), 7);
+        assert_eq!(Shape::of(&[5, 0, 2]).len(), 0);
+        assert!(Shape::of(&[5, 0, 2]).is_empty());
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::of(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::of(&[5]).strides(), vec![1]);
+        assert!(Shape::scalar().strides().is_empty());
+    }
+
+    #[test]
+    fn offset_matches_strides() {
+        let s = Shape::of(&[2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[1, 2, 3]), 23);
+        assert_eq!(s.offset(&[1, 0, 2]), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn offset_panics_out_of_bounds() {
+        Shape::of(&[2, 2]).offset(&[0, 2]);
+    }
+
+    #[test]
+    fn split_axis_divides_evenly_or_fails() {
+        let s = Shape::of(&[8, 6]);
+        assert_eq!(s.split_axis(0, 4), Some(Shape::of(&[2, 6])));
+        assert_eq!(s.split_axis(1, 3), Some(Shape::of(&[8, 2])));
+        assert_eq!(s.split_axis(1, 4), None);
+        assert_eq!(s.split_axis(2, 2), None);
+        assert_eq!(s.split_axis(0, 0), None);
+    }
+
+    #[test]
+    fn display_uses_times_sign() {
+        assert_eq!(Shape::of(&[2, 3]).to_string(), "[2×3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+}

@@ -1,0 +1,169 @@
+//! Chip, core and host identities.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Implements a `"name{index}"` Debug/Display body for an id newtype.
+macro_rules! fmt_id {
+    ($name:literal) => {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, concat!($name, "{}"), self.0)
+        }
+    };
+}
+
+/// Number of TensorCores per TPU-v3 chip (Jouppi et al. 2020).
+pub const CORES_PER_CHIP: usize = 2;
+
+/// Chips attached to a single host machine in a TPU-v3 pod.
+///
+/// A 1024-chip pod has 256 hosts; the paper's input-pipeline discussion
+/// (§3.5) counts ~128 hosts for a mid-scale (512-chip) system, consistent
+/// with 4 chips per host.
+pub const CHIPS_PER_HOST: usize = 4;
+
+/// A chip's (x, y) position in the 2-D multipod mesh.
+///
+/// X runs along the pod-concatenation direction (0..128 on the 4-pod
+/// machine), Y along the torus direction (0..32).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Coord {
+    /// Position along the mesh (pod-concatenation) dimension.
+    pub x: u32,
+    /// Position along the torus dimension.
+    pub y: u32,
+}
+
+impl Coord {
+    /// Builds a coordinate.
+    pub fn new(x: u32, y: u32) -> Coord {
+        Coord { x, y }
+    }
+}
+
+impl fmt::Debug for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+/// A dense chip index, `y * x_len + x`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ChipId(pub u32);
+
+impl ChipId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ChipId {
+    fmt_id!("chip");
+}
+
+impl fmt::Display for ChipId {
+    fmt_id!("chip");
+}
+
+/// One of the two TensorCores on a chip.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CoreId {
+    /// The chip the core lives on.
+    pub chip: ChipId,
+    /// Core index within the chip (0 or 1).
+    pub core: u8,
+}
+
+impl CoreId {
+    /// Builds a core id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core >= CORES_PER_CHIP`.
+    pub fn new(chip: ChipId, core: u8) -> CoreId {
+        assert!((core as usize) < CORES_PER_CHIP, "core index out of range");
+        CoreId { chip, core }
+    }
+
+    /// Global dense core index.
+    pub fn index(self) -> usize {
+        self.chip.index() * CORES_PER_CHIP + self.core as usize
+    }
+}
+
+impl fmt::Debug for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}.{}", self.chip.0, self.core)
+    }
+}
+
+/// A host machine feeding [`CHIPS_PER_HOST`] chips.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct HostId(pub u32);
+
+impl HostId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The host that feeds the given chip.
+    pub fn of_chip(chip: ChipId) -> HostId {
+        HostId((chip.index() / CHIPS_PER_HOST) as u32)
+    }
+}
+
+impl fmt::Debug for HostId {
+    fmt_id!("host");
+}
+
+impl fmt::Display for HostId {
+    fmt_id!("host");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coord_display() {
+        assert_eq!(Coord::new(3, 7).to_string(), "(3,7)");
+    }
+
+    #[test]
+    fn core_index_is_dense() {
+        let c0 = CoreId::new(ChipId(5), 0);
+        let c1 = CoreId::new(ChipId(5), 1);
+        assert_eq!(c0.index(), 10);
+        assert_eq!(c1.index(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "core index")]
+    fn core_index_validated() {
+        CoreId::new(ChipId(0), 2);
+    }
+
+    #[test]
+    fn host_of_chip_groups_by_four() {
+        assert_eq!(HostId::of_chip(ChipId(0)), HostId(0));
+        assert_eq!(HostId::of_chip(ChipId(3)), HostId(0));
+        assert_eq!(HostId::of_chip(ChipId(4)), HostId(1));
+        assert_eq!(HostId::of_chip(ChipId(4095)), HostId(1023));
+    }
+
+    #[test]
+    fn ids_format_with_prefix() {
+        assert_eq!(ChipId(9).to_string(), "chip9");
+        assert_eq!(HostId(2).to_string(), "host2");
+        assert_eq!(format!("{:?}", CoreId::new(ChipId(1), 1)), "core1.1");
+    }
+}

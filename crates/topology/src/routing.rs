@@ -1,0 +1,315 @@
+//! Sparse routing.
+//!
+//! "As the TPU-v3 chip only had 1024 entries in the routing table, we used a
+//! sparse routing scheme where only neighbors along rows and columns were
+//! visible to each chip. This was sufficient for achieving peak throughput
+//! in the all-reduce communication operations." (§1)
+//!
+//! This module reproduces that constraint: a [`RoutingTable`] per chip that
+//! must fit in [`ROUTING_TABLE_CAPACITY`] entries, and dimension-ordered
+//! routes that only traverse row/column-visible chips.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ChipId, Coord, LinkClass, Multipod, TopologyError};
+
+/// Hardware routing-table capacity of a TPU-v3 chip.
+pub const ROUTING_TABLE_CAPACITY: usize = 1024;
+
+/// The set of destinations a chip can address directly.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutingTable {
+    owner: ChipId,
+    entries: Vec<ChipId>,
+}
+
+impl RoutingTable {
+    /// The paper's sparse scheme: only chips in the owner's row and column
+    /// are visible.
+    pub fn sparse(mesh: &Multipod, owner: ChipId) -> RoutingTable {
+        let c = mesh.coord_of(owner);
+        let mut entries = Vec::new();
+        for x in 0..mesh.x_len() {
+            if x != c.x {
+                entries.push(mesh.chip_at(Coord::new(x, c.y)));
+            }
+        }
+        for y in 0..mesh.y_len() {
+            if y != c.y {
+                entries.push(mesh.chip_at(Coord::new(c.x, y)));
+            }
+        }
+        RoutingTable { owner, entries }
+    }
+
+    /// A dense (all-destinations) table; does **not** fit on the multipod
+    /// and exists to demonstrate why the sparse scheme is needed.
+    pub fn dense(mesh: &Multipod, owner: ChipId) -> RoutingTable {
+        let entries = mesh.chips().filter(|&c| c != owner).collect();
+        RoutingTable { owner, entries }
+    }
+
+    /// The chip owning this table.
+    pub fn owner(&self) -> ChipId {
+        self.owner
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the table fits in the TPU-v3 hardware capacity.
+    pub fn fits(&self) -> bool {
+        self.len() <= ROUTING_TABLE_CAPACITY
+    }
+
+    /// Whether `dest` is directly addressable.
+    pub fn visible(&self, dest: ChipId) -> bool {
+        dest == self.owner || self.entries.contains(&dest)
+    }
+}
+
+/// A hop-by-hop route between two chips.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Route {
+    /// Every chip on the route, endpoints included.
+    pub chips: Vec<ChipId>,
+}
+
+impl Route {
+    /// Number of links traversed.
+    pub fn num_hops(&self) -> usize {
+        self.chips.len().saturating_sub(1)
+    }
+
+    /// The link classes along the route.
+    ///
+    /// # Panics
+    ///
+    /// Panics if consecutive chips on the route are not adjacent in `mesh`
+    /// (which indicates the route was computed for a different topology).
+    pub fn link_classes(&self, mesh: &Multipod) -> Vec<LinkClass> {
+        self.chips
+            .windows(2)
+            .map(|w| {
+                mesh.link_between(w[0], w[1])
+                    .expect("route traverses non-adjacent chips")
+            })
+            .collect()
+    }
+}
+
+impl Multipod {
+    /// Computes the dimension-ordered (X then Y) route between two chips,
+    /// using the shorter torus direction along Y and honouring the sparse
+    /// visibility rule (every intermediate turn happens at the row/column
+    /// intersection).
+    ///
+    /// When a link on the primary route has failed, the Y-then-X detour is
+    /// tried.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::NoRoute`] when both dimension orders are
+    /// blocked by failed links.
+    pub fn route(&self, from: ChipId, to: ChipId) -> Result<Route, TopologyError> {
+        if from == to {
+            return Ok(Route { chips: vec![from] });
+        }
+        // Try both dimension orders with the shortest Y direction, then
+        // fall back to the long way around the torus (a failed wrap link
+        // must not partition a column).
+        self.route_dim_order(from, to, true, false)
+            .or_else(|_| self.route_dim_order(from, to, false, false))
+            .or_else(|_| self.route_dim_order(from, to, true, true))
+            .or_else(|_| self.route_dim_order(from, to, false, true))
+            .map_err(|_| TopologyError::NoRoute { from, to })
+    }
+
+    /// Route with an explicit dimension order (`x_first` or Y first) and
+    /// Y-direction choice (`long_y` walks against the shorter torus
+    /// direction).
+    fn route_dim_order(
+        &self,
+        from: ChipId,
+        to: ChipId,
+        x_first: bool,
+        long_y: bool,
+    ) -> Result<Route, TopologyError> {
+        let mut chips = vec![from];
+        let mut cur = self.coord_of(from);
+        let dst = self.coord_of(to);
+        let walk_x = |chips: &mut Vec<ChipId>, cur: &mut Coord| -> Result<(), TopologyError> {
+            while cur.x != dst.x {
+                let next_x = if dst.x > cur.x { cur.x + 1 } else { cur.x - 1 };
+                let next = self.chip_at(Coord::new(next_x, cur.y));
+                let prev = self.chip_at(*cur);
+                if self.link_between(prev, next).is_none() {
+                    return Err(TopologyError::NoRoute { from, to });
+                }
+                chips.push(next);
+                cur.x = next_x;
+            }
+            Ok(())
+        };
+        let walk_y = |this: &Multipod,
+                      chips: &mut Vec<ChipId>,
+                      cur: &mut Coord|
+         -> Result<(), TopologyError> {
+            // Pick the direction once (recomputing per hop would
+            // oscillate when walking the long way around).
+            let up_dist = (cur.y + this.y_len() - dst.y) % this.y_len();
+            let down_dist = (dst.y + this.y_len() - cur.y) % this.y_len();
+            let prefer_down = down_dist <= up_dist;
+            let go_down = if long_y { !prefer_down } else { prefer_down };
+            while cur.y != dst.y {
+                let next_y = if !this.torus_y() {
+                    if dst.y > cur.y {
+                        cur.y + 1
+                    } else {
+                        cur.y - 1
+                    }
+                } else if go_down {
+                    (cur.y + 1) % this.y_len()
+                } else {
+                    (cur.y + this.y_len() - 1) % this.y_len()
+                };
+                let next = this.chip_at(Coord::new(cur.x, next_y));
+                let prev = this.chip_at(*cur);
+                if this.link_between(prev, next).is_none() {
+                    return Err(TopologyError::NoRoute { from, to });
+                }
+                chips.push(next);
+                cur.y = next_y;
+            }
+            Ok(())
+        };
+        if x_first {
+            walk_x(&mut chips, &mut cur)?;
+            walk_y(self, &mut chips, &mut cur)?;
+        } else {
+            walk_y(self, &mut chips, &mut cur)?;
+            walk_x(&mut chips, &mut cur)?;
+        }
+        Ok(Route { chips })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MultipodConfig;
+
+    #[test]
+    fn sparse_tables_fit_on_the_multipod_dense_do_not() {
+        let m = Multipod::new(MultipodConfig::multipod(4));
+        let chip = m.chip_at(Coord::new(64, 16));
+        let sparse = RoutingTable::sparse(&m, chip);
+        assert_eq!(sparse.len(), 127 + 31);
+        assert!(sparse.fits());
+        let dense = RoutingTable::dense(&m, chip);
+        assert_eq!(dense.len(), 4095);
+        assert!(!dense.fits());
+    }
+
+    #[test]
+    fn sparse_visibility_is_row_and_column() {
+        let m = Multipod::new(MultipodConfig::mesh(8, 4, true));
+        let chip = m.chip_at(Coord::new(2, 1));
+        let t = RoutingTable::sparse(&m, chip);
+        assert!(t.visible(m.chip_at(Coord::new(7, 1))));
+        assert!(t.visible(m.chip_at(Coord::new(2, 3))));
+        assert!(!t.visible(m.chip_at(Coord::new(3, 2))));
+        assert!(t.visible(chip));
+    }
+
+    #[test]
+    fn route_is_dimension_ordered_and_adjacent() {
+        let m = Multipod::new(MultipodConfig::mesh(8, 8, true));
+        let from = m.chip_at(Coord::new(1, 1));
+        let to = m.chip_at(Coord::new(5, 6));
+        let r = m.route(from, to).unwrap();
+        // Adjacency along the whole route.
+        let classes = r.link_classes(&m);
+        assert_eq!(classes.len(), r.num_hops());
+        // X distance 4 + torus-Y distance min(5, 3)=3.
+        assert_eq!(r.num_hops(), 4 + 3);
+    }
+
+    #[test]
+    fn route_uses_torus_shortcut() {
+        let m = Multipod::new(MultipodConfig::mesh(4, 8, true));
+        let from = m.chip_at(Coord::new(0, 0));
+        let to = m.chip_at(Coord::new(0, 7));
+        let r = m.route(from, to).unwrap();
+        assert_eq!(r.num_hops(), 1);
+        assert_eq!(r.link_classes(&m), vec![LinkClass::TorusWrap]);
+    }
+
+    #[test]
+    fn route_without_torus_walks_the_column() {
+        let m = Multipod::new(MultipodConfig::mesh(4, 8, false));
+        let from = m.chip_at(Coord::new(0, 0));
+        let to = m.chip_at(Coord::new(0, 7));
+        let r = m.route(from, to).unwrap();
+        assert_eq!(r.num_hops(), 7);
+    }
+
+    #[test]
+    fn route_detours_around_failed_link() {
+        let mut m = Multipod::new(MultipodConfig::mesh(4, 4, false));
+        let from = m.chip_at(Coord::new(0, 0));
+        let to = m.chip_at(Coord::new(2, 2));
+        let a = m.chip_at(Coord::new(1, 0));
+        let b = m.chip_at(Coord::new(2, 0));
+        m.fail_link(a, b);
+        let r = m.route(from, to).unwrap();
+        assert_eq!(r.num_hops(), 4); // Y-then-X detour has equal length.
+        assert!(!r
+            .chips
+            .windows(2)
+            .any(|w| (w[0] == a && w[1] == b) || (w[0] == b && w[1] == a)));
+    }
+
+    #[test]
+    fn route_fails_when_fully_blocked() {
+        let mut m = Multipod::new(MultipodConfig::mesh(2, 1, false));
+        let from = m.chip_at(Coord::new(0, 0));
+        let to = m.chip_at(Coord::new(1, 0));
+        m.fail_link(from, to);
+        assert!(matches!(
+            m.route(from, to),
+            Err(TopologyError::NoRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn self_route_is_trivial() {
+        let m = Multipod::new(MultipodConfig::mesh(4, 4, true));
+        let c = m.chip_at(Coord::new(1, 1));
+        let r = m.route(c, c).unwrap();
+        assert_eq!(r.num_hops(), 0);
+    }
+
+    #[test]
+    fn cross_pod_routes_use_optical_links() {
+        let m = Multipod::new(MultipodConfig::multipod(2));
+        let from = m.chip_at(Coord::new(30, 0));
+        let to = m.chip_at(Coord::new(34, 0));
+        let r = m.route(from, to).unwrap();
+        let classes = r.link_classes(&m);
+        assert_eq!(
+            classes
+                .iter()
+                .filter(|&&c| c == LinkClass::CrossPodOptical)
+                .count(),
+            1
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for the multipod topology.
+
+use multipod_topology::{ChipId, Multipod, MultipodConfig, RoutingTable};
+use proptest::prelude::*;
+
+fn arb_mesh() -> impl Strategy<Value = Multipod> {
+    (1u32..10, 1u32..10, any::<bool>())
+        .prop_map(|(x, y, torus)| Multipod::new(MultipodConfig::mesh(x, y, torus)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Routes connect their endpoints through physically adjacent chips
+    /// and never exceed the (torus-aware) Manhattan distance.
+    #[test]
+    fn routes_are_adjacent_and_shortest(
+        mesh in arb_mesh(),
+        a_sel in 0usize..10_000,
+        b_sel in 0usize..10_000,
+    ) {
+        let n = mesh.num_chips();
+        let a = ChipId((a_sel % n) as u32);
+        let b = ChipId((b_sel % n) as u32);
+        let route = mesh.route(a, b).unwrap();
+        prop_assert_eq!(*route.chips.first().unwrap(), a);
+        prop_assert_eq!(*route.chips.last().unwrap(), b);
+        for w in route.chips.windows(2) {
+            prop_assert!(mesh.link_between(w[0], w[1]).is_some());
+        }
+        let ca = mesh.coord_of(a);
+        let cb = mesh.coord_of(b);
+        let dx = ca.x.abs_diff(cb.x);
+        let dy_plain = ca.y.abs_diff(cb.y);
+        let dy = if mesh.torus_y() {
+            dy_plain.min(mesh.y_len() - dy_plain)
+        } else {
+            dy_plain
+        };
+        prop_assert_eq!(route.num_hops() as u32, dx + dy);
+    }
+
+    /// Sparse routing tables always fit the hardware limit on meshes up
+    /// to multipod scale, and exactly enumerate the row + column.
+    #[test]
+    fn sparse_tables_fit_and_cover(mesh in arb_mesh(), sel in 0usize..10_000) {
+        let chip = ChipId((sel % mesh.num_chips()) as u32);
+        let table = RoutingTable::sparse(&mesh, chip);
+        prop_assert!(table.fits());
+        prop_assert_eq!(
+            table.len() as u32,
+            (mesh.x_len() - 1) + (mesh.y_len() - 1)
+        );
+        // Everything in the same row/column is visible; one off-row,
+        // off-column chip (if any) is not.
+        let c = mesh.coord_of(chip);
+        for other in mesh.chips() {
+            let co = mesh.coord_of(other);
+            let visible = table.visible(other);
+            let same_line = co.x == c.x || co.y == c.y;
+            prop_assert_eq!(visible, same_line || other == chip);
+        }
+    }
+
+    /// After failing one random link, every surviving route is still
+    /// valid and avoids the failed link.
+    #[test]
+    fn failed_links_are_never_traversed(
+        mesh in arb_mesh(),
+        fail_sel in 0usize..10_000,
+        a_sel in 0usize..10_000,
+        b_sel in 0usize..10_000,
+    ) {
+        let mut mesh = mesh;
+        let links = mesh.links();
+        prop_assume!(!links.is_empty());
+        let bad = links[fail_sel % links.len()];
+        mesh.fail_link(bad.from, bad.to);
+        let n = mesh.num_chips();
+        let a = ChipId((a_sel % n) as u32);
+        let b = ChipId((b_sel % n) as u32);
+        if let Ok(route) = mesh.route(a, b) {
+            for w in route.chips.windows(2) {
+                prop_assert!(mesh.link_between(w[0], w[1]).is_some());
+                let is_bad = (w[0] == bad.from && w[1] == bad.to)
+                    || (w[0] == bad.to && w[1] == bad.from);
+                prop_assert!(!is_bad);
+            }
+        }
+    }
+
+    /// The snake ring is a Hamiltonian path with adjacent steps on every
+    /// mesh shape.
+    #[test]
+    fn snake_ring_is_hamiltonian(mesh in arb_mesh()) {
+        let ring = mesh.snake_ring();
+        prop_assert_eq!(ring.len(), mesh.num_chips());
+        let mut seen = std::collections::HashSet::new();
+        for &m in ring.members() {
+            prop_assert!(seen.insert(m));
+        }
+        for w in ring.members().windows(2) {
+            prop_assert!(mesh.link_between(w[0], w[1]).is_some());
+        }
+    }
+
+    /// Model tiles partition the mesh for every divisor width.
+    #[test]
+    fn model_tiles_partition(x_pow in 0u32..4, y in 1u32..6, width_pow in 0u32..4) {
+        let x = 1u32 << x_pow;
+        let width = 1u32 << (width_pow % (x_pow + 1));
+        let mesh = Multipod::new(MultipodConfig::mesh(x, y, true));
+        let tiles = mesh.model_tiles(width);
+        let mut seen = std::collections::HashSet::new();
+        for t in &tiles {
+            prop_assert_eq!(t.width() as u32, width);
+            for &c in t.members() {
+                prop_assert!(seen.insert(c));
+            }
+        }
+        prop_assert_eq!(seen.len(), mesh.num_chips());
+    }
+}

@@ -1,0 +1,141 @@
+//! A complete data-parallel training loop on the simulated pod: per-chip
+//! data shards, real local gradients, the 2-D gradient summation with a
+//! weight-update-sharded LAMB step, and a warmup+decay schedule — the
+//! whole §3.2/§3.3 stack working together until the model converges.
+//!
+//! The task is linear regression (so convergence is checkable), but every
+//! distributed mechanism is exactly what a real model would use.
+//!
+//! ```sh
+//! cargo run --example data_parallel_training
+//! ```
+
+use multipod::collectives::twod::two_dim_all_reduce;
+use multipod::collectives::Precision;
+use multipod::optim::{Lamb, LayerStats, LrSchedule, Optimizer, StateKey};
+use multipod::simnet::{Network, NetworkConfig};
+use multipod::tensor::{Shape, Tensor, TensorRng};
+use multipod::topology::{Multipod, MultipodConfig};
+
+fn main() {
+    let mesh = Multipod::new(MultipodConfig::mesh(4, 4, true));
+    let mut net = Network::new(mesh.clone(), NetworkConfig::tpu_v3());
+    let chips = mesh.num_chips();
+    let dim = 64usize;
+    let samples_per_chip = 8usize;
+
+    // Ground truth and per-chip data shards.
+    let mut rng = TensorRng::seed(1234);
+    let w_true = rng.uniform(Shape::vector(dim), -1.0, 1.0);
+    let shards: Vec<(Tensor, Tensor)> = (0..chips)
+        .map(|_| {
+            let x = rng.uniform(Shape::of(&[samples_per_chip, dim]), -1.0, 1.0);
+            let y = x.matmul(
+                &w_true
+                    .clone()
+                    .reshape(Shape::of(&[dim, 1]))
+                    .expect("column vector"),
+            );
+            (x, y)
+        })
+        .collect();
+
+    // Replicated weights (identical on every chip) and a LAMB optimizer
+    // with the BERT-style warmup + linear-decay schedule.
+    let mut weights = Tensor::zeros(Shape::vector(dim));
+    let steps = 120u64;
+    let schedule = LrSchedule::lamb_bert(0.5, 10, steps);
+    let mut optimizer = Lamb::new(1.0, 0.0); // lr applied via the schedule
+
+    let loss = |w: &Tensor, shards: &[(Tensor, Tensor)]| -> f32 {
+        let wm = w.clone().reshape(Shape::of(&[dim, 1])).expect("column");
+        shards
+            .iter()
+            .map(|(x, y)| {
+                let pred = x.matmul(&wm);
+                pred.sub(y).unwrap().norm2().powi(2)
+            })
+            .sum::<f32>()
+            / (chips * samples_per_chip) as f32
+    };
+
+    let initial_loss = loss(&weights, &shards);
+    let mut comm_seconds = 0.0f64;
+    for step in 0..steps {
+        // Local gradients: dL/dw = 2 Xᵀ(Xw − y) / n, per chip.
+        let wm = weights
+            .clone()
+            .reshape(Shape::of(&[dim, 1]))
+            .expect("column");
+        let local_grads: Vec<Tensor> = shards
+            .iter()
+            .map(|(x, y)| {
+                let resid = x.matmul(&wm).sub(y).unwrap();
+                // Xᵀ r computed as rᵀ X (keeps everything rank-2).
+                let rt = resid.clone().reshape(Shape::of(&[1, samples_per_chip])).unwrap();
+                rt.matmul(x)
+                    .scale(2.0 / (chips * samples_per_chip) as f32)
+                    .reshape(Shape::vector(dim))
+                    .unwrap()
+            })
+            .collect();
+
+        // 2-D gradient summation with the LAMB update applied at the
+        // shard owners (weight-update sharding). LAMB's trust ratio needs
+        // whole-layer norms, reconstructed from per-shard partials just
+        // like `multipod::optim::wus` does.
+        let lr = schedule.at(step);
+        let grad_sum = Tensor::sum_all(&local_grads);
+        let n_shards = chips;
+        let w_shards = weights.split(0, n_shards).unwrap();
+        let g_shards = grad_sum.split(0, n_shards).unwrap();
+        let mut probe = optimizer.clone();
+        let mut global = LayerStats::default();
+        let mut prepared = Vec::with_capacity(n_shards);
+        for s in 0..n_shards {
+            let (u, st) =
+                probe.prepare(StateKey { layer: 0, shard: s }, &w_shards[s], &g_shards[s]);
+            global = global.merge(st);
+            prepared.push(u);
+        }
+        optimizer = probe; // keep the advanced Adam state
+        let mut update = |_chip, shard: &mut Tensor| {
+            let s = (0..n_shards)
+                .find(|&s| shard.max_abs_diff(&g_shards[s]) < 1e-6)
+                .expect("shard is a gradient slice");
+            let mut w_shard = w_shards[s].clone();
+            // Scale the trust-ratio step by the scheduled rate.
+            let scaled = prepared[s].scale(lr);
+            optimizer.apply(&mut w_shard, &scaled, global);
+            *shard = w_shard;
+        };
+        let out = two_dim_all_reduce(&mut net, &local_grads, Precision::F32, 1, Some(&mut update))
+            .expect("gradient summation");
+        comm_seconds += out.time.seconds();
+        net.reset();
+        // All chips now hold the identical updated weights.
+        weights = out.outputs[0].clone();
+        for o in &out.outputs[1..] {
+            assert!(o.max_abs_diff(&weights) < 1e-6, "replicas must agree");
+        }
+        if step % 30 == 29 {
+            println!(
+                "step {:>3}: lr={:.3} loss={:.5}",
+                step + 1,
+                lr,
+                loss(&weights, &shards)
+            );
+        }
+    }
+
+    let final_loss = loss(&weights, &shards);
+    println!();
+    println!("initial loss : {initial_loss:.4}");
+    println!("final loss   : {final_loss:.6}");
+    println!("‖w − w*‖     : {:.4}", weights.sub(&w_true).unwrap().norm2());
+    println!("simulated gradient-summation time: {:.2} ms total", 1e3 * comm_seconds);
+    assert!(
+        final_loss < 0.02 * initial_loss,
+        "distributed training must converge"
+    );
+}

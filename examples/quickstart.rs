@@ -1,0 +1,39 @@
+//! Quickstart: simulate the paper's headline BERT run on the 4096-chip
+//! multipod and print where the time goes.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use multipod::core::{presets, Executor};
+
+fn main() {
+    // The Table-1 configuration: BERT, 4096 TPU-v3 chips, TensorFlow.
+    let preset = presets::bert(4096);
+    let report = Executor::new(preset).run();
+
+    println!("benchmark      : {}", report.name);
+    println!("chips          : {}", report.chips);
+    println!("global batch   : {}", report.global_batch);
+    println!("steps to target: {}", report.steps);
+    println!();
+    println!("step breakdown:");
+    println!("  compute          : {:.2} ms", 1e3 * report.step.compute);
+    println!(
+        "  gradient allreduce: {:.2} ms ({:.1}% of step)",
+        1e3 * report.step.gradient_comm.total(),
+        100.0 * report.step.all_reduce_fraction()
+    );
+    println!(
+        "  weight update     : {:.3} ms (sharded)",
+        1e3 * report.step.weight_update
+    );
+    println!();
+    println!("initialization : {:.0} s (excluded from MLPerf time)", report.init_seconds);
+    println!("training       : {:.1} s", report.train_seconds);
+    println!("evaluation     : {:.1} s", report.eval_seconds);
+    println!(
+        "END-TO-END     : {:.2} minutes (paper: 0.39)",
+        report.end_to_end_minutes()
+    );
+}

@@ -1,0 +1,49 @@
+//! A §5-style scaling study: sweep a benchmark from 16 to 4096 chips and
+//! print the speedup curve and step-time breakdown (Figures 5–8 for any
+//! model).
+//!
+//! ```sh
+//! cargo run --example scaling_study -- ResNet-50
+//! cargo run --example scaling_study -- BERT
+//! ```
+
+use multipod::core::scaling::{standard_chip_counts, ScalingCurve};
+use multipod::models::catalog;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "ResNet-50".into());
+    let workload = catalog::all()
+        .into_iter()
+        .find(|w| w.name == name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown benchmark '{name}'; one of:");
+            for w in catalog::all() {
+                eprintln!("  {}", w.name);
+            }
+            std::process::exit(2);
+        });
+
+    let max = match workload.name {
+        "MaskRCNN" => 512,
+        "DLRM" => 256,
+        _ => 4096,
+    };
+    let curve = ScalingCurve::sweep(&workload, &standard_chip_counts(max));
+
+    println!("{name}: scaling 16 → {max} chips");
+    println!("chips | batch | step(ms) | allreduce% | e2e(min) | speedup | ideal");
+    let e2e = curve.end_to_end_speedups();
+    let ideal = curve.ideal_speedups();
+    for (i, p) in curve.points.iter().enumerate() {
+        println!(
+            "{:>5} | {:>6} | {:>8.2} | {:>9.1}% | {:>8.3} | {:>7.1} | {:>5.0}",
+            p.chips,
+            p.report.global_batch,
+            1e3 * p.report.step.total(),
+            100.0 * p.report.step.all_reduce_fraction(),
+            p.report.end_to_end_minutes(),
+            e2e[i].1,
+            ideal[i].1,
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Cross-crate integration: the full executor pipeline reproduces the
+//! paper's headline quantities.
+
+use multipod::core::scaling::{standard_chip_counts, ScalingCurve};
+use multipod::core::{presets, Executor};
+use multipod::framework::FrameworkKind;
+use multipod::models::catalog;
+
+#[test]
+fn table1_all_rows_run_and_land_in_band() {
+    // (name, chips, paper minutes, tolerance factor)
+    let rows = [
+        ("ResNet-50", 4096u32, 0.48, 1.8),
+        ("BERT", 4096, 0.39, 1.8),
+        ("SSD", 4096, 0.46, 2.0),
+        ("SSD", 2048, 0.623, 2.0),
+        ("Transformer", 4096, 0.32, 2.0),
+        ("MaskRCNN", 512, 8.1, 2.0),
+        ("DLRM", 256, 2.4, 2.5),
+    ];
+    for (preset, chips, paper, tol) in rows.iter().map(|&(n, c, p, t)| {
+        let preset = match n {
+            "ResNet-50" => presets::resnet50(c),
+            "BERT" => presets::bert(c),
+            "SSD" => presets::ssd(c),
+            "Transformer" => presets::transformer(c),
+            "MaskRCNN" => presets::maskrcnn(c),
+            _ => presets::dlrm(c),
+        };
+        (preset, c, p, t)
+    }) {
+        let r = Executor::new(preset).run();
+        let ours = r.end_to_end_minutes();
+        assert!(
+            ours > paper / tol && ours < paper * tol,
+            "{} @ {chips}: ours={ours:.3} paper={paper}",
+            r.name
+        );
+    }
+}
+
+#[test]
+fn table2_init_ordering_holds_for_all_benchmarks() {
+    use multipod::framework::{profiles, InitModel};
+    let m = InitModel::calibrated();
+    for name in ["ResNet-50", "BERT", "SSD", "Transformer", "MaskRCNN", "DLRM"] {
+        let p = profiles::by_name(name);
+        let tf = m.init_seconds(FrameworkKind::TensorFlow, &p, 4096);
+        let jax = m.init_seconds(FrameworkKind::Jax, &p, 4096);
+        assert!(tf > jax, "{name}: TF init must exceed JAX");
+        // JAX init is dominated by mesh bringup + one compile; TF adds
+        // Θ(workers) graph construction.
+        let tf_small = m.init_seconds(FrameworkKind::TensorFlow, &p, 256);
+        assert!(tf > tf_small, "{name}: TF init grows with scale");
+    }
+}
+
+#[test]
+fn allreduce_share_grows_monotonically_with_scale() {
+    // The Amdahl story of Figures 6/8, for both data-parallel models.
+    for w in [catalog::resnet50(), catalog::bert()] {
+        let curve = ScalingCurve::sweep(&w, &standard_chip_counts(4096));
+        let shares: Vec<f64> = curve
+            .points
+            .iter()
+            .map(|p| p.report.step.all_reduce_fraction())
+            .collect();
+        for pair in shares.windows(2) {
+            assert!(
+                pair[1] >= pair[0] - 1e-9,
+                "{}: share not monotone: {shares:?}",
+                w.name
+            );
+        }
+        assert!(*shares.last().unwrap() > 0.15, "{}: {shares:?}", w.name);
+    }
+}
+
+#[test]
+fn every_model_prefers_its_paper_scale_or_larger() {
+    // MaskRCNN cannot go past 512 chips at all: 1024 chips would mean
+    // more 4-core replicas than its largest converging batch (256) has
+    // samples — the model reproduces why Table 1 stops at 512.
+    let w = catalog::maskrcnn();
+    assert_eq!(w.global_batch(512), 256);
+    let too_many_replicas =
+        (1024 * 2) / w.parallelism.cores_per_replica() > w.convergence.max_batch.unwrap();
+    assert!(too_many_replicas, "512 chips must be MaskRCNN's ceiling");
+
+    let dlrm_small = Executor::new(presets::dlrm(256)).run();
+    let dlrm_large = Executor::new(presets::dlrm(1024)).run();
+    let gain = dlrm_small.end_to_end_minutes() / dlrm_large.end_to_end_minutes();
+    assert!(gain < 2.0, "DLRM communication caps scale-out: {gain}");
+
+    // BERT, in contrast, keeps improving to the full multipod.
+    let bert_pod = Executor::new(presets::bert(1024)).run();
+    let bert_multipod = Executor::new(presets::bert(4096)).run();
+    assert!(
+        bert_multipod.end_to_end_minutes() < 0.5 * bert_pod.end_to_end_minutes(),
+        "BERT should gain >2x from 1024 to 4096 chips"
+    );
+}
+
+#[test]
+fn jax_runs_report_lower_eval_and_init_overheads() {
+    for make in [presets::ssd as fn(u32) -> _, presets::resnet50] {
+        let mut jax_preset = make(2048);
+        jax_preset.framework = FrameworkKind::Jax;
+        let tf = Executor::new(make(2048)).run();
+        let jax = Executor::new(jax_preset).run();
+        assert!(jax.init_seconds < tf.init_seconds);
+        assert!(jax.eval_seconds <= tf.eval_seconds + 1e-9);
+        // Device train time is framework-independent (§4).
+        assert!((jax.train_seconds - tf.train_seconds).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn reports_serialize_to_json() {
+    let r = Executor::new(presets::transformer(512)).run();
+    let json = serde_json::to_string(&r).expect("report serializes");
+    assert!(json.contains("\"Transformer\""));
+    assert!(json.contains("gradient_comm"));
+}

@@ -1,0 +1,145 @@
+//! Failure injection across crates: link failures, straggler hosts, and
+//! padded evaluation all degrade gracefully.
+
+use multipod::collectives::{ring, Precision};
+use multipod::metrics::accuracy::{distributed_accuracy, EvalShard};
+use multipod::simnet::{Network, NetworkConfig, SimTime};
+use multipod::tensor::{Shape, Tensor, TensorRng};
+use multipod::topology::{Coord, Multipod, MultipodConfig, TopologyError};
+
+/// A failed X link forces the router onto the Y-then-X detour; transfers
+/// still complete (slower), and untouched traffic is unaffected.
+#[test]
+fn transfers_reroute_around_failed_links() {
+    let mesh = Multipod::new(MultipodConfig::mesh(4, 4, false));
+    let mut net = Network::new(mesh, NetworkConfig::tpu_v3());
+    let a = net.mesh().chip_at(Coord::new(0, 0));
+    let b = net.mesh().chip_at(Coord::new(3, 3));
+    let healthy = net.transfer(a, b, 1 << 20, SimTime::ZERO).unwrap();
+
+    let x1 = net.mesh().chip_at(Coord::new(1, 0));
+    net.mesh_mut().fail_link(a, x1);
+    net.reset();
+    let degraded = net.transfer(a, b, 1 << 20, SimTime::ZERO).unwrap();
+    assert!(degraded.finish >= healthy.finish);
+    assert_eq!(degraded.bytes, healthy.bytes);
+}
+
+/// Collectives on a ring with a failed link: the wrap-around traffic
+/// routes the long way, correctness is preserved, time degrades.
+#[test]
+fn ring_allreduce_survives_failed_wrap_link() {
+    let build = || {
+        let mesh = Multipod::new(MultipodConfig::mesh(1, 8, true));
+        Network::new(mesh, NetworkConfig::tpu_v3())
+    };
+    let mut rng = TensorRng::seed(3);
+    let inputs: Vec<Tensor> = (0..8)
+        .map(|_| rng.uniform(Shape::vector(64), -1.0, 1.0))
+        .collect();
+    let reference = Tensor::sum_all(&inputs);
+
+    let mut healthy_net = build();
+    let ring_y = healthy_net.mesh().y_ring(0);
+    let healthy = ring::all_reduce_unidirectional(
+        &mut healthy_net,
+        &ring_y,
+        &inputs,
+        Precision::F32,
+        ring::Direction::Forward,
+        SimTime::ZERO,
+    )
+    .unwrap();
+
+    let mut broken_net = build();
+    let top = broken_net.mesh().chip_at(Coord::new(0, 0));
+    let bottom = broken_net.mesh().chip_at(Coord::new(0, 7));
+    broken_net.mesh_mut().fail_link(top, bottom); // the torus wrap link
+    let ring_y = broken_net.mesh().y_ring(0);
+    let degraded = ring::all_reduce_unidirectional(
+        &mut broken_net,
+        &ring_y,
+        &inputs,
+        Precision::F32,
+        ring::Direction::Forward,
+        SimTime::ZERO,
+    )
+    .unwrap();
+
+    for (h, d) in healthy.outputs.iter().zip(&degraded.outputs) {
+        assert!(h.max_abs_diff(&reference) < 1e-4);
+        assert!(d.max_abs_diff(&reference) < 1e-4);
+    }
+    assert!(degraded.time > healthy.time, "detour must cost time");
+}
+
+/// A fully partitioned chip (all links down) makes routes fail loudly,
+/// not silently.
+#[test]
+fn isolated_chip_reports_no_route() {
+    let mesh = Multipod::new(MultipodConfig::mesh(3, 1, false));
+    let mut net = Network::new(mesh, NetworkConfig::tpu_v3());
+    let a = net.mesh().chip_at(Coord::new(0, 0));
+    let b = net.mesh().chip_at(Coord::new(1, 0));
+    net.mesh_mut().fail_link(a, b);
+    let err = net.transfer(a, b, 1024, SimTime::ZERO).unwrap_err();
+    assert!(matches!(err, TopologyError::NoRoute { .. }));
+}
+
+/// Straggler host: one host 10x slower than the rest gates every step
+/// (the §3.5 imbalance), and deep prefetching hides it.
+#[test]
+fn straggler_host_gates_steps_until_prefetch_hides_it() {
+    use multipod::input::host_pipeline::{simulate_run, HostPipelineConfig};
+    // All hosts tail-free except a high tail probability (a stand-in for
+    // one slow host: the max-over-hosts semantics makes frequent tails on
+    // any host equivalent).
+    let slow = HostPipelineConfig {
+        tail_probability: 0.2,
+        prefetch_capacity: 1,
+        ..HostPipelineConfig::compressed_imagenet()
+    };
+    let gated = simulate_run(&slow, 16, 24, 1.0e-3, 200, 13);
+    assert!(gated.stalled_fraction > 0.3, "{gated:?}");
+    let buffered = HostPipelineConfig {
+        prefetch_capacity: 2048,
+        ..slow
+    };
+    let hidden = simulate_run(&buffered, 16, 24, 1.0e-3, 200, 13);
+    assert!(
+        hidden.mean_stall <= gated.mean_stall,
+        "hidden={hidden:?} gated={gated:?}"
+    );
+}
+
+/// MLPerf eval padding (§3.4): dummy examples never change the metric,
+/// even when they dominate the shard.
+#[test]
+fn eval_padding_is_metric_neutral() {
+    let mut rng = TensorRng::seed(17);
+    let classes = 10;
+    let real_examples = 37;
+    let padded_to = 128;
+    let logits = rng.uniform(Shape::of(&[padded_to, classes]), -1.0, 1.0);
+    let labels: Vec<usize> = (0..padded_to).map(|i| i % classes).collect();
+    let mut real = vec![false; padded_to];
+    for r in real.iter_mut().take(real_examples) {
+        *r = true;
+    }
+    let padded = EvalShard::new(logits.clone(), labels.clone(), real);
+
+    // Reference: only the real rows.
+    let real_logits = Tensor::new(
+        Shape::of(&[real_examples, classes]),
+        logits.data()[..real_examples * classes].to_vec(),
+    );
+    let unpadded = EvalShard::new(
+        real_logits,
+        labels[..real_examples].to_vec(),
+        vec![true; real_examples],
+    );
+    assert_eq!(
+        distributed_accuracy(&[padded]),
+        distributed_accuracy(&[unpadded])
+    );
+}
