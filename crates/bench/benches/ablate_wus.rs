@@ -52,8 +52,14 @@ fn bench(c: &mut Criterion) {
             let mut opt = Lamb::new(0.01, 0.01);
             let mut weights: Vec<Tensor> = (0..n).map(|_| w0.clone()).collect();
             replicated_step(
-                &mut net, &ring, &mut opt, 0, &mut weights, &grads,
-                Precision::F32, SimTime::ZERO,
+                &mut net,
+                &ring,
+                &mut opt,
+                0,
+                &mut weights,
+                &grads,
+                Precision::F32,
+                SimTime::ZERO,
             )
             .unwrap()
         })
@@ -66,8 +72,14 @@ fn bench(c: &mut Criterion) {
             let mut opt = Lamb::new(0.01, 0.01);
             let mut weights: Vec<Tensor> = (0..n).map(|_| w0.clone()).collect();
             sharded_step(
-                &mut net, &ring, &mut opt, 0, &mut weights, &grads,
-                Precision::F32, SimTime::ZERO,
+                &mut net,
+                &ring,
+                &mut opt,
+                0,
+                &mut weights,
+                &grads,
+                Precision::F32,
+                SimTime::ZERO,
             )
             .unwrap()
         })

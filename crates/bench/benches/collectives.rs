@@ -29,8 +29,7 @@ fn bench(c: &mut Criterion) {
             let mesh = Multipod::new(MultipodConfig::mesh(1, 32, true));
             let mut net = Network::new(mesh, NetworkConfig::tpu_v3());
             let ring_y = net.mesh().y_ring(0);
-            ring::all_reduce(&mut net, &ring_y, &inputs, Precision::F32, SimTime::ZERO)
-                .unwrap()
+            ring::all_reduce(&mut net, &ring_y, &inputs, Precision::F32, SimTime::ZERO).unwrap()
         })
     });
     let small: Vec<Tensor> = (0..64)

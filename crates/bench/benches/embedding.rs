@@ -3,11 +3,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
-use multipod_embedding::{
-    masked_self_interaction, EmbeddingSpec, Placement, ShardedEmbedding,
-};
+use multipod_embedding::{masked_self_interaction, EmbeddingSpec, Placement, ShardedEmbedding};
 use multipod_simnet::{Network, NetworkConfig, SimTime};
-use multipod_tensor::{Shape, Tensor, TensorRng};
+use multipod_tensor::{Shape, TensorRng};
 use multipod_topology::{Multipod, MultipodConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};

@@ -42,8 +42,7 @@ fn bench(c: &mut Criterion) {
             [("ResNet-50", 4096u32), ("BERT", 4096), ("MaskRCNN", 512)]
                 .iter()
                 .map(|&(n, c)| {
-                    multipod_bench::run(multipod_bench::preset_by_name(n, c))
-                        .end_to_end_minutes()
+                    multipod_bench::run(multipod_bench::preset_by_name(n, c)).end_to_end_minutes()
                 })
                 .sum::<f64>()
         })

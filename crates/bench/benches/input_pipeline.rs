@@ -19,7 +19,11 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             simulate_run(
                 &HostPipelineConfig::compressed_imagenet(),
-                64, 32, 1.0e-3, 100, 7,
+                64,
+                32,
+                1.0e-3,
+                100,
+                7,
             )
         })
     });
@@ -27,7 +31,11 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             simulate_run(
                 &HostPipelineConfig::uncompressed_imagenet(),
-                64, 32, 1.0e-3, 100, 7,
+                64,
+                32,
+                1.0e-3,
+                100,
+                7,
             )
         })
     });

@@ -37,7 +37,12 @@ fn main() {
 
     header(
         "Ablation: weight-update sharding (BERT at a ~4k global batch)",
-        &["Chips", "replicated step (ms)", "sharded step (ms)", "update share (repl.)"],
+        &[
+            "Chips",
+            "replicated step (ms)",
+            "sharded step (ms)",
+            "update share (repl.)",
+        ],
     );
     let mut bert = catalog::bert();
     bert.max_per_core_batch = 4;

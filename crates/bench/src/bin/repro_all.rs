@@ -1,7 +1,10 @@
 //! Runs every reproduction and dumps one JSON document (the source of
 //! EXPERIMENTS.md's measured values).
+//!
+//! Pass `--trace <out.json>` to also export a Chrome trace of the Table-1
+//! step timelines plus a reference numeric 2-D summation.
 
-use multipod_bench::{paper, preset_by_name};
+use multipod_bench::{paper, preset_by_name, trace_flag, write_trace};
 use multipod_collectives::Precision;
 use multipod_core::ablate::{precision_ablation, summation_ablation, wus_ablation};
 use multipod_core::modelpar::speedup_curve;
@@ -12,6 +15,9 @@ use multipod_models::{catalog, GpuCluster, GpuGeneration};
 use serde_json::json;
 
 fn main() {
+    let trace_path = trace_flag();
+    let mut table1_reports = Vec::new();
+
     // Table 1.
     let mut table1 = Vec::new();
     for &(name, chips, tf_paper, jax_paper, v06_paper) in paper::TABLE1 {
@@ -38,6 +44,7 @@ fn main() {
             "global_batch": tf.global_batch,
             "allreduce_share": tf.step.all_reduce_fraction(),
         }));
+        table1_reports.push(tf);
     }
 
     // Table 2.
@@ -134,4 +141,10 @@ fn main() {
         "ablations": ablations,
     });
     println!("{}", serde_json::to_string_pretty(&doc).unwrap());
+
+    if let Some(path) = trace_path {
+        let refs: Vec<_> = table1_reports.iter().collect();
+        write_trace(&path, &refs, 3).expect("write trace");
+        eprintln!("wrote Chrome trace to {}", path.display());
+    }
 }

@@ -27,13 +27,22 @@ fn main() {
     );
     let t = Instant::now();
     let naive = auc_naive(&scores, &labels);
-    println!("interpreter-style baseline | {:.2} | {naive:.5}", t.elapsed().as_secs_f64());
+    println!(
+        "interpreter-style baseline | {:.2} | {naive:.5}",
+        t.elapsed().as_secs_f64()
+    );
     let t = Instant::now();
     let exact = auc_exact(&scores, &labels);
-    println!("single-thread sort+fuse | {:.2} | {exact:.5}", t.elapsed().as_secs_f64());
+    println!(
+        "single-thread sort+fuse | {:.2} | {exact:.5}",
+        t.elapsed().as_secs_f64()
+    );
     let t = Instant::now();
     let fast = auc_fast(&scores, &labels, 8);
-    println!("multithreaded (8) sort+fuse | {:.2} | {fast:.5}", t.elapsed().as_secs_f64());
+    println!(
+        "multithreaded (8) sort+fuse | {:.2} | {fast:.5}",
+        t.elapsed().as_secs_f64()
+    );
     assert!((fast - naive).abs() < 1e-9);
     println!("(paper: 60 s python-class vs 2 s multithreaded C++ on 90M samples)");
 }

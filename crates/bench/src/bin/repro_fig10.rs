@@ -1,13 +1,25 @@
 //! Regenerates Figure 10: MLPerf v0.7 end-to-end minutes, TPU-v3 multipod
 //! vs V100/A100 GPU clusters.
+//!
+//! Pass `--trace <out.json>` to also export a Chrome trace (loadable in
+//! Perfetto) of every benchmark's step timeline plus a reference numeric
+//! 2-D gradient summation with per-link transfer events.
 
-use multipod_bench::{header, preset_by_name, run};
+use multipod_bench::{header, preset_by_name, run, trace_flag, write_trace};
 use multipod_models::{catalog, GpuCluster, GpuGeneration};
 
 fn main() {
+    let trace_path = trace_flag();
+    let mut reports = Vec::new();
     header(
         "Figure 10: end-to-end minutes, TPU vs GPU",
-        &["Benchmark", "TPU chips", "TPU (ours)", "V100x1536", "A100x2048"],
+        &[
+            "Benchmark",
+            "TPU chips",
+            "TPU (ours)",
+            "V100x1536",
+            "A100x2048",
+        ],
     );
     let rows = [
         ("ResNet-50", 4096),
@@ -23,18 +35,24 @@ fn main() {
             .into_iter()
             .find(|w| w.name == name)
             .expect("catalog entry");
-        let v100 = GpuCluster::new(GpuGeneration::V100, 1536.min(gpu_cap(name)))
-            .end_to_end_minutes(&w);
-        let a100 = GpuCluster::new(GpuGeneration::A100, 2048.min(gpu_cap(name)))
-            .end_to_end_minutes(&w);
+        let v100 =
+            GpuCluster::new(GpuGeneration::V100, 1536.min(gpu_cap(name))).end_to_end_minutes(&w);
+        let a100 =
+            GpuCluster::new(GpuGeneration::A100, 2048.min(gpu_cap(name))).end_to_end_minutes(&w);
         println!(
             "{name} | {chips} | {:.2} | {:.2} | {:.2}",
             tpu.end_to_end_minutes(),
             v100,
             a100
         );
+        reports.push(tpu);
     }
     println!("(paper: TPU multipod submissions lead at the largest scales)");
+    if let Some(path) = trace_path {
+        let refs: Vec<_> = reports.iter().collect();
+        write_trace(&path, &refs, 3).expect("write trace");
+        println!("(wrote Chrome trace to {})", path.display());
+    }
 }
 
 /// GPU submissions also cannot exceed the models' batch-bound scale.

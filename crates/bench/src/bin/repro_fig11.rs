@@ -8,7 +8,13 @@ use multipod_models::{catalog, GpuCluster, GpuGeneration};
 fn main() {
     header(
         "Figure 11: speedup over 16 accelerators of the same type",
-        &["Benchmark", "TPU chips", "TPU speedup", "GPU count", "GPU speedup"],
+        &[
+            "Benchmark",
+            "TPU chips",
+            "TPU speedup",
+            "GPU count",
+            "GPU speedup",
+        ],
     );
     for (w, tpu_max, gpu_max) in [
         (catalog::resnet50(), 4096u32, 2048u32),

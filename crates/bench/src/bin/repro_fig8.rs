@@ -8,7 +8,13 @@ fn main() {
     let curve = ScalingCurve::sweep(&catalog::bert(), &standard_chip_counts(4096));
     header(
         "Figure 8: BERT step-time breakdown (ms)",
-        &["Chips", "Batch/chip", "Compute", "All-reduce", "All-reduce share"],
+        &[
+            "Chips",
+            "Batch/chip",
+            "Compute",
+            "All-reduce",
+            "All-reduce share",
+        ],
     );
     for p in &curve.points {
         let r = &p.report;

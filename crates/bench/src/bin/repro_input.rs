@@ -15,7 +15,10 @@ fn main() {
     );
     for (label, cfg) in [
         ("compressed JPEG", HostPipelineConfig::compressed_imagenet()),
-        ("uncompressed cache", HostPipelineConfig::uncompressed_imagenet()),
+        (
+            "uncompressed cache",
+            HostPipelineConfig::uncompressed_imagenet(),
+        ),
     ] {
         let s = simulate_run(&cfg, 64, 32, 1.0e-3, 300, 7);
         println!(
@@ -51,8 +54,16 @@ fn main() {
     );
     let cfg = DlrmInputConfig::criteo();
     for (label, g, l) in [
-        ("per-sample parse + per-feature PCIe", ParseGranularity::PerSample, PcieLayout::PerFeature),
-        ("batch parse + stacked PCIe", ParseGranularity::PerBatch, PcieLayout::Stacked),
+        (
+            "per-sample parse + per-feature PCIe",
+            ParseGranularity::PerSample,
+            PcieLayout::PerFeature,
+        ),
+        (
+            "batch parse + stacked PCIe",
+            ParseGranularity::PerBatch,
+            PcieLayout::Stacked,
+        ),
     ] {
         println!("{label} | {:.1}", 1e6 * cfg.step_input_time(2048, g, l));
     }

@@ -8,8 +8,14 @@ fn main() {
     header(
         "Table 1: end-to-end time (minutes)",
         &[
-            "Benchmark", "Chips", "TF (paper)", "TF (ours)", "JAX (paper)", "JAX (ours)",
-            "v0.6 speedup (paper)", "v0.6 speedup (ours)",
+            "Benchmark",
+            "Chips",
+            "TF (paper)",
+            "TF (ours)",
+            "JAX (paper)",
+            "JAX (ours)",
+            "v0.6 speedup (paper)",
+            "v0.6 speedup (ours)",
         ],
     );
     for &(name, chips, tf_paper, jax_paper, v06_paper) in paper::TABLE1 {
@@ -21,7 +27,8 @@ fn main() {
         });
         // The v0.6 baseline configuration (old batch caps, MPMD tiles,
         // compressed input, no WUS).
-        let v06 = v06_paper.and_then(|_| multipod_core::presets::v06(name).map(|p| Executor::new(p).run()));
+        let v06 = v06_paper
+            .and_then(|_| multipod_core::presets::v06(name).map(|p| Executor::new(p).run()));
         println!(
             "{name} | {chips} | {tf_paper} | {:.2} | {} | {} | {} | {}",
             tf.end_to_end_minutes(),

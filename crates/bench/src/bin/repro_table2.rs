@@ -6,7 +6,14 @@ use multipod_framework::{profiles, FrameworkKind, InitModel};
 fn main() {
     header(
         "Table 2: initialization time (seconds)",
-        &["Benchmark", "Chips", "TF (paper)", "TF (ours)", "JAX (paper)", "JAX (ours)"],
+        &[
+            "Benchmark",
+            "Chips",
+            "TF (paper)",
+            "TF (ours)",
+            "JAX (paper)",
+            "JAX (ours)",
+        ],
     );
     let model = InitModel::calibrated();
     for &(name, chips, tf_paper, jax_paper) in paper::TABLE2 {

@@ -7,7 +7,13 @@
 //! print paper-vs-measured side by side; `EXPERIMENTS.md` is generated
 //! from the same data.
 
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use multipod_core::step::record_step_trace;
 use multipod_core::{presets, Executor, Preset, Report};
+use multipod_simnet::SimTime;
+use multipod_trace::Recorder;
 
 /// The paper's published values, used for side-by-side output.
 pub mod paper {
@@ -73,6 +79,59 @@ pub fn preset_by_name(name: &str, chips: u32) -> Preset {
         "DLRM" => presets::dlrm(chips),
         other => panic!("unknown benchmark '{other}'"),
     }
+}
+
+/// Parses a `--trace <path>` (or `--trace=<path>`) flag from the process
+/// arguments, for repro binaries that can export a Chrome trace.
+pub fn trace_flag() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            return args.next().map(PathBuf::from);
+        }
+        if let Some(path) = arg.strip_prefix("--trace=") {
+            return Some(PathBuf::from(path));
+        }
+    }
+    None
+}
+
+/// Records a reference numeric 2-D gradient summation (an 8×8 slice,
+/// 4096 elements per chip, fixed seed) into `recorder`, so exported
+/// traces contain real per-link transfer events and collective-phase
+/// spans alongside the analytic step timelines.
+pub fn record_reference_summation(recorder: Arc<Recorder>) {
+    use multipod_collectives::{twod::two_dim_all_reduce, Precision};
+    use multipod_simnet::{Network, NetworkConfig};
+    use multipod_tensor::{Shape, TensorRng};
+    use multipod_topology::{Multipod, MultipodConfig};
+    let mut net = Network::new(
+        Multipod::new(MultipodConfig::mesh(8, 8, true)),
+        NetworkConfig::tpu_v3(),
+    );
+    net.set_trace_sink(recorder);
+    let mut rng = TensorRng::seed(17);
+    let inputs: Vec<_> = (0..net.mesh().num_chips())
+        .map(|_| rng.uniform(Shape::vector(4096), -1.0, 1.0))
+        .collect();
+    two_dim_all_reduce(&mut net, &inputs, Precision::F32, 1, None).expect("reference summation");
+}
+
+/// Writes a Chrome trace to `path`: the first `steps_each` steps of every
+/// report laid out back to back on the simulation track, followed by the
+/// reference numeric summation (real link events). Output is fully
+/// deterministic.
+pub fn write_trace(path: &Path, reports: &[&Report], steps_each: u64) -> std::io::Result<()> {
+    let recorder = Recorder::shared();
+    let mut cursor = SimTime::ZERO;
+    for report in reports {
+        for s in 0..steps_each.min(report.steps) {
+            cursor =
+                record_step_trace(recorder.as_ref(), &report.name, &report.step, s + 1, cursor);
+        }
+    }
+    record_reference_summation(recorder.clone());
+    recorder.write_chrome_trace(path)
 }
 
 /// Prints a markdown-ish table header.

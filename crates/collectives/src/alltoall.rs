@@ -12,8 +12,10 @@ use multipod_simnet::{Network, SimTime};
 use multipod_tensor::Tensor;
 use multipod_topology::ChipId;
 
+use multipod_trace::{SpanCategory, SpanEvent};
+
 use crate::ring::CollectiveOutput;
-use crate::{CollectiveError, Precision};
+use crate::{chip_track, emit_span, CollectiveError, Precision};
 
 /// All-to-all over `chips`: participant `i` supplies `inputs[i]`, a
 /// tensor whose axis 0 splits into `n` equal blocks; block `j` of
@@ -68,13 +70,25 @@ pub fn all_to_all(
     } else {
         net.parallel_transfers(&messages, start)?
     };
+    if !messages.is_empty() {
+        emit_span(
+            net,
+            SpanEvent::new(
+                chip_track(net, chips[0]),
+                SpanCategory::Collective,
+                "all-to-all",
+                start,
+                time,
+            )
+            .with_bytes(messages.len() as u64 * block_bytes)
+            .with_arg("members", n as f64),
+        );
+    }
 
     // Numerics: participant j receives block j from everyone.
     let outputs = (0..n)
         .map(|j| {
-            let mine: Vec<Tensor> = (0..n)
-                .map(|i| precision.quantize(&blocks[i][j]))
-                .collect();
+            let mine: Vec<Tensor> = (0..n).map(|i| precision.quantize(&blocks[i][j])).collect();
             Tensor::concat(&mine, 0).map_err(CollectiveError::from)
         })
         .collect::<Result<_, _>>()?;
@@ -101,14 +115,11 @@ mod tests {
         // Participant i's tensor: 4 blocks of 2 elems, block j = 10*i + j.
         let inputs: Vec<Tensor> = (0..4)
             .map(|i| {
-                let data: Vec<f32> = (0..4)
-                    .flat_map(|j| vec![(10 * i + j) as f32; 2])
-                    .collect();
+                let data: Vec<f32> = (0..4).flat_map(|j| vec![(10 * i + j) as f32; 2]).collect();
                 Tensor::new(Shape::vector(8), data)
             })
             .collect();
-        let out = all_to_all(&mut net, &chips, &inputs, Precision::F32, SimTime::ZERO)
-            .unwrap();
+        let out = all_to_all(&mut net, &chips, &inputs, Precision::F32, SimTime::ZERO).unwrap();
         // Participant j holds [block j of 0, block j of 1, ...].
         for j in 0..4 {
             let expect: Vec<f32> = (0..4).flat_map(|i| vec![(10 * i + j) as f32; 2]).collect();
@@ -125,11 +136,16 @@ mod tests {
         let inputs: Vec<Tensor> = (0..n)
             .map(|_| rng.uniform(Shape::vector(n * 3), -1.0, 1.0))
             .collect();
-        let once = all_to_all(&mut net, &chips, &inputs, Precision::F32, SimTime::ZERO)
-            .unwrap();
+        let once = all_to_all(&mut net, &chips, &inputs, Precision::F32, SimTime::ZERO).unwrap();
         net.reset();
-        let twice = all_to_all(&mut net, &chips, &once.outputs, Precision::F32, SimTime::ZERO)
-            .unwrap();
+        let twice = all_to_all(
+            &mut net,
+            &chips,
+            &once.outputs,
+            Precision::F32,
+            SimTime::ZERO,
+        )
+        .unwrap();
         for (orig, back) in inputs.iter().zip(&twice.outputs) {
             assert_eq!(orig, back);
         }
@@ -145,16 +161,28 @@ mod tests {
         let inputs: Vec<Tensor> = (0..4)
             .map(|_| Tensor::fill(Shape::vector(per_chip * 4), 1.0))
             .collect();
-        let t_small = all_to_all(&mut small_net, &small_chips, &inputs, Precision::F32, SimTime::ZERO)
-            .unwrap()
-            .time;
+        let t_small = all_to_all(
+            &mut small_net,
+            &small_chips,
+            &inputs,
+            Precision::F32,
+            SimTime::ZERO,
+        )
+        .unwrap()
+        .time;
         let (mut big_net, big_chips) = setup(4, 4);
         let big_inputs: Vec<Tensor> = (0..16)
             .map(|_| Tensor::fill(Shape::vector(per_chip * 16), 1.0))
             .collect();
-        let t_big = all_to_all(&mut big_net, &big_chips, &big_inputs, Precision::F32, SimTime::ZERO)
-            .unwrap()
-            .time;
+        let t_big = all_to_all(
+            &mut big_net,
+            &big_chips,
+            &big_inputs,
+            Precision::F32,
+            SimTime::ZERO,
+        )
+        .unwrap()
+        .time;
         assert!(t_big > t_small, "big={t_big} small={t_small}");
     }
 
@@ -168,9 +196,15 @@ mod tests {
             .unwrap()
             .time;
         let (mut net_b, chips_b) = setup(2, 2);
-        let bf_t = all_to_all(&mut net_b, &chips_b, &inputs, Precision::Bf16, SimTime::ZERO)
-            .unwrap()
-            .time;
+        let bf_t = all_to_all(
+            &mut net_b,
+            &chips_b,
+            &inputs,
+            Precision::Bf16,
+            SimTime::ZERO,
+        )
+        .unwrap()
+        .time;
         assert!(bf_t < f32_t);
     }
 
@@ -198,8 +232,7 @@ mod tests {
         let mut net = Network::new(mesh, NetworkConfig::tpu_v3());
         let chips = vec![ChipId(0)];
         let inputs = vec![Tensor::from_slice(&[1.0, 2.0])];
-        let out = all_to_all(&mut net, &chips, &inputs, Precision::F32, SimTime::ZERO)
-            .unwrap();
+        let out = all_to_all(&mut net, &chips, &inputs, Precision::F32, SimTime::ZERO).unwrap();
         assert_eq!(out.outputs[0], inputs[0]);
         assert_eq!(out.time, SimTime::ZERO);
     }

@@ -15,8 +15,10 @@ use multipod_simnet::{Network, SimTime};
 use multipod_tensor::Tensor;
 use multipod_topology::ChipId;
 
+use multipod_trace::{SpanCategory, SpanEvent};
+
 use crate::ring::CollectiveOutput;
-use crate::{CollectiveError, Precision};
+use crate::{chip_track, emit_span, CollectiveError, Precision};
 
 /// Exchanges `halo` boundary slices along `axis` between consecutive
 /// parts placed on `chips`, returning each part padded with its
@@ -71,19 +73,39 @@ pub fn halo_exchange(
     for i in 0..n {
         let top = if i > 0 {
             // Part i-1's last rows travel to chip i.
-            finish = finish.max(net.transfer(chips[i - 1], chips[i], halo_bytes, start)?.finish);
+            finish = finish.max(
+                net.transfer(chips[i - 1], chips[i], halo_bytes, start)?
+                    .finish,
+            );
             precision.quantize(&tail(&parts[i - 1]))
         } else {
             zeros_halo.clone()
         };
         let bottom = if i + 1 < n {
-            finish = finish.max(net.transfer(chips[i + 1], chips[i], halo_bytes, start)?.finish);
+            finish = finish.max(
+                net.transfer(chips[i + 1], chips[i], halo_bytes, start)?
+                    .finish,
+            );
             precision.quantize(&head(&parts[i + 1]))
         } else {
             zeros_halo.clone()
         };
         let padded = Tensor::concat(&[top, parts[i].clone(), bottom], axis)?;
         outputs.push(padded);
+    }
+    if n > 1 && halo > 0 {
+        emit_span(
+            net,
+            SpanEvent::new(
+                chip_track(net, chips[0]),
+                SpanCategory::Collective,
+                "halo-exchange",
+                start,
+                finish,
+            )
+            .with_bytes(2 * (n as u64 - 1) * halo_bytes)
+            .with_arg("members", n as f64),
+        );
     }
     Ok(CollectiveOutput {
         outputs,
@@ -189,10 +211,7 @@ mod tests {
     fn rank2_halo_pads_along_requested_axis() {
         let mut net = setup(2);
         let chips: Vec<ChipId> = net.mesh().chips().collect();
-        let t = Tensor::new(
-            Shape::of(&[4, 2]),
-            (0..8).map(|i| i as f32).collect(),
-        );
+        let t = Tensor::new(Shape::of(&[4, 2]), (0..8).map(|i| i as f32).collect());
         let parts = t.split(0, 2).unwrap();
         let out = halo_exchange(
             &mut net,
@@ -241,7 +260,15 @@ mod tests {
         let chips: Vec<ChipId> = net.mesh().chips().collect();
         let parts = vec![Tensor::zeros(Shape::vector(4))];
         assert!(matches!(
-            halo_exchange(&mut net, &chips, &parts, 0, 1, Precision::F32, SimTime::ZERO),
+            halo_exchange(
+                &mut net,
+                &chips,
+                &parts,
+                0,
+                1,
+                Precision::F32,
+                SimTime::ZERO
+            ),
             Err(CollectiveError::ParticipantMismatch { .. })
         ));
         let parts = vec![
@@ -249,11 +276,27 @@ mod tests {
             Tensor::zeros(Shape::vector(4)),
         ];
         assert!(matches!(
-            halo_exchange(&mut net, &chips, &parts, 1, 1, Precision::F32, SimTime::ZERO),
+            halo_exchange(
+                &mut net,
+                &chips,
+                &parts,
+                1,
+                1,
+                Precision::F32,
+                SimTime::ZERO
+            ),
             Err(CollectiveError::Tensor(_))
         ));
         assert!(matches!(
-            halo_exchange(&mut net, &chips, &parts, 0, 5, Precision::F32, SimTime::ZERO),
+            halo_exchange(
+                &mut net,
+                &chips,
+                &parts,
+                0,
+                5,
+                Precision::F32,
+                SimTime::ZERO
+            ),
             Err(CollectiveError::IndivisiblePayload { .. })
         ));
     }

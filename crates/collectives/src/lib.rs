@@ -55,3 +55,22 @@ mod schedule;
 pub use error::CollectiveError;
 pub use precision::Precision;
 pub use schedule::{ChunkMove, Schedule};
+
+/// Track for spans attributed to `chip`, grouped under the chip's pod in
+/// the exported trace.
+pub(crate) fn chip_track(
+    net: &multipod_simnet::Network,
+    chip: multipod_topology::ChipId,
+) -> multipod_trace::Track {
+    multipod_trace::Track::Chip {
+        pod: net.mesh().pod_of(chip),
+        chip: chip.0,
+    }
+}
+
+/// Records `span` on the network's trace sink, if one is attached.
+pub(crate) fn emit_span(net: &multipod_simnet::Network, span: multipod_trace::SpanEvent) {
+    if let Some(sink) = net.trace_sink() {
+        sink.record_span(span);
+    }
+}

@@ -19,9 +19,37 @@
 
 use multipod_simnet::{Network, SimTime};
 use multipod_topology::Ring;
+use multipod_trace::{SpanCategory, SpanEvent};
 
 use crate::ring::Direction;
-use crate::{CollectiveError, Precision, Schedule};
+use crate::{chip_track, emit_span, CollectiveError, Precision, Schedule};
+
+/// Emits a pipelined-collective span on the ring's first member.
+fn emit_pipelined_span(
+    net: &Network,
+    ring: &Ring,
+    category: SpanCategory,
+    name: &str,
+    start: SimTime,
+    end: SimTime,
+    bytes: u64,
+) {
+    if ring.len() < 2 || net.trace_sink().is_none() {
+        return;
+    }
+    emit_span(
+        net,
+        SpanEvent::new(
+            chip_track(net, ring.members()[0]),
+            category,
+            name,
+            start,
+            end,
+        )
+        .with_bytes(bytes)
+        .with_arg("members", ring.len() as f64),
+    );
+}
 
 /// Times a pipelined reduce-scatter of `elems` elements on `ring`.
 ///
@@ -37,7 +65,17 @@ pub fn reduce_scatter_time(
     start: SimTime,
 ) -> Result<SimTime, CollectiveError> {
     let schedule = Schedule::reduce_scatter(ring.len(), direction);
-    run_pipelined(net, ring, &schedule, elems, precision, start)
+    let t = run_pipelined(net, ring, &schedule, elems, precision, start)?;
+    emit_pipelined_span(
+        net,
+        ring,
+        SpanCategory::CollectivePhase,
+        "pipelined-reduce-scatter",
+        start,
+        t,
+        precision.wire_bytes(elems),
+    );
+    Ok(t)
 }
 
 /// Times a pipelined all-gather of `elems` total elements on `ring`.
@@ -54,7 +92,17 @@ pub fn all_gather_time(
     start: SimTime,
 ) -> Result<SimTime, CollectiveError> {
     let schedule = Schedule::all_gather(ring.len(), direction);
-    run_pipelined(net, ring, &schedule, elems, precision, start)
+    let t = run_pipelined(net, ring, &schedule, elems, precision, start)?;
+    emit_pipelined_span(
+        net,
+        ring,
+        SpanCategory::CollectivePhase,
+        "pipelined-all-gather",
+        start,
+        t,
+        precision.wire_bytes(elems),
+    );
+    Ok(t)
 }
 
 /// Times a pipelined all-reduce (reduce-scatter then all-gather).
@@ -77,7 +125,17 @@ pub fn all_reduce_time(
     let per_member = run_pipelined_from(net, ring, &rs, elems, precision, &vec![start; n])?;
     let ag = Schedule::all_gather(n, direction);
     let done = run_pipelined_from(net, ring, &ag, elems, precision, &per_member)?;
-    Ok(done.into_iter().fold(start, SimTime::max))
+    let t = done.into_iter().fold(start, SimTime::max);
+    emit_pipelined_span(
+        net,
+        ring,
+        SpanCategory::Collective,
+        "pipelined-all-reduce",
+        start,
+        t,
+        precision.wire_bytes(elems),
+    );
+    Ok(t)
 }
 
 fn run_pipelined(
@@ -108,7 +166,7 @@ fn run_pipelined_from(
     if n < 2 {
         return Ok(starts.to_vec());
     }
-    if elems % n != 0 {
+    if !elems.is_multiple_of(n) {
         return Err(CollectiveError::IndivisiblePayload { elems, parts: n });
     }
     let chunk_bytes = precision.wire_bytes(elems / n);

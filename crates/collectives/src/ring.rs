@@ -12,8 +12,32 @@ use serde::{Deserialize, Serialize};
 use multipod_simnet::{Network, SimTime};
 use multipod_tensor::{Shape, Tensor};
 use multipod_topology::{ChipId, Ring};
+use multipod_trace::{SpanCategory, SpanEvent};
 
-use crate::{ChunkMove, CollectiveError, Precision, Schedule};
+use crate::{chip_track, emit_span, ChunkMove, CollectiveError, Precision, Schedule};
+
+/// Emits a collective span on the ring's first member, skipping trivial
+/// (sub-2-member) rings that do no communication.
+fn emit_ring_span(
+    net: &Network,
+    ring: &Ring,
+    category: SpanCategory,
+    name: &str,
+    start: SimTime,
+    end: SimTime,
+    bytes: u64,
+) {
+    if ring.len() < 2 || net.trace_sink().is_none() {
+        return;
+    }
+    let track = chip_track(net, ring.members()[0]);
+    emit_span(
+        net,
+        SpanEvent::new(track, category, name, start, end)
+            .with_bytes(bytes)
+            .with_arg("members", ring.len() as f64),
+    );
+}
 
 /// Travel direction around a ring.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -52,10 +76,7 @@ fn validate(inputs: &[Tensor], ring: &Ring) -> Result<(), CollectiveError> {
             members: ring.len(),
         });
     }
-    if inputs
-        .iter()
-        .any(|t| t.shape() != inputs[0].shape())
-    {
+    if inputs.iter().any(|t| t.shape() != inputs[0].shape()) {
         return Err(CollectiveError::ShapeDisagreement);
     }
     Ok(())
@@ -143,6 +164,15 @@ pub fn reduce_scatter(
     let mut chunks = flatten_chunks(inputs, n)?;
     let schedule = Schedule::reduce_scatter(n, direction);
     let time = run_schedule(net, ring, &schedule, &mut chunks, precision, start)?;
+    emit_ring_span(
+        net,
+        ring,
+        SpanCategory::CollectivePhase,
+        "reduce-scatter",
+        start,
+        time,
+        precision.wire_bytes(inputs[0].len()),
+    );
     let chunk_of_member: Vec<usize> = (0..n).map(|i| schedule.owned_chunk(i)).collect();
     let shards = chunks
         .iter()
@@ -188,6 +218,15 @@ pub fn all_gather(
         })
         .collect();
     let time = run_schedule(net, ring, &schedule, &mut chunks, precision, start)?;
+    emit_ring_span(
+        net,
+        ring,
+        SpanCategory::CollectivePhase,
+        "all-gather",
+        start,
+        time,
+        precision.wire_bytes(n * chunk_elems),
+    );
     let outputs = chunks
         .into_iter()
         .map(|row| Tensor::concat(&row, 0).expect("gathered chunks concat"))
@@ -287,7 +326,18 @@ pub fn all_reduce(
     let n = ring.len();
     let elems = inputs[0].len();
     if n < 2 || !elems.is_multiple_of(2 * n) {
-        return all_reduce_unidirectional(net, ring, inputs, precision, Direction::Forward, start);
+        let out =
+            all_reduce_unidirectional(net, ring, inputs, precision, Direction::Forward, start)?;
+        emit_ring_span(
+            net,
+            ring,
+            SpanCategory::Collective,
+            "all-reduce",
+            start,
+            out.time,
+            precision.wire_bytes(elems),
+        );
+        return Ok(out);
     }
     let shape = inputs[0].shape().clone();
     let halves: Vec<(Tensor, Tensor)> = inputs
@@ -300,8 +350,10 @@ pub fn all_reduce(
         .collect();
     let first: Vec<Tensor> = halves.iter().map(|(a, _)| a.clone()).collect();
     let second: Vec<Tensor> = halves.iter().map(|(_, b)| b.clone()).collect();
-    let lane_a = all_reduce_unidirectional(net, ring, &first, precision, Direction::Forward, start)?;
-    let lane_b = all_reduce_unidirectional(net, ring, &second, precision, Direction::Backward, start)?;
+    let lane_a =
+        all_reduce_unidirectional(net, ring, &first, precision, Direction::Forward, start)?;
+    let lane_b =
+        all_reduce_unidirectional(net, ring, &second, precision, Direction::Backward, start)?;
     let outputs = lane_a
         .outputs
         .iter()
@@ -313,10 +365,17 @@ pub fn all_reduce(
                 .expect("reshape output")
         })
         .collect();
-    Ok(CollectiveOutput {
-        outputs,
-        time: lane_a.time.max(lane_b.time),
-    })
+    let time = lane_a.time.max(lane_b.time);
+    emit_ring_span(
+        net,
+        ring,
+        SpanCategory::Collective,
+        "all-reduce",
+        start,
+        time,
+        precision.wire_bytes(elems),
+    );
+    Ok(CollectiveOutput { outputs, time })
 }
 
 /// Relays a tensor from `root` around the ring (non-pipelined; the
@@ -360,6 +419,15 @@ pub fn broadcast(
         }
         t = fwd_t.max(bwd_t);
     }
+    emit_ring_span(
+        net,
+        ring,
+        SpanCategory::Collective,
+        "broadcast",
+        start,
+        t,
+        bytes,
+    );
     let quantized = precision.quantize(payload);
     Ok(CollectiveOutput {
         outputs: vec![quantized; n],
@@ -396,8 +464,15 @@ mod tests {
         let (mut net, ring) = column_net(4);
         let ins = inputs(4, 8);
         let reference = Tensor::sum_all(&ins);
-        let out = reduce_scatter(&mut net, &ring, &ins, Precision::F32, Direction::Forward, SimTime::ZERO)
-            .unwrap();
+        let out = reduce_scatter(
+            &mut net,
+            &ring,
+            &ins,
+            Precision::F32,
+            Direction::Forward,
+            SimTime::ZERO,
+        )
+        .unwrap();
         let ref_chunks = reference.split(0, 4).unwrap();
         for (i, shard) in out.shards.iter().enumerate() {
             assert_eq!(shard, &ref_chunks[out.chunk_of_member[i]], "member {i}");
@@ -409,10 +484,24 @@ mod tests {
     fn all_gather_restores_full_payload() {
         let (mut net, ring) = column_net(4);
         let ins = inputs(4, 8);
-        let rs = reduce_scatter(&mut net, &ring, &ins, Precision::F32, Direction::Forward, SimTime::ZERO)
-            .unwrap();
-        let ag = all_gather(&mut net, &ring, &rs.shards, Precision::F32, Direction::Forward, rs.time)
-            .unwrap();
+        let rs = reduce_scatter(
+            &mut net,
+            &ring,
+            &ins,
+            Precision::F32,
+            Direction::Forward,
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let ag = all_gather(
+            &mut net,
+            &ring,
+            &rs.shards,
+            Precision::F32,
+            Direction::Forward,
+            rs.time,
+        )
+        .unwrap();
         let reference = Tensor::sum_all(&ins);
         for out in &ag.outputs {
             assert_eq!(out, &reference);
@@ -437,9 +526,15 @@ mod tests {
         let ins = inputs(8, elems);
         let bi = all_reduce(&mut net, &ring, &ins, Precision::F32, SimTime::ZERO).unwrap();
         let (mut net2, ring2) = column_net(8);
-        let uni =
-            all_reduce_unidirectional(&mut net2, &ring2, &ins, Precision::F32, Direction::Forward, SimTime::ZERO)
-                .unwrap();
+        let uni = all_reduce_unidirectional(
+            &mut net2,
+            &ring2,
+            &ins,
+            Precision::F32,
+            Direction::Forward,
+            SimTime::ZERO,
+        )
+        .unwrap();
         assert!(
             bi.time.seconds() < 0.7 * uni.time.seconds(),
             "bi={} uni={}",
@@ -466,13 +561,25 @@ mod tests {
         let elems = 1 << 22;
         let (mut net, ring) = column_net(4);
         let ins = inputs(4, elems);
-        let f32_out =
-            all_reduce_unidirectional(&mut net, &ring, &ins, Precision::F32, Direction::Forward, SimTime::ZERO)
-                .unwrap();
+        let f32_out = all_reduce_unidirectional(
+            &mut net,
+            &ring,
+            &ins,
+            Precision::F32,
+            Direction::Forward,
+            SimTime::ZERO,
+        )
+        .unwrap();
         let (mut net2, ring2) = column_net(4);
-        let bf_out =
-            all_reduce_unidirectional(&mut net2, &ring2, &ins, Precision::Bf16, Direction::Forward, SimTime::ZERO)
-                .unwrap();
+        let bf_out = all_reduce_unidirectional(
+            &mut net2,
+            &ring2,
+            &ins,
+            Precision::Bf16,
+            Direction::Forward,
+            SimTime::ZERO,
+        )
+        .unwrap();
         let ratio = bf_out.time.seconds() / f32_out.time.seconds();
         assert!((0.45..0.62).contains(&ratio), "ratio={ratio}");
     }
@@ -537,10 +644,9 @@ mod tests {
             .map(|i| Tensor::fill(Shape::vector(2), i as f32))
             .collect();
         for dir in [Direction::Forward, Direction::Backward] {
-            let out = all_gather_ordered(
-                &mut net, &ring, &shards, Precision::F32, dir, SimTime::ZERO,
-            )
-            .unwrap();
+            let out =
+                all_gather_ordered(&mut net, &ring, &shards, Precision::F32, dir, SimTime::ZERO)
+                    .unwrap();
             for o in &out.outputs {
                 assert_eq!(o.data(), &[0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
             }

@@ -170,10 +170,10 @@ mod tests {
                 }
             }
         }
-        for i in 0..n {
+        for (i, member) in contrib.iter().enumerate() {
             let owned = sched.owned_chunk(i);
             assert!(
-                contrib[i][owned].iter().all(|&b| b),
+                member[owned].iter().all(|&b| b),
                 "member {i} chunk {owned} incomplete for n={n} dir={dir:?}"
             );
         }
@@ -228,9 +228,22 @@ mod tests {
 
     #[test]
     fn step_counts_are_n_minus_one() {
-        assert_eq!(Schedule::reduce_scatter(8, Direction::Forward).steps().len(), 7);
-        assert_eq!(Schedule::all_gather(8, Direction::Backward).steps().len(), 7);
-        assert_eq!(Schedule::reduce_scatter(1, Direction::Forward).steps().len(), 0);
+        assert_eq!(
+            Schedule::reduce_scatter(8, Direction::Forward)
+                .steps()
+                .len(),
+            7
+        );
+        assert_eq!(
+            Schedule::all_gather(8, Direction::Backward).steps().len(),
+            7
+        );
+        assert_eq!(
+            Schedule::reduce_scatter(1, Direction::Forward)
+                .steps()
+                .len(),
+            0
+        );
     }
 
     #[test]

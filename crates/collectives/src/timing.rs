@@ -93,7 +93,12 @@ impl RingCosts {
     ///
     /// `bidirectional` halves the per-direction payload (both directions of
     /// every link carry half the chunks).
-    pub fn reduce_scatter_time(&self, elems: usize, precision: Precision, bidirectional: bool) -> f64 {
+    pub fn reduce_scatter_time(
+        &self,
+        elems: usize,
+        precision: Precision,
+        bidirectional: bool,
+    ) -> f64 {
         self.phase_time(elems, precision, bidirectional)
     }
 
@@ -108,14 +113,37 @@ impl RingCosts {
         2.0 * self.phase_time(elems, precision, bidirectional)
     }
 
-    fn phase_time(&self, elems: usize, precision: Precision, bidirectional: bool) -> f64 {
+    /// The latency-attributed (α) share of one phase: `(n−1)·α` plus the
+    /// open-chain wrap penalty. Independent of payload size.
+    pub fn phase_alpha_seconds(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        (self.n as f64 - 1.0) * self.alpha + self.wrap_penalty
+    }
+
+    /// The bandwidth-attributed (β) share of one phase: `(n−1)` chunk
+    /// serializations at the ring's effective bandwidth.
+    pub fn phase_beta_seconds(
+        &self,
+        elems: usize,
+        precision: Precision,
+        bidirectional: bool,
+    ) -> f64 {
         if self.n < 2 || elems == 0 {
             return 0.0;
         }
         let chunk_elems = elems.div_ceil(self.n);
         let dir_divisor = if bidirectional { 2.0 } else { 1.0 };
         let chunk_bytes = precision.wire_bytes(chunk_elems) as f64 / dir_divisor;
-        (self.n as f64 - 1.0) * (self.alpha + chunk_bytes / self.beta) + self.wrap_penalty
+        (self.n as f64 - 1.0) * chunk_bytes / self.beta
+    }
+
+    fn phase_time(&self, elems: usize, precision: Precision, bidirectional: bool) -> f64 {
+        if self.n < 2 || elems == 0 {
+            return 0.0;
+        }
+        self.phase_alpha_seconds() + self.phase_beta_seconds(elems, precision, bidirectional)
     }
 }
 

@@ -21,10 +21,11 @@ use serde::{Deserialize, Serialize};
 use multipod_simnet::{Network, SimTime};
 use multipod_tensor::Tensor;
 use multipod_topology::ChipId;
+use multipod_trace::{SpanCategory, SpanEvent, Track};
 
 use crate::ring::{self, Direction};
 use crate::timing::RingCosts;
-use crate::{CollectiveError, Precision, Schedule};
+use crate::{emit_span, CollectiveError, Precision, Schedule};
 
 /// Per-phase breakdown of a 2-D all-reduce, seconds.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -175,7 +176,14 @@ pub fn two_dim_all_reduce(
                 .iter()
                 .map(|c| x_shards[c.index()].clone().expect("x shard"))
                 .collect();
-            let ag = ring::all_gather(net, &ring_x, &shards, precision, Direction::Forward, x_rs_end)?;
+            let ag = ring::all_gather(
+                net,
+                &ring_x,
+                &shards,
+                precision,
+                Direction::Forward,
+                x_rs_end,
+            )?;
             for (i, member) in ring_x.members().iter().enumerate() {
                 x_full[member.index()] = Some(ag.outputs[i].clone());
             }
@@ -199,11 +207,56 @@ pub fn two_dim_all_reduce(
             .iter()
             .map(|c| x_full[c.index()].clone().expect("x full"))
             .collect();
-        let ag = ring::all_gather(net, &ring_y, &shards, precision, Direction::Forward, x_ag_end)?;
+        let ag = ring::all_gather(
+            net,
+            &ring_y,
+            &shards,
+            precision,
+            Direction::Forward,
+            x_ag_end,
+        )?;
         for (i, member) in ring_y.members().iter().enumerate() {
             outputs[member.index()] = Some(ag.outputs[i].clone());
         }
         y_ag_end = y_ag_end.max(ag.time);
+    }
+
+    // Machine-wide phase spans on the simulation track, with the α/β
+    // attribution the analytic model assigns to each phase.
+    if net.trace_sink().is_some() {
+        let elems = inputs[0].len();
+        let x_elems = elems.div_ceil(y_len.max(1) as usize);
+        let y_costs = RingCosts::from_ring(net, &mesh.y_ring(0), 1);
+        let x_costs =
+            RingCosts::from_ring(net, &mesh.x_line_strided(0, 0, model_stride), model_stride);
+        let phase = |name: &str, s: SimTime, e: SimTime, costs: &RingCosts, phase_elems: usize| {
+            emit_span(
+                net,
+                SpanEvent::new(Track::Sim, SpanCategory::CollectivePhase, name, s, e)
+                    .with_bytes(precision.wire_bytes(phase_elems))
+                    .with_arg("alpha_seconds", costs.phase_alpha_seconds())
+                    .with_arg(
+                        "beta_seconds",
+                        costs.phase_beta_seconds(phase_elems, precision, false),
+                    ),
+            );
+        };
+        phase("y-reduce-scatter", SimTime::ZERO, y_rs_end, &y_costs, elems);
+        phase("x-reduce-scatter", y_rs_end, x_rs_end, &x_costs, x_elems);
+        phase("x-all-gather", x_rs_end, x_ag_end, &x_costs, x_elems);
+        phase("y-all-gather", x_ag_end, y_ag_end, &y_costs, elems);
+        emit_span(
+            net,
+            SpanEvent::new(
+                Track::Sim,
+                SpanCategory::Collective,
+                "2d-all-reduce",
+                SimTime::ZERO,
+                y_ag_end,
+            )
+            .with_bytes(precision.wire_bytes(elems))
+            .with_arg("model_stride", model_stride as f64),
+        );
     }
 
     let outputs: Vec<Tensor> = outputs
@@ -383,8 +436,7 @@ mod tests {
         let mut update = |_chip: ChipId, shard: &mut Tensor| {
             *shard = shard.scale(2.0);
         };
-        let out =
-            two_dim_all_reduce(&mut net, &ins, Precision::F32, 1, Some(&mut update)).unwrap();
+        let out = two_dim_all_reduce(&mut net, &ins, Precision::F32, 1, Some(&mut update)).unwrap();
         for o in &out.outputs {
             assert!(o.max_abs_diff(&reference) < 1e-4);
         }

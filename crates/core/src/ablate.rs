@@ -9,7 +9,7 @@
 //! * **weight-update sharding** (§3.2) vs replicated updates (see also
 //!   `repro_wus`).
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use multipod_collectives::timing::RingCosts;
 use multipod_collectives::twod::two_dim_all_reduce_time;
@@ -21,7 +21,7 @@ use multipod_topology::{Multipod, MultipodConfig};
 use crate::step::{step_breakdown, StepOptions};
 
 /// One row of the 1-D vs 2-D summation comparison.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SummationRow {
     /// Chips in the slice.
     pub chips: u32,
@@ -69,7 +69,7 @@ pub fn summation_ablation(
 }
 
 /// One row of the payload-precision comparison.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct PrecisionRow {
     /// Chips in the slice.
     pub chips: u32,
@@ -98,7 +98,7 @@ pub fn precision_ablation(elems: usize, chip_counts: &[u32]) -> Vec<PrecisionRow
 }
 
 /// One row of the weight-update-sharding comparison.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct WusRow {
     /// Chips in the slice.
     pub chips: u32,
@@ -170,7 +170,9 @@ mod tests {
         }
         // More bandwidth-dominated at small scale (larger per-ring
         // payloads) → ratio closer to 0.5.
-        assert!(rows[0].bf16_time / rows[0].f32_time <= rows[1].bf16_time / rows[1].f32_time + 0.05);
+        assert!(
+            rows[0].bf16_time / rows[0].f32_time <= rows[1].bf16_time / rows[1].f32_time + 0.05
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! End-to-end execution: init + train + eval.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use multipod_collectives::timing::RingCosts;
 use multipod_framework::{profiles, FrameworkKind, InitModel};
@@ -13,7 +13,7 @@ use multipod_topology::{Multipod, MultipodConfig};
 use crate::step::{step_breakdown, StepBreakdown, StepOptions};
 
 /// A benchmark configuration: what Table 1 calls a row.
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Preset {
     /// The benchmark.
     pub workload: Workload,
@@ -26,7 +26,7 @@ pub struct Preset {
 }
 
 /// The outcome of simulating one benchmark run.
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Report {
     /// Benchmark name.
     pub name: String,
@@ -78,6 +78,18 @@ impl Executor {
         }
     }
 
+    /// Simulates the run and records a span timeline of its first steps
+    /// (up to `traced_steps`) into `sink`, laid out back to back in
+    /// simulated time via [`crate::step::record_step_trace`].
+    pub fn run_traced(&self, sink: &dyn multipod_trace::TraceSink, traced_steps: u64) -> Report {
+        let report = self.run();
+        let mut t = multipod_simnet::SimTime::ZERO;
+        for s in 0..traced_steps.min(report.steps) {
+            t = crate::step::record_step_trace(sink, &report.name, &report.step, s + 1, t);
+        }
+        report
+    }
+
     /// Simulates the run.
     pub fn run(&self) -> Report {
         let p = &self.preset;
@@ -86,11 +98,9 @@ impl Executor {
         let steps = w.convergence.steps_for_batch(batch);
         let step = step_breakdown(w, p.chips, &p.options);
         let train_seconds = steps as f64 * step.total();
-        let init_seconds = self.init_model.init_seconds(
-            p.framework,
-            &profiles::by_name(w.name),
-            p.chips,
-        );
+        let init_seconds =
+            self.init_model
+                .init_seconds(p.framework, &profiles::by_name(w.name), p.chips);
         let eval_seconds = eval_seconds(w, p.chips, p.framework, train_seconds);
         Report {
             name: w.name.to_string(),
@@ -208,10 +218,11 @@ mod tests {
     #[test]
     fn throughput_is_batch_over_step() {
         let r = Executor::new(presets::resnet50(1024)).run();
+        assert!((r.throughput() - r.global_batch as f64 / r.step.total()).abs() < 1e-6);
         assert!(
-            (r.throughput() - r.global_batch as f64 / r.step.total()).abs() < 1e-6
+            r.throughput() > 1e5,
+            "multipod ResNet should exceed 100k img/s"
         );
-        assert!(r.throughput() > 1e5, "multipod ResNet should exceed 100k img/s");
     }
 
     #[test]
@@ -223,7 +234,12 @@ mod tests {
         // model separately), so accept a wider band.
         for (v07, v06, lo, hi) in [
             (presets::resnet50(4096), presets::resnet50(1024), 1.2, 5.0),
-            (presets::transformer(4096), presets::transformer(1024), 1.2, 5.0),
+            (
+                presets::transformer(4096),
+                presets::transformer(1024),
+                1.2,
+                5.0,
+            ),
         ] {
             let new = Executor::new(v07).run();
             let mut old_preset = v06;

@@ -48,9 +48,7 @@ pub struct RepresentativeModel {
 pub fn representative(workload: &Workload, parts: usize) -> Option<RepresentativeModel> {
     match workload.parallelism {
         ParallelismPlan::DataParallel => None,
-        ParallelismPlan::FeatureSharded { .. } => {
-            Some(transformer_layer(parts, workload.name))
-        }
+        ParallelismPlan::FeatureSharded { .. } => Some(transformer_layer(parts, workload.name)),
         ParallelismPlan::SpatialSharded { .. } => Some(match workload.name {
             "MaskRCNN" => conv_layer(parts, 800, 1336, 52, 64),
             // SSD: 300x300 inputs (padded to a divisible 304).
@@ -191,12 +189,8 @@ mod tests {
     #[test]
     fn per_core_flops_shrink_with_parts() {
         let w = catalog::ssd();
-        let f1 = representative(&w, 1)
-            .unwrap()
-            .flops_per_core_per_sample(1);
-        let f8 = representative(&w, 8)
-            .unwrap()
-            .flops_per_core_per_sample(8);
+        let f1 = representative(&w, 1).unwrap().flops_per_core_per_sample(1);
+        let f8 = representative(&w, 8).unwrap().flops_per_core_per_sample(8);
         let ratio = f1 / f8;
         assert!((6.0..9.0).contains(&ratio), "ratio={ratio}");
     }

@@ -42,14 +42,17 @@ pub fn speedup_curve(
     per_replica_batch: f64,
     cores_list: &[u32],
 ) -> Vec<ModelParallelPoint> {
-    assert!(!cores_list.is_empty() && cores_list[0] == 1, "sweep starts at 1 core");
+    assert!(
+        !cores_list.is_empty() && cores_list[0] == 1,
+        "sweep starts at 1 core"
+    );
     let tpu = TpuV3::new();
     let cfg = NetworkConfig::tpu_v3();
     let points: Vec<(u32, f64)> = cores_list
         .iter()
         .map(|&cores| {
-            let rep = graphs::representative(workload, cores as usize)
-                .expect("model-parallel workload");
+            let rep =
+                graphs::representative(workload, cores as usize).expect("model-parallel workload");
             // Compute: partitioned per-core FLOPs, with utilization
             // degrading as the per-core work shrinks.
             let rep_flops = rep.flops_per_core_per_sample(cores as usize) * per_replica_batch;
@@ -65,8 +68,7 @@ pub fn speedup_curve(
             let eff = workload
                 .efficiency
                 .at((per_replica_batch / (cores as f64).sqrt()).max(1e-3));
-            let compute =
-                tpu.step_overhead + flops / (tpu.peak_matmul_flops / 2.0 * eff);
+            let compute = tpu.step_overhead + flops / (tpu.peak_matmul_flops / 2.0 * eff);
             // Tile communication: bytes and collective count from the
             // partitioned program.
             let comm = if cores > 1 {
@@ -75,8 +77,7 @@ pub fn speedup_curve(
                     * workload.grad_precision.bytes() as f64
                     / 4.0;
                 let collectives = rep.collectives_per_step(cores as usize);
-                collectives * (cfg.message_overhead + cfg.hop_latency)
-                    + bytes / cfg.link_bandwidth
+                collectives * (cfg.message_overhead + cfg.hop_latency) + bytes / cfg.link_bandwidth
             } else {
                 0.0
             };
@@ -119,11 +120,7 @@ mod tests {
             let curve = speedup_curve(&w, 1.0, &[1, 2, 4, 8]);
             // Monotone but sublinear.
             for pair in curve.windows(2) {
-                assert!(
-                    pair[1].speedup > pair[0].speedup,
-                    "{}: {curve:?}",
-                    w.name
-                );
+                assert!(pair[1].speedup > pair[0].speedup, "{}: {curve:?}", w.name);
             }
             let at8 = curve.last().unwrap().speedup;
             assert!(at8 > 1.5 && at8 < 8.0, "{}: speedup at 8 = {at8}", w.name);

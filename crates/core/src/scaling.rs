@@ -1,6 +1,6 @@
 //! Chip-count sweeps (Figures 5–8 and 11).
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use multipod_models::Workload;
 
@@ -8,7 +8,7 @@ use crate::executor::{Executor, Preset, Report};
 use crate::step::StepOptions;
 
 /// One point of a scaling sweep.
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ScalePoint {
     /// Chips at this point.
     pub chips: u32,
@@ -17,7 +17,7 @@ pub struct ScalePoint {
 }
 
 /// A scaling curve over chip counts.
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ScalingCurve {
     /// Sweep points, ascending in chips.
     pub points: Vec<ScalePoint>,

@@ -16,8 +16,9 @@ use serde::{Deserialize, Serialize};
 use multipod_collectives::twod::{two_dim_all_reduce_time, TwoDimBreakdown};
 use multipod_input::dlrm::{DlrmInputConfig, ParseGranularity, PcieLayout};
 use multipod_models::{TpuV3, Workload};
-use multipod_simnet::{Network, NetworkConfig};
+use multipod_simnet::{Network, NetworkConfig, SimTime};
 use multipod_topology::{Multipod, MultipodConfig, CHIPS_PER_HOST};
+use multipod_trace::{SpanCategory, SpanEvent, TraceSink, Track};
 
 use crate::graphs;
 
@@ -105,7 +106,13 @@ pub fn effective_stride(workload: &Workload, mesh: &Multipod) -> u32 {
 /// Panics when `chips` is not a power of two ≥ 2 (the slice shapes the
 /// paper sweeps).
 pub fn step_breakdown(workload: &Workload, chips: u32, options: &StepOptions) -> StepBreakdown {
-    step_breakdown_on(workload, chips, options, &TpuV3::new(), NetworkConfig::tpu_v3())
+    step_breakdown_on(
+        workload,
+        chips,
+        options,
+        &TpuV3::new(),
+        NetworkConfig::tpu_v3(),
+    )
 }
 
 /// [`step_breakdown`] on an explicit machine and interconnect (e.g.
@@ -137,12 +144,8 @@ pub fn step_breakdown_on(
     // Gradient summation: each chip contributes its share of the
     // (possibly sharded) weights; X-phase rings hop over model peers.
     let grad_elems_per_chip = (workload.params / stride as u64) as usize;
-    let gradient_comm = two_dim_all_reduce_time(
-        &net,
-        grad_elems_per_chip,
-        workload.grad_precision,
-        stride,
-    );
+    let gradient_comm =
+        two_dim_all_reduce_time(&net, grad_elems_per_chip, workload.grad_precision, stride);
 
     // Weight update: sharded updates divide the optimizer math by the
     // number of shards in the replica set (§3.2).
@@ -152,8 +155,7 @@ pub fn step_breakdown_on(
     } else {
         workload.params / stride as u64
     };
-    let weight_update =
-        tpu.optimizer_update_time(update_elems, workload.optimizer_flops_per_param);
+    let weight_update = tpu.optimizer_update_time(update_elems, workload.optimizer_flops_per_param);
 
     // Embedding path (DLRM).
     let embedding = embedding_time(workload, &net, batch, tpu);
@@ -239,6 +241,71 @@ fn input_stall(
         samples_per_host * per_sample / workers
     };
     (host_time - device_time).max(0.0)
+}
+
+/// Records `breakdown` as a sequential span timeline on the simulation
+/// track, starting at `start`: step phases for compute and model-parallel
+/// communication, collective phases for the four 2-D summation halves, an
+/// optimizer span for the weight update, and an input span for any host
+/// stall, all wrapped in one step span named `name`. Returns the step's
+/// end time so successive steps can be laid out back to back.
+pub fn record_step_trace(
+    sink: &dyn TraceSink,
+    name: &str,
+    breakdown: &StepBreakdown,
+    step_index: u64,
+    start: SimTime,
+) -> SimTime {
+    let mut t = start;
+    let mut phase = |category: SpanCategory, label: &str, seconds: f64| {
+        if seconds <= 0.0 {
+            return;
+        }
+        let end = t + seconds;
+        sink.record_span(SpanEvent::new(Track::Sim, category, label, t, end));
+        t = end;
+    };
+    phase(SpanCategory::StepPhase, "compute", breakdown.compute);
+    phase(
+        SpanCategory::StepPhase,
+        "model-parallel-comm",
+        breakdown.model_parallel_comm,
+    );
+    let g = &breakdown.gradient_comm;
+    phase(
+        SpanCategory::CollectivePhase,
+        "y-reduce-scatter",
+        g.y_reduce_scatter,
+    );
+    phase(
+        SpanCategory::CollectivePhase,
+        "x-reduce-scatter",
+        g.x_reduce_scatter,
+    );
+    phase(
+        SpanCategory::CollectivePhase,
+        "x-all-gather",
+        g.x_all_gather,
+    );
+    phase(
+        SpanCategory::CollectivePhase,
+        "y-all-gather",
+        g.y_all_gather,
+    );
+    phase(
+        SpanCategory::Optimizer,
+        "weight-update",
+        breakdown.weight_update,
+    );
+    phase(SpanCategory::StepPhase, "embedding", breakdown.embedding);
+    phase(SpanCategory::Input, "input-stall", breakdown.input_stall);
+    let end = t;
+    sink.record_span(
+        SpanEvent::new(Track::Sim, SpanCategory::Step, name, start, end)
+            .with_arg("step", step_index as f64)
+            .with_arg("allreduce_share", breakdown.all_reduce_fraction()),
+    );
+    end
 }
 
 /// Devices per replica and replica count at a chip count (convenience for
@@ -381,8 +448,16 @@ mod tests {
                 _ => 4096,
             };
             let b = step_breakdown(&w, chips, &StepOptions::default());
-            assert!(b.total().is_finite() && b.total() > 0.0, "{}: {b:?}", w.name);
-            assert!(b.total() < 1.0, "{}: step should be sub-second: {b:?}", w.name);
+            assert!(
+                b.total().is_finite() && b.total() > 0.0,
+                "{}: {b:?}",
+                w.name
+            );
+            assert!(
+                b.total() < 1.0,
+                "{}: step should be sub-second: {b:?}",
+                w.name
+            );
         }
     }
 }

@@ -25,15 +25,20 @@
 //! assert!((weights.data()[0] - 0.5).abs() < 1e-6);
 //! ```
 
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
 use multipod_collectives::twod::{shard_index, two_dim_all_reduce};
 use multipod_collectives::{CollectiveError, Precision};
 use multipod_optim::{LayerStats, LrSchedule, Optimizer, StateKey};
-use multipod_simnet::{Network, NetworkConfig};
+use multipod_simnet::{Network, NetworkConfig, SimTime};
 use multipod_tensor::Tensor;
 use multipod_topology::MultipodConfig;
+use multipod_trace::{SpanCategory, SpanEvent, TraceSink, Track};
 
 /// Timing of one trainer step.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct TrainStepStats {
     /// Simulated gradient-summation (and broadcast) time, seconds.
     pub comm_seconds: f64,
@@ -81,6 +86,22 @@ impl<O: Optimizer> DataParallelTrainer<O> {
         self.net.mesh().num_chips()
     }
 
+    /// Attaches a trace sink to the trainer's network: subsequent steps
+    /// record link transfers, collective phases and step spans into it.
+    pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.net.set_trace_sink(sink);
+    }
+
+    /// Detaches the trace sink, restoring zero-overhead stepping.
+    pub fn clear_trace_sink(&mut self) {
+        self.net.clear_trace_sink();
+    }
+
+    /// The simulated network the trainer steps on.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
     /// One training step: sums `local_grads` (one per chip) with the 2-D
     /// schedule, applies the sharded optimizer update at the shard owners,
     /// and writes the identical updated weights back into `weights`.
@@ -117,11 +138,9 @@ impl<O: Optimizer> DataParallelTrainer<O> {
         let mut global = LayerStats::default();
         let mut updates = Vec::with_capacity(n);
         for s in 0..n {
-            let (u, stats) = self.optimizer.prepare(
-                StateKey { layer: 0, shard: s },
-                &w_shards[s],
-                &g_shards[s],
-            );
+            let (u, stats) =
+                self.optimizer
+                    .prepare(StateKey { layer: 0, shard: s }, &w_shards[s], &g_shards[s]);
             global = global.merge(stats);
             updates.push(u);
         }
@@ -146,9 +165,37 @@ impl<O: Optimizer> DataParallelTrainer<O> {
             1,
             Some(&mut apply),
         )?;
-        *weights = out.outputs[0]
-            .clone()
-            .reshape(weights.shape().clone())?;
+        *weights = out.outputs[0].clone().reshape(weights.shape().clone())?;
+        if let Some(sink) = self.net.trace_sink() {
+            // The sharded optimizer update runs at the shard owners
+            // between the reduce and broadcast halves; the driver models
+            // it as instantaneous in simulated time.
+            let update_at = SimTime::from_seconds(
+                out.breakdown.y_reduce_scatter + out.breakdown.x_reduce_scatter,
+            );
+            sink.record_span(
+                SpanEvent::new(
+                    Track::Sim,
+                    SpanCategory::Optimizer,
+                    "sharded-weight-update",
+                    update_at,
+                    update_at,
+                )
+                .with_arg("shards", n as f64)
+                .with_arg("lr", lr as f64),
+            );
+            sink.record_span(
+                SpanEvent::new(
+                    Track::Sim,
+                    SpanCategory::Step,
+                    "train-step",
+                    SimTime::ZERO,
+                    out.time,
+                )
+                .with_arg("step", (self.step + 1) as f64)
+                .with_arg("lr", lr as f64),
+            );
+        }
         self.step += 1;
         Ok(TrainStepStats {
             comm_seconds: out.time.seconds(),
@@ -240,5 +287,49 @@ mod tests {
         let mut w = Tensor::fill(Shape::vector(4), 1.0);
         let grads = vec![Tensor::zeros(Shape::vector(4)); 3];
         assert!(trainer.step(&mut w, &grads).is_err());
+    }
+
+    #[test]
+    fn traced_step_emits_step_and_optimizer_spans() {
+        use multipod_trace::Recorder;
+        let mut trainer = DataParallelTrainer::new(
+            MultipodConfig::mesh(2, 2, true),
+            SgdMomentum::new(1.0, 0.0),
+            LrSchedule::Constant { lr: 0.1 },
+        );
+        let recorder = Recorder::shared();
+        trainer.set_trace_sink(recorder.clone());
+        let mut w = Tensor::fill(Shape::vector(16), 1.0);
+        let grads = vec![Tensor::fill(Shape::vector(16), 0.5); 4];
+        let stats = trainer.step(&mut w, &grads).unwrap();
+
+        let count = |category: SpanCategory, name: &str| {
+            recorder
+                .span_totals()
+                .iter()
+                .filter(|t| t.category == category && t.name == name)
+                .map(|t| t.count)
+                .sum::<u64>()
+        };
+        assert_eq!(count(SpanCategory::Step, "train-step"), 1);
+        assert_eq!(count(SpanCategory::Optimizer, "sharded-weight-update"), 1);
+        assert_eq!(count(SpanCategory::Collective, "2d-all-reduce"), 1);
+        assert!(
+            !recorder.link_summaries().is_empty(),
+            "link events recorded"
+        );
+        // The step span must cover the whole simulated step.
+        let step_total = recorder
+            .span_totals()
+            .into_iter()
+            .find(|t| t.category == SpanCategory::Step)
+            .unwrap();
+        assert!((step_total.total_seconds - stats.comm_seconds).abs() < 1e-12);
+
+        // Detaching restores the silent path.
+        trainer.clear_trace_sink();
+        let before = recorder.len();
+        trainer.step(&mut w, &grads).unwrap();
+        assert_eq!(recorder.len(), before, "detached sink must see nothing");
     }
 }

@@ -42,9 +42,7 @@ pub fn masked_self_interaction(features: &Tensor, dim: usize) -> InteractionOutp
         let row = &features.data()[b * width..(b + 1) * width];
         for i in 0..f {
             for j in 0..f {
-                let dot: f32 = (0..dim)
-                    .map(|k| row[i * dim + k] * row[j * dim + k])
-                    .sum();
+                let dot: f32 = (0..dim).map(|k| row[i * dim + k] * row[j * dim + k]).sum();
                 if j < i {
                     gathered.push(dot);
                     masked[b * f * f + i * f + j] = dot;

@@ -121,9 +121,7 @@ impl Placement {
             .zip(&self.decisions)
             .map(|(s, d)| match d {
                 TablePlacement::Replicated => s.bytes(),
-                TablePlacement::RowPartitioned => {
-                    (s.rows.div_ceil(self.chips) * s.dim) as u64 * 4
-                }
+                TablePlacement::RowPartitioned => (s.rows.div_ceil(self.chips) * s.dim) as u64 * 4,
             })
             .sum()
     }
@@ -143,7 +141,10 @@ mod tests {
         // A mix of tiny and huge vocabularies, Criteo-style.
         let mut specs = vec![
             EmbeddingSpec { rows: 10, dim: 16 },
-            EmbeddingSpec { rows: 1000, dim: 16 },
+            EmbeddingSpec {
+                rows: 1000,
+                dim: 16,
+            },
             EmbeddingSpec { rows: 300, dim: 16 },
         ];
         specs.push(EmbeddingSpec {

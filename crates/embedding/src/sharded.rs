@@ -110,9 +110,7 @@ impl ShardedEmbedding {
             for (t, &row) in row_ids.iter().enumerate() {
                 let spec = self.placement.spec(t);
                 assert!(row < spec.rows, "index {row} out of range for table {t}");
-                out.extend_from_slice(
-                    &self.tables[t].data()[row * self.dim..(row + 1) * self.dim],
-                );
+                out.extend_from_slice(&self.tables[t].data()[row * self.dim..(row + 1) * self.dim]);
                 match self.placement_kind(t) {
                     TablePlacement::Replicated => local_rows += 1,
                     TablePlacement::RowPartitioned => {

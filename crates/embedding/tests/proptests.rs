@@ -1,8 +1,6 @@
 //! Property tests for the embedding substrate.
 
-use multipod_embedding::{
-    masked_self_interaction, EmbeddingSpec, Placement, ShardedEmbedding,
-};
+use multipod_embedding::{masked_self_interaction, EmbeddingSpec, Placement, ShardedEmbedding};
 use multipod_simnet::{Network, NetworkConfig, SimTime};
 use multipod_topology::{Multipod, MultipodConfig};
 use proptest::prelude::*;

@@ -120,12 +120,7 @@ impl InitModel {
     }
 
     /// Total initialization seconds.
-    pub fn init_seconds(
-        &self,
-        kind: FrameworkKind,
-        profile: &ModelInitProfile,
-        chips: u32,
-    ) -> f64 {
+    pub fn init_seconds(&self, kind: FrameworkKind, profile: &ModelInitProfile, chips: u32) -> f64 {
         self.init_breakdown(kind, profile, chips).total()
     }
 
@@ -209,7 +204,11 @@ mod tests {
         let m = InitModel::calibrated();
         let p = profiles::bert();
         let b = m.init_breakdown(FrameworkKind::TensorFlow, &p, 4096);
-        assert!((b.total() - (b.mesh_init + b.graph_construction + b.compilation + b.distribution)).abs() < 1e-12);
+        assert!(
+            (b.total() - (b.mesh_init + b.graph_construction + b.compilation + b.distribution))
+                .abs()
+                < 1e-12
+        );
         assert!(b.graph_construction > 0.0);
         let j = m.init_breakdown(FrameworkKind::Jax, &p, 4096);
         assert_eq!(j.graph_construction, 0.0);

@@ -87,7 +87,14 @@ mod tests {
 
     #[test]
     fn lookup_covers_all_benchmarks() {
-        for name in ["ResNet-50", "BERT", "SSD", "Transformer", "MaskRCNN", "DLRM"] {
+        for name in [
+            "ResNet-50",
+            "BERT",
+            "SSD",
+            "Transformer",
+            "MaskRCNN",
+            "DLRM",
+        ] {
             assert_eq!(by_name(name).name, name);
         }
     }

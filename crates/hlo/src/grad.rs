@@ -174,8 +174,12 @@ mod tests {
         wrt: &[(NodeId, &str)],
         feeds: &Feeds<String, Tensor>,
     ) {
-        let gg = gradients(graph, loss, &wrt.iter().map(|&(n, _)| n).collect::<Vec<_>>())
-            .expect("gradient build");
+        let gg = gradients(
+            graph,
+            loss,
+            &wrt.iter().map(|&(n, _)| n).collect::<Vec<_>>(),
+        )
+        .expect("gradient build");
         let outputs = gg.graph.evaluate(feeds).expect("grad eval");
         let loss_of = |feeds: &Feeds<String, Tensor>| -> f64 {
             graph.evaluate(feeds).unwrap()[0].sum() as f64

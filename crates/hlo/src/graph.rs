@@ -405,7 +405,11 @@ mod tests {
         let f1 = rng.uniform(Shape::of(&[4, 8]), -1.0, 1.0);
         let f2 = rng.uniform(Shape::of(&[8, 2]), -1.0, 1.0);
         let out = g
-            .evaluate(&feeds(&[("x", fx.clone()), ("w1", f1.clone()), ("w2", f2.clone())]))
+            .evaluate(&feeds(&[
+                ("x", fx.clone()),
+                ("w1", f1.clone()),
+                ("w2", f2.clone()),
+            ]))
             .unwrap();
         let expect = fx.matmul(&f1).map(|v| v.max(0.0)).matmul(&f2);
         assert!(out[0].max_abs_diff(&expect) < 1e-5);
@@ -432,10 +436,7 @@ mod tests {
             Err(HloError::MissingFeed(_))
         ));
         let bad = feeds(&[("x", Tensor::zeros(Shape::of(&[3])))]);
-        assert!(matches!(
-            g.evaluate(&bad),
-            Err(HloError::FeedShape { .. })
-        ));
+        assert!(matches!(g.evaluate(&bad), Err(HloError::FeedShape { .. })));
     }
 
     #[test]

@@ -63,10 +63,7 @@ impl MpmdPartitioner {
                     graph.annotation(*lhs),
                     Some(Sharding::Split { axis: 1, .. })
                 );
-                let rhs_sharded = matches!(
-                    graph.annotation(*rhs),
-                    Some(Sharding::Split { .. })
-                );
+                let rhs_sharded = matches!(graph.annotation(*rhs), Some(Sharding::Split { .. }));
                 if lhs_sharded_contracting || rhs_sharded {
                     return Err(HloError::Unpartitionable {
                         node: id,

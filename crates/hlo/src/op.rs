@@ -149,8 +149,12 @@ impl Op {
             Op::Gather { input, indices } => vec![*input, *indices],
             Op::Mul { lhs, rhs } => vec![*lhs, *rhs],
             Op::ReluGrad { input, upstream } => vec![*input, *upstream],
-            Op::ConvKernelGrad { input, upstream, .. } => vec![*input, *upstream],
-            Op::ScatterAdd { indices, upstream, .. } => vec![*indices, *upstream],
+            Op::ConvKernelGrad {
+                input, upstream, ..
+            } => vec![*input, *upstream],
+            Op::ScatterAdd {
+                indices, upstream, ..
+            } => vec![*indices, *upstream],
         }
     }
 
@@ -320,9 +324,7 @@ impl Op {
             Op::Transpose { .. } => transpose2(operands[0]),
             Op::Mul { .. } => operands[0].mul(operands[1]).expect("validated mul"),
             Op::ReluGrad { .. } => relu_grad(operands[0], operands[1]),
-            Op::BroadcastAxis { axis, extent, .. } => {
-                broadcast_axis(operands[0], *axis, *extent)
-            }
+            Op::BroadcastAxis { axis, extent, .. } => broadcast_axis(operands[0], *axis, *extent),
             Op::Rot180 { .. } => rot180(operands[0]),
             Op::ConvKernelGrad { kh, kw, .. } => {
                 conv_kernel_grad(operands[0], operands[1], *kh, *kw)
@@ -453,8 +455,8 @@ pub(crate) fn conv2d_same(input: &Tensor, kernel: &Tensor) -> Tensor {
                     let ii = i as isize + a as isize - ph as isize;
                     let jj = j as isize + b as isize - pw as isize;
                     if ii >= 0 && (ii as usize) < h && jj >= 0 && (jj as usize) < w {
-                        acc += input.data()[ii as usize * w + jj as usize]
-                            * kernel.data()[a * kw + b];
+                        acc +=
+                            input.data()[ii as usize * w + jj as usize] * kernel.data()[a * kw + b];
                     }
                 }
             }
@@ -576,10 +578,16 @@ mod tests {
             input: NodeId(0),
             k: 3,
         };
-        assert_eq!(t.infer_shape(&[&Shape::of(&[10])]).unwrap(), Shape::of(&[3]));
-        assert!(Op::TopK { input: NodeId(0), k: 11 }
-            .infer_shape(&[&Shape::of(&[10])])
-            .is_err());
+        assert_eq!(
+            t.infer_shape(&[&Shape::of(&[10])]).unwrap(),
+            Shape::of(&[3])
+        );
+        assert!(Op::TopK {
+            input: NodeId(0),
+            k: 11
+        }
+        .infer_shape(&[&Shape::of(&[10])])
+        .is_err());
     }
 
     #[test]

@@ -47,12 +47,12 @@ impl Sharding {
     pub fn local_shape(self, global: &Shape) -> Result<Shape, HloError> {
         match self {
             Sharding::Replicated => Ok(global.clone()),
-            Sharding::Split { axis, parts } => global
-                .split_axis(axis, parts)
-                .ok_or(HloError::BadSharding {
+            Sharding::Split { axis, parts } => {
+                global.split_axis(axis, parts).ok_or(HloError::BadSharding {
                     sharding: self,
                     shape: global.clone(),
-                }),
+                })
+            }
         }
     }
 

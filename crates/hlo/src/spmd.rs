@@ -120,18 +120,16 @@ impl Emitter {
                     global,
                 ))
             }
-            (Sharding::Split { axis, .. }, Sharding::Replicated) => {
-                Ok(self.push(
-                    |out| Instr::AllGather {
-                        out,
-                        input: value,
-                        axis,
-                    },
-                    global.clone(),
-                    Sharding::Replicated,
-                    global,
-                ))
-            }
+            (Sharding::Split { axis, .. }, Sharding::Replicated) => Ok(self.push(
+                |out| Instr::AllGather {
+                    out,
+                    input: value,
+                    axis,
+                },
+                global.clone(),
+                Sharding::Replicated,
+                global,
+            )),
             (Sharding::Split { .. }, Sharding::Split { .. }) => {
                 let replicated = self.reshard(value, Sharding::Replicated, node)?;
                 self.reshard(replicated, to, node)
@@ -246,11 +244,7 @@ impl SpmdPartitioner {
             value_of_node.insert(id, value);
         }
 
-        let outputs = graph
-            .outputs()
-            .iter()
-            .map(|o| value_of_node[o])
-            .collect();
+        let outputs = graph.outputs().iter().map(|o| value_of_node[o]).collect();
         let compile_cost = em.instrs.len() as u64;
         Ok(PartitionedProgram {
             parts: self.parts,
@@ -307,12 +301,7 @@ impl SpmdPartitioner {
                 let input = operands[0];
                 let shape = em.shapes[input.0].clone();
                 let sharding = em.shardings[input.0];
-                Ok(em.compute(
-                    ComputeOp::Relu { input },
-                    shape,
-                    sharding,
-                    global.clone(),
-                ))
+                Ok(em.compute(ComputeOp::Relu { input }, shape, sharding, global.clone()))
             }
             Op::Transpose { .. } => {
                 let input = operands[0];
@@ -422,10 +411,7 @@ impl SpmdPartitioner {
                         // Reducing over the split axis: local partials,
                         // then all-reduce.
                         let partial = em.compute(
-                            ComputeOp::ReduceSum {
-                                input,
-                                axis: *axis,
-                            },
+                            ComputeOp::ReduceSum { input, axis: *axis },
                             local_out,
                             Sharding::Replicated,
                             global.clone(),
@@ -435,20 +421,14 @@ impl SpmdPartitioner {
                     Sharding::Split { axis: s, parts } => {
                         let s_after = if *axis < s { s - 1 } else { s };
                         Ok(em.compute(
-                            ComputeOp::ReduceSum {
-                                input,
-                                axis: *axis,
-                            },
+                            ComputeOp::ReduceSum { input, axis: *axis },
                             local_out,
                             Sharding::split(s_after, parts),
                             global.clone(),
                         ))
                     }
                     Sharding::Replicated => Ok(em.compute(
-                        ComputeOp::ReduceSum {
-                            input,
-                            axis: *axis,
-                        },
+                        ComputeOp::ReduceSum { input, axis: *axis },
                         local_out,
                         Sharding::Replicated,
                         global.clone(),
@@ -572,9 +552,7 @@ impl SpmdPartitioner {
                 if k > local_len {
                     return Err(HloError::Unpartitionable {
                         node: id,
-                        reason: format!(
-                            "top-{k} exceeds the {local_len}-element local shard"
-                        ),
+                        reason: format!("top-{k} exceeds the {local_len}-element local shard"),
                     });
                 }
                 // Local candidates → all-gather → final top-k (the
@@ -712,8 +690,7 @@ impl SpmdPartitioner {
                 let tile_shape = em.shapes[input.0].clone();
                 let halo = kernel_shape.dim(axis) / 2;
                 let conv_input = if halo > 0 {
-                    let padded =
-                        tile_shape.with_dim(axis, tile_shape.dim(axis) + 2 * halo);
+                    let padded = tile_shape.with_dim(axis, tile_shape.dim(axis) + 2 * halo);
                     em.push(
                         |out| Instr::HaloExchange {
                             out,

@@ -104,11 +104,10 @@ fn distributed_topk_matches_reference() {
         assert!(p.comm_stats().all_gathers >= 1);
 
         let mut rng = TensorRng::seed(7 + parts as u64);
-        let feeds: HashMap<String, Tensor> =
-            [("x", rng.uniform(Shape::of(&[64]), -10.0, 10.0))]
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect();
+        let feeds: HashMap<String, Tensor> = [("x", rng.uniform(Shape::of(&[64]), -10.0, 10.0))]
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
         let (mut net, tile) = tile_net(parts as u32);
         let (outs, _) = p.execute(&mut net, &feeds, &tile).unwrap();
         let reference = g.evaluate(&feeds).unwrap();

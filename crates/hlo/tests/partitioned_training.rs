@@ -15,7 +15,13 @@ fn feeds(pairs: Vec<(&str, Tensor)>) -> HashMap<String, Tensor> {
 }
 
 /// Builds loss = sum((relu(x·W1)·W2)²-ish) with W1/W2 feature-sharded.
-fn sharded_mlp(parts: usize) -> (multipod_hlo::HloGraph, multipod_hlo::NodeId, Vec<multipod_hlo::NodeId>) {
+fn sharded_mlp(
+    parts: usize,
+) -> (
+    multipod_hlo::HloGraph,
+    multipod_hlo::NodeId,
+    Vec<multipod_hlo::NodeId>,
+) {
     let mut b = HloBuilder::new();
     let x = b.parameter("x", Shape::of(&[4, 8]), Sharding::Replicated);
     let w1 = b.parameter("w1", Shape::of(&[8, 16]), Sharding::split(1, parts));

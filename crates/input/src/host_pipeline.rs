@@ -11,6 +11,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use multipod_trace::{SimTime, SpanCategory, SpanEvent, TraceSink, Track};
+
 /// What the host pipeline must do per sample.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct HostPipelineConfig {
@@ -104,6 +106,33 @@ pub fn simulate_run(
     steps: usize,
     seed: u64,
 ) -> InputStats {
+    simulate_run_traced(
+        config,
+        hosts,
+        samples_per_host,
+        step_time,
+        steps,
+        seed,
+        None,
+    )
+}
+
+/// [`simulate_run`] with an optional trace sink: each host's per-step
+/// input work becomes an input span on that host's track (spans that
+/// overrun the step deadline carry a `stall_seconds` argument).
+///
+/// # Panics
+///
+/// See [`simulate_run`].
+pub fn simulate_run_traced(
+    config: &HostPipelineConfig,
+    hosts: usize,
+    samples_per_host: usize,
+    step_time: f64,
+    steps: usize,
+    seed: u64,
+    sink: Option<&dyn TraceSink>,
+) -> InputStats {
     assert!(hosts > 0 && steps > 0 && samples_per_host > 0);
     let mut total_stall = 0.0f64;
     let mut max_stall = 0.0f64;
@@ -122,9 +151,10 @@ pub fn simulate_run(
         let mut buffered = 0usize;
         let mut produced_total = 0usize;
         let mut consumer_clock = 0.0f64;
-        for stall in stall_row.iter_mut() {
+        for (s, stall) in stall_row.iter_mut().enumerate() {
             // Produce as much as possible until the nominal deadline,
             // bounded by the prefetch capacity.
+            let step_start = consumer_clock;
             let deadline = consumer_clock + step_time;
             while producer_clock < deadline && buffered < config.prefetch_capacity.max(1) {
                 producer_clock += config.sample_cost(&mut rng) / config.workers as f64;
@@ -146,6 +176,19 @@ pub fn simulate_run(
                 }
                 *stall = producer_clock - deadline;
                 consumer_clock = producer_clock;
+            }
+            if let Some(sink) = sink {
+                sink.record_span(
+                    SpanEvent::new(
+                        Track::Host { host: h as u32 },
+                        SpanCategory::Input,
+                        "step-input",
+                        SimTime::from_seconds(step_start),
+                        SimTime::from_seconds(consumer_clock),
+                    )
+                    .with_arg("step", s as f64)
+                    .with_arg("stall_seconds", *stall),
+                );
             }
         }
         throughput_acc += produced_total as f64 / consumer_clock.max(1e-12);
@@ -197,7 +240,10 @@ mod tests {
             7,
         );
         assert!(uncompressed.mean_stall < 1e-6, "{uncompressed:?}");
-        assert!(compressed.stalled_fraction > 0.2, "compressed={compressed:?}");
+        assert!(
+            compressed.stalled_fraction > 0.2,
+            "compressed={compressed:?}"
+        );
         assert!(compressed.mean_stall > 1e-5, "compressed={compressed:?}");
     }
 

@@ -185,7 +185,8 @@ pub fn run_to_run_spread(corpus_len: usize, buffer: usize, batch: usize, runs: u
             let mut w = 0.0f64;
             let lr = 0.05f64;
             for chunk in shuffled.chunks(batch) {
-                let grad: f64 = chunk.iter().map(|&x| w - x as f64).sum::<f64>() / chunk.len() as f64;
+                let grad: f64 =
+                    chunk.iter().map(|&x| w - x as f64).sum::<f64>() / chunk.len() as f64;
                 w -= lr * grad;
             }
             w

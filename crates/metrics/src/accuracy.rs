@@ -131,9 +131,9 @@ mod tests {
     #[test]
     fn counts_correct_predictions() {
         let s = shard(&[
-            (vec![0.9, 0.1], 0, true),  // correct
-            (vec![0.2, 0.8], 0, true),  // wrong
-            (vec![0.1, 0.9], 1, true),  // correct
+            (vec![0.9, 0.1], 0, true), // correct
+            (vec![0.2, 0.8], 0, true), // wrong
+            (vec![0.1, 0.9], 1, true), // correct
         ]);
         assert_eq!(s.local_counts(), (2, 3));
         assert!((distributed_accuracy(&[s]) - 2.0 / 3.0).abs() < 1e-12);
@@ -160,9 +160,7 @@ mod tests {
             (vec![1.0, 0.0], 0, true),
             (vec![1.0, 0.0], 1, true),
         ]);
-        assert!(
-            (distributed_accuracy(&[a, b]) - distributed_accuracy(&[pooled])).abs() < 1e-12
-        );
+        assert!((distributed_accuracy(&[a, b]) - distributed_accuracy(&[pooled])).abs() < 1e-12);
     }
 
     #[test]

@@ -162,9 +162,7 @@ fn auc_from_sorted(order: &[u32], scores: &[f32], labels: &[bool]) -> f64 {
     while i < order.len() {
         // Tie group [i, j).
         let mut j = i + 1;
-        while j < order.len()
-            && scores[order[j] as usize] == scores[order[i] as usize]
-        {
+        while j < order.len() && scores[order[j] as usize] == scores[order[i] as usize] {
             j += 1;
         }
         let avg_rank = (i + 1 + j) as f64 / 2.0; // mean of ranks i+1..=j
@@ -275,8 +273,14 @@ mod tests {
         for seed in 0..5 {
             let (scores, labels) = synthetic(500, seed);
             let brute = auc_bruteforce(&scores, &labels);
-            assert!((auc_exact(&scores, &labels) - brute).abs() < 1e-9, "seed {seed}");
-            assert!((auc_naive(&scores, &labels) - brute).abs() < 1e-9, "seed {seed}");
+            assert!(
+                (auc_exact(&scores, &labels) - brute).abs() < 1e-9,
+                "seed {seed}"
+            );
+            assert!(
+                (auc_naive(&scores, &labels) - brute).abs() < 1e-9,
+                "seed {seed}"
+            );
             for threads in [1, 2, 4, 7] {
                 assert!(
                     (auc_fast(&scores, &labels, threads) - brute).abs() < 1e-9,

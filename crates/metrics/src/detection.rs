@@ -92,20 +92,14 @@ pub fn average_precision(
             }
             None => fp += 1,
         }
-        curve.push((
-            tp as f64 / total_gt as f64,
-            tp as f64 / (tp + fp) as f64,
-        ));
+        curve.push((tp as f64 / total_gt as f64, tp as f64 / (tp + fp) as f64));
     }
     // Monotone precision envelope, integrated over recall.
     let mut ap = 0.0f64;
     let mut prev_recall = 0.0f64;
     let mut i = 0usize;
     while i < curve.len() {
-        let max_prec = curve[i..]
-            .iter()
-            .map(|&(_, p)| p)
-            .fold(0.0f64, f64::max);
+        let max_prec = curve[i..].iter().map(|&(_, p)| p).fold(0.0f64, f64::max);
         // Extend to the furthest point achieving this precision.
         let mut j = i;
         let mut recall_here = curve[i].0;

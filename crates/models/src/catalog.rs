@@ -9,9 +9,7 @@
 
 use multipod_collectives::Precision;
 
-use crate::{
-    ConvergenceModel, EfficiencyCurve, EmbeddingConfig, ParallelismPlan, Workload,
-};
+use crate::{ConvergenceModel, EfficiencyCurve, EmbeddingConfig, ParallelismPlan, Workload};
 
 /// ImageNet-1K training-set size.
 pub const IMAGENET_TRAIN: u64 = 1_281_167;
@@ -50,7 +48,7 @@ pub fn bert() -> Workload {
             max_batch: Some(8192),
         },
         parallelism: ParallelismPlan::DataParallel,
-        max_per_core_batch: 24, // 48 per chip at small scale (Fig. 8)
+        max_per_core_batch: 24,          // 48 per chip at small scale (Fig. 8)
         input_bytes_per_sample: 512 * 8, // token + mask ids
         activation_bytes_per_sample: 420 << 20, // 24 layers at seq 512, bf16 with remat
         evals_per_run: 6,
@@ -237,14 +235,7 @@ pub fn dlrm() -> Workload {
 
 /// All six benchmarks, in Table-1 order.
 pub fn all() -> Vec<Workload> {
-    vec![
-        resnet50(),
-        bert(),
-        ssd(),
-        transformer(),
-        maskrcnn(),
-        dlrm(),
-    ]
+    vec![resnet50(), bert(), ssd(), transformer(), maskrcnn(), dlrm()]
 }
 
 #[cfg(test)]
@@ -259,7 +250,7 @@ mod tests {
         assert_eq!(r.global_batch(4096), 65536);
         assert_eq!(r.per_core_batch(4096), 8.0);
         assert_eq!(r.global_batch(128), 32768); // hardware-bound: 256/chip
-        // BERT: per-chip batch 2 at 4096 chips (global 8192 ≤ LAMB cap).
+                                                // BERT: per-chip batch 2 at 4096 chips (global 8192 ≤ LAMB cap).
         let b = bert();
         assert!(b.global_batch(4096) <= 32768);
         // Transformer: fixed 2048 regardless of scale.

@@ -109,9 +109,7 @@ impl GpuCluster {
     /// Global batch on this cluster (per-GPU memory roughly equals a TPU
     /// chip, i.e. two TPU cores).
     pub fn global_batch(&self, workload: &Workload) -> u32 {
-        let hardware_max = self
-            .gpus
-            .saturating_mul(workload.max_per_core_batch * 2);
+        let hardware_max = self.gpus.saturating_mul(workload.max_per_core_batch * 2);
         workload
             .convergence
             .usable_batch(hardware_max)
@@ -134,8 +132,7 @@ impl GpuCluster {
         // occupancy needs are closer to four TPU cores' worth of batch),
         // derated per the published utilizations.
         let eff = workload.efficiency.at((per_gpu / 4.0).max(0.05)) * Self::EFFICIENCY_DERATE;
-        let compute =
-            per_gpu * workload.flops_per_sample / (self.generation.peak_flops() * eff);
+        let compute = per_gpu * workload.flops_per_sample / (self.generation.peak_flops() * eff);
         let mut comm = self.all_reduce_time(workload.gradient_elems(), Precision::Bf16);
         if let Some(emb) = workload.embedding {
             // Embedding all-to-all over the IB fat-tree (bisection bound).

@@ -30,8 +30,9 @@ impl ParallelismPlan {
     pub fn cores_per_replica(self) -> u32 {
         match self {
             ParallelismPlan::DataParallel => 1,
-            ParallelismPlan::FeatureSharded { tile }
-            | ParallelismPlan::SpatialSharded { tile } => tile,
+            ParallelismPlan::FeatureSharded { tile } | ParallelismPlan::SpatialSharded { tile } => {
+                tile
+            }
         }
     }
 
@@ -105,14 +106,12 @@ impl Workload {
     /// activations. This is what makes `max_per_core_batch` a hardware
     /// limit rather than a tuning choice.
     pub fn memory_per_core(&self, per_core_batch: f64) -> u64 {
-        let weight_state =
-            self.params * 4 * 3 / self.parallelism.cores_per_replica() as u64;
+        let weight_state = self.params * 4 * 3 / self.parallelism.cores_per_replica() as u64;
         let embedding_shard = self
             .embedding
             .map(|e| e.total_params * 4 / 512) // shard across a typical slice
             .unwrap_or(0);
-        let activations =
-            (per_core_batch * self.activation_bytes_per_sample as f64) as u64;
+        let activations = (per_core_batch * self.activation_bytes_per_sample as f64) as u64;
         weight_state + embedding_shard + activations
     }
 
@@ -126,7 +125,8 @@ impl Workload {
     pub fn global_batch(&self, chips: u32) -> u32 {
         let cores = chips * 2;
         let replicas = (cores / self.parallelism.cores_per_replica()).max(1);
-        let hardware_max = replicas.saturating_mul(self.max_per_core_batch)
+        let hardware_max = replicas
+            .saturating_mul(self.max_per_core_batch)
             .saturating_mul(self.parallelism.cores_per_replica());
         let capped = self.convergence.usable_batch(hardware_max);
         // Keep at least one sample per replica group.
@@ -197,7 +197,10 @@ mod tests {
     fn model_parallel_plans_report_strides() {
         assert_eq!(ParallelismPlan::DataParallel.chip_stride(), 1);
         assert_eq!(ParallelismPlan::FeatureSharded { tile: 8 }.chip_stride(), 4);
-        assert_eq!(ParallelismPlan::SpatialSharded { tile: 8 }.cores_per_replica(), 8);
+        assert_eq!(
+            ParallelismPlan::SpatialSharded { tile: 8 }.cores_per_replica(),
+            8
+        );
     }
 
     #[test]

@@ -108,7 +108,11 @@ impl Optimizer for Lamb {
             .collect();
         let u = Tensor::new(weights.shape().clone(), u_data);
         let stats = LayerStats {
-            weight_sq: weights.data().iter().map(|&w| (w as f64) * (w as f64)).sum(),
+            weight_sq: weights
+                .data()
+                .iter()
+                .map(|&w| (w as f64) * (w as f64))
+                .sum(),
             update_sq: u.data().iter().map(|&x| (x as f64) * (x as f64)).sum(),
         };
         (u, stats)

@@ -74,7 +74,11 @@ impl Optimizer for Lars {
         let mut d = grad.clone();
         d.axpy(self.weight_decay, weights).expect("decay shapes");
         let stats = LayerStats {
-            weight_sq: weights.data().iter().map(|&w| (w as f64) * (w as f64)).sum(),
+            weight_sq: weights
+                .data()
+                .iter()
+                .map(|&w| (w as f64) * (w as f64))
+                .sum(),
             update_sq: d.data().iter().map(|&u| (u as f64) * (u as f64)).sum(),
         };
         // v = μv + d

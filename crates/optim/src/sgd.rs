@@ -55,7 +55,9 @@ impl Optimizer for SgdMomentum {
     }
 
     fn apply(&self, weights: &mut Tensor, update: &Tensor, _stats: LayerStats) {
-        weights.axpy(-self.lr, update).expect("weights/update shape");
+        weights
+            .axpy(-self.lr, update)
+            .expect("weights/update shape");
     }
 
     fn set_learning_rate(&mut self, lr: f32) {

@@ -64,7 +64,8 @@ pub fn replicated_step(
     // Every replica computes the same update; do the math once and apply
     // it to each replica's copy (their states are mirrored by
     // construction).
-    let (update, stats) = optimizer.prepare(StateKey::full_layer(layer), &weights[0], &ar.outputs[0]);
+    let (update, stats) =
+        optimizer.prepare(StateKey::full_layer(layer), &weights[0], &ar.outputs[0]);
     for w in weights.iter_mut() {
         optimizer.apply(w, &update, stats);
     }
@@ -297,7 +298,12 @@ mod tests {
         // Wire bytes are unchanged; the sharded path adds one scalar
         // (latency-only) all-reduce for the layer statistics.
         assert!(sha.comm >= rep.comm);
-        assert!(sha.comm < 1.3 * rep.comm, "sha={} rep={}", sha.comm, rep.comm);
+        assert!(
+            sha.comm < 1.3 * rep.comm,
+            "sha={} rep={}",
+            sha.comm,
+            rep.comm
+        );
     }
 
     #[test]

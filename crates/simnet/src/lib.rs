@@ -26,8 +26,9 @@
 
 mod engine;
 mod network;
-mod time;
 
 pub use engine::EventQueue;
 pub use network::{Network, NetworkConfig, Transfer};
-pub use time::SimTime;
+// `SimTime` moved down into `multipod-trace` (so trace events can be
+// stamped below this crate); re-exported here for compatibility.
+pub use multipod_trace::SimTime;

@@ -1,10 +1,13 @@
 //! Cut-through network timing with per-directed-link occupancy.
 
 use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use multipod_topology::{ChipId, LinkClass, Multipod, Route, TopologyError};
+use multipod_trace::{LinkTransferEvent, TraceSink};
 
 use crate::SimTime;
 
@@ -75,12 +78,25 @@ pub struct Transfer {
 /// then held busy for the serialization time, which is what creates
 /// contention between overlapping transfers (e.g. peer-hopping gradient
 /// rings crossing model-parallel tiles, §3.3).
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Network {
     mesh: Multipod,
     config: NetworkConfig,
     link_free: HashMap<(u32, u32), SimTime>,
     link_bytes: HashMap<(u32, u32), u64>,
+    sink: Option<Arc<dyn TraceSink>>,
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("mesh", &self.mesh)
+            .field("config", &self.config)
+            .field("link_free", &self.link_free)
+            .field("link_bytes", &self.link_bytes)
+            .field("traced", &self.sink.is_some())
+            .finish()
+    }
 }
 
 impl Network {
@@ -91,6 +107,42 @@ impl Network {
             config,
             link_free: HashMap::new(),
             link_bytes: HashMap::new(),
+            sink: None,
+        }
+    }
+
+    /// Attaches a trace sink; every subsequent transfer emits one
+    /// [`LinkTransferEvent`] per traversed directed link.
+    pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detaches the trace sink, restoring the zero-overhead path.
+    pub fn clear_trace_sink(&mut self) {
+        self.sink = None;
+    }
+
+    /// The attached sink, if any — collective schedules reuse it for their
+    /// phase spans so one recorder sees the whole run.
+    pub fn trace_sink(&self) -> Option<&Arc<dyn TraceSink>> {
+        self.sink.as_ref()
+    }
+
+    /// The trace classification of the directed link `from → to`.
+    pub fn trace_link_class(&self, from: ChipId, to: ChipId) -> multipod_trace::LinkClass {
+        match self.mesh.link_between(from, to) {
+            Some(LinkClass::IntraPod) => {
+                let a = self.mesh.coord_of(from);
+                let b = self.mesh.coord_of(to);
+                if a.y == b.y {
+                    multipod_trace::LinkClass::MeshX
+                } else {
+                    multipod_trace::LinkClass::MeshY
+                }
+            }
+            Some(LinkClass::TorusWrap) => multipod_trace::LinkClass::WrapY,
+            Some(LinkClass::CrossPodOptical) => multipod_trace::LinkClass::CrossPod,
+            None => multipod_trace::LinkClass::Unknown,
         }
     }
 
@@ -193,6 +245,21 @@ impl Network {
             self.link_free.insert((w[0].0, w[1].0), busy_until);
             *self.link_bytes.entry((w[0].0, w[1].0)).or_insert(0) += bytes;
         }
+        if let Some(sink) = &self.sink {
+            // Cut-through: the message holds every link of the route for
+            // the same serialization window, so each hop gets the same
+            // [depart, busy_until] occupancy the contention model charged.
+            for w in route.chips.windows(2) {
+                sink.record_link(LinkTransferEvent {
+                    src: w[0].0,
+                    dst: w[1].0,
+                    class: self.trace_link_class(w[0], w[1]),
+                    bytes,
+                    start: depart,
+                    end: busy_until,
+                });
+            }
+        }
         Transfer {
             finish,
             num_hops: route.num_hops(),
@@ -278,8 +345,12 @@ mod tests {
     fn contention_serializes_same_link() {
         let mut n = net(4, 1);
         let bytes = 70_000_000u64; // 1 ms serialization
-        let first = n.transfer(ChipId(0), ChipId(1), bytes, SimTime::ZERO).unwrap();
-        let second = n.transfer(ChipId(0), ChipId(1), bytes, SimTime::ZERO).unwrap();
+        let first = n
+            .transfer(ChipId(0), ChipId(1), bytes, SimTime::ZERO)
+            .unwrap();
+        let second = n
+            .transfer(ChipId(0), ChipId(1), bytes, SimTime::ZERO)
+            .unwrap();
         assert!(second.finish.seconds() > first.finish.seconds() + 0.9e-3);
     }
 
@@ -287,8 +358,12 @@ mod tests {
     fn opposite_directions_do_not_contend() {
         let mut n = net(4, 1);
         let bytes = 70_000_000u64;
-        let fwd = n.transfer(ChipId(0), ChipId(1), bytes, SimTime::ZERO).unwrap();
-        let bwd = n.transfer(ChipId(1), ChipId(0), bytes, SimTime::ZERO).unwrap();
+        let fwd = n
+            .transfer(ChipId(0), ChipId(1), bytes, SimTime::ZERO)
+            .unwrap();
+        let bwd = n
+            .transfer(ChipId(1), ChipId(0), bytes, SimTime::ZERO)
+            .unwrap();
         assert!((fwd.finish.seconds() - bwd.finish.seconds()).abs() < 1e-12);
     }
 
@@ -355,7 +430,8 @@ mod tests {
     #[test]
     fn traffic_stats_accumulate_per_link() {
         let mut n = net(4, 1);
-        n.transfer(ChipId(0), ChipId(1), 100, SimTime::ZERO).unwrap();
+        n.transfer(ChipId(0), ChipId(1), 100, SimTime::ZERO)
+            .unwrap();
         n.transfer(ChipId(0), ChipId(1), 50, SimTime::ZERO).unwrap();
         n.transfer(ChipId(0), ChipId(2), 10, SimTime::ZERO).unwrap();
         assert_eq!(n.link_traffic(ChipId(0), ChipId(1)), 160);
@@ -366,6 +442,29 @@ mod tests {
         assert_eq!(y, 0);
         n.clear_traffic_stats();
         assert_eq!(n.link_traffic(ChipId(0), ChipId(1)), 0);
+    }
+
+    #[test]
+    fn trace_sink_sees_per_link_occupancy() {
+        use multipod_trace::Recorder;
+        let mut n = net(4, 1);
+        let recorder = Recorder::shared();
+        n.set_trace_sink(recorder.clone());
+        n.transfer(ChipId(0), ChipId(2), 70_000_000, SimTime::ZERO)
+            .unwrap();
+        // Cut-through: both hops of 0→1→2 are held for the same 1 ms
+        // serialization window and each carries the full payload.
+        let links = recorder.link_summaries();
+        assert_eq!(links.len(), 2);
+        for link in &links {
+            assert_eq!(link.bytes, 70_000_000);
+            assert_eq!(link.class, multipod_trace::LinkClass::MeshX);
+            assert!((link.busy_seconds - 1e-3).abs() < 1e-9);
+        }
+        n.clear_trace_sink();
+        n.transfer(ChipId(0), ChipId(1), 1000, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(recorder.len(), 2, "detached sink must see nothing");
     }
 
     #[test]

@@ -199,7 +199,7 @@ mod tests {
 
     #[test]
     fn relative_error_is_bounded_by_epsilon() {
-        for &x in &[1.0f32, 3.14159, 1234.5, 1e-6, 7.7e20] {
+        for &x in &[1.0f32, 3.25, 1234.5, 1e-6, 7.7e20] {
             let r = Bf16::round_trip(x);
             assert!(((r - x) / x).abs() <= Bf16::EPSILON / 2.0 + 1e-9, "x={x}");
         }

@@ -75,7 +75,11 @@ impl Tensor {
     /// LARS and LAMB use per-layer weight and update norms for their trust
     /// ratios.
     pub fn norm2(&self) -> f32 {
-        self.data().iter().map(|v| (*v as f64) * (*v as f64)).sum::<f64>().sqrt() as f32
+        self.data()
+            .iter()
+            .map(|v| (*v as f64) * (*v as f64))
+            .sum::<f64>()
+            .sqrt() as f32
     }
 
     /// Dot product of two same-shape tensors.

@@ -142,10 +142,7 @@ impl Tensor {
         }
         let extent = self.shape.dim(axis);
         if parts == 0 || !extent.is_multiple_of(parts) {
-            return Err(TensorError::NotDivisible {
-                dim: extent,
-                parts,
-            });
+            return Err(TensorError::NotDivisible { dim: extent, parts });
         }
         let chunk_shape = self.shape.with_dim(axis, extent / parts);
         let outer: usize = self.shape.dims()[..axis].iter().product();
@@ -170,10 +167,9 @@ impl Tensor {
     /// Returns an error when the list is empty, shapes disagree off-axis,
     /// or `axis` is out of range.
     pub fn concat(parts: &[Tensor], axis: usize) -> Result<Tensor, TensorError> {
-        let first = parts.first().ok_or(TensorError::NotDivisible {
-            dim: 0,
-            parts: 0,
-        })?;
+        let first = parts
+            .first()
+            .ok_or(TensorError::NotDivisible { dim: 0, parts: 0 })?;
         let rank = first.shape.rank();
         if axis >= rank {
             return Err(TensorError::AxisOutOfRange { axis, rank });

@@ -96,8 +96,7 @@ mod tests {
                 > LinkClass::IntraPod.latency_multiplier()
         );
         assert!(
-            LinkClass::TorusWrap.latency_multiplier()
-                > LinkClass::IntraPod.latency_multiplier()
+            LinkClass::TorusWrap.latency_multiplier() > LinkClass::IntraPod.latency_multiplier()
         );
     }
 

@@ -94,7 +94,10 @@ impl MultipodConfig {
     ///
     /// Panics if `chips` is not a power of two or is smaller than 2.
     pub fn slice(chips: u32) -> MultipodConfig {
-        assert!(chips.is_power_of_two() && chips >= 2, "chips must be a power of two >= 2");
+        assert!(
+            chips.is_power_of_two() && chips >= 2,
+            "chips must be a power of two >= 2"
+        );
         if chips <= 1024 {
             // Cut the most square power-of-two slice with y ≤ 32, matching
             // how TPU-v3 slices are carved (4x4, 8x8, 16x16, 16x32, 32x32).

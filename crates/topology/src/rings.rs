@@ -327,7 +327,10 @@ mod tests {
         assert_eq!(r.len(), m.num_chips());
         let mut seen = std::collections::HashSet::new();
         for w in r.members().windows(2) {
-            assert!(m.link_between(w[0], w[1]).is_some(), "snake must be adjacent");
+            assert!(
+                m.link_between(w[0], w[1]).is_some(),
+                "snake must be adjacent"
+            );
             seen.insert(w[0]);
         }
         seen.insert(*r.members().last().unwrap());

@@ -1,0 +1,253 @@
+//! Typed trace events, all stamped with [`SimTime`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::SimTime;
+
+/// What kind of physical link a transfer occupied.
+///
+/// This is the trace's own classification — coarser than the topology
+/// crate's link taxonomy and augmented with the mesh dimension, because
+/// per-dimension utilization is the quantity the paper reasons about
+/// (Y carries the dense gradient rings, X the strided cross-pod rings).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LinkClass {
+    /// Intra-pod link along the X dimension.
+    MeshX,
+    /// Intra-pod link along the Y dimension.
+    MeshY,
+    /// Torus wrap-around link (Y edges).
+    WrapY,
+    /// Optical cross-pod link.
+    CrossPod,
+    /// Classification unavailable (e.g. synthetic events in tests).
+    Unknown,
+}
+
+impl LinkClass {
+    /// Short human-readable label used in exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            LinkClass::MeshX => "mesh-x",
+            LinkClass::MeshY => "mesh-y",
+            LinkClass::WrapY => "wrap-y",
+            LinkClass::CrossPod => "cross-pod",
+            LinkClass::Unknown => "unknown",
+        }
+    }
+}
+
+/// Where an event renders in the exported trace (Chrome process/thread).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Track {
+    /// Whole-simulation track (training steps, end-to-end phases).
+    Sim,
+    /// A pod-wide schedule track.
+    Pod {
+        /// Pod index.
+        pod: u32,
+    },
+    /// One chip's work.
+    Chip {
+        /// Pod the chip belongs to.
+        pod: u32,
+        /// Global chip id.
+        chip: u32,
+    },
+    /// One directed link of the interconnect.
+    Link {
+        /// Source chip id.
+        src: u32,
+        /// Destination chip id.
+        dst: u32,
+    },
+    /// One input-pipeline host.
+    Host {
+        /// Host index.
+        host: u32,
+    },
+}
+
+/// Category of a [`SpanEvent`]; becomes the Chrome `cat` field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SpanCategory {
+    /// A whole collective (all-reduce, broadcast, …).
+    Collective,
+    /// One phase inside a collective (reduce-scatter Y, all-gather X, …).
+    CollectivePhase,
+    /// One training step.
+    Step,
+    /// A phase inside a step (forward/backward, gradient sum, …).
+    StepPhase,
+    /// Sharded weight-update / optimizer work.
+    Optimizer,
+    /// Host input-pipeline stage.
+    Input,
+}
+
+impl SpanCategory {
+    /// Short label used in exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanCategory::Collective => "collective",
+            SpanCategory::CollectivePhase => "collective-phase",
+            SpanCategory::Step => "step",
+            SpanCategory::StepPhase => "step-phase",
+            SpanCategory::Optimizer => "optimizer",
+            SpanCategory::Input => "input",
+        }
+    }
+}
+
+/// One message's occupancy of one directed link.
+///
+/// Under the cut-through model a message holds every link of its route for
+/// the same serialization window, so the instrumentation emits one event
+/// per traversed link: `start` is when the first byte enters the link and
+/// `end` when the link drains (`busy_until`). Summing `end - start` per
+/// link gives exactly the busy time the contention model charges.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkTransferEvent {
+    /// Source chip of the directed link.
+    pub src: u32,
+    /// Destination chip of the directed link.
+    pub dst: u32,
+    /// Link classification.
+    pub class: LinkClass,
+    /// Payload bytes carried.
+    pub bytes: u64,
+    /// First byte on the link.
+    pub start: SimTime,
+    /// Link released.
+    pub end: SimTime,
+}
+
+impl LinkTransferEvent {
+    /// Busy time this transfer charged to the link, seconds.
+    pub fn busy_seconds(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// A named interval on some track: collective phases, step phases,
+/// optimizer shard work, input-pipeline stages.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpanEvent {
+    /// Track the span renders on.
+    pub track: Track,
+    /// Category (Chrome `cat`).
+    pub category: SpanCategory,
+    /// Span name (Chrome `name`).
+    pub name: String,
+    /// Span start.
+    pub start: SimTime,
+    /// Span end.
+    pub end: SimTime,
+    /// Payload bytes attributed to the span (0 when not meaningful).
+    pub bytes: u64,
+    /// Extra numeric attributes (e.g. `alpha_seconds`, `beta_seconds`),
+    /// kept ordered for deterministic export.
+    pub args: Vec<(String, f64)>,
+}
+
+impl SpanEvent {
+    /// Builds a span with no payload or extra attributes.
+    pub fn new(
+        track: Track,
+        category: SpanCategory,
+        name: impl Into<String>,
+        start: SimTime,
+        end: SimTime,
+    ) -> SpanEvent {
+        SpanEvent {
+            track,
+            category,
+            name: name.into(),
+            start,
+            end,
+            bytes: 0,
+            args: Vec::new(),
+        }
+    }
+
+    /// Attaches a payload size.
+    pub fn with_bytes(mut self, bytes: u64) -> SpanEvent {
+        self.bytes = bytes;
+        self
+    }
+
+    /// Attaches one numeric attribute.
+    pub fn with_arg(mut self, key: impl Into<String>, value: f64) -> SpanEvent {
+        self.args.push((key.into(), value));
+        self
+    }
+
+    /// Span duration, seconds.
+    pub fn seconds(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Any recorded event.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// Link occupancy.
+    Link(LinkTransferEvent),
+    /// Named interval.
+    Span(SpanEvent),
+}
+
+impl TraceEvent {
+    /// Event start time.
+    pub fn start(&self) -> SimTime {
+        match self {
+            TraceEvent::Link(e) => e.start,
+            TraceEvent::Span(e) => e.start,
+        }
+    }
+
+    /// Event end time.
+    pub fn end(&self) -> SimTime {
+        match self {
+            TraceEvent::Link(e) => e.end,
+            TraceEvent::Span(e) => e.end,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_builder_accumulates() {
+        let s = SpanEvent::new(
+            Track::Sim,
+            SpanCategory::Step,
+            "step-0",
+            SimTime::ZERO,
+            SimTime::from_seconds(0.25),
+        )
+        .with_bytes(1024)
+        .with_arg("comm_seconds", 0.1);
+        assert_eq!(s.seconds(), 0.25);
+        assert_eq!(s.bytes, 1024);
+        assert_eq!(s.args, vec![("comm_seconds".to_string(), 0.1)]);
+    }
+
+    #[test]
+    fn events_round_trip_through_serde() {
+        let ev = TraceEvent::Link(LinkTransferEvent {
+            src: 3,
+            dst: 4,
+            class: LinkClass::MeshY,
+            bytes: 4096,
+            start: SimTime::from_seconds(1e-3),
+            end: SimTime::from_seconds(2e-3),
+        });
+        let json = serde_json::to_string(&serde_json::to_value(&ev).unwrap()).unwrap();
+        let back: TraceEvent =
+            serde_json::from_value(&serde_json::from_str(&json).unwrap()).unwrap();
+        assert_eq!(back, ev);
+    }
+}

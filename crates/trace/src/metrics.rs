@@ -1,0 +1,210 @@
+//! A small serde-serializable metrics registry: counters, gauges, and
+//! fixed-bucket histograms, all keyed by name with deterministic (sorted)
+//! iteration order.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Histogram bucket upper bounds, in seconds — decades from 1 µs to 10 s.
+/// Values above the last bound land in a final overflow bucket.
+pub const BUCKET_BOUNDS: [f64; 8] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0];
+
+/// Streaming histogram with decade buckets plus count/sum/min/max.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+    /// Counts per bucket of [`BUCKET_BOUNDS`], plus one overflow bucket.
+    pub buckets: Vec<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            buckets: vec![0; BUCKET_BOUNDS.len() + 1],
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+        let bucket = BUCKET_BOUNDS
+            .iter()
+            .position(|&bound| value <= bound)
+            .unwrap_or(BUCKET_BOUNDS.len());
+        self.buckets[bucket] += 1;
+    }
+
+    /// Mean observation, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+}
+
+/// Named counters, gauges, and histograms.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `by` to a counter, creating it at zero.
+    pub fn inc_counter(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Current counter value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets a gauge.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Current gauge value.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records one observation into a histogram, creating it on first use.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// A histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Sorted counter entries.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Sorted gauge entries.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds another registry into this one: counters add, gauges take the
+    /// other's value, histogram buckets add.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, &value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, &value) in &other.gauges {
+            self.gauges.insert(name.clone(), value);
+        }
+        for (name, hist) in &other.histograms {
+            let mine = self.histograms.entry(name.clone()).or_default();
+            if mine.count == 0 {
+                *mine = hist.clone();
+            } else if hist.count > 0 {
+                mine.count += hist.count;
+                mine.sum += hist.sum;
+                mine.min = mine.min.min(hist.min);
+                mine.max = mine.max.max(hist.max);
+                for (a, b) in mine.buckets.iter_mut().zip(&hist.buckets) {
+                    *a += b;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let mut m = MetricsRegistry::new();
+        m.inc_counter("steps", 2);
+        m.inc_counter("steps", 3);
+        m.set_gauge("util", 0.5);
+        assert_eq!(m.counter("steps"), 5);
+        assert_eq!(m.gauge("util"), Some(0.5));
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::default();
+        h.observe(5e-7); // ≤ 1µs bucket
+        h.observe(5e-4); // ≤ 1ms bucket
+        h.observe(100.0); // overflow
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 5e-7);
+        assert_eq!(h.max, 100.0);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[3], 1);
+        assert_eq!(h.buckets[BUCKET_BOUNDS.len()], 1);
+        assert!(h.mean().unwrap() > 33.0);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_histograms() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.inc_counter("events", 1);
+        b.inc_counter("events", 2);
+        a.observe("lat", 1e-3);
+        b.observe("lat", 1e-2);
+        a.merge(&b);
+        assert_eq!(a.counter("events"), 3);
+        assert_eq!(a.histogram("lat").unwrap().count, 2);
+    }
+
+    #[test]
+    fn registry_round_trips_through_serde() {
+        let mut m = MetricsRegistry::new();
+        m.inc_counter("c", 7);
+        m.set_gauge("g", 1.25);
+        m.observe("h", 3e-5);
+        let value = serde_json::to_value(&m).unwrap();
+        let back: MetricsRegistry = serde_json::from_value(&value).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// rejected at construction) so it can key event queues.
 ///
 /// ```
-/// use multipod_simnet::SimTime;
+/// use multipod_trace::SimTime;
 ///
 /// let t = SimTime::ZERO + 1.5e-3;
 /// assert_eq!(t.seconds(), 1.5e-3);

@@ -72,7 +72,10 @@ fn main() {
             .map(|(x, y)| {
                 let resid = x.matmul(&wm).sub(y).unwrap();
                 // Xᵀ r computed as rᵀ X (keeps everything rank-2).
-                let rt = resid.clone().reshape(Shape::of(&[1, samples_per_chip])).unwrap();
+                let rt = resid
+                    .clone()
+                    .reshape(Shape::of(&[1, samples_per_chip]))
+                    .unwrap();
                 rt.matmul(x)
                     .scale(2.0 / (chips * samples_per_chip) as f32)
                     .reshape(Shape::vector(dim))
@@ -132,8 +135,14 @@ fn main() {
     println!();
     println!("initial loss : {initial_loss:.4}");
     println!("final loss   : {final_loss:.6}");
-    println!("‖w − w*‖     : {:.4}", weights.sub(&w_true).unwrap().norm2());
-    println!("simulated gradient-summation time: {:.2} ms total", 1e3 * comm_seconds);
+    println!(
+        "‖w − w*‖     : {:.4}",
+        weights.sub(&w_true).unwrap().norm2()
+    );
+    println!(
+        "simulated gradient-summation time: {:.2} ms total",
+        1e3 * comm_seconds
+    );
     assert!(
         final_loss < 0.02 * initial_loss,
         "distributed training must converge"

@@ -23,8 +23,14 @@ fn main() {
     let specs = vec![
         EmbeddingSpec { rows: 64, dim: 4 },
         EmbeddingSpec { rows: 64, dim: 4 },
-        EmbeddingSpec { rows: 100_000, dim: 4 },
-        EmbeddingSpec { rows: 200_000, dim: 4 },
+        EmbeddingSpec {
+            rows: 100_000,
+            dim: 4,
+        },
+        EmbeddingSpec {
+            rows: 200_000,
+            dim: 4,
+        },
     ];
     let placement = Placement::plan(&specs, 16, 4 * 1024);
     println!("placement:");
@@ -67,7 +73,9 @@ fn main() {
     // Train the embeddings with a logistic surrogate: the model's score
     // is the mean of all embedding entries plus the pairwise interactions.
     let score = |feats: &Tensor, sample: usize, width: usize| -> f32 {
-        feats.data()[sample * width..(sample + 1) * width].iter().sum::<f32>()
+        feats.data()[sample * width..(sample + 1) * width]
+            .iter()
+            .sum::<f32>()
     };
     let mut comm_time = 0.0f64;
     for step in 0..300 {
@@ -88,7 +96,11 @@ fn main() {
         let g = Tensor::new(out.embeddings.shape().clone(), grads);
         emb.scatter_update(&idx, &g, 0.1);
         if step % 100 == 99 {
-            println!("step {:>3}: cumulative lookup comm {:.1} µs", step + 1, 1e6 * comm_time);
+            println!(
+                "step {:>3}: cumulative lookup comm {:.1} µs",
+                step + 1,
+                1e6 * comm_time
+            );
         }
     }
 

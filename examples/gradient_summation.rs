@@ -49,13 +49,29 @@ fn main() {
         .iter()
         .map(|o| o.max_abs_diff(&expect))
         .fold(0.0f32, f32::max);
-    println!("numeric check: max |error| = {worst:.2e} over {} chips", out.outputs.len());
+    println!(
+        "numeric check: max |error| = {worst:.2e} over {} chips",
+        out.outputs.len()
+    );
     assert!(worst < 1e-3);
 
     println!("\nsimulated phase times:");
-    println!("  Y reduce-scatter : {:.1} µs", 1e6 * out.breakdown.y_reduce_scatter);
-    println!("  X reduce-scatter : {:.1} µs (payload 1/{} of Y)", 1e6 * out.breakdown.x_reduce_scatter, mesh.y_len());
-    println!("  X all-gather     : {:.1} µs", 1e6 * out.breakdown.x_all_gather);
-    println!("  Y all-gather     : {:.1} µs", 1e6 * out.breakdown.y_all_gather);
+    println!(
+        "  Y reduce-scatter : {:.1} µs",
+        1e6 * out.breakdown.y_reduce_scatter
+    );
+    println!(
+        "  X reduce-scatter : {:.1} µs (payload 1/{} of Y)",
+        1e6 * out.breakdown.x_reduce_scatter,
+        mesh.y_len()
+    );
+    println!(
+        "  X all-gather     : {:.1} µs",
+        1e6 * out.breakdown.x_all_gather
+    );
+    println!(
+        "  Y all-gather     : {:.1} µs",
+        1e6 * out.breakdown.y_all_gather
+    );
     println!("  total            : {:.1} µs", 1e6 * out.breakdown.total());
 }

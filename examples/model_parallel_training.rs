@@ -86,7 +86,10 @@ fn main() {
             println!("step {:>2}: lr={lr:.4} loss={loss_now:.5}", step + 1);
         }
     }
-    println!("simulated tile communication across the run: {:.2} ms", 1e3 * comm);
+    println!(
+        "simulated tile communication across the run: {:.2} ms",
+        1e3 * comm
+    );
 
     // Final check.
     let feeds: HashMap<String, Tensor> = [

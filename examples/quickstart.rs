@@ -29,7 +29,10 @@ fn main() {
         1e3 * report.step.weight_update
     );
     println!();
-    println!("initialization : {:.0} s (excluded from MLPerf time)", report.init_seconds);
+    println!(
+        "initialization : {:.0} s (excluded from MLPerf time)",
+        report.init_seconds
+    );
     println!("training       : {:.1} s", report.train_seconds);
     println!("evaluation     : {:.1} s", report.eval_seconds);
     println!(

@@ -11,7 +11,9 @@ use multipod::core::scaling::{standard_chip_counts, ScalingCurve};
 use multipod::models::catalog;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "ResNet-50".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "ResNet-50".into());
     let workload = catalog::all()
         .into_iter()
         .find(|w| w.name == name)

@@ -61,7 +61,10 @@ fn main() {
     let reference = graph.evaluate(&feeds).unwrap();
     let err = assembled.max_abs_diff(&reference[0]);
     println!("  partitioned == reference? max |error| = {err:.2e}");
-    println!("  simulated tile communication: {:.2} µs", 1e6 * comm_time.seconds());
+    println!(
+        "  simulated tile communication: {:.2} µs",
+        1e6 * comm_time.seconds()
+    );
     assert!(err < 1e-3);
 
     // --- Spatial partitioning: a same-padded conv split along the image

@@ -24,6 +24,8 @@
 //!   control-plane and evaluation-metric substrates.
 //! * [`core`] — the training executor that combines everything into
 //!   step-time breakdowns and end-to-end benchmark times.
+//! * [`trace`] — sim-time tracing: typed events, per-link utilization
+//!   metrics and Chrome-trace (Perfetto) export of any simulated run.
 //!
 //! ## Quickstart
 //!
@@ -47,3 +49,4 @@ pub use multipod_optim as optim;
 pub use multipod_simnet as simnet;
 pub use multipod_tensor as tensor;
 pub use multipod_topology as topology;
+pub use multipod_trace as trace;

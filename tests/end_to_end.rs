@@ -43,7 +43,14 @@ fn table1_all_rows_run_and_land_in_band() {
 fn table2_init_ordering_holds_for_all_benchmarks() {
     use multipod::framework::{profiles, InitModel};
     let m = InitModel::calibrated();
-    for name in ["ResNet-50", "BERT", "SSD", "Transformer", "MaskRCNN", "DLRM"] {
+    for name in [
+        "ResNet-50",
+        "BERT",
+        "SSD",
+        "Transformer",
+        "MaskRCNN",
+        "DLRM",
+    ] {
         let p = profiles::by_name(name);
         let tf = m.init_seconds(FrameworkKind::TensorFlow, &p, 4096);
         let jax = m.init_seconds(FrameworkKind::Jax, &p, 4096);

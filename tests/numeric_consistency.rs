@@ -50,11 +50,8 @@ fn sharded_lamb_inside_2d_allreduce_matches_replicated_reference() {
     let w_shards = w0.split(0, shards_total).unwrap();
     let g_shards = summed.split(0, shards_total).unwrap();
     for s in 0..shards_total {
-        let (_u, stats) = probe.prepare(
-            StateKey { layer: 0, shard: s },
-            &w_shards[s],
-            &g_shards[s],
-        );
+        let (_u, stats) =
+            probe.prepare(StateKey { layer: 0, shard: s }, &w_shards[s], &g_shards[s]);
         global = global.merge(stats);
     }
 
@@ -142,10 +139,7 @@ fn feature_sharded_forward_plus_peer_gradient_ring() {
     // peers using the strided X ring that hops over the tile neighbour.
     for peer in 0..parts {
         let ring_peers = mesh.x_line_strided(0, peer as u32, 2);
-        let inputs: Vec<Tensor> = per_tile_outputs
-            .iter()
-            .map(|o| o[peer].clone())
-            .collect();
+        let inputs: Vec<Tensor> = per_tile_outputs.iter().map(|o| o[peer].clone()).collect();
         let reduced = ring::all_reduce_unidirectional(
             &mut net,
             &ring_peers,
@@ -174,10 +168,7 @@ fn bf16_2d_allreduce_error_bounded() {
         .collect();
     let reference = Tensor::sum_all(&grads);
     let out = two_dim_all_reduce(&mut net, &grads, Precision::Bf16, 1, None).unwrap();
-    let bound = reference
-        .data()
-        .iter()
-        .fold(0.0f32, |m, &v| m.max(v.abs()))
+    let bound = reference.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()))
         * mesh.num_chips() as f32
         * (1.0 / 128.0);
     for o in &out.outputs {

@@ -1,0 +1,181 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset this workspace's benches use — `Criterion`,
+//! `benchmark_group` returning a [`BenchmarkGroup`] parameterized on
+//! [`measurement::WallTime`], the `sample_size` / `measurement_time` /
+//! `warm_up_time` knobs, `bench_function` with a [`Bencher`], and the
+//! `criterion_group!` / `criterion_main!` macros. Benchmarks really run:
+//! each gets a warm-up, then `sample_size` timed samples whose per-sample
+//! iteration count targets `measurement_time`, and min/mean/max per
+//! iteration are printed. No statistics engine, no HTML reports.
+
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+/// Measurement markers, mirroring criterion's module of the same name.
+pub mod measurement {
+    /// Wall-clock measurement (the default and only one here).
+    pub struct WallTime;
+}
+
+/// Prevents the optimizer from discarding a benchmark result.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            _criterion: PhantomData,
+            _measurement: PhantomData,
+        }
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a, M> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _criterion: PhantomData<&'a mut Criterion>,
+    _measurement: PhantomData<M>,
+}
+
+impl<'a, M> BenchmarkGroup<'a, M> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total time budget for the timed samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up duration before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its per-iteration timings.
+    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        S: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.as_ref();
+        // Warm-up: repeat single iterations until the budget elapses, and
+        // learn the rough per-iteration cost while doing so.
+        let warm_start = Instant::now();
+        let mut per_iter = Duration::from_nanos(1);
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        loop {
+            f(&mut b);
+            if b.elapsed > Duration::ZERO {
+                per_iter = b.elapsed / b.iters as u32;
+            }
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        let iters = (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let mut total = Duration::ZERO;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            let sample = b.elapsed / iters as u32;
+            min = min.min(sample);
+            max = max.max(sample);
+            total += sample;
+        }
+        let mean = total / self.sample_size as u32;
+        println!(
+            "{}/{id}: [{:.3?} {:.3?} {:.3?}] ({} samples x {iters} iters)",
+            self.name, min, mean, max, self.sample_size
+        );
+        self
+    }
+
+    /// Ends the group (report already printed per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`, keeping results live via `black_box`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2);
+        g.measurement_time(Duration::from_millis(10));
+        g.warm_up_time(Duration::from_millis(1));
+        let mut ran = 0u64;
+        g.bench_function("count", |b| b.iter(|| ran += 1));
+        g.finish();
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Implements the scoped-thread API (`crossbeam::scope`, `Scope::spawn`,
+//! `ScopedJoinHandle::join`) on top of `std::thread::scope`. Matches the
+//! crossbeam 0.8 signatures: `scope` returns a `Result`, spawn closures
+//! receive a `&Scope` argument, and `join` returns the thread result.
+
+use std::any::Any;
+
+/// Error payload from a panicked scope (never produced by this stand-in:
+/// `std::thread::scope` propagates panics instead).
+pub type ScopeError = Box<dyn Any + Send + 'static>;
+
+/// A scope handle passed to [`scope`] closures; spawn borrows non-`'static`
+/// data from the enclosing environment.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+/// Handle to a thread spawned inside a [`scope`].
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread and returns its result, or the panic payload.
+    pub fn join(self) -> Result<T, ScopeError> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread bound to this scope. As in crossbeam, the closure
+    /// receives the scope so it can spawn nested work.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&scope)),
+        }
+    }
+}
+
+/// Runs `f` with a scope whose spawned threads all join before return.
+///
+/// # Errors
+///
+/// Crossbeam reports panicking children here; with `std::thread::scope`
+/// underneath, a panicking child re-panics on join instead, so this
+/// stand-in always returns `Ok`.
+pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u32, 2, 3, 4];
+        let total: u32 = super::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| scope.spawn(move |_| c.iter().sum::<u32>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_receives_scope() {
+        let v = super::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 7u32).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 7);
+    }
+}

@@ -1,0 +1,480 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so the real `serde` cannot be fetched. This crate provides the small
+//! slice of serde's surface the workspace actually uses — `Serialize` /
+//! `Deserialize` traits driven by derive macros — over a simple
+//! self-describing tree ([`Content`]) instead of serde's visitor-based
+//! data model. `serde_json` (also vendored) renders and parses that tree.
+//!
+//! The API is intentionally compatible at the *use-site* level: code that
+//! writes `#[derive(Serialize, Deserialize)]` and calls
+//! `serde_json::to_string` / `from_str` compiles unchanged against the
+//! real crates.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A self-describing serialized value: the stand-in's data model.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// JSON `null` / unit.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer (only used for negative values).
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Content>),
+    /// Key-value map with deterministic (insertion) order.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Looks up a key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as f64, coercing integer representations.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::U64(v) => Some(v as f64),
+            Content::I64(v) => Some(v as f64),
+            Content::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as u64 when integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::U64(v) => Some(v),
+            Content::I64(v) if v >= 0 => Some(v as u64),
+            Content::F64(v) if v >= 0.0 && v.fract() == 0.0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as i64 when integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Content::U64(v) => i64::try_from(v).ok(),
+            Content::I64(v) => Some(v),
+            Content::F64(v) if v.fract() == 0.0 => Some(v as i64),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Builds an error from anything displayable.
+    pub fn msg(m: impl fmt::Display) -> DeError {
+        DeError(m.to_string())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into the [`Content`] tree.
+pub trait Serialize {
+    /// Converts to the self-describing tree.
+    fn ser(&self) -> Content;
+}
+
+/// Types that can be rebuilt from the [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds from the self-describing tree.
+    fn de(content: &Content) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------- primitives
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser(&self) -> Content { Content::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn de(c: &Content) -> Result<Self, DeError> {
+                let v = c.as_u64().ok_or_else(|| DeError::msg(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(v).map_err(|_| DeError::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn de(c: &Content) -> Result<Self, DeError> {
+                let v = c.as_i64().ok_or_else(|| DeError::msg(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(v).map_err(|_| DeError::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn ser(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn de(c: &Content) -> Result<Self, DeError> {
+        c.as_f64().ok_or_else(|| DeError::msg("expected f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn ser(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn de(c: &Content) -> Result<Self, DeError> {
+        c.as_f64()
+            .map(|v| v as f32)
+            .ok_or_else(|| DeError::msg("expected f32"))
+    }
+}
+
+impl Serialize for bool {
+    fn ser(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn de(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(DeError::msg("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn ser(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn de(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::msg("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn ser(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+// `&str` serializes through the `&T` blanket impl over `impl Serialize
+// for str`.
+
+// Static strings can only be rebuilt by leaking; acceptable for the
+// simulator's config structs, which are created a handful of times.
+impl Deserialize for &'static str {
+    fn de(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            _ => Err(DeError::msg("expected string")),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn ser(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn de(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::msg("expected single-char string")),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn ser(&self) -> Content {
+        Content::Null
+    }
+}
+impl Deserialize for () {
+    fn de(_: &Content) -> Result<Self, DeError> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------- containers
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn ser(&self) -> Content {
+        match self {
+            Some(v) => v.ser(),
+            None => Content::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn de(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::de(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn ser(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::ser).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn de(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::de).collect(),
+            _ => Err(DeError::msg("expected sequence")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn ser(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn ser(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::ser).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn de(c: &Content) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::de(c)?;
+        items
+            .try_into()
+            .map_err(|_| DeError::msg("sequence length does not match array"))
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn ser(&self) -> Content {
+        (**self).ser()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn de(c: &Content) -> Result<Self, DeError> {
+        T::de(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn ser(&self) -> Content {
+        (**self).ser()
+    }
+}
+
+/// Deterministic ordering over contents, used to sort hash-map entries
+/// before serialization (rank by variant, then by value).
+pub fn content_cmp(a: &Content, b: &Content) -> std::cmp::Ordering {
+    fn rank(c: &Content) -> u8 {
+        match c {
+            Content::Null => 0,
+            Content::Bool(_) => 1,
+            Content::U64(_) | Content::I64(_) | Content::F64(_) => 2,
+            Content::Str(_) => 3,
+            Content::Seq(_) => 4,
+            Content::Map(_) => 5,
+        }
+    }
+    use std::cmp::Ordering;
+    match (a, b) {
+        (Content::Bool(x), Content::Bool(y)) => x.cmp(y),
+        (Content::Str(x), Content::Str(y)) => x.cmp(y),
+        (x, y) if rank(x) == 2 && rank(y) == 2 => {
+            let xf = x.as_f64().unwrap_or(f64::NAN);
+            let yf = y.as_f64().unwrap_or(f64::NAN);
+            xf.total_cmp(&yf)
+        }
+        (Content::Seq(x), Content::Seq(y)) => {
+            for (xi, yi) in x.iter().zip(y.iter()) {
+                let ord = content_cmp(xi, yi);
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        (x, y) => rank(x).cmp(&rank(y)),
+    }
+}
+
+// Maps serialize as JSON objects when every key is a string, and as
+// `[[key, value], ...]` pair sequences otherwise (e.g. integer-newtype
+// keys). Entries are sorted for deterministic output.
+impl<K: Serialize + Eq + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn ser(&self) -> Content {
+        let mut entries: Vec<(Content, Content)> =
+            self.iter().map(|(k, v)| (k.ser(), v.ser())).collect();
+        entries.sort_by(|x, y| content_cmp(&x.0, &y.0));
+        if entries.iter().all(|(k, _)| matches!(k, Content::Str(_))) {
+            Content::Map(
+                entries
+                    .into_iter()
+                    .map(|(k, v)| match k {
+                        Content::Str(s) => (s, v),
+                        _ => unreachable!("checked all keys are strings"),
+                    })
+                    .collect(),
+            )
+        } else {
+            Content::Seq(
+                entries
+                    .into_iter()
+                    .map(|(k, v)| Content::Seq(vec![k, v]))
+                    .collect(),
+            )
+        }
+    }
+}
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn de(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::de(&Content::Str(k.clone()))?, V::de(v)?)))
+                .collect(),
+            Content::Seq(items) => items
+                .iter()
+                .map(|item| match item {
+                    Content::Seq(pair) if pair.len() == 2 => {
+                        Ok((K::de(&pair[0])?, V::de(&pair[1])?))
+                    }
+                    _ => Err(DeError::msg("expected [key, value] pair")),
+                })
+                .collect(),
+            _ => Err(DeError::msg("expected map")),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn ser(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.clone(), v.ser())).collect())
+    }
+}
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn de(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::de(v)?)))
+                .collect(),
+            _ => Err(DeError::msg("expected map")),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn ser(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.ser()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn de(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::Seq(items) => {
+                        let mut it = items.iter();
+                        Ok(($(
+                            $name::de(it.next().ok_or_else(|| DeError::msg("tuple too short"))?)?,
+                        )+))
+                    }
+                    _ => Err(DeError::msg("expected tuple sequence")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+impl Serialize for Content {
+    fn ser(&self) -> Content {
+        self.clone()
+    }
+}
+impl Deserialize for Content {
+    fn de(c: &Content) -> Result<Self, DeError> {
+        Ok(c.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::de(&42u32.ser()).unwrap(), 42);
+        assert_eq!(i64::de(&(-7i64).ser()).unwrap(), -7);
+        assert_eq!(f64::de(&1.5f64.ser()).unwrap(), 1.5);
+        assert!(bool::de(&true.ser()).unwrap());
+        assert_eq!(String::de(&"hi".to_string().ser()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::de(&v.ser()).unwrap(), v);
+        let t = (1u32, 2.5f64, "x".to_string());
+        assert_eq!(<(u32, f64, String)>::de(&t.ser()).unwrap(), t);
+        assert_eq!(Option::<u32>::de(&None::<u32>.ser()).unwrap(), None);
+        assert_eq!(Option::<u32>::de(&Some(3u32).ser()).unwrap(), Some(3));
+    }
+}

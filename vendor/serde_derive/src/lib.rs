@@ -1,0 +1,411 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Hand-rolled over `proc_macro` token trees (the build environment has no
+//! crates.io access, so `syn`/`quote` are unavailable). Supports the shapes
+//! this workspace actually derives on:
+//!
+//! * structs with named fields, tuple structs (newtype included), unit
+//!   structs;
+//! * enums with unit, tuple and struct variants (externally tagged, like
+//!   real serde's default representation).
+//!
+//! Generics are intentionally unsupported — no serialized type in the
+//! workspace is generic, and a clear panic beats silently-wrong codegen.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize` (stand-in data-model version).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    code.parse().expect("serialize codegen parses")
+}
+
+/// Derives `serde::Deserialize` (stand-in data-model version).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    code.parse().expect("deserialize codegen parses")
+}
+
+// ------------------------------------------------------------------ parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let kind = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive does not support generic type `{name}`");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body, found {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("derive supports struct/enum, found `{other}`"),
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match (tokens.get(*i), tokens.get(*i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Advances past a type (or expression) until a top-level comma, tracking
+/// `<...>` nesting (angle brackets are plain puncts, not groups).
+fn skip_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        fields.push(expect_ident(&tokens, &mut i));
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        skip_until_comma(&tokens, &mut i);
+        i += 1; // past the comma (or end)
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut count = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_until_comma(&tokens, &mut i);
+        i += 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the separating comma.
+        skip_until_comma(&tokens, &mut i);
+        i += 1;
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ------------------------------------------------------------------ codegen
+
+fn serialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::ser(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Fields::Tuple(1) => "::serde::Serialize::ser(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::ser(&self.{k})"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Fields::Unit => "::serde::Content::Null".to_string(),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n  fn ser(&self) -> ::serde::Content {{ {body} }}\n}}\n"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::de(__c.get(\"{f}\").ok_or_else(|| \
+                         ::serde::DeError::msg(\"missing field `{f}` in {name}\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "match __c {{\n  ::serde::Content::Map(_) => ::std::result::Result::Ok({name} {{ {} }}),\n  \
+                 _ => ::std::result::Result::Err(::serde::DeError::msg(\"expected map for {name}\")),\n}}",
+                inits.join(", ")
+            )
+        }
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::de(__c)?))")
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::de(&__items[{k}])?"))
+                .collect();
+            format!(
+                "match __c {{\n  ::serde::Content::Seq(__items) if __items.len() == {n} => \
+                 ::std::result::Result::Ok({name}({})),\n  \
+                 _ => ::std::result::Result::Err(::serde::DeError::msg(\"expected {n}-element sequence for {name}\")),\n}}",
+                items.join(", ")
+            )
+        }
+        Fields::Unit => format!("::std::result::Result::Ok({name})"),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n  fn de(__c: &::serde::Content) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n}}\n"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            match &v.fields {
+                Fields::Unit => format!(
+                    "{name}::{vn} => ::serde::Content::Str(::std::string::String::from(\"{vn}\"))"
+                ),
+                Fields::Tuple(1) => format!(
+                    "{name}::{vn}(__f0) => ::serde::Content::Map(::std::vec![\
+                     (::std::string::String::from(\"{vn}\"), ::serde::Serialize::ser(__f0))])"
+                ),
+                Fields::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::ser(__f{k})"))
+                        .collect();
+                    format!(
+                        "{name}::{vn}({}) => ::serde::Content::Map(::std::vec![\
+                         (::std::string::String::from(\"{vn}\"), \
+                         ::serde::Content::Seq(::std::vec![{}]))])",
+                        binds.join(", "),
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(fields) => {
+                    let binds = fields.join(", ");
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::ser({f}))"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vn} {{ {binds} }} => ::serde::Content::Map(::std::vec![\
+                         (::std::string::String::from(\"{vn}\"), \
+                         ::serde::Content::Map(::std::vec![{}]))])",
+                        entries.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n  fn ser(&self) -> ::serde::Content {{\n    \
+         match self {{ {} }}\n  }}\n}}\n",
+        arms.join(",\n")
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .map(|v| {
+            format!(
+                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn})",
+                vn = v.name
+            )
+        })
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vn = &v.name;
+            match &v.fields {
+                Fields::Unit => None,
+                Fields::Tuple(1) => Some(format!(
+                    "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::de(__v)?))"
+                )),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::de(&__items[{k}])?"))
+                        .collect();
+                    Some(format!(
+                        "\"{vn}\" => match __v {{\n  ::serde::Content::Seq(__items) if __items.len() == {n} => \
+                         ::std::result::Result::Ok({name}::{vn}({})),\n  \
+                         _ => ::std::result::Result::Err(::serde::DeError::msg(\"bad payload for {name}::{vn}\")),\n}}",
+                        items.join(", ")
+                    ))
+                }
+                Fields::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::de(__v.get(\"{f}\").ok_or_else(|| \
+                                 ::serde::DeError::msg(\"missing field `{f}` in {name}::{vn}\"))?)?"
+                            )
+                        })
+                        .collect();
+                    Some(format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {} }})",
+                        inits.join(", ")
+                    ))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n  fn de(__c: &::serde::Content) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n    match __c {{\n      \
+         ::serde::Content::Str(__s) => match __s.as_str() {{\n        {unit}\n        _ => \
+         ::std::result::Result::Err(::serde::DeError::msg(\"unknown variant of {name}\")),\n      }},\n      \
+         ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n        \
+         let (__k, __v) = &__entries[0];\n        match __k.as_str() {{\n          {data}\n          _ => \
+         ::std::result::Result::Err(::serde::DeError::msg(\"unknown variant of {name}\")),\n        }}\n      }},\n      \
+         _ => ::std::result::Result::Err(::serde::DeError::msg(\"expected variant for {name}\")),\n    }}\n  }}\n}}\n",
+        unit = if unit_arms.is_empty() {
+            String::new()
+        } else {
+            format!("{},", unit_arms.join(",\n"))
+        },
+        data = if data_arms.is_empty() {
+            String::new()
+        } else {
+            format!("{},", data_arms.join(",\n"))
+        },
+    )
+}
