@@ -1,0 +1,171 @@
+//! Fault campaigns: fault-free vs degraded step time on a faulty mesh.
+//!
+//! Runs the canned campaign — a torus Y wrap-link outage plus one
+//! straggler host over the middle of a short training run — and reports
+//! clean vs degraded step time, emitting `BENCH_faults.json`.
+//!
+//! Flags:
+//!   --mesh <WxH>          mesh instead of the 128×32 multipod (e.g. 4x4)
+//!   --steps <n>           training steps (default 8)
+//!   --json <path>         output path (default BENCH_faults.json)
+//!   --trace <path>        also export the campaign Chrome trace
+//!   --check-determinism   run the campaign twice; exit 1 if the trace
+//!                         exports differ by a single byte
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use multipod_bench::trace_flag;
+use multipod_faults::{run_campaign, CampaignConfig, CampaignReport, FaultPlan};
+use multipod_simnet::SimTime;
+use multipod_topology::{Multipod, MultipodConfig};
+use multipod_trace::{Recorder, TraceSink};
+use serde_json::json;
+
+fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == name {
+            return args.next();
+        }
+        if let Some(v) = arg.strip_prefix(&format!("{name}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+fn mesh_config() -> MultipodConfig {
+    match arg_value("--mesh") {
+        None => MultipodConfig::multipod(4), // the paper's 128×32 machine
+        Some(spec) => {
+            let (x, y) = spec
+                .split_once('x')
+                .unwrap_or_else(|| panic!("--mesh expects WxH, got '{spec}'"));
+            MultipodConfig::mesh(
+                x.parse().expect("mesh width"),
+                y.parse().expect("mesh height"),
+                true,
+            )
+        }
+    }
+}
+
+fn campaign_trace(config: &CampaignConfig, plan: &FaultPlan) -> (CampaignReport, Arc<Recorder>) {
+    let recorder = Recorder::shared();
+    let report = run_campaign(config, plan, Some(recorder.clone() as Arc<dyn TraceSink>))
+        .expect("campaign must complete");
+    (report, recorder)
+}
+
+fn main() -> ExitCode {
+    let mesh_cfg = mesh_config();
+    let mut config = CampaignConfig::demo(mesh_cfg.clone());
+    if let Some(steps) = arg_value("--steps") {
+        config.steps = steps.parse().expect("--steps expects an integer");
+    }
+    let mesh = Multipod::new(mesh_cfg);
+    println!(
+        "# Fault campaign on {}x{} ({} chips), {} steps",
+        mesh.x_len(),
+        mesh.y_len(),
+        mesh.num_chips(),
+        config.steps
+    );
+
+    // Baseline: no faults.
+    let clean = run_campaign(&config, &FaultPlan::new(), None).expect("fault-free campaign");
+
+    // Canned campaign: the wrap link of column 0 is down while host 1
+    // straggles at 2×, from the start of step 2 to the start of step 6
+    // (clamped for short runs).
+    let t1 = clean.steps[1.min(clean.steps.len() - 1)].start_seconds;
+    let t2 = clean
+        .steps
+        .get(5)
+        .map_or(clean.total_seconds, |s| s.start_seconds);
+    let plan = FaultPlan::wrap_outage_with_straggler(
+        &mesh,
+        0,
+        SimTime::from_seconds(t1),
+        SimTime::from_seconds(t2),
+        1,
+        2.0,
+    );
+    let (faulty, recorder) = campaign_trace(&config, &plan);
+
+    let determinism_checked = std::env::args().any(|a| a == "--check-determinism");
+    let mut deterministic = true;
+    if determinism_checked {
+        let (_, again) = campaign_trace(&config, &plan);
+        let a = serde_json::to_string(&recorder.chrome_trace()).expect("trace json");
+        let b = serde_json::to_string(&again.chrome_trace()).expect("trace json");
+        deterministic = a == b;
+        println!(
+            "determinism: {}",
+            if deterministic {
+                "byte-identical trace export"
+            } else {
+                "MISMATCH — trace exports differ"
+            }
+        );
+    }
+
+    println!("config | total (ms) | mean clean step (ms) | mean degraded step (ms) | final loss");
+    println!(
+        "fault-free | {:.3} | {:.3} | - | {:.6}",
+        1e3 * clean.total_seconds,
+        1e3 * clean.mean_clean_step_seconds().unwrap_or(0.0),
+        clean.final_loss
+    );
+    println!(
+        "campaign | {:.3} | {:.3} | {:.3} | {:.6}",
+        1e3 * faulty.total_seconds,
+        1e3 * faulty.mean_clean_step_seconds().unwrap_or(0.0),
+        1e3 * faulty.mean_degraded_step_seconds().unwrap_or(0.0),
+        faulty.final_loss
+    );
+    println!(
+        "(degraded steps: {}/{}; same final loss as fault-free: {})",
+        faulty.degraded_steps,
+        faulty.steps.len(),
+        faulty.final_loss == clean.final_loss
+    );
+
+    let fault_free = json!({
+        "total_seconds": clean.total_seconds,
+        "mean_step_seconds": clean.mean_clean_step_seconds(),
+        "final_loss": clean.final_loss,
+    });
+    let campaign = json!({
+        "total_seconds": faulty.total_seconds,
+        "mean_clean_step_seconds": faulty.mean_clean_step_seconds(),
+        "mean_degraded_step_seconds": faulty.mean_degraded_step_seconds(),
+        "degraded_steps": faulty.degraded_steps,
+        "final_loss": faulty.final_loss,
+    });
+    let doc = json!({
+        "mesh": format!("{}x{}", mesh.x_len(), mesh.y_len()),
+        "chips": mesh.num_chips(),
+        "steps": config.steps,
+        "fault_free": fault_free,
+        "campaign": campaign,
+        "loss_matches_fault_free": faulty.final_loss == clean.final_loss,
+        "deterministic": determinism_checked.then_some(deterministic),
+    });
+    let json_path = arg_value("--json").unwrap_or_else(|| "BENCH_faults.json".to_string());
+    let body = serde_json::to_string_pretty(&doc).expect("report json");
+    std::fs::write(&json_path, body + "\n").expect("write BENCH_faults.json");
+    println!("wrote {json_path}");
+
+    if let Some(path) = trace_flag() {
+        recorder.write_chrome_trace(&path).expect("write trace");
+        println!("wrote {}", path.display());
+    }
+
+    if deterministic {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

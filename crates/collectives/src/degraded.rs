@@ -1,0 +1,234 @@
+//! Typed degradation reporting for collectives on a faulty mesh.
+//!
+//! The routing layer silently detours around failed links (§2: sparse
+//! routing on the cross-pod optical network), which keeps collectives
+//! *correct* but hides the fact that they got *slower*. The graceful
+//! variants here compare every ring edge's actual route against the route
+//! a healthy mesh would use and surface the difference as a typed
+//! [`Degradation`] instead of absorbing it, so callers (the trainer, fault
+//! campaigns, benches) can observe the degraded window explicitly.
+
+use multipod_simnet::{Network, SimTime};
+use multipod_tensor::Tensor;
+use multipod_topology::{Multipod, Ring};
+use multipod_trace::{SpanCategory, SpanEvent};
+
+use crate::ring::{self, CollectiveOutput};
+use crate::{chip_track, emit_span, CollectiveError, Precision};
+
+/// How far a ring's routing has strayed from the healthy-mesh plan.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Degradation {
+    /// Ring edges whose current route is longer than the healthy route.
+    pub broken_edges: usize,
+    /// Total extra hops across all edges, relative to a healthy mesh.
+    pub extra_hops: usize,
+}
+
+/// A collective result annotated with whether (and how badly) the ring was
+/// degraded by failed links while it ran.
+#[derive(Clone, Debug)]
+pub struct Graceful<T> {
+    /// The collective's output; numerically identical to the fault-free
+    /// result (detours change timing, not membership).
+    pub output: T,
+    /// `Some` when at least one ring edge detoured around a failed link.
+    pub degradation: Option<Degradation>,
+}
+
+impl<T> Graceful<T> {
+    /// Whether the collective ran over any detoured edge.
+    pub fn is_degraded(&self) -> bool {
+        self.degradation.is_some()
+    }
+}
+
+/// Compares every logical ring edge's current route against the route of a
+/// fully healed copy of `mesh`.
+///
+/// Returns `Ok(None)` when every edge routes at its healthy hop count,
+/// `Ok(Some(..))` when at least one edge detours.
+///
+/// # Errors
+///
+/// Returns [`CollectiveError::Network`] when an edge has no route at all
+/// (the ring cannot run and the caller must re-plan membership).
+pub fn ring_degradation(
+    mesh: &Multipod,
+    ring: &Ring,
+) -> Result<Option<Degradation>, CollectiveError> {
+    if ring.len() < 2 {
+        return Ok(None);
+    }
+    let mut healthy = mesh.clone();
+    healthy.heal_all_links();
+    let mut degradation = Degradation::default();
+    let members = ring.members();
+    let n = members.len();
+    // Ring schedules move chunks along every logical edge, including the
+    // wrap edge of open chains (which the network routes across the mesh),
+    // so all n edges are inspected.
+    for i in 0..n {
+        let from = members[i];
+        let to = members[(i + 1) % n];
+        let actual = mesh.route(from, to)?.num_hops();
+        let nominal = healthy
+            .route(from, to)
+            .map(|r| r.num_hops())
+            .unwrap_or(actual);
+        if actual > nominal {
+            degradation.broken_edges += 1;
+            degradation.extra_hops += actual - nominal;
+        }
+    }
+    Ok((degradation.broken_edges > 0).then_some(degradation))
+}
+
+/// [`ring::all_reduce`] with a typed degradation report.
+///
+/// When the ring runs over detoured edges, the result carries a
+/// [`Degradation`] and a `degraded-collective` fault span is emitted on
+/// the ring's first member so campaigns can see the slow window in the
+/// Chrome-trace export.
+///
+/// # Errors
+///
+/// See [`ring::all_reduce`]; additionally fails with
+/// [`CollectiveError::Network`] when an edge is fully unroutable.
+pub fn all_reduce_graceful(
+    net: &mut Network,
+    ring: &Ring,
+    inputs: &[Tensor],
+    precision: Precision,
+    start: SimTime,
+) -> Result<Graceful<CollectiveOutput>, CollectiveError> {
+    let degradation = ring_degradation(net.mesh(), ring)?;
+    let output = ring::all_reduce(net, ring, inputs, precision, start)?;
+    if let Some(d) = degradation {
+        emit_span(
+            net,
+            SpanEvent::new(
+                chip_track(net, ring.members()[0]),
+                SpanCategory::Fault,
+                "degraded-collective",
+                start,
+                output.time,
+            )
+            .with_arg("broken_edges", d.broken_edges as f64)
+            .with_arg("extra_hops", d.extra_hops as f64),
+        );
+    }
+    Ok(Graceful {
+        output,
+        degradation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multipod_simnet::NetworkConfig;
+    use multipod_tensor::Shape;
+    use multipod_topology::{Multipod, MultipodConfig};
+
+    fn column_net(y: u32) -> (Network, Ring) {
+        let mesh = Multipod::new(MultipodConfig::mesh(1, y, true));
+        let net = Network::new(mesh, NetworkConfig::tpu_v3());
+        let ring = net.mesh().y_ring(0);
+        (net, ring)
+    }
+
+    fn inputs(n: usize, elems: usize) -> Vec<Tensor> {
+        (0..n)
+            .map(|i| Tensor::fill(Shape::vector(elems), i as f32))
+            .collect()
+    }
+
+    #[test]
+    fn healthy_ring_reports_no_degradation() {
+        let (mut net, ring) = column_net(4);
+        let ins = inputs(4, 8);
+        let out =
+            all_reduce_graceful(&mut net, &ring, &ins, Precision::F32, SimTime::ZERO).unwrap();
+        assert!(!out.is_degraded());
+        let reference = Tensor::sum_all(&ins);
+        for o in &out.output.outputs {
+            assert_eq!(o, &reference);
+        }
+    }
+
+    #[test]
+    fn detoured_wrap_edge_is_reported_and_result_unchanged() {
+        // 2-wide mesh so the Y ring has a detour when its wrap link fails.
+        let mesh = Multipod::new(MultipodConfig::mesh(2, 4, true));
+        let mut net = Network::new(mesh, NetworkConfig::tpu_v3());
+        let ring = net.mesh().y_ring(0);
+        let wrap_a = *ring.members().last().unwrap();
+        let wrap_b = ring.members()[0];
+        let ins = inputs(4, 8);
+        let reference = Tensor::sum_all(&ins);
+
+        net.fail_link(wrap_a, wrap_b, SimTime::ZERO);
+        let degraded =
+            all_reduce_graceful(&mut net, &ring, &ins, Precision::F32, SimTime::ZERO).unwrap();
+        let d = degraded.degradation.expect("wrap edge must be degraded");
+        assert!(d.broken_edges >= 1);
+        assert!(d.extra_hops >= 1);
+        for o in &degraded.output.outputs {
+            assert_eq!(o, &reference, "detour must not change the sum");
+        }
+
+        net.heal_link(wrap_a, wrap_b, SimTime::ZERO);
+        let healed =
+            all_reduce_graceful(&mut net, &ring, &ins, Precision::F32, SimTime::ZERO).unwrap();
+        assert!(!healed.is_degraded());
+        assert!(
+            degraded.output.time > healed.output.time,
+            "detour must cost time: degraded={} healed={}",
+            degraded.output.time,
+            healed.output.time
+        );
+    }
+
+    #[test]
+    fn degraded_collective_emits_a_fault_span() {
+        use multipod_trace::{Recorder, SpanCategory, TraceEvent};
+        let mesh = Multipod::new(MultipodConfig::mesh(2, 4, true));
+        let mut net = Network::new(mesh, NetworkConfig::tpu_v3());
+        let recorder = Recorder::shared();
+        net.set_trace_sink(recorder.clone());
+        let ring = net.mesh().y_ring(0);
+        let wrap_a = *ring.members().last().unwrap();
+        let wrap_b = ring.members()[0];
+        net.fail_link(wrap_a, wrap_b, SimTime::ZERO);
+        let ins = inputs(4, 8);
+        all_reduce_graceful(&mut net, &ring, &ins, Precision::F32, SimTime::ZERO).unwrap();
+        let fault_spans: Vec<String> = recorder
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                TraceEvent::Span(s) if s.category == SpanCategory::Fault => Some(s.name),
+                _ => None,
+            })
+            .collect();
+        assert!(fault_spans.contains(&"link-down".to_string()));
+        assert!(fault_spans.contains(&"degraded-collective".to_string()));
+    }
+
+    #[test]
+    fn unroutable_edge_is_a_typed_error() {
+        // Non-torus 1-wide column: failing one Y link partitions the chain,
+        // so there is no detour at all.
+        let mesh = Multipod::new(MultipodConfig::mesh(1, 4, false));
+        let mut net = Network::new(mesh, NetworkConfig::tpu_v3());
+        let ring = net.mesh().y_ring(0);
+        let a = ring.members()[1];
+        let b = ring.members()[2];
+        net.fail_link(a, b, SimTime::ZERO);
+        let ins = inputs(4, 8);
+        assert!(matches!(
+            all_reduce_graceful(&mut net, &ring, &ins, Precision::F32, SimTime::ZERO),
+            Err(CollectiveError::Network(_))
+        ));
+    }
+}

@@ -42,6 +42,7 @@
 //! ```
 
 pub mod alltoall;
+pub mod degraded;
 pub mod halo;
 pub mod pipelined;
 pub mod ring;
@@ -52,6 +53,7 @@ mod error;
 mod precision;
 mod schedule;
 
+pub use degraded::{Degradation, Graceful};
 pub use error::CollectiveError;
 pub use precision::Precision;
 pub use schedule::{ChunkMove, Schedule};

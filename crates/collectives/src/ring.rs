@@ -205,18 +205,15 @@ pub fn all_gather(
     let n = ring.len();
     let schedule = Schedule::all_gather(n, direction);
     let chunk_elems = shards[0].len();
-    // Pre-place each member's shard at its owned chunk slot.
-    let mut chunks: Vec<Vec<Tensor>> = (0..n)
-        .map(|i| {
-            let mut row = vec![Tensor::zeros(Shape::vector(chunk_elems)); n];
-            let flat = shards[i]
-                .clone()
-                .reshape(Shape::vector(chunk_elems))
-                .expect("flatten shard");
-            row[schedule.owned_chunk(i)] = flat;
-            row
-        })
-        .collect();
+    // Pre-place each member's shard at its owned chunk slot. Flattening a
+    // shard to its own element count cannot change the count, but any
+    // tensor failure surfaces as a typed error rather than a panic.
+    let mut chunks: Vec<Vec<Tensor>> = Vec::with_capacity(n);
+    for (i, shard) in shards.iter().enumerate() {
+        let mut row = vec![Tensor::zeros(Shape::vector(chunk_elems)); n];
+        row[schedule.owned_chunk(i)] = shard.clone().reshape(Shape::vector(chunk_elems))?;
+        chunks.push(row);
+    }
     let time = run_schedule(net, ring, &schedule, &mut chunks, precision, start)?;
     emit_ring_span(
         net,
@@ -229,8 +226,8 @@ pub fn all_gather(
     );
     let outputs = chunks
         .into_iter()
-        .map(|row| Tensor::concat(&row, 0).expect("gathered chunks concat"))
-        .collect();
+        .map(|row| Tensor::concat(&row, 0).map_err(CollectiveError::from))
+        .collect::<Result<Vec<Tensor>, CollectiveError>>()?;
     Ok(CollectiveOutput { outputs, time })
 }
 
@@ -258,17 +255,14 @@ pub fn all_gather_ordered(
     // `all_gather` places member i's shard at schedule-chunk
     // owned_chunk(i); permute chunks back to member-index order.
     let schedule = Schedule::all_gather(n, direction);
-    let outputs = raw
-        .outputs
-        .into_iter()
-        .map(|t| {
-            let chunks = t.split(0, n).expect("gathered payload splits");
-            let ordered: Vec<Tensor> = (0..n)
-                .map(|m| chunks[schedule.owned_chunk(m)].clone())
-                .collect();
-            Tensor::concat(&ordered, 0).expect("reordered concat")
-        })
-        .collect();
+    let mut outputs = Vec::with_capacity(raw.outputs.len());
+    for t in raw.outputs {
+        let chunks = t.split(0, n)?;
+        let ordered: Vec<Tensor> = (0..n)
+            .map(|m| chunks[schedule.owned_chunk(m)].clone())
+            .collect();
+        outputs.push(Tensor::concat(&ordered, 0)?);
+    }
     Ok(CollectiveOutput {
         outputs,
         time: raw.time,
@@ -296,8 +290,8 @@ pub fn all_reduce_unidirectional(
     let outputs = ag
         .outputs
         .into_iter()
-        .map(|t| t.reshape(shape.clone()).expect("reshape gathered payload"))
-        .collect();
+        .map(|t| t.reshape(shape.clone()).map_err(CollectiveError::from))
+        .collect::<Result<Vec<Tensor>, CollectiveError>>()?;
     Ok(CollectiveOutput {
         outputs,
         time: ag.time,
@@ -340,31 +334,24 @@ pub fn all_reduce(
         return Ok(out);
     }
     let shape = inputs[0].shape().clone();
-    let halves: Vec<(Tensor, Tensor)> = inputs
-        .iter()
-        .map(|t| {
-            let flat = t.clone().reshape(Shape::vector(elems)).expect("flatten");
-            let parts = flat.split(0, 2).expect("halve payload");
-            (parts[0].clone(), parts[1].clone())
-        })
-        .collect();
+    // `validate` + the divisibility gate above make these tensor ops
+    // well-formed; errors still propagate typed instead of panicking.
+    let mut halves: Vec<(Tensor, Tensor)> = Vec::with_capacity(inputs.len());
+    for t in inputs {
+        let flat = t.clone().reshape(Shape::vector(elems))?;
+        let parts = flat.split(0, 2)?;
+        halves.push((parts[0].clone(), parts[1].clone()));
+    }
     let first: Vec<Tensor> = halves.iter().map(|(a, _)| a.clone()).collect();
     let second: Vec<Tensor> = halves.iter().map(|(_, b)| b.clone()).collect();
     let lane_a =
         all_reduce_unidirectional(net, ring, &first, precision, Direction::Forward, start)?;
     let lane_b =
         all_reduce_unidirectional(net, ring, &second, precision, Direction::Backward, start)?;
-    let outputs = lane_a
-        .outputs
-        .iter()
-        .zip(&lane_b.outputs)
-        .map(|(a, b)| {
-            Tensor::concat(&[a.clone(), b.clone()], 0)
-                .expect("concat halves")
-                .reshape(shape.clone())
-                .expect("reshape output")
-        })
-        .collect();
+    let mut outputs = Vec::with_capacity(lane_a.outputs.len());
+    for (a, b) in lane_a.outputs.iter().zip(&lane_b.outputs) {
+        outputs.push(Tensor::concat(&[a.clone(), b.clone()], 0)?.reshape(shape.clone())?);
+    }
     let time = lane_a.time.max(lane_b.time);
     emit_ring_span(
         net,

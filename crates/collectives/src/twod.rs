@@ -130,10 +130,17 @@ pub fn two_dim_all_reduce(
                 }
                 continue;
             }
+            // Invariant, not input-dependent: phase 1 filled `y_shards` for
+            // every chip (each chip is in exactly one Y ring), so this
+            // cannot fire for any caller-supplied payload.
             let row_inputs: Vec<Tensor> = ring_x
                 .members()
                 .iter()
-                .map(|c| y_shards[c.index()].clone().expect("y shard"))
+                .map(|c| {
+                    y_shards[c.index()]
+                        .clone()
+                        .expect("phase 1 filled every y shard")
+                })
                 .collect();
             let rs = ring::reduce_scatter(
                 net,
@@ -171,10 +178,16 @@ pub fn two_dim_all_reduce(
                 }
                 continue;
             }
+            // Invariant: phase 2 filled `x_shards` for every chip (falling
+            // back to the Y shard on sub-2-member rings).
             let shards: Vec<Tensor> = ring_x
                 .members()
                 .iter()
-                .map(|c| x_shards[c.index()].clone().expect("x shard"))
+                .map(|c| {
+                    x_shards[c.index()]
+                        .clone()
+                        .expect("phase 2 filled every x shard")
+                })
                 .collect();
             let ag = ring::all_gather(
                 net,
@@ -202,10 +215,15 @@ pub fn two_dim_all_reduce(
             }
             continue;
         }
+        // Invariant: phase 4a filled `x_full` for every chip.
         let shards: Vec<Tensor> = ring_y
             .members()
             .iter()
-            .map(|c| x_full[c.index()].clone().expect("x full"))
+            .map(|c| {
+                x_full[c.index()]
+                    .clone()
+                    .expect("phase 4a filled every x payload")
+            })
             .collect();
         let ag = ring::all_gather(
             net,
@@ -259,14 +277,17 @@ pub fn two_dim_all_reduce(
         );
     }
 
-    let outputs: Vec<Tensor> = outputs
-        .into_iter()
-        .map(|t| {
-            t.expect("every chip produced output")
-                .reshape(shape.clone())
-                .expect("reshape 2-D output")
-        })
-        .collect();
+    // The per-chip fill is an invariant of the phase structure; the final
+    // reshape back to the caller's shape surfaces typed rather than
+    // panicking on a pathological tensor state.
+    let mut reshaped: Vec<Tensor> = Vec::with_capacity(outputs.len());
+    for t in outputs {
+        reshaped.push(
+            t.expect("phase 4b filled every output")
+                .reshape(shape.clone())?,
+        );
+    }
+    let outputs = reshaped;
     Ok(TwoDimOutput {
         outputs,
         time: y_ag_end,

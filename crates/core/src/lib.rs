@@ -36,3 +36,4 @@ mod executor;
 
 pub use executor::{Executor, Preset, Report};
 pub use step::{StepBreakdown, StepOptions};
+pub use trainer::{DataParallelTrainer, FaultPolicy, TrainStepStats};

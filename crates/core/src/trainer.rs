@@ -25,16 +25,19 @@
 //! assert!((weights.data()[0] - 0.5).abs() < 1e-6);
 //! ```
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
+use multipod_collectives::degraded::ring_degradation;
+use multipod_collectives::ring;
 use multipod_collectives::twod::{shard_index, two_dim_all_reduce};
 use multipod_collectives::{CollectiveError, Precision};
 use multipod_optim::{LayerStats, LrSchedule, Optimizer, StateKey};
 use multipod_simnet::{Network, NetworkConfig, SimTime};
 use multipod_tensor::Tensor;
-use multipod_topology::MultipodConfig;
+use multipod_topology::{ChipId, MultipodConfig, Ring};
 use multipod_trace::{SpanCategory, SpanEvent, TraceSink, Track};
 
 /// Timing of one trainer step.
@@ -46,11 +49,42 @@ pub struct TrainStepStats {
     pub lr: f32,
     /// Steps taken so far.
     pub step: u64,
+    /// Retries this step burned on fault recovery (0 on the happy path).
+    pub retries: u32,
+    /// Replicas dropped from the data-parallel group so far.
+    pub dead_replicas: usize,
+    /// Whether the step ran over detoured links or a survivor ring.
+    pub degraded: bool,
+}
+
+/// How the trainer reacts to faults mid-run: how often it retries a step
+/// after re-planning and how much simulated time each re-plan costs.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultPolicy {
+    /// Maximum step retries before the fault is surfaced as an error.
+    pub max_retries: u32,
+    /// Simulated re-plan cost of the first retry, seconds; doubled on each
+    /// further retry (bounded exponential backoff).
+    pub backoff_seconds: f64,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy {
+            max_retries: 3,
+            backoff_seconds: 1e-3,
+        }
+    }
 }
 
 /// A data-parallel trainer: one model replica per chip of the configured
 /// mesh, gradients summed with the paper's 2-D schedule, weight update
 /// sharded across all chips.
+///
+/// The trainer tolerates topology faults: steps are pre-flighted against
+/// the current mesh, lost (isolated) replicas are dropped from the group
+/// with the gradient average renormalized over survivors, and each
+/// re-plan retries the step under a bounded-backoff [`FaultPolicy`].
 #[derive(Debug)]
 pub struct DataParallelTrainer<O: Optimizer> {
     net: Network,
@@ -58,6 +92,9 @@ pub struct DataParallelTrainer<O: Optimizer> {
     schedule: LrSchedule,
     precision: Precision,
     step: u64,
+    fault_policy: FaultPolicy,
+    /// Chip indices of replicas dropped after isolation.
+    dead: BTreeSet<usize>,
 }
 
 impl<O: Optimizer> DataParallelTrainer<O> {
@@ -72,12 +109,20 @@ impl<O: Optimizer> DataParallelTrainer<O> {
             schedule,
             precision: Precision::F32,
             step: 0,
+            fault_policy: FaultPolicy::default(),
+            dead: BTreeSet::new(),
         }
     }
 
     /// Switches the gradient-summation payload to bfloat16 (§3.3).
     pub fn with_bf16_gradients(mut self) -> Self {
         self.precision = Precision::Bf16;
+        self
+    }
+
+    /// Overrides the fault-recovery policy.
+    pub fn with_fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.fault_policy = policy;
         self
     }
 
@@ -102,14 +147,33 @@ impl<O: Optimizer> DataParallelTrainer<O> {
         &self.net
     }
 
+    /// Mutable access to the network, so fault drivers can fail and heal
+    /// links mid-run (cached routing state invalidates automatically).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// Chip indices of replicas dropped after isolation, in index order.
+    pub fn dead_replicas(&self) -> Vec<usize> {
+        self.dead.iter().copied().collect()
+    }
+
     /// One training step: sums `local_grads` (one per chip) with the 2-D
     /// schedule, applies the sharded optimizer update at the shard owners,
     /// and writes the identical updated weights back into `weights`.
     ///
+    /// Faults are tolerated: each attempt is pre-flighted against the
+    /// current mesh before optimizer state advances, replicas isolated by
+    /// chip loss are dropped (gradient average renormalized over the
+    /// survivors) and the step is retried under the bounded-backoff
+    /// [`FaultPolicy`], with `step-retry`/`replica-lost` fault spans on
+    /// the trace sink.
+    ///
     /// # Errors
     ///
     /// Fails when the gradient count differs from the replica count, the
-    /// payload does not shard evenly, or a transfer is unroutable.
+    /// payload does not shard evenly, or the mesh stays unroutable after
+    /// `max_retries` re-plans.
     ///
     /// # Panics
     ///
@@ -128,7 +192,170 @@ impl<O: Optimizer> DataParallelTrainer<O> {
         }
         let lr = self.schedule.at(self.step);
         self.optimizer.set_learning_rate(lr);
+        self.net.reset();
 
+        let mut retries = 0u32;
+        let mut start = SimTime::ZERO;
+        loop {
+            // Pre-flight routability first so optimizer state advances at
+            // most once per step: faults surface before `prepare` runs.
+            let preflight = if self.dead.is_empty() {
+                self.preflight_full()
+            } else {
+                self.preflight_survivors()
+            };
+            match preflight {
+                Ok(degraded) => {
+                    let time = if self.dead.is_empty() {
+                        self.full_step(weights, local_grads, lr, start)?
+                    } else {
+                        self.survivor_step(weights, local_grads, start)?
+                    };
+                    if let Some(sink) = self.net.trace_sink() {
+                        sink.record_span(
+                            SpanEvent::new(
+                                Track::Sim,
+                                SpanCategory::Step,
+                                "train-step",
+                                SimTime::ZERO,
+                                time,
+                            )
+                            .with_arg("step", (self.step + 1) as f64)
+                            .with_arg("lr", lr as f64),
+                        );
+                    }
+                    self.step += 1;
+                    return Ok(TrainStepStats {
+                        comm_seconds: time.seconds(),
+                        lr,
+                        step: self.step,
+                        retries,
+                        dead_replicas: self.dead.len(),
+                        degraded: degraded || !self.dead.is_empty(),
+                    });
+                }
+                Err(CollectiveError::Network(err)) => {
+                    retries += 1;
+                    if retries > self.fault_policy.max_retries {
+                        return Err(CollectiveError::Network(err));
+                    }
+                    let lost = self.mark_isolated_replicas(start);
+                    if self.dead.len() >= n {
+                        return Err(CollectiveError::Network(err));
+                    }
+                    // Bounded exponential backoff in simulated time: the
+                    // re-plan (failure detection, new ring computation)
+                    // costs a backoff window that doubles per retry.
+                    let delay = self.fault_policy.backoff_seconds
+                        * f64::from(1u32 << (retries - 1).min(30));
+                    self.emit_sim_fault(
+                        "step-retry",
+                        start,
+                        start + delay,
+                        &[
+                            ("retry", f64::from(retries)),
+                            ("replicas_lost", lost as f64),
+                        ],
+                    );
+                    start += delay;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Routability pre-flight for the full 2-D schedule: every edge of
+    /// every Y ring and X line must route. Returns whether any edge is
+    /// detoured around a failed link.
+    fn preflight_full(&self) -> Result<bool, CollectiveError> {
+        let mesh = self.net.mesh();
+        if mesh.failed_links().is_empty() {
+            return Ok(false);
+        }
+        let mut degraded = false;
+        for x in 0..mesh.x_len() {
+            degraded |= ring_degradation(mesh, &mesh.y_ring(x))?.is_some();
+        }
+        for y in 0..mesh.y_len() {
+            degraded |= ring_degradation(mesh, &mesh.x_line(y))?.is_some();
+        }
+        Ok(degraded)
+    }
+
+    /// Routability pre-flight for the survivor ring (always degraded).
+    fn preflight_survivors(&self) -> Result<bool, CollectiveError> {
+        let survivors = self.survivors();
+        if survivors.len() >= 2 {
+            ring_degradation(self.net.mesh(), &Ring::new(survivors, false, 1))?;
+        }
+        Ok(true)
+    }
+
+    fn survivors(&self) -> Vec<ChipId> {
+        let mesh = self.net.mesh();
+        let mut chips: Vec<ChipId> = mesh
+            .chips()
+            .filter(|c| !self.dead.contains(&c.index()))
+            .collect();
+        // Column-major ring order: consecutive same-column survivors can
+        // detour the long way around the torus Y wrap when the chip between
+        // them is dead. Row-major order would pair same-row survivors whose
+        // only connecting row passes through the dead chip, and the
+        // dimension-ordered router has no dogleg through an adjacent row.
+        chips.sort_by_key(|&c| {
+            let coord = mesh.coord_of(c);
+            (coord.x, coord.y)
+        });
+        chips
+    }
+
+    /// Marks replicas on isolated chips as dead, emitting one
+    /// `replica-lost` fault span each; returns how many were newly lost.
+    fn mark_isolated_replicas(&mut self, at: SimTime) -> usize {
+        let mesh = self.net.mesh();
+        let newly: Vec<ChipId> = mesh
+            .chips()
+            .filter(|&c| mesh.is_isolated(c) && !self.dead.contains(&c.index()))
+            .collect();
+        let count = newly.len();
+        for chip in newly {
+            self.dead.insert(chip.index());
+            if let Some(sink) = self.net.trace_sink() {
+                sink.record_span(SpanEvent::new(
+                    Track::Chip {
+                        pod: self.net.mesh().pod_of(chip),
+                        chip: chip.0,
+                    },
+                    SpanCategory::Fault,
+                    "replica-lost",
+                    at,
+                    at,
+                ));
+            }
+        }
+        count
+    }
+
+    fn emit_sim_fault(&self, name: &str, start: SimTime, end: SimTime, args: &[(&str, f64)]) {
+        if let Some(sink) = self.net.trace_sink() {
+            let mut span = SpanEvent::new(Track::Sim, SpanCategory::Fault, name, start, end);
+            for &(key, value) in args {
+                span = span.with_arg(key, value);
+            }
+            sink.record_span(span);
+        }
+    }
+
+    /// The fault-free dataflow: 2-D gradient summation with the sharded
+    /// optimizer update applied at the shard owners (§3.2 + §3.3).
+    fn full_step(
+        &mut self,
+        weights: &mut Tensor,
+        local_grads: &[Tensor],
+        lr: f32,
+        start: SimTime,
+    ) -> Result<SimTime, CollectiveError> {
+        let n = self.replicas();
         // Phase A (local to this host-side driver): advance optimizer
         // state per shard and gather the global layer statistics the
         // trust-ratio optimizers need (the scalar all-reduce of §3.2).
@@ -157,7 +384,6 @@ impl<O: Optimizer> DataParallelTrainer<O> {
             optimizer.apply(&mut w_shard, &updates[s], global);
             *shard = w_shard;
         };
-        self.net.reset();
         let out = two_dim_all_reduce(
             &mut self.net,
             local_grads,
@@ -184,24 +410,91 @@ impl<O: Optimizer> DataParallelTrainer<O> {
                 .with_arg("shards", n as f64)
                 .with_arg("lr", lr as f64),
             );
-            sink.record_span(
-                SpanEvent::new(
-                    Track::Sim,
-                    SpanCategory::Step,
-                    "train-step",
-                    SimTime::ZERO,
-                    out.time,
-                )
-                .with_arg("step", (self.step + 1) as f64)
-                .with_arg("lr", lr as f64),
-            );
         }
-        self.step += 1;
-        Ok(TrainStepStats {
-            comm_seconds: out.time.seconds(),
-            lr,
-            step: self.step,
-        })
+        // `two_dim_all_reduce` times its phases from SimTime::ZERO; shift
+        // by the step's (backoff-delayed) start.
+        Ok(start + out.time.seconds())
+    }
+
+    /// The degraded dataflow after replica loss: gradients of the
+    /// survivors are summed on a routed ring over the remaining chips and
+    /// the average is renormalized by `n / survivors`, so the update keeps
+    /// the magnitude of the full data-parallel batch (Kumar & Jouppi's
+    /// graceful-degradation recipe). Optimizer shards and their momentum
+    /// state are unchanged: only the gradient estimate loses samples.
+    fn survivor_step(
+        &mut self,
+        weights: &mut Tensor,
+        local_grads: &[Tensor],
+        start: SimTime,
+    ) -> Result<SimTime, CollectiveError> {
+        let n = self.replicas();
+        let survivors = self.survivors();
+        let s = survivors.len();
+        debug_assert!(s >= 1, "step() refuses to run with zero survivors");
+        let survivor_grads: Vec<Tensor> = survivors
+            .iter()
+            .map(|c| local_grads[c.index()].clone())
+            .collect();
+        // Time the collective on the network; numerics below use the
+        // host-side sum so renormalization stays bit-deterministic.
+        let time = if s >= 2 {
+            let ring = Ring::new(survivors.clone(), false, 1);
+            match ring::all_reduce(&mut self.net, &ring, &survivor_grads, self.precision, start) {
+                Ok(out) => out.time,
+                Err(CollectiveError::IndivisiblePayload { .. }) => {
+                    // The payload does not split across the survivor count:
+                    // fall back to a routed gather + broadcast through the
+                    // first survivor.
+                    let root = survivors[0];
+                    let bytes = self.precision.wire_bytes(survivor_grads[0].len());
+                    let gather: Vec<(ChipId, ChipId, u64)> =
+                        survivors[1..].iter().map(|&c| (c, root, bytes)).collect();
+                    let gathered = self.net.parallel_transfers(&gather, start)?;
+                    let scatter: Vec<(ChipId, ChipId, u64)> =
+                        survivors[1..].iter().map(|&c| (root, c, bytes)).collect();
+                    self.net.parallel_transfers(&scatter, gathered)?
+                }
+                Err(e) => return Err(e),
+            }
+        } else {
+            start
+        };
+        let scale = n as f32 / s as f32;
+        let grad_sum = Tensor::sum_all(&survivor_grads).scale(scale);
+        let w_shards = weights.split(0, n)?;
+        let g_shards = grad_sum.split(0, n)?;
+        let mut global = LayerStats::default();
+        let mut updates = Vec::with_capacity(n);
+        for idx in 0..n {
+            let (u, stats) = self.optimizer.prepare(
+                StateKey {
+                    layer: 0,
+                    shard: idx,
+                },
+                &w_shards[idx],
+                &g_shards[idx],
+            );
+            global = global.merge(stats);
+            updates.push(u);
+        }
+        let mut updated = Vec::with_capacity(n);
+        for idx in 0..n {
+            let mut w_shard = w_shards[idx].clone();
+            self.optimizer.apply(&mut w_shard, &updates[idx], global);
+            updated.push(w_shard);
+        }
+        *weights = Tensor::concat(&updated, 0)?.reshape(weights.shape().clone())?;
+        self.emit_sim_fault(
+            "degraded-update",
+            time,
+            time,
+            &[
+                ("survivors", s as f64),
+                ("renormalization", f64::from(scale)),
+            ],
+        );
+        Ok(time)
     }
 }
 
@@ -331,5 +624,134 @@ mod tests {
         let before = recorder.len();
         trainer.step(&mut w, &grads).unwrap();
         assert_eq!(recorder.len(), before, "detached sink must see nothing");
+    }
+
+    #[test]
+    fn chip_loss_drops_replica_renormalizes_and_retries() {
+        use multipod_trace::{Recorder, TraceEvent};
+        let n = 16usize;
+        let elems = 64usize;
+        let mut rng = TensorRng::seed(11);
+        let mut w = rng.uniform(Shape::vector(elems), -1.0, 1.0);
+        let mut w_ref = w.clone();
+        let mut trainer = DataParallelTrainer::new(
+            MultipodConfig::mesh(4, 4, true),
+            SgdMomentum::new(1.0, 0.0),
+            LrSchedule::Constant { lr: 0.1 },
+        );
+        let recorder = Recorder::shared();
+        trainer.set_trace_sink(recorder.clone());
+        let lost = trainer.network_mut().mesh().chips().nth(5).unwrap();
+        trainer.network_mut().fail_chip(lost, SimTime::ZERO);
+
+        let grads: Vec<Tensor> = (0..n)
+            .map(|_| rng.uniform(Shape::vector(elems), -0.1, 0.1))
+            .collect();
+        let stats = trainer.step(&mut w, &grads).unwrap();
+        assert_eq!(stats.retries, 1, "one preflight failure, one re-plan");
+        assert_eq!(stats.dead_replicas, 1);
+        assert!(stats.degraded);
+        assert_eq!(trainer.dead_replicas(), vec![5]);
+        assert!(stats.comm_seconds > 0.0);
+
+        // The update must equal single-node SGD on the survivors' gradient
+        // sum renormalized by n / survivors.
+        let survivor_grads: Vec<Tensor> = grads
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 5)
+            .map(|(_, g)| g.clone())
+            .collect();
+        let renorm = Tensor::sum_all(&survivor_grads).scale(n as f32 / (n - 1) as f32);
+        let mut reference = SgdMomentum::new(0.1, 0.0);
+        reference.step(0, &mut w_ref, &renorm);
+        assert!(
+            w.max_abs_diff(&w_ref) < 1e-5,
+            "renormalized survivor update: {}",
+            w.max_abs_diff(&w_ref)
+        );
+
+        let fault_names: Vec<String> = recorder
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                TraceEvent::Span(s) if s.category == SpanCategory::Fault => Some(s.name),
+                _ => None,
+            })
+            .collect();
+        for expected in ["chip-down", "replica-lost", "step-retry", "degraded-update"] {
+            assert!(
+                fault_names.contains(&expected.to_string()),
+                "missing fault span {expected:?} in {fault_names:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unroutable_mesh_exhausts_retries_with_typed_error() {
+        // Non-torus 1-wide column: failing a middle link partitions the
+        // chain without isolating any single chip, so no replica can be
+        // dropped and every re-plan fails.
+        let mut trainer = DataParallelTrainer::new(
+            MultipodConfig::mesh(1, 4, false),
+            SgdMomentum::new(1.0, 0.0),
+            LrSchedule::Constant { lr: 0.1 },
+        )
+        .with_fault_policy(FaultPolicy {
+            max_retries: 2,
+            backoff_seconds: 1e-3,
+        });
+        let chips: Vec<ChipId> = trainer.network_mut().mesh().chips().collect();
+        trainer
+            .network_mut()
+            .fail_link(chips[1], chips[2], SimTime::ZERO);
+        let mut w = Tensor::fill(Shape::vector(16), 1.0);
+        let grads = vec![Tensor::fill(Shape::vector(16), 0.5); 4];
+        assert!(matches!(
+            trainer.step(&mut w, &grads),
+            Err(CollectiveError::Network(_))
+        ));
+        assert!(trainer.dead_replicas().is_empty(), "no chip was isolated");
+    }
+
+    #[test]
+    fn detoured_step_is_degraded_slower_and_numerically_identical() {
+        let n = 8usize;
+        let elems = 64usize;
+        let mut rng = TensorRng::seed(12);
+        let grads: Vec<Tensor> = (0..n)
+            .map(|_| rng.uniform(Shape::vector(elems), -0.1, 0.1))
+            .collect();
+        let w0 = rng.uniform(Shape::vector(elems), -1.0, 1.0);
+
+        let run = |fail: bool| {
+            let mut trainer = DataParallelTrainer::new(
+                MultipodConfig::mesh(2, 4, true),
+                SgdMomentum::new(1.0, 0.0),
+                LrSchedule::Constant { lr: 0.1 },
+            );
+            if fail {
+                let ring = trainer.network_mut().mesh().y_ring(0);
+                let a = *ring.members().last().unwrap();
+                let b = ring.members()[0];
+                trainer.network_mut().fail_link(a, b, SimTime::ZERO);
+            }
+            let mut w = w0.clone();
+            let stats = trainer.step(&mut w, &grads).unwrap();
+            (w, stats)
+        };
+        let (w_ok, s_ok) = run(false);
+        let (w_deg, s_deg) = run(true);
+        assert!(!s_ok.degraded);
+        assert!(s_deg.degraded, "detoured wrap edge must flag degradation");
+        assert_eq!(s_deg.retries, 0, "routable mesh needs no retry");
+        assert_eq!(s_deg.dead_replicas, 0);
+        assert_eq!(w_ok, w_deg, "detours must not change numerics");
+        assert!(
+            s_deg.comm_seconds > s_ok.comm_seconds,
+            "detour must cost simulated time: {} vs {}",
+            s_deg.comm_seconds,
+            s_ok.comm_seconds
+        );
     }
 }

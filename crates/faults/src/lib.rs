@@ -1,0 +1,45 @@
+//! Deterministic fault campaigns for the multipod simulator.
+//!
+//! The paper's 4096-chip runs live with hardware reality: links fail,
+//! chips die, hosts straggle. This crate turns those events into
+//! *scheduled, reproducible experiments*:
+//!
+//! * [`FaultPlan`] — a declarative list of faults pinned to simulated
+//!   time: link outages and repairs, whole-chip loss, straggler windows.
+//! * [`FaultDriver`] — replays a plan against the discrete-event
+//!   [`multipod_simnet::Network`] as time advances; link/chip events go
+//!   through the network's fault wrappers (cache invalidation + fault
+//!   spans), straggler state is tracked for the campaign runner.
+//! * [`run_campaign`] — trains a synthetic data-parallel model while the
+//!   plan's faults land, exercising the whole graceful-degradation stack:
+//!   route detours, typed [`multipod_collectives::Degradation`] reports,
+//!   replica loss with gradient renormalization and bounded-backoff
+//!   retries in [`multipod_core::trainer::DataParallelTrainer`].
+//!
+//! Determinism is the point: the same plan on the same config yields
+//! byte-identical Chrome-trace exports, so degraded-window timing can be
+//! asserted in CI rather than eyeballed.
+//!
+//! ```
+//! use multipod_faults::{run_campaign, CampaignConfig, FaultPlan};
+//! use multipod_topology::{Multipod, MultipodConfig};
+//! use multipod_simnet::SimTime;
+//!
+//! let config = CampaignConfig::demo(MultipodConfig::mesh(4, 4, true));
+//! let mesh = Multipod::new(config.mesh.clone());
+//! let plan = FaultPlan::wrap_outage_with_straggler(
+//!     &mesh, 0,
+//!     SimTime::from_seconds(0.001), SimTime::from_seconds(0.004),
+//!     1, 2.0,
+//! );
+//! let report = run_campaign(&config, &plan, None).unwrap();
+//! assert!(report.degraded_steps > 0);
+//! ```
+
+mod campaign;
+mod driver;
+mod plan;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport, StepReport};
+pub use driver::FaultDriver;
+pub use plan::{FaultAction, FaultEvent, FaultPlan};

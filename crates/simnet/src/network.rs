@@ -7,7 +7,7 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use multipod_topology::{ChipId, LinkClass, Multipod, Route, TopologyError};
-use multipod_trace::{LinkTransferEvent, TraceSink};
+use multipod_trace::{LinkTransferEvent, SpanCategory, SpanEvent, TraceSink, Track};
 
 use crate::SimTime;
 
@@ -84,6 +84,12 @@ pub struct Network {
     config: NetworkConfig,
     link_free: HashMap<(u32, u32), SimTime>,
     link_bytes: HashMap<(u32, u32), u64>,
+    /// Memoized routes keyed by `(from, to)`. Valid only while
+    /// `mesh_version` matches the mesh; [`Network::sync_topology`] drops it
+    /// on any topology mutation.
+    route_cache: HashMap<(u32, u32), Route>,
+    /// The [`Multipod::version`] the cached state was computed against.
+    mesh_version: u64,
     sink: Option<Arc<dyn TraceSink>>,
 }
 
@@ -102,11 +108,14 @@ impl fmt::Debug for Network {
 impl Network {
     /// Builds a quiescent network over `mesh`.
     pub fn new(mesh: Multipod, config: NetworkConfig) -> Network {
+        let mesh_version = mesh.version();
         Network {
             mesh,
             config,
             link_free: HashMap::new(),
             link_bytes: HashMap::new(),
+            route_cache: HashMap::new(),
+            mesh_version,
             sink: None,
         }
     }
@@ -152,8 +161,73 @@ impl Network {
     }
 
     /// Mutable access to the topology (e.g. to fail links mid-simulation).
+    ///
+    /// Mutations are detected via [`Multipod::version`]: the next transfer
+    /// notices the bump and drops cached routes and link occupancy, so a
+    /// manual [`Network::reset`] is no longer required. Prefer
+    /// [`Network::fail_link`] / [`Network::heal_link`] / ...
+    /// [`Network::fail_chip`], which also emit fault trace spans.
     pub fn mesh_mut(&mut self) -> &mut Multipod {
         &mut self.mesh
+    }
+
+    /// Reconciles cached state with the mesh: when the topology has been
+    /// mutated since the cache was built (its version counter moved), drops
+    /// memoized routes and in-flight link occupancy. Called lazily at the
+    /// start of every transfer, so callers mutating the mesh through
+    /// [`Network::mesh_mut`] never observe stale routing.
+    pub fn sync_topology(&mut self) {
+        if self.mesh_version != self.mesh.version() {
+            self.route_cache.clear();
+            self.link_free.clear();
+            self.mesh_version = self.mesh.version();
+        }
+    }
+
+    fn emit_fault_span(&self, name: &str, at: SimTime, args: &[(&str, f64)]) {
+        if let Some(sink) = &self.sink {
+            let mut span = SpanEvent::new(Track::Sim, SpanCategory::Fault, name, at, at);
+            for &(key, value) in args {
+                span = span.with_arg(key, value);
+            }
+            sink.record_span(span);
+        }
+    }
+
+    /// Fails the undirected link `a — b` at sim time `at`.
+    ///
+    /// Cached routes and occupancy are invalidated immediately, and a
+    /// zero-duration `link-down` fault span is emitted (when the link was
+    /// actually up and a sink is attached).
+    pub fn fail_link(&mut self, a: ChipId, b: ChipId, at: SimTime) {
+        let before = self.mesh.version();
+        self.mesh.fail_link(a, b);
+        if self.mesh.version() != before {
+            self.sync_topology();
+            self.emit_fault_span("link-down", at, &[("a", a.0 as f64), ("b", b.0 as f64)]);
+        }
+    }
+
+    /// Heals the undirected link `a — b` at sim time `at`, emitting a
+    /// `link-up` fault span when the link was actually down.
+    pub fn heal_link(&mut self, a: ChipId, b: ChipId, at: SimTime) {
+        let before = self.mesh.version();
+        self.mesh.heal_link(a, b);
+        if self.mesh.version() != before {
+            self.sync_topology();
+            self.emit_fault_span("link-up", at, &[("a", a.0 as f64), ("b", b.0 as f64)]);
+        }
+    }
+
+    /// Takes a whole chip down at sim time `at` by failing every link
+    /// incident to it, emitting a single `chip-down` fault span.
+    pub fn fail_chip(&mut self, chip: ChipId, at: SimTime) {
+        let before = self.mesh.version();
+        self.mesh.fail_chip(chip);
+        if self.mesh.version() != before {
+            self.sync_topology();
+            self.emit_fault_span("chip-down", at, &[("chip", chip.0 as f64)]);
+        }
     }
 
     /// The physical parameters.
@@ -210,7 +284,15 @@ impl Network {
         bytes: u64,
         start: SimTime,
     ) -> Result<Transfer, TopologyError> {
-        let route = self.mesh.route(from, to)?;
+        self.sync_topology();
+        let route = match self.route_cache.get(&(from.0, to.0)) {
+            Some(route) => route.clone(),
+            None => {
+                let route = self.mesh.route(from, to)?;
+                self.route_cache.insert((from.0, to.0), route.clone());
+                route
+            }
+        };
         Ok(self.transfer_along(&route, bytes, start))
     }
 
@@ -220,6 +302,7 @@ impl Network {
     ///
     /// Panics if the route does not match the current topology.
     pub fn transfer_along(&mut self, route: &Route, bytes: u64, start: SimTime) -> Transfer {
+        self.sync_topology();
         if route.num_hops() == 0 {
             return Transfer {
                 finish: start,
@@ -465,6 +548,70 @@ mod tests {
         n.transfer(ChipId(0), ChipId(1), 1000, SimTime::ZERO)
             .unwrap();
         assert_eq!(recorder.len(), 2, "detached sink must see nothing");
+    }
+
+    #[test]
+    fn topology_mutation_invalidates_cached_state_automatically() {
+        let mesh = Multipod::new(MultipodConfig::mesh(3, 3, false));
+        let mut n = Network::new(mesh, NetworkConfig::tpu_v3());
+        let a = n.mesh().chip_at(Coord::new(0, 0));
+        let x_next = n.mesh().chip_at(Coord::new(1, 0));
+        let dst = n.mesh().chip_at(Coord::new(1, 1));
+        // Populate the route cache and the link occupancy on the X-first
+        // route with a slow transfer.
+        let direct = n.transfer(a, dst, 70_000_000, SimTime::ZERO).unwrap();
+        assert_eq!(direct.num_hops, 2);
+        // Mutate the mesh through raw access — no manual reset.
+        n.mesh_mut().fail_link(a, x_next);
+        let rerouted = n.transfer(a, dst, 1000, SimTime::ZERO).unwrap();
+        assert_eq!(rerouted.num_hops, 2, "Y-then-X detour");
+        // Occupancy was dropped with the stale routes, so the rerouted
+        // message does not queue behind the earlier megabyte transfer.
+        assert!(rerouted.finish.seconds() < 1e-4);
+    }
+
+    #[test]
+    fn fail_and_heal_link_round_trip_with_fault_spans() {
+        use multipod_trace::{Recorder, SpanCategory, TraceEvent};
+        let mesh = Multipod::new(MultipodConfig::mesh(3, 3, false));
+        let mut n = Network::new(mesh, NetworkConfig::tpu_v3());
+        let recorder = Recorder::shared();
+        n.set_trace_sink(recorder.clone());
+        let a = n.mesh().chip_at(Coord::new(0, 0));
+        let x_next = n.mesh().chip_at(Coord::new(1, 0));
+        n.fail_link(a, x_next, SimTime::from_seconds(1.0));
+        // Idempotent: failing an already-failed link emits nothing.
+        n.fail_link(a, x_next, SimTime::from_seconds(2.0));
+        assert_eq!(n.mesh().failed_links().len(), 1);
+        n.heal_link(a, x_next, SimTime::from_seconds(3.0));
+        assert!(n.mesh().failed_links().is_empty());
+        let spans: Vec<_> = recorder
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                TraceEvent::Span(s) if s.category == SpanCategory::Fault => Some(s.name),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans, vec!["link-down".to_string(), "link-up".to_string()]);
+    }
+
+    #[test]
+    fn fail_chip_isolates_and_traces() {
+        use multipod_trace::Recorder;
+        let mesh = Multipod::new(MultipodConfig::mesh(3, 3, false));
+        let mut n = Network::new(mesh, NetworkConfig::tpu_v3());
+        let recorder = Recorder::shared();
+        n.set_trace_sink(recorder.clone());
+        let victim = n.mesh().chip_at(Coord::new(1, 1));
+        n.fail_chip(victim, SimTime::ZERO);
+        assert!(n.mesh().is_isolated(victim));
+        let corner = n.mesh().chip_at(Coord::new(0, 0));
+        assert!(n.transfer(corner, victim, 100, SimTime::ZERO).is_err());
+        // Traffic between survivors still routes (around the dead center).
+        let far = n.mesh().chip_at(Coord::new(2, 2));
+        assert!(n.transfer(corner, far, 100, SimTime::ZERO).is_ok());
+        assert_eq!(recorder.span_totals().len(), 1, "one chip-down span");
     }
 
     #[test]

@@ -124,6 +124,11 @@ pub struct Multipod {
     y_len: u32,
     /// Canonical failed links, stored as ordered chip-id pairs.
     failed_links: Vec<(ChipId, ChipId)>,
+    /// Bumped on every link mutation so consumers caching topology-derived
+    /// state (routes, link occupancy) can detect staleness. Serialized like
+    /// any other field: a deserialized mesh resumes at the recorded count,
+    /// which is just as valid a staleness baseline as zero.
+    version: u64,
 }
 
 impl Multipod {
@@ -153,6 +158,7 @@ impl Multipod {
             x_len,
             y_len,
             failed_links: Vec::new(),
+            version: 0,
         })
     }
 
@@ -308,12 +314,57 @@ impl Multipod {
         let key = if a <= b { (a, b) } else { (b, a) };
         if !self.failed_links.contains(&key) {
             self.failed_links.push(key);
+            self.version += 1;
+        }
+    }
+
+    /// Marks every link incident to `chip` as failed (whole-chip loss:
+    /// the chip is still addressable but unreachable).
+    pub fn fail_chip(&mut self, chip: ChipId) {
+        let neighbors: Vec<ChipId> = self.neighbors(chip).into_iter().map(|(c, _)| c).collect();
+        for other in neighbors {
+            self.fail_link(chip, other);
+        }
+    }
+
+    /// Restores the (undirected) link between `a` and `b`, leaving every
+    /// other failed link down — the per-link counterpart of
+    /// [`Multipod::heal_all_links`], so a fault campaign can heal one
+    /// repaired link without resurrecting the rest of its failure set.
+    pub fn heal_link(&mut self, a: ChipId, b: ChipId) {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(pos) = self.failed_links.iter().position(|&k| k == key) {
+            self.failed_links.remove(pos);
+            self.version += 1;
         }
     }
 
     /// Restores all failed links.
     pub fn heal_all_links(&mut self) {
-        self.failed_links.clear();
+        if !self.failed_links.is_empty() {
+            self.failed_links.clear();
+            self.version += 1;
+        }
+    }
+
+    /// The currently-failed links as canonical (min, max) chip-id pairs,
+    /// in failure order.
+    pub fn failed_links(&self) -> &[(ChipId, ChipId)] {
+        &self.failed_links
+    }
+
+    /// Monotone counter bumped by every effective link mutation
+    /// ([`Multipod::fail_link`], [`Multipod::heal_link`],
+    /// [`Multipod::heal_all_links`]). Consumers caching topology-derived
+    /// state compare versions to invalidate automatically.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Whether `chip` has no live links left (e.g. after
+    /// [`Multipod::fail_chip`]); single-chip meshes are trivially isolated.
+    pub fn is_isolated(&self, chip: ChipId) -> bool {
+        self.neighbors(chip).is_empty()
     }
 
     fn is_failed(&self, a: ChipId, b: ChipId) -> bool {

@@ -83,6 +83,11 @@ pub enum SpanCategory {
     Optimizer,
     /// Host input-pipeline stage.
     Input,
+    /// A fault-campaign event: link failure/heal, chip loss, replica
+    /// drop, step retry, straggler window. Zero-duration spans mark the
+    /// instant a fault transition happened; windows (e.g. stragglers)
+    /// carry their full extent.
+    Fault,
 }
 
 impl SpanCategory {
@@ -95,6 +100,7 @@ impl SpanCategory {
             SpanCategory::StepPhase => "step-phase",
             SpanCategory::Optimizer => "optimizer",
             SpanCategory::Input => "input",
+            SpanCategory::Fault => "fault",
         }
     }
 }

@@ -26,6 +26,10 @@
 //!   step-time breakdowns and end-to-end benchmark times.
 //! * [`trace`] — sim-time tracing: typed events, per-link utilization
 //!   metrics and Chrome-trace (Perfetto) export of any simulated run.
+//! * [`faults`] — deterministic fault campaigns: sim-time-scheduled link
+//!   outages, chip loss and straggler windows replayed against the
+//!   network, with graceful degradation (detours, replica drop with
+//!   gradient renormalization, bounded-backoff retries) up the stack.
 //!
 //! ## Quickstart
 //!
@@ -40,6 +44,7 @@
 
 pub use multipod_collectives as collectives;
 pub use multipod_core as core;
+pub use multipod_faults as faults;
 pub use multipod_framework as framework;
 pub use multipod_hlo as hlo;
 pub use multipod_input as input;

@@ -18,8 +18,9 @@ fn transfers_reroute_around_failed_links() {
     let healthy = net.transfer(a, b, 1 << 20, SimTime::ZERO).unwrap();
 
     let x1 = net.mesh().chip_at(Coord::new(1, 0));
-    net.mesh_mut().fail_link(a, x1);
-    net.reset();
+    // The fault wrapper invalidates cached routes/occupancy itself — no
+    // manual `net.reset()` needed (and forgetting one is no longer a bug).
+    net.fail_link(a, x1, SimTime::ZERO);
     let degraded = net.transfer(a, b, 1 << 20, SimTime::ZERO).unwrap();
     assert!(degraded.finish >= healthy.finish);
     assert_eq!(degraded.bytes, healthy.bytes);
@@ -54,7 +55,7 @@ fn ring_allreduce_survives_failed_wrap_link() {
     let mut broken_net = build();
     let top = broken_net.mesh().chip_at(Coord::new(0, 0));
     let bottom = broken_net.mesh().chip_at(Coord::new(0, 7));
-    broken_net.mesh_mut().fail_link(top, bottom); // the torus wrap link
+    broken_net.fail_link(top, bottom, SimTime::ZERO); // the torus wrap link
     let ring_y = broken_net.mesh().y_ring(0);
     let degraded = ring::all_reduce_unidirectional(
         &mut broken_net,
@@ -81,7 +82,7 @@ fn isolated_chip_reports_no_route() {
     let mut net = Network::new(mesh, NetworkConfig::tpu_v3());
     let a = net.mesh().chip_at(Coord::new(0, 0));
     let b = net.mesh().chip_at(Coord::new(1, 0));
-    net.mesh_mut().fail_link(a, b);
+    net.fail_link(a, b, SimTime::ZERO);
     let err = net.transfer(a, b, 1024, SimTime::ZERO).unwrap_err();
     assert!(matches!(err, TopologyError::NoRoute { .. }));
 }
