@@ -1,0 +1,382 @@
+//! Zero-copy collective micro-benchmark: deep-copy vs handle-moving
+//! all-reduce on one mesh, reporting wall time and speedup.
+//!
+//! The baseline re-implements the pre-zero-copy hot path faithfully: the
+//! same ring schedules and the same arithmetic, but every place the old
+//! `Vec<f32>`-backed tensor cloned its payload performs a real deep copy.
+//! The zero-copy side runs the production [`multipod_collectives`] path,
+//! where those sites are O(1) `Arc` handle bumps. Both sides execute the
+//! full 2-D (Y-then-X) gradient summation numerically; outputs must be
+//! bit-identical or the run fails.
+//!
+//! Emits `BENCH_collectives.json`.
+//!
+//! Flags:
+//!   --mesh <WxH>              mesh (default 8x8)
+//!   --elems <n>               per-chip payload elements (default 262144)
+//!   --iters <n>               timed iterations per side (default 5)
+//!   --json <path>             output path (default BENCH_collectives.json)
+//!   --check-regression <path> compare against a committed report: exit 1
+//!                             if the current speedup falls below 80% of
+//!                             the committed one (wall times are machine
+//!                             dependent; the baseline/zero-copy ratio on
+//!                             the same host is not)
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use multipod_collectives::ring::Direction;
+use multipod_collectives::twod::two_dim_all_reduce;
+use multipod_collectives::{CollectiveError, Precision, Schedule};
+use multipod_simnet::{Network, NetworkConfig, SimTime};
+use multipod_tensor::{Shape, Tensor, TensorRng};
+use multipod_topology::{ChipId, Multipod, MultipodConfig, Ring};
+use serde_json::json;
+
+fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == name {
+            return args.next();
+        }
+        if let Some(v) = arg.strip_prefix(&format!("{name}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+fn mesh_config() -> MultipodConfig {
+    match arg_value("--mesh") {
+        None => MultipodConfig::mesh(8, 8, true),
+        Some(spec) => {
+            let (x, y) = spec
+                .split_once('x')
+                .unwrap_or_else(|| panic!("--mesh expects WxH, got '{spec}'"));
+            MultipodConfig::mesh(
+                x.parse().expect("mesh width"),
+                y.parse().expect("mesh height"),
+                true,
+            )
+        }
+    }
+}
+
+/// A forced deep copy: what every `.clone()` cost before tensors shared
+/// their storage.
+fn deep(t: &Tensor) -> Tensor {
+    Tensor::new(t.shape().clone(), t.data().to_vec())
+}
+
+// ---------------------------------------------------------------------------
+// Baseline: the seed ring loops with their copies materialized.
+// ---------------------------------------------------------------------------
+
+fn baseline_flatten_chunks(
+    inputs: &[Tensor],
+    n: usize,
+) -> Result<Vec<Vec<Tensor>>, CollectiveError> {
+    inputs
+        .iter()
+        .map(|t| {
+            let flat = deep(t).reshape(Shape::vector(t.len()))?;
+            flat.split(0, n).map_err(CollectiveError::from)
+        })
+        .collect()
+}
+
+fn baseline_run_schedule(
+    net: &mut Network,
+    ring: &Ring,
+    schedule: &Schedule,
+    chunks: &mut [Vec<Tensor>],
+    precision: Precision,
+    start: SimTime,
+) -> Result<SimTime, CollectiveError> {
+    let members = ring.members();
+    let mut t = start;
+    for step in schedule.steps() {
+        // The seed's quantize snapshot deep-copied the chunk even at F32.
+        let payloads: Vec<Tensor> = step
+            .iter()
+            .map(|mv| deep(&precision.quantize(&chunks[mv.from][mv.chunk])))
+            .collect();
+        for (mv, payload) in step.iter().zip(&payloads) {
+            if mv.reduce {
+                chunks[mv.to][mv.chunk].axpy(1.0, payload)?;
+            } else {
+                chunks[mv.to][mv.chunk] = deep(payload);
+            }
+        }
+        let msgs: Vec<(ChipId, ChipId, u64)> = step
+            .iter()
+            .map(|mv| {
+                (
+                    members[mv.from],
+                    members[mv.to],
+                    precision.wire_bytes(chunks[mv.from][mv.chunk].len()),
+                )
+            })
+            .collect();
+        t = net.parallel_transfers(&msgs, t)?;
+    }
+    Ok(t)
+}
+
+fn baseline_reduce_scatter(
+    net: &mut Network,
+    ring: &Ring,
+    inputs: &[Tensor],
+    precision: Precision,
+    start: SimTime,
+) -> Result<(Vec<Tensor>, Vec<usize>, SimTime), CollectiveError> {
+    let n = ring.len();
+    let mut chunks = baseline_flatten_chunks(inputs, n)?;
+    let schedule = Schedule::reduce_scatter(n, Direction::Forward);
+    let time = baseline_run_schedule(net, ring, &schedule, &mut chunks, precision, start)?;
+    let chunk_of_member: Vec<usize> = (0..n).map(|i| schedule.owned_chunk(i)).collect();
+    let shards = chunks
+        .iter()
+        .zip(&chunk_of_member)
+        .map(|(row, &owned)| deep(&row[owned]))
+        .collect();
+    Ok((shards, chunk_of_member, time))
+}
+
+fn baseline_all_gather(
+    net: &mut Network,
+    ring: &Ring,
+    shards: &[Tensor],
+    precision: Precision,
+    start: SimTime,
+) -> Result<(Vec<Tensor>, SimTime), CollectiveError> {
+    let n = ring.len();
+    let schedule = Schedule::all_gather(n, Direction::Forward);
+    let chunk_elems = shards[0].len();
+    let mut chunks: Vec<Vec<Tensor>> = Vec::with_capacity(n);
+    for (i, shard) in shards.iter().enumerate() {
+        let mut row = vec![Tensor::zeros(Shape::vector(chunk_elems)); n];
+        row[schedule.owned_chunk(i)] = deep(shard).reshape(Shape::vector(chunk_elems))?;
+        chunks.push(row);
+    }
+    let time = baseline_run_schedule(net, ring, &schedule, &mut chunks, precision, start)?;
+    let outputs = chunks
+        .into_iter()
+        .map(|row| Tensor::concat(&row, 0).map_err(CollectiveError::from))
+        .collect::<Result<Vec<Tensor>, CollectiveError>>()?;
+    Ok((outputs, time))
+}
+
+/// The seed 2-D Y-then-X summation with its per-phase shard clones
+/// materialized as deep copies (stride 1, no weight update, no trace).
+fn baseline_two_dim_all_reduce(
+    net: &mut Network,
+    inputs: &[Tensor],
+    precision: Precision,
+) -> Result<(Vec<Tensor>, SimTime), CollectiveError> {
+    let mesh = net.mesh().clone();
+    let shape = inputs[0].shape().clone();
+    let x_len = mesh.x_len();
+    let y_len = mesh.y_len();
+
+    // Phase 1: reduce-scatter along Y.
+    let mut y_shards: Vec<Option<Tensor>> = vec![None; inputs.len()];
+    let mut y_rs_end = SimTime::ZERO;
+    for x in 0..x_len {
+        let ring_y = mesh.y_ring(x);
+        let col_inputs: Vec<Tensor> = ring_y
+            .members()
+            .iter()
+            .map(|c| deep(&inputs[c.index()]))
+            .collect();
+        let (shards, _, t) =
+            baseline_reduce_scatter(net, &ring_y, &col_inputs, precision, SimTime::ZERO)?;
+        for (member, shard) in ring_y.members().iter().zip(shards) {
+            y_shards[member.index()] = Some(shard);
+        }
+        y_rs_end = y_rs_end.max(t);
+    }
+
+    // Phase 2: reduce-scatter along X.
+    let mut x_shards: Vec<Option<Tensor>> = vec![None; inputs.len()];
+    let mut x_rs_end = y_rs_end;
+    for y in 0..y_len {
+        let ring_x = mesh.x_line_strided(y, 0, 1);
+        if ring_x.len() < 2 {
+            for &member in ring_x.members() {
+                x_shards[member.index()] = y_shards[member.index()].as_ref().map(deep);
+            }
+            continue;
+        }
+        let row_inputs: Vec<Tensor> = ring_x
+            .members()
+            .iter()
+            .map(|c| deep(y_shards[c.index()].as_ref().expect("phase 1 filled")))
+            .collect();
+        let (shards, _, t) =
+            baseline_reduce_scatter(net, &ring_x, &row_inputs, precision, y_rs_end)?;
+        for (i, member) in ring_x.members().iter().enumerate() {
+            x_shards[member.index()] = Some(deep(&shards[i]));
+        }
+        x_rs_end = x_rs_end.max(t);
+    }
+
+    // Phase 4a: all-gather along X.
+    let mut x_full: Vec<Option<Tensor>> = vec![None; inputs.len()];
+    let mut x_ag_end = x_rs_end;
+    for y in 0..y_len {
+        let ring_x = mesh.x_line_strided(y, 0, 1);
+        if ring_x.len() < 2 {
+            for &member in ring_x.members() {
+                x_full[member.index()] = x_shards[member.index()].as_ref().map(deep);
+            }
+            continue;
+        }
+        let shards: Vec<Tensor> = ring_x
+            .members()
+            .iter()
+            .map(|c| deep(x_shards[c.index()].as_ref().expect("phase 2 filled")))
+            .collect();
+        let (outs, t) = baseline_all_gather(net, &ring_x, &shards, precision, x_rs_end)?;
+        for (i, member) in ring_x.members().iter().enumerate() {
+            x_full[member.index()] = Some(deep(&outs[i]));
+        }
+        x_ag_end = x_ag_end.max(t);
+    }
+
+    // Phase 4b: all-gather along Y.
+    let mut outputs: Vec<Option<Tensor>> = vec![None; inputs.len()];
+    let mut y_ag_end = x_ag_end;
+    for x in 0..x_len {
+        let ring_y = mesh.y_ring(x);
+        if ring_y.len() < 2 {
+            for &member in ring_y.members() {
+                outputs[member.index()] = x_full[member.index()].as_ref().map(deep);
+            }
+            continue;
+        }
+        let shards: Vec<Tensor> = ring_y
+            .members()
+            .iter()
+            .map(|c| deep(x_full[c.index()].as_ref().expect("phase 4a filled")))
+            .collect();
+        let (outs, t) = baseline_all_gather(net, &ring_y, &shards, precision, x_ag_end)?;
+        for (i, member) in ring_y.members().iter().enumerate() {
+            outputs[member.index()] = Some(deep(&outs[i]));
+        }
+        y_ag_end = y_ag_end.max(t);
+    }
+
+    let mut reshaped: Vec<Tensor> = Vec::with_capacity(outputs.len());
+    for t in outputs {
+        reshaped.push(t.expect("phase 4b filled").reshape(shape.clone())?);
+    }
+    Ok((reshaped, y_ag_end))
+}
+
+// ---------------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------------
+
+fn fresh_net(cfg: &MultipodConfig) -> Network {
+    Network::new(Multipod::new(cfg.clone()), NetworkConfig::tpu_v3())
+}
+
+fn random_inputs(n: usize, elems: usize, seed: u64) -> Vec<Tensor> {
+    let mut rng = TensorRng::seed(seed);
+    (0..n)
+        .map(|_| rng.uniform(Shape::vector(elems), -1.0, 1.0))
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let mesh_cfg = mesh_config();
+    let elems: usize = arg_value("--elems").map_or(1 << 18, |v| v.parse().expect("--elems"));
+    let iters: usize = arg_value("--iters").map_or(5, |v| v.parse().expect("--iters"));
+    let mesh = Multipod::new(mesh_cfg.clone());
+    let n = mesh.num_chips();
+    let inputs = random_inputs(n, elems, 42);
+    println!(
+        "# Zero-copy all-reduce on {}x{} ({} chips), {} elems/chip, {} iters/side",
+        mesh.x_len(),
+        mesh.y_len(),
+        n,
+        elems,
+        iters
+    );
+
+    // Correctness gate first: the two implementations must agree bit for
+    // bit in outputs and simulated time.
+    let (base_out, base_time) =
+        baseline_two_dim_all_reduce(&mut fresh_net(&mesh_cfg), &inputs, Precision::F32)
+            .expect("baseline all-reduce");
+    let zc = two_dim_all_reduce(&mut fresh_net(&mesh_cfg), &inputs, Precision::F32, 1, None)
+        .expect("zero-copy all-reduce");
+    let identical = base_out == zc.outputs && base_time == zc.time;
+    println!(
+        "outputs bit-identical: {identical} (sim time {} s)",
+        zc.time.seconds()
+    );
+    if !identical {
+        eprintln!("FAIL: deep-copy baseline and zero-copy path disagree");
+        return ExitCode::FAILURE;
+    }
+
+    // Timed runs: fresh network each iteration so both sides pay the same
+    // setup; keep the fastest iteration (least scheduler noise).
+    let mut baseline_ms = f64::INFINITY;
+    for _ in 0..iters {
+        let mut net = fresh_net(&mesh_cfg);
+        let t0 = Instant::now();
+        baseline_two_dim_all_reduce(&mut net, &inputs, Precision::F32).expect("baseline");
+        baseline_ms = baseline_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let mut zero_copy_ms = f64::INFINITY;
+    for _ in 0..iters {
+        let mut net = fresh_net(&mesh_cfg);
+        let t0 = Instant::now();
+        two_dim_all_reduce(&mut net, &inputs, Precision::F32, 1, None).expect("zero-copy");
+        zero_copy_ms = zero_copy_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let speedup = baseline_ms / zero_copy_ms;
+
+    println!("config | wall (ms)");
+    println!("deep-copy baseline | {baseline_ms:.2}");
+    println!("zero-copy | {zero_copy_ms:.2}");
+    println!("speedup: {speedup:.2}x");
+
+    let doc = json!({
+        "mesh": format!("{}x{}", mesh.x_len(), mesh.y_len()),
+        "chips": n,
+        "elems_per_chip": elems,
+        "iters": iters,
+        "baseline_ms": baseline_ms,
+        "zero_copy_ms": zero_copy_ms,
+        "speedup": speedup,
+        "bit_identical": identical,
+    });
+    let json_path = arg_value("--json").unwrap_or_else(|| "BENCH_collectives.json".to_string());
+    let body = serde_json::to_string_pretty(&doc).expect("report json");
+    std::fs::write(&json_path, body + "\n").expect("write BENCH_collectives.json");
+    println!("wrote {json_path}");
+
+    if let Some(committed) = arg_value("--check-regression") {
+        let text =
+            std::fs::read_to_string(&committed).unwrap_or_else(|e| panic!("read {committed}: {e}"));
+        let prior: serde_json::Value = serde_json::from_str(&text).expect("committed report json");
+        let prior_speedup = prior
+            .get("speedup")
+            .and_then(|v| v.as_f64())
+            .expect("committed report has a speedup field");
+        // Wall times vary by machine; the same-host baseline/zero-copy
+        // ratio is the stable signal. >20% regression fails the gate.
+        let floor = prior_speedup * 0.8;
+        println!("regression gate: speedup {speedup:.2}x vs committed {prior_speedup:.2}x (floor {floor:.2}x)");
+        if speedup < floor {
+            eprintln!("FAIL: zero-copy speedup regressed more than 20%");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    ExitCode::SUCCESS
+}

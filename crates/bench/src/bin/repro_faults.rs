@@ -98,8 +98,10 @@ fn main() -> ExitCode {
     let mut deterministic = true;
     if determinism_checked {
         let (_, again) = campaign_trace(&config, &plan);
-        let a = serde_json::to_string(&recorder.chrome_trace()).expect("trace json");
-        let b = serde_json::to_string(&again.chrome_trace()).expect("trace json");
+        let a = serde_json::to_string(&recorder.chrome_trace().expect("trace json"))
+            .expect("trace json");
+        let b =
+            serde_json::to_string(&again.chrome_trace().expect("trace json")).expect("trace json");
         deterministic = a == b;
         println!(
             "determinism: {}",

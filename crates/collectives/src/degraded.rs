@@ -151,7 +151,7 @@ mod tests {
         let out =
             all_reduce_graceful(&mut net, &ring, &ins, Precision::F32, SimTime::ZERO).unwrap();
         assert!(!out.is_degraded());
-        let reference = Tensor::sum_all(&ins);
+        let reference = Tensor::sum_all(&ins).unwrap();
         for o in &out.output.outputs {
             assert_eq!(o, &reference);
         }
@@ -166,7 +166,7 @@ mod tests {
         let wrap_a = *ring.members().last().unwrap();
         let wrap_b = ring.members()[0];
         let ins = inputs(4, 8);
-        let reference = Tensor::sum_all(&ins);
+        let reference = Tensor::sum_all(&ins).unwrap();
 
         net.fail_link(wrap_a, wrap_b, SimTime::ZERO);
         let degraded =

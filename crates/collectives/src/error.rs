@@ -25,6 +25,9 @@ pub enum CollectiveError {
         /// Required divisor.
         parts: usize,
     },
+    /// A ring cost model was asked for with a contention factor of zero
+    /// (at least one concurrent offset ring must use the links).
+    ZeroContentionFactor,
     /// The underlying network could not route a message.
     Network(TopologyError),
     /// A tensor operation failed.
@@ -42,6 +45,9 @@ impl fmt::Display for CollectiveError {
             }
             CollectiveError::IndivisiblePayload { elems, parts } => {
                 write!(f, "payload of {elems} elements not divisible by {parts}")
+            }
+            CollectiveError::ZeroContentionFactor => {
+                write!(f, "contention factor must be >= 1")
             }
             CollectiveError::Network(e) => write!(f, "network error: {e}"),
             CollectiveError::Tensor(e) => write!(f, "tensor error: {e}"),

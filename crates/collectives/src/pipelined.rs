@@ -346,7 +346,7 @@ mod tests {
         .unwrap()
         .seconds();
         let fresh = torus_col(y);
-        let costs = RingCosts::from_ring(&fresh, &fresh.mesh().y_ring(0), 1);
+        let costs = RingCosts::from_ring(&fresh, &fresh.mesh().y_ring(0), 1).unwrap();
         let analytic = costs.all_reduce_time(elems, Precision::F32, false);
         let ratio = pipelined / analytic;
         assert!((0.8..1.3).contains(&ratio), "ratio={ratio}");

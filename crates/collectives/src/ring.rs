@@ -123,8 +123,11 @@ fn apply_move(
     payload: &Tensor,
 ) -> Result<(), CollectiveError> {
     if mv.reduce {
+        // In-place accumulate; the destination chunk is uniquely owned
+        // (flatten_chunks materialized it), so no copy-on-write detach.
         chunks[mv.to][mv.chunk].axpy(1.0, payload)?;
     } else {
+        // Move by handle: an O(1) refcount bump, not a payload copy.
         chunks[mv.to][mv.chunk] = payload.clone();
     }
     Ok(())
@@ -174,10 +177,12 @@ pub fn reduce_scatter(
         precision.wire_bytes(inputs[0].len()),
     );
     let chunk_of_member: Vec<usize> = (0..n).map(|i| schedule.owned_chunk(i)).collect();
+    // Take the owned shard out of each member's chunk row by handle; the
+    // remaining (stale) chunks are dropped without copying.
     let shards = chunks
-        .iter()
+        .into_iter()
         .zip(&chunk_of_member)
-        .map(|(c, &owned)| c[owned].clone())
+        .map(|(mut row, &owned)| row.swap_remove(owned))
         .collect();
     Ok(ScatterOutput {
         shards,
@@ -336,23 +341,27 @@ pub fn all_reduce(
     let shape = inputs[0].shape().clone();
     // `validate` + the divisibility gate above make these tensor ops
     // well-formed; errors still propagate typed instead of panicking.
-    let mut halves: Vec<(Tensor, Tensor)> = Vec::with_capacity(inputs.len());
+    // Each half moves into its lane by handle — no intermediate clones.
+    let mut first: Vec<Tensor> = Vec::with_capacity(inputs.len());
+    let mut second: Vec<Tensor> = Vec::with_capacity(inputs.len());
     for t in inputs {
         let flat = t.clone().reshape(Shape::vector(elems))?;
-        let parts = flat.split(0, 2)?;
-        halves.push((parts[0].clone(), parts[1].clone()));
+        let mut parts = flat.split(0, 2)?.into_iter();
+        let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
+            return Err(CollectiveError::IndivisiblePayload { elems, parts: 2 });
+        };
+        first.push(a);
+        second.push(b);
     }
-    let first: Vec<Tensor> = halves.iter().map(|(a, _)| a.clone()).collect();
-    let second: Vec<Tensor> = halves.iter().map(|(_, b)| b.clone()).collect();
     let lane_a =
         all_reduce_unidirectional(net, ring, &first, precision, Direction::Forward, start)?;
     let lane_b =
         all_reduce_unidirectional(net, ring, &second, precision, Direction::Backward, start)?;
-    let mut outputs = Vec::with_capacity(lane_a.outputs.len());
-    for (a, b) in lane_a.outputs.iter().zip(&lane_b.outputs) {
-        outputs.push(Tensor::concat(&[a.clone(), b.clone()], 0)?.reshape(shape.clone())?);
-    }
     let time = lane_a.time.max(lane_b.time);
+    let mut outputs = Vec::with_capacity(lane_a.outputs.len());
+    for (a, b) in lane_a.outputs.into_iter().zip(lane_b.outputs) {
+        outputs.push(Tensor::concat(&[a, b], 0)?.reshape(shape.clone())?);
+    }
     emit_ring_span(
         net,
         ring,
@@ -450,7 +459,7 @@ mod tests {
     fn reduce_scatter_matches_reference_sum() {
         let (mut net, ring) = column_net(4);
         let ins = inputs(4, 8);
-        let reference = Tensor::sum_all(&ins);
+        let reference = Tensor::sum_all(&ins).unwrap();
         let out = reduce_scatter(
             &mut net,
             &ring,
@@ -489,7 +498,7 @@ mod tests {
             rs.time,
         )
         .unwrap();
-        let reference = Tensor::sum_all(&ins);
+        let reference = Tensor::sum_all(&ins).unwrap();
         for out in &ag.outputs {
             assert_eq!(out, &reference);
         }
@@ -499,7 +508,7 @@ mod tests {
     fn all_reduce_bidirectional_equals_sum() {
         let (mut net, ring) = column_net(8);
         let ins = inputs(8, 32);
-        let reference = Tensor::sum_all(&ins);
+        let reference = Tensor::sum_all(&ins).unwrap();
         let out = all_reduce(&mut net, &ring, &ins, Precision::F32, SimTime::ZERO).unwrap();
         for o in &out.outputs {
             assert_eq!(o, &reference);
@@ -536,7 +545,7 @@ mod tests {
         let ins: Vec<Tensor> = (0..4)
             .map(|i| Tensor::fill(Shape::vector(16), 1.0 + i as f32 * 0.001))
             .collect();
-        let reference = Tensor::sum_all(&ins);
+        let reference = Tensor::sum_all(&ins).unwrap();
         let out = all_reduce(&mut net, &ring, &ins, Precision::Bf16, SimTime::ZERO).unwrap();
         let diff = out.outputs[0].max_abs_diff(&reference);
         assert!(diff > 0.0, "bf16 should be lossy here");
@@ -577,7 +586,7 @@ mod tests {
         let mut net = Network::new(mesh, NetworkConfig::tpu_v3());
         let ring = net.mesh().x_line(0);
         let ins = inputs(6, 12);
-        let reference = Tensor::sum_all(&ins);
+        let reference = Tensor::sum_all(&ins).unwrap();
         let out = all_reduce(&mut net, &ring, &ins, Precision::F32, SimTime::ZERO).unwrap();
         for o in &out.outputs {
             assert_eq!(o, &reference);
@@ -592,7 +601,7 @@ mod tests {
         let ring = net.mesh().x_line_strided(0, 1, 4);
         assert_eq!(ring.len(), 2);
         let ins = inputs(2, 8);
-        let reference = Tensor::sum_all(&ins);
+        let reference = Tensor::sum_all(&ins).unwrap();
         let out = all_reduce(&mut net, &ring, &ins, Precision::F32, SimTime::ZERO).unwrap();
         for o in &out.outputs {
             assert_eq!(o, &reference);

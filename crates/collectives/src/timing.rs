@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 use multipod_simnet::Network;
 use multipod_topology::Ring;
 
-use crate::Precision;
+use crate::{CollectiveError, Precision};
 
 /// Ring collective cost parameters extracted from a concrete ring on a
 /// concrete topology.
@@ -46,47 +46,57 @@ impl RingCosts {
     /// physical links (e.g. `stride` for the model-peer gradient rings where
     /// every offset ring runs at once; 1 for plain data parallelism).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `concurrent_offsets == 0` or any ring hop is unroutable.
-    pub fn from_ring(net: &Network, ring: &Ring, concurrent_offsets: u32) -> RingCosts {
-        assert!(concurrent_offsets > 0, "contention factor must be >= 1");
+    /// Returns [`CollectiveError::ZeroContentionFactor`] when
+    /// `concurrent_offsets == 0`, and [`CollectiveError::Network`] when a
+    /// ring hop cannot be routed (e.g. a degraded mesh has cut the ring) —
+    /// callers on a fault path can surface this as a degradation instead
+    /// of crashing.
+    pub fn from_ring(
+        net: &Network,
+        ring: &Ring,
+        concurrent_offsets: u32,
+    ) -> Result<RingCosts, CollectiveError> {
+        if concurrent_offsets == 0 {
+            return Err(CollectiveError::ZeroContentionFactor);
+        }
         let cfg = net.config();
         let n = ring.len();
         if n < 2 {
-            return RingCosts {
+            return Ok(RingCosts {
                 n,
                 alpha: 0.0,
                 wrap_penalty: 0.0,
                 beta: cfg.link_bandwidth,
-            };
+            });
         }
         let mesh = net.mesh();
-        let path_latency = |a, b| -> f64 {
-            let route = mesh.route(a, b).expect("ring hop unroutable");
-            route
+        let path_latency = |a, b| -> Result<f64, CollectiveError> {
+            let route = mesh.route(a, b)?;
+            Ok(route
                 .link_classes(mesh)
                 .iter()
                 .map(|c| cfg.hop_latency * c.latency_multiplier())
-                .sum()
+                .sum())
         };
         let members = ring.members();
         let mut worst_step = 0.0f64;
         for w in members.windows(2) {
-            worst_step = worst_step.max(path_latency(w[0], w[1]));
+            worst_step = worst_step.max(path_latency(w[0], w[1])?);
         }
-        let wrap_latency = path_latency(members[n - 1], members[0]);
+        let wrap_latency = path_latency(members[n - 1], members[0])?;
         let (alpha_path, wrap_penalty) = if ring.wraps() {
             (worst_step.max(wrap_latency), 0.0)
         } else {
             (worst_step, wrap_latency)
         };
-        RingCosts {
+        Ok(RingCosts {
             n,
             alpha: cfg.message_overhead + alpha_path,
             wrap_penalty,
             beta: cfg.link_bandwidth / concurrent_offsets as f64,
-        }
+        })
     }
 
     /// Time for a reduce-scatter of `elems` elements at `precision`.
@@ -161,7 +171,7 @@ mod tests {
     fn closed_ring_has_no_wrap_penalty() {
         let n = net(MultipodConfig::mesh(1, 16, true));
         let ring = n.mesh().y_ring(0);
-        let costs = RingCosts::from_ring(&n, &ring, 1);
+        let costs = RingCosts::from_ring(&n, &ring, 1).unwrap();
         assert_eq!(costs.wrap_penalty, 0.0);
         assert_eq!(costs.n, 16);
     }
@@ -170,7 +180,7 @@ mod tests {
     fn open_line_pays_wrap_once() {
         let n = net(MultipodConfig::mesh(16, 1, false));
         let ring = n.mesh().x_line(0);
-        let costs = RingCosts::from_ring(&n, &ring, 1);
+        let costs = RingCosts::from_ring(&n, &ring, 1).unwrap();
         // Wrap path routes across 15 links.
         assert!((costs.wrap_penalty - 15.0 * 1e-6).abs() < 1e-12);
     }
@@ -179,7 +189,7 @@ mod tests {
     fn bidirectional_halves_bandwidth_term() {
         let n = net(MultipodConfig::mesh(1, 16, true));
         let ring = n.mesh().y_ring(0);
-        let costs = RingCosts::from_ring(&n, &ring, 1);
+        let costs = RingCosts::from_ring(&n, &ring, 1).unwrap();
         let elems = 1 << 24; // bandwidth-dominated
         let uni = costs.all_reduce_time(elems, Precision::F32, false);
         let bi = costs.all_reduce_time(elems, Precision::F32, true);
@@ -191,7 +201,7 @@ mod tests {
     fn strided_rings_lose_bandwidth_to_contention() {
         let n = net(MultipodConfig::mesh(16, 1, false));
         let ring = n.mesh().x_line_strided(0, 0, 4);
-        let costs = RingCosts::from_ring(&n, &ring, 4);
+        let costs = RingCosts::from_ring(&n, &ring, 4).unwrap();
         assert_eq!(costs.beta, NetworkConfig::tpu_v3().link_bandwidth / 4.0);
         // Per-step alpha covers the 4-hop peer distance.
         assert!(costs.alpha >= 1.5e-6 + 4.0e-6);
@@ -201,7 +211,7 @@ mod tests {
     fn cross_pod_rings_pay_optical_latency() {
         let multi = net(MultipodConfig::multipod(2));
         let line = multi.mesh().x_line(0);
-        let costs = RingCosts::from_ring(&multi, &line, 1);
+        let costs = RingCosts::from_ring(&multi, &line, 1).unwrap();
         // Worst step crosses the optical link: 4 µs + 1.5 µs overhead.
         assert!((costs.alpha - (1.5e-6 + 4.0e-6)).abs() < 1e-12);
     }
@@ -210,7 +220,7 @@ mod tests {
     fn bf16_halves_bandwidth_bytes() {
         let n = net(MultipodConfig::mesh(1, 32, true));
         let ring = n.mesh().y_ring(0);
-        let costs = RingCosts::from_ring(&n, &ring, 1);
+        let costs = RingCosts::from_ring(&n, &ring, 1).unwrap();
         let elems = 25_600_000; // ResNet-50 parameter count
         let f = costs.all_reduce_time(elems, Precision::F32, true);
         let b = costs.all_reduce_time(elems, Precision::Bf16, true);
@@ -223,10 +233,37 @@ mod tests {
     fn trivial_rings_cost_nothing() {
         let n = net(MultipodConfig::mesh(2, 1, false));
         let ring = multipod_topology::Ring::new(vec![multipod_topology::ChipId(0)], false, 1);
-        let costs = RingCosts::from_ring(&n, &ring, 1);
+        let costs = RingCosts::from_ring(&n, &ring, 1).unwrap();
         assert_eq!(costs.all_reduce_time(1000, Precision::F32, true), 0.0);
-        let real = RingCosts::from_ring(&n, &n.mesh().x_line(0), 1);
+        let real = RingCosts::from_ring(&n, &n.mesh().x_line(0), 1).unwrap();
         assert_eq!(real.all_reduce_time(0, Precision::F32, false), 0.0);
+    }
+
+    #[test]
+    fn zero_contention_factor_is_a_typed_error() {
+        let n = net(MultipodConfig::mesh(1, 8, true));
+        let ring = n.mesh().y_ring(0);
+        assert!(matches!(
+            RingCosts::from_ring(&n, &ring, 0),
+            Err(CollectiveError::ZeroContentionFactor)
+        ));
+    }
+
+    #[test]
+    fn broken_ring_is_a_typed_error_not_a_panic() {
+        // Non-torus 1-wide column: failing one Y link partitions the
+        // chain, so a ring hop becomes unroutable. The cost model must
+        // report that as a network error a degraded-mesh caller can turn
+        // into a Degradation, never a crash.
+        let mut n = net(MultipodConfig::mesh(1, 4, false));
+        let ring = n.mesh().y_ring(0);
+        let a = ring.members()[1];
+        let b = ring.members()[2];
+        n.fail_link(a, b, multipod_simnet::SimTime::ZERO);
+        assert!(matches!(
+            RingCosts::from_ring(&n, &ring, 1),
+            Err(CollectiveError::Network(_))
+        ));
     }
 
     #[test]
@@ -236,8 +273,8 @@ mod tests {
         // phase therefore is latency-bound: scaling the payload up 64x
         // grows the Y time almost linearly but barely moves the X time.
         let m = net(MultipodConfig::multipod(4));
-        let y = RingCosts::from_ring(&m, &m.mesh().y_ring(0), 1);
-        let x = RingCosts::from_ring(&m, &m.mesh().x_line(0), 1);
+        let y = RingCosts::from_ring(&m, &m.mesh().y_ring(0), 1).unwrap();
+        let x = RingCosts::from_ring(&m, &m.mesh().x_line(0), 1).unwrap();
         let small = 1 << 20;
         let large = small * 64;
         let y_growth = y.reduce_scatter_time(large, Precision::F32, true)

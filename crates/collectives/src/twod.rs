@@ -244,9 +244,9 @@ pub fn two_dim_all_reduce(
     if net.trace_sink().is_some() {
         let elems = inputs[0].len();
         let x_elems = elems.div_ceil(y_len.max(1) as usize);
-        let y_costs = RingCosts::from_ring(net, &mesh.y_ring(0), 1);
+        let y_costs = RingCosts::from_ring(net, &mesh.y_ring(0), 1)?;
         let x_costs =
-            RingCosts::from_ring(net, &mesh.x_line_strided(0, 0, model_stride), model_stride);
+            RingCosts::from_ring(net, &mesh.x_line_strided(0, 0, model_stride), model_stride)?;
         let phase = |name: &str, s: SimTime, e: SimTime, costs: &RingCosts, phase_elems: usize| {
             emit_span(
                 net,
@@ -331,24 +331,29 @@ pub fn shard_index(mesh: &multipod_topology::Multipod, chip: ChipId, model_strid
 ///
 /// Matches the schedule of [`two_dim_all_reduce`] but uses bidirectional
 /// rings (the production configuration) and never materializes tensors.
+///
+/// # Errors
+///
+/// See [`RingCosts::from_ring`]: an unroutable ring hop (degraded mesh) or
+/// a zero contention factor surfaces as a typed [`CollectiveError`].
 pub fn two_dim_all_reduce_time(
     net: &Network,
     elems: usize,
     precision: Precision,
     model_stride: u32,
-) -> TwoDimBreakdown {
+) -> Result<TwoDimBreakdown, CollectiveError> {
     let mesh = net.mesh();
-    let y_costs = RingCosts::from_ring(net, &mesh.y_ring(0), 1);
+    let y_costs = RingCosts::from_ring(net, &mesh.y_ring(0), 1)?;
     let x_ring = mesh.x_line_strided(0, 0, model_stride);
-    let x_costs = RingCosts::from_ring(net, &x_ring, model_stride);
+    let x_costs = RingCosts::from_ring(net, &x_ring, model_stride)?;
     let y_len = mesh.y_len() as usize;
     let x_elems = elems.div_ceil(y_len.max(1));
-    TwoDimBreakdown {
+    Ok(TwoDimBreakdown {
         y_reduce_scatter: y_costs.reduce_scatter_time(elems, precision, true),
         x_reduce_scatter: x_costs.reduce_scatter_time(x_elems, precision, true),
         x_all_gather: x_costs.all_gather_time(x_elems, precision, true),
         y_all_gather: y_costs.all_gather_time(elems, precision, true),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -377,7 +382,7 @@ mod tests {
         let mut net = setup(4, 4);
         let n = net.mesh().num_chips();
         let ins = random_inputs(n, 64, 7);
-        let reference = Tensor::sum_all(&ins);
+        let reference = Tensor::sum_all(&ins).unwrap();
         let out = two_dim_all_reduce(&mut net, &ins, Precision::F32, 1, None).unwrap();
         for (i, o) in out.outputs.iter().enumerate() {
             assert!(o.max_abs_diff(&reference) < 1e-4, "chip {i}");
@@ -414,7 +419,7 @@ mod tests {
                 .filter(|&c| mesh.coord_of(c).x % 2 == offset)
                 .map(|c| ins[c.index()].clone())
                 .collect();
-            let reference = Tensor::sum_all(&group);
+            let reference = Tensor::sum_all(&group).unwrap();
             for chip in mesh.chips().filter(|&c| mesh.coord_of(c).x % 2 == offset) {
                 assert!(
                     out.outputs[chip.index()].max_abs_diff(&reference) < 1e-4,
@@ -431,7 +436,7 @@ mod tests {
         let mesh = net.mesh().clone();
         let n = mesh.num_chips();
         let ins = random_inputs(n, 64, 12);
-        let reference = Tensor::sum_all(&ins);
+        let reference = Tensor::sum_all(&ins).unwrap();
         let expected = reference.split(0, n).unwrap();
         let mut seen = std::collections::HashSet::new();
         let mut check = |chip: ChipId, shard: &mut Tensor| {
@@ -453,7 +458,7 @@ mod tests {
         let mut net = setup(4, 4);
         let n = net.mesh().num_chips();
         let ins = random_inputs(n, 64, 10);
-        let reference = Tensor::sum_all(&ins).scale(2.0);
+        let reference = Tensor::sum_all(&ins).unwrap().scale(2.0);
         let mut update = |_chip: ChipId, shard: &mut Tensor| {
             *shard = shard.scale(2.0);
         };
@@ -497,10 +502,10 @@ mod tests {
         // phase is dominated by its 127 latency-bound line steps. Together
         // they land in the low-millisecond range the paper's Fig. 6
         // breakdown implies (~3 ms all-reduce at 4096 chips).
-        let b = two_dim_all_reduce_time(&net, 25_600_000, Precision::F32, 1);
+        let b = two_dim_all_reduce_time(&net, 25_600_000, Precision::F32, 1).unwrap();
         assert!(b.total() > 1e-3 && b.total() < 8e-3, "total={}", b.total());
         // Doubling payload moves Y but barely moves X.
-        let b2 = two_dim_all_reduce_time(&net, 51_200_000, Precision::F32, 1);
+        let b2 = two_dim_all_reduce_time(&net, 51_200_000, Precision::F32, 1).unwrap();
         assert!(b2.y_reduce_scatter > 1.8 * b.y_reduce_scatter);
         assert!(b2.x_reduce_scatter < 1.2 * b.x_reduce_scatter);
     }
@@ -519,8 +524,8 @@ mod tests {
             Multipod::new(MultipodConfig::mesh(32, 1, false)),
             NetworkConfig::tpu_v3(),
         );
-        let strided = RingCosts::from_ring(&wide, &wide.mesh().x_line_strided(0, 0, 4), 4);
-        let dense = RingCosts::from_ring(&narrow, &narrow.mesh().x_line(0), 1);
+        let strided = RingCosts::from_ring(&wide, &wide.mesh().x_line_strided(0, 0, 4), 4).unwrap();
+        let dense = RingCosts::from_ring(&narrow, &narrow.mesh().x_line(0), 1).unwrap();
         assert_eq!(strided.n, dense.n);
         let elems = 1 << 24; // bandwidth-dominated
         let t_strided = strided.all_reduce_time(elems, Precision::Bf16, true);
@@ -552,7 +557,7 @@ mod tests {
         let ins = random_inputs(n, elems, 11);
         let numeric = two_dim_all_reduce(&mut net, &ins, Precision::F32, 1, None).unwrap();
         let fresh = setup(8, 8);
-        let analytic = two_dim_all_reduce_time(&fresh, elems, Precision::F32, 1);
+        let analytic = two_dim_all_reduce_time(&fresh, elems, Precision::F32, 1).unwrap();
         let ratio = numeric.time.seconds() / analytic.total();
         assert!(
             (0.3..6.0).contains(&ratio),

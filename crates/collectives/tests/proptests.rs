@@ -30,7 +30,7 @@ proptest! {
         let mut net = Network::new(mesh, NetworkConfig::tpu_v3());
         let ring_y = net.mesh().y_ring(0);
         let ins = random_inputs(y as usize, chunk * y as usize, seed);
-        let reference = Tensor::sum_all(&ins);
+        let reference = Tensor::sum_all(&ins).unwrap();
         let dir = if forward { ring::Direction::Forward } else { ring::Direction::Backward };
         let out = ring::all_reduce_unidirectional(
             &mut net, &ring_y, &ins, Precision::F32, dir, SimTime::ZERO,
@@ -53,7 +53,7 @@ proptest! {
         let mut net = Network::new(mesh, NetworkConfig::tpu_v3());
         let ring_y = net.mesh().y_ring(0);
         let ins = random_inputs(y as usize, elems, seed);
-        let reference = Tensor::sum_all(&ins);
+        let reference = Tensor::sum_all(&ins).unwrap();
         let out = ring::all_reduce(&mut net, &ring_y, &ins, Precision::F32, SimTime::ZERO)
             .unwrap();
         for o in &out.outputs {
@@ -79,7 +79,7 @@ proptest! {
         let ag = ring::all_gather(
             &mut net, &ring_y, &rs.shards, Precision::F32, ring::Direction::Forward, rs.time,
         ).unwrap();
-        let reference = Tensor::sum_all(&ins);
+        let reference = Tensor::sum_all(&ins).unwrap();
         for o in &ag.outputs {
             prop_assert!(o.max_abs_diff(&reference) < 1e-3);
         }
@@ -110,7 +110,7 @@ proptest! {
                 .filter(|&c| mesh.coord_of(c).x % stride == offset)
                 .map(|c| ins[c.index()].clone())
                 .collect();
-            let reference = Tensor::sum_all(&group);
+            let reference = Tensor::sum_all(&group).unwrap();
             for chip in mesh.chips().filter(|&c| mesh.coord_of(c).x % stride == offset) {
                 prop_assert!(
                     out.outputs[chip.index()].max_abs_diff(&reference) < 1e-3,
@@ -135,7 +135,7 @@ proptest! {
         let ins: Vec<Tensor> = (0..n)
             .map(|_| rng.uniform(Shape::vector(4 * n), 0.5, 1.5))
             .collect();
-        let reference = Tensor::sum_all(&ins);
+        let reference = Tensor::sum_all(&ins).unwrap();
         let out = ring::all_reduce_unidirectional(
             &mut net, &ring_y, &ins, Precision::Bf16, ring::Direction::Forward, SimTime::ZERO,
         ).unwrap();
@@ -157,7 +157,7 @@ proptest! {
         use multipod_collectives::timing::RingCosts;
         let mesh = Multipod::new(MultipodConfig::mesh(1, y, true));
         let net = Network::new(mesh, NetworkConfig::tpu_v3());
-        let costs = RingCosts::from_ring(&net, &net.mesh().y_ring(0), 1);
+        let costs = RingCosts::from_ring(&net, &net.mesh().y_ring(0), 1).unwrap();
         let n = y as usize;
         let a = costs.all_reduce_time(small * n * 1000, Precision::F32, true);
         let b = costs.all_reduce_time((small + extra) * n * 1000, Precision::F32, true);

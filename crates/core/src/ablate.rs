@@ -56,9 +56,14 @@ pub fn summation_ablation(
                 Multipod::new(MultipodConfig::slice(chips)),
                 NetworkConfig::tpu_v3(),
             );
-            let snake = RingCosts::from_ring(&net, &net.mesh().snake_ring(), 1);
+            // Invariant: the mesh was freshly built above with no failed
+            // links, so every ring hop routes and the stride is nonzero.
+            let snake = RingCosts::from_ring(&net, &net.mesh().snake_ring(), 1)
+                .expect("healthy mesh routes every snake-ring hop");
             let one_dim = snake.all_reduce_time(elems, precision, true);
-            let two_dim = two_dim_all_reduce_time(&net, elems, precision, 1).total();
+            let two_dim = two_dim_all_reduce_time(&net, elems, precision, 1)
+                .expect("healthy mesh routes every ring hop")
+                .total();
             SummationRow {
                 chips,
                 one_dim,
@@ -88,10 +93,15 @@ pub fn precision_ablation(elems: usize, chip_counts: &[u32]) -> Vec<PrecisionRow
                 Multipod::new(MultipodConfig::slice(chips)),
                 NetworkConfig::tpu_v3(),
             );
+            // Invariant: freshly built healthy mesh (as above).
             PrecisionRow {
                 chips,
-                f32_time: two_dim_all_reduce_time(&net, elems, Precision::F32, 1).total(),
-                bf16_time: two_dim_all_reduce_time(&net, elems, Precision::Bf16, 1).total(),
+                f32_time: two_dim_all_reduce_time(&net, elems, Precision::F32, 1)
+                    .expect("healthy mesh routes every ring hop")
+                    .total(),
+                bf16_time: two_dim_all_reduce_time(&net, elems, Precision::Bf16, 1)
+                    .expect("healthy mesh routes every ring hop")
+                    .total(),
             }
         })
         .collect()

@@ -140,7 +140,9 @@ fn eval_seconds(
         Multipod::new(MultipodConfig::slice(chips)),
         NetworkConfig::tpu_v3(),
     );
-    let ring = RingCosts::from_ring(&net, &net.mesh().y_ring(0), 1);
+    // Invariant: the mesh was freshly built above with no failed links.
+    let ring = RingCosts::from_ring(&net, &net.mesh().y_ring(0), 1)
+        .expect("healthy mesh routes every ring hop");
     let workers = InitModel::workers(chips) as usize;
     let combine = match framework {
         FrameworkKind::TensorFlow => {

@@ -144,8 +144,11 @@ pub fn step_breakdown_on(
     // Gradient summation: each chip contributes its share of the
     // (possibly sharded) weights; X-phase rings hop over model peers.
     let grad_elems_per_chip = (workload.params / stride as u64) as usize;
+    // Invariant: `net` was freshly built above with no failed links and
+    // `stride >= 1`, so the cost model cannot fail.
     let gradient_comm =
-        two_dim_all_reduce_time(&net, grad_elems_per_chip, workload.grad_precision, stride);
+        two_dim_all_reduce_time(&net, grad_elems_per_chip, workload.grad_precision, stride)
+            .expect("healthy mesh routes every ring hop");
 
     // Weight update: sharded updates divide the optimizer math by the
     // number of shards in the replica set (§3.2).

@@ -359,7 +359,7 @@ impl<O: Optimizer> DataParallelTrainer<O> {
         // Phase A (local to this host-side driver): advance optimizer
         // state per shard and gather the global layer statistics the
         // trust-ratio optimizers need (the scalar all-reduce of §3.2).
-        let grad_sum = Tensor::sum_all(local_grads);
+        let grad_sum = Tensor::sum_all(local_grads)?;
         let w_shards = weights.split(0, n)?;
         let g_shards = grad_sum.split(0, n)?;
         let mut global = LayerStats::default();
@@ -461,7 +461,7 @@ impl<O: Optimizer> DataParallelTrainer<O> {
             start
         };
         let scale = n as f32 / s as f32;
-        let grad_sum = Tensor::sum_all(&survivor_grads).scale(scale);
+        let grad_sum = Tensor::sum_all(&survivor_grads)?.scale(scale);
         let w_shards = weights.split(0, n)?;
         let g_shards = grad_sum.split(0, n)?;
         let mut global = LayerStats::default();
@@ -522,7 +522,7 @@ mod tests {
                 .map(|_| rng.uniform(Shape::vector(elems), -0.1, 0.1))
                 .collect();
             trainer.step(&mut w_dist, &grads).unwrap();
-            reference.step(0, &mut w_ref, &Tensor::sum_all(&grads));
+            reference.step(0, &mut w_ref, &Tensor::sum_all(&grads).unwrap());
         }
         assert!(
             w_dist.max_abs_diff(&w_ref) < 1e-4,
@@ -662,7 +662,9 @@ mod tests {
             .filter(|(i, _)| *i != 5)
             .map(|(_, g)| g.clone())
             .collect();
-        let renorm = Tensor::sum_all(&survivor_grads).scale(n as f32 / (n - 1) as f32);
+        let renorm = Tensor::sum_all(&survivor_grads)
+            .unwrap()
+            .scale(n as f32 / (n - 1) as f32);
         let mut reference = SgdMomentum::new(0.1, 0.0);
         reference.step(0, &mut w_ref, &renorm);
         assert!(

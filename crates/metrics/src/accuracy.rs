@@ -171,7 +171,7 @@ mod tests {
             Multipod::new(MultipodConfig::mesh(1, 32, true)),
             NetworkConfig::tpu_v3(),
         );
-        let ring = RingCosts::from_ring(&net, &net.mesh().y_ring(0), 1);
+        let ring = RingCosts::from_ring(&net, &net.mesh().y_ring(0), 1).unwrap();
         let tf = combine_time(MetricCombine::CoordinatorGather, 1024, 1.0e-3, &ring);
         let jax = combine_time(MetricCombine::DeviceAllReduce, 1024, 1.0e-3, &ring);
         assert!(tf > 100.0 * jax, "tf={tf} jax={jax}");

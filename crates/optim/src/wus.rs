@@ -288,7 +288,7 @@ mod tests {
     #[test]
     fn wus_divides_update_compute_by_ring_size() {
         let (net, ring) = setup(32);
-        let costs = RingCosts::from_ring(&net, &ring, 1);
+        let costs = RingCosts::from_ring(&net, &ring, 1).unwrap();
         let elems = 25_600_000;
         let vector_flops = 1.0e12;
         let rep = replicated_update_time(&costs, elems, Precision::Bf16, 20, vector_flops);
@@ -313,7 +313,7 @@ mod tests {
         // replicated update is a double-digit share of a ~50 ms step and
         // WUS makes it negligible.
         let (net, ring) = setup(16); // Y ring of a 512-chip (32x16) slice
-        let costs = RingCosts::from_ring(&net, &ring, 1);
+        let costs = RingCosts::from_ring(&net, &ring, 1).unwrap();
         let bert_params = 334_000_000usize;
         let vector_flops = 2.0e12; // TPU-v3 VPU-class throughput
         let rep = replicated_update_time(&costs, bert_params, Precision::Bf16, 20, vector_flops);

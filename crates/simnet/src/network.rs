@@ -84,10 +84,11 @@ pub struct Network {
     config: NetworkConfig,
     link_free: HashMap<(u32, u32), SimTime>,
     link_bytes: HashMap<(u32, u32), u64>,
-    /// Memoized routes keyed by `(from, to)`. Valid only while
-    /// `mesh_version` matches the mesh; [`Network::sync_topology`] drops it
-    /// on any topology mutation.
-    route_cache: HashMap<(u32, u32), Route>,
+    /// Memoized routes keyed by `(from, to)`, shared by handle so a cache
+    /// hit never copies the hop vector. Valid only while `mesh_version`
+    /// matches the mesh; [`Network::sync_topology`] drops it on any
+    /// topology mutation.
+    route_cache: HashMap<(u32, u32), Arc<Route>>,
     /// The [`Multipod::version`] the cached state was computed against.
     mesh_version: u64,
     sink: Option<Arc<dyn TraceSink>>,
@@ -286,10 +287,10 @@ impl Network {
     ) -> Result<Transfer, TopologyError> {
         self.sync_topology();
         let route = match self.route_cache.get(&(from.0, to.0)) {
-            Some(route) => route.clone(),
+            Some(route) => Arc::clone(route),
             None => {
-                let route = self.mesh.route(from, to)?;
-                self.route_cache.insert((from.0, to.0), route.clone());
+                let route = Arc::new(self.mesh.route(from, to)?);
+                self.route_cache.insert((from.0, to.0), Arc::clone(&route));
                 route
             }
         };

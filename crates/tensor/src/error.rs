@@ -31,6 +31,11 @@ pub enum TensorError {
         /// The requested number of parts.
         parts: usize,
     },
+    /// An operation that needs at least one tensor received none.
+    EmptyInput {
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -44,6 +49,9 @@ impl fmt::Display for TensorError {
             }
             TensorError::NotDivisible { dim, parts } => {
                 write!(f, "dimension {dim} not divisible into {parts} parts")
+            }
+            TensorError::EmptyInput { op } => {
+                write!(f, "{op} requires at least one input tensor")
             }
         }
     }

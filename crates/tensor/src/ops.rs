@@ -140,16 +140,19 @@ impl Tensor {
     /// Sums a list of same-shape tensors; the scalar reference that every
     /// all-reduce implementation is tested against.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when the list is empty or shapes disagree.
-    pub fn sum_all(tensors: &[Tensor]) -> Tensor {
-        let first = tensors.first().expect("sum_all of empty list");
+    /// Returns [`TensorError::EmptyInput`] on an empty list and
+    /// [`TensorError::ShapeMismatch`] when shapes disagree.
+    pub fn sum_all(tensors: &[Tensor]) -> Result<Tensor, TensorError> {
+        let first = tensors
+            .first()
+            .ok_or(TensorError::EmptyInput { op: "sum_all" })?;
         let mut acc = first.clone();
         for t in &tensors[1..] {
-            acc.axpy(1.0, t).expect("sum_all shape mismatch");
+            acc.axpy(1.0, t)?;
         }
-        acc
+        Ok(acc)
     }
 
     /// Maximum absolute difference between two tensors.
@@ -254,8 +257,24 @@ mod tests {
         let ts: Vec<Tensor> = (0..5)
             .map(|i| Tensor::fill(Shape::of(&[4]), i as f32))
             .collect();
-        let s = Tensor::sum_all(&ts);
+        let s = Tensor::sum_all(&ts).unwrap();
         assert_eq!(s.data(), &[10.0; 4]);
+    }
+
+    #[test]
+    fn sum_all_reports_empty_and_mismatched_inputs() {
+        assert!(matches!(
+            Tensor::sum_all(&[]),
+            Err(TensorError::EmptyInput { op: "sum_all" })
+        ));
+        let ts = [
+            Tensor::zeros(Shape::of(&[2])),
+            Tensor::zeros(Shape::of(&[3])),
+        ];
+        assert!(matches!(
+            Tensor::sum_all(&ts),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

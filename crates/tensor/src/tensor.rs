@@ -1,6 +1,7 @@
 //! The dense tensor type.
 
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -10,13 +11,36 @@ use crate::{Bf16, Shape, TensorError};
 ///
 /// `Tensor` is the numeric currency of the workspace: collective payloads,
 /// optimizer state and evaluation buffers are all `Tensor`s. Storage is a
-/// flat `Vec<f32>`; shards produced by the SPMD partitioner and the
-/// collectives are materialized as owned tensors (the simulator favours
-/// clarity over zero-copy).
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+/// flat `Arc<Vec<f32>>` with copy-on-write semantics.
+///
+/// # Copy-on-write invariants
+///
+/// * [`Tensor::clone`] is O(1): it bumps the `Arc` refcount and shares the
+///   underlying buffer with the original. Ring collectives exploit this to
+///   move chunks by handle instead of copying payload bytes on every hop.
+/// * Shared storage is never mutated. [`Tensor::data_mut`] and
+///   [`Tensor::at_mut`] go through [`Arc::make_mut`], which detaches
+///   (deep-copies) the buffer first *iff* it is shared; a uniquely owned
+///   tensor mutates in place with no copy. Holders of other handles can
+///   therefore never observe a write through this one.
+/// * Reads ([`Tensor::data`], [`Tensor::at`]) never copy or detach.
+/// * [`Tensor::reshape`] only rewrites the shape; the buffer (and any
+///   sharing) is preserved. [`Tensor::split`] and [`Tensor::concat`]
+///   materialize fresh, uniquely owned buffers.
+///
+/// Numerics are unaffected: detaching copies bits verbatim, so CoW tensors
+/// are bit-identical to the eagerly copied representation they replaced.
+#[derive(Clone, Serialize, Deserialize)]
 pub struct Tensor {
     shape: Shape,
-    data: Vec<f32>,
+    data: Arc<Vec<f32>>,
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Tensor) -> bool {
+        self.shape == other.shape
+            && (Arc::ptr_eq(&self.data, &other.data) || self.data == other.data)
+    }
 }
 
 impl Tensor {
@@ -32,7 +56,10 @@ impl Tensor {
             "data length {} does not match shape {shape}",
             data.len()
         );
-        Tensor { shape, data }
+        Tensor {
+            shape,
+            data: Arc::new(data),
+        }
     }
 
     /// A tensor of zeros.
@@ -72,19 +99,29 @@ impl Tensor {
         self.data.is_empty()
     }
 
-    /// Read-only view of the flat data.
+    /// Read-only view of the flat data. Never copies or detaches.
     pub fn data(&self) -> &[f32] {
         &self.data
     }
 
     /// Mutable view of the flat data.
+    ///
+    /// Detaches (deep-copies) the buffer first when it is shared with other
+    /// handles, so writes are never visible through another `Tensor`.
     pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
+        Arc::make_mut(&mut self.data).as_mut_slice()
     }
 
-    /// Consumes the tensor and returns its flat storage.
+    /// Consumes the tensor and returns its flat storage, copying only if
+    /// the buffer is shared with another handle.
     pub fn into_data(self) -> Vec<f32> {
-        self.data
+        Arc::try_unwrap(self.data).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// Whether two tensors share the same underlying buffer (a
+    /// copy-on-write alias). Diagnostic; numerics never depend on this.
+    pub fn shares_storage(&self, other: &Tensor) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
     }
 
     /// Element access by multi-index.
@@ -103,7 +140,7 @@ impl Tensor {
     /// Panics when the index is out of bounds.
     pub fn at_mut(&mut self, index: &[usize]) -> &mut f32 {
         let off = self.shape.offset(index);
-        &mut self.data[off]
+        &mut Arc::make_mut(&mut self.data)[off]
     }
 
     /// Reinterprets the tensor with a new shape of equal element count.
@@ -210,7 +247,7 @@ impl Tensor {
     /// Models demoting a gradient buffer to bfloat16 for the all-reduce
     /// payload (§3.3).
     pub fn to_bf16_precision(&self) -> Tensor {
-        let mut data = self.data.clone();
+        let mut data = (*self.data).clone();
         Bf16::quantize_slice(&mut data);
         Tensor::new(self.shape.clone(), data)
     }
@@ -340,5 +377,51 @@ mod tests {
         let t = Tensor::zeros(Shape::of(&[100]));
         assert_eq!(t.size_bytes(4), 400);
         assert_eq!(t.size_bytes(2), 200);
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let t = iota(&[4, 4]);
+        let c = t.clone();
+        assert!(t.shares_storage(&c));
+        assert_eq!(t, c);
+        // Reshape keeps the buffer shared.
+        let r = c.clone().reshape(Shape::of(&[16])).unwrap();
+        assert!(r.shares_storage(&t));
+    }
+
+    #[test]
+    fn mutation_detaches_shared_storage() {
+        let t = iota(&[4]);
+        let mut c = t.clone();
+        c.data_mut()[0] = 99.0;
+        assert!(!t.shares_storage(&c));
+        assert_eq!(t.data()[0], 0.0, "original must not see the write");
+        assert_eq!(c.data()[0], 99.0);
+        let mut d = t.clone();
+        *d.at_mut(&[1]) = -1.0;
+        assert_eq!(t.data()[1], 1.0);
+        assert_eq!(d.data()[1], -1.0);
+    }
+
+    #[test]
+    fn unique_tensor_mutates_without_copy() {
+        let mut t = iota(&[4]);
+        let before = t.data().as_ptr();
+        t.data_mut()[2] = 7.0;
+        assert_eq!(t.data().as_ptr(), before, "unshared mutation is in place");
+    }
+
+    #[test]
+    fn into_data_avoids_copy_when_unique() {
+        let t = iota(&[3]);
+        let ptr = t.data().as_ptr();
+        let v = t.into_data();
+        assert_eq!(v.as_ptr(), ptr);
+        // Shared: falls back to a copy, original unaffected.
+        let t = iota(&[3]);
+        let c = t.clone();
+        let v = c.into_data();
+        assert_eq!(v, t.data());
     }
 }

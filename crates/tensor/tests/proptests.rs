@@ -59,7 +59,7 @@ proptest! {
         let ts: Vec<Tensor> = (0..n)
             .map(|_| rng.uniform(Shape::of(&[len]), -10.0, 10.0))
             .collect();
-        let s = Tensor::sum_all(&ts);
+        let s = Tensor::sum_all(&ts).unwrap();
         for i in 0..len {
             let manual: f32 = ts.iter().map(|t| t.data()[i]).sum();
             prop_assert!((s.data()[i] - manual).abs() < 1e-4);
@@ -86,7 +86,7 @@ proptest! {
             .zip(&b_parts)
             .map(|(ap, bp)| ap.matmul(bp))
             .collect();
-        let summed = Tensor::sum_all(&partials);
+        let summed = Tensor::sum_all(&partials).unwrap();
         prop_assert!(full.max_abs_diff(&summed) < 1e-4);
     }
 }

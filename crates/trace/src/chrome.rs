@@ -52,16 +52,25 @@ fn track_names(track: &Track) -> (String, String) {
 
 /// Converts events into the Chrome trace-event object
 /// `{"displayTimeUnit": "ms", "traceEvents": [...]}`.
-pub fn chrome_trace(events: &[TraceEvent]) -> Value {
+///
+/// # Errors
+///
+/// Propagates any serialization failure (e.g. a span argument that cannot
+/// be represented) instead of aborting the run.
+pub fn chrome_trace(events: &[TraceEvent]) -> Result<Value, serde_json::Error> {
     chrome_trace_with_metrics(events, None)
 }
 
 /// Like [`chrome_trace`], with an optional metrics summary embedded under
 /// the (viewer-ignored) top-level `otherData` key.
+///
+/// # Errors
+///
+/// See [`chrome_trace`].
 pub fn chrome_trace_with_metrics(
     events: &[TraceEvent],
     metrics: Option<&MetricsRegistry>,
-) -> Value {
+) -> Result<Value, serde_json::Error> {
     struct Row {
         ts: f64,
         dur: f64,
@@ -102,10 +111,10 @@ pub fn chrome_trace_with_metrics(
                 let (pid, tid) = track_ids(&s.track);
                 let mut args: Vec<(String, Value)> = Vec::with_capacity(1 + s.args.len());
                 if s.bytes > 0 {
-                    args.push(("bytes".to_string(), serde_json::to_value(&s.bytes).unwrap()));
+                    args.push(("bytes".to_string(), serde_json::to_value(&s.bytes)?));
                 }
                 for (key, val) in &s.args {
-                    args.push((key.clone(), serde_json::to_value(val).unwrap()));
+                    args.push((key.clone(), serde_json::to_value(val)?));
                 }
                 let v = json!({
                     "name": s.name.as_str(),
@@ -133,12 +142,13 @@ pub fn chrome_trace_with_metrics(
         });
     }
 
+    // `total_cmp` gives a total order even for pathological (NaN) values,
+    // so the deterministic sort cannot panic.
     rows.sort_by(|a, b| {
-        a.ts.partial_cmp(&b.ts)
-            .expect("SimTime is never NaN")
+        a.ts.total_cmp(&b.ts)
             .then(a.pid.cmp(&b.pid))
             .then(a.tid.cmp(&b.tid))
-            .then(a.dur.partial_cmp(&b.dur).expect("duration is never NaN"))
+            .then(a.dur.total_cmp(&b.dur))
     });
 
     let mut trace_events: Vec<Value> = Vec::with_capacity(rows.len() + 2 * names.len());
@@ -165,12 +175,9 @@ pub fn chrome_trace_with_metrics(
         ("traceEvents".to_string(), Value::Seq(trace_events)),
     ];
     if let Some(metrics) = metrics {
-        top.push((
-            "otherData".to_string(),
-            serde_json::to_value(metrics).unwrap(),
-        ));
+        top.push(("otherData".to_string(), serde_json::to_value(metrics)?));
     }
-    Value::Map(top)
+    Ok(Value::Map(top))
 }
 
 /// Writes a JSON value to `path` (compact, deterministic formatting).
@@ -185,13 +192,21 @@ pub fn write_json(path: impl AsRef<Path>, value: &Value) -> std::io::Result<()> 
 impl Recorder {
     /// This recorder's events as a Chrome trace with the metrics summary
     /// embedded under `otherData`.
-    pub fn chrome_trace(&self) -> Value {
+    ///
+    /// # Errors
+    ///
+    /// See [`chrome_trace`].
+    pub fn chrome_trace(&self) -> Result<Value, serde_json::Error> {
         chrome_trace_with_metrics(&self.events(), Some(&self.metrics()))
     }
 
-    /// Writes [`Recorder::chrome_trace`] to `path`.
+    /// Writes [`Recorder::chrome_trace`] to `path`; serialization failures
+    /// surface as [`std::io::ErrorKind::InvalidData`].
     pub fn write_chrome_trace(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        write_json(path, &self.chrome_trace())
+        let trace = self
+            .chrome_trace()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.0))?;
+        write_json(path, &trace)
     }
 }
 
@@ -236,7 +251,7 @@ mod tests {
     #[test]
     fn emits_metadata_then_sorted_events() {
         let r = sample_recorder();
-        let trace = r.chrome_trace();
+        let trace = r.chrome_trace().unwrap();
         let events = events_of(&trace);
         // 2 tracks × (process_name + thread_name) + 2 real events.
         assert_eq!(events.len(), 6);
@@ -263,16 +278,16 @@ mod tests {
 
     #[test]
     fn export_is_byte_identical_across_runs() {
-        let a = serde_json::to_string(&sample_recorder().chrome_trace()).unwrap();
-        let b = serde_json::to_string(&sample_recorder().chrome_trace()).unwrap();
+        let a = serde_json::to_string(&sample_recorder().chrome_trace().unwrap()).unwrap();
+        let b = serde_json::to_string(&sample_recorder().chrome_trace().unwrap()).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn export_round_trips_through_the_parser() {
         let r = sample_recorder();
-        let text = serde_json::to_string(&r.chrome_trace()).unwrap();
+        let text = serde_json::to_string(&r.chrome_trace().unwrap()).unwrap();
         let back: Value = serde_json::from_str(&text).unwrap();
-        assert_eq!(back, r.chrome_trace());
+        assert_eq!(back, r.chrome_trace().unwrap());
     }
 }

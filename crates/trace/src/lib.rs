@@ -37,7 +37,7 @@
 //! });
 //! let links = recorder.link_summaries();
 //! assert_eq!(links[0].bytes, 1 << 20);
-//! let trace = recorder.chrome_trace();
+//! let trace = recorder.chrome_trace().unwrap();
 //! assert!(trace.get("traceEvents").is_some());
 //! ```
 

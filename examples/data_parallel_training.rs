@@ -88,7 +88,7 @@ fn main() {
         // whole-layer norms, reconstructed from per-shard partials just
         // like `multipod::optim::wus` does.
         let lr = schedule.at(step);
-        let grad_sum = Tensor::sum_all(&local_grads);
+        let grad_sum = Tensor::sum_all(&local_grads).expect("same-shape gradients");
         let n_shards = chips;
         let w_shards = weights.split(0, n_shards).unwrap();
         let g_shards = grad_sum.split(0, n_shards).unwrap();

@@ -30,7 +30,7 @@ fn main() {
     let grads: Vec<Tensor> = (0..mesh.num_chips())
         .map(|_| rng.uniform(Shape::vector(4096), -1.0, 1.0))
         .collect();
-    let reference = Tensor::sum_all(&grads);
+    let reference = Tensor::sum_all(&grads).expect("same-shape gradients");
 
     // Weight-update sharding: each shard owner scales its slice by the
     // learning rate before the broadcast phases (a stand-in for the

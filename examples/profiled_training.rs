@@ -89,7 +89,8 @@ fn main() {
         })
         .cloned()
         .collect();
-    let trace = chrome_trace_with_metrics(&kept, Some(&recorder.metrics()));
+    let trace =
+        chrome_trace_with_metrics(&kept, Some(&recorder.metrics())).expect("trace serializes");
     write_json("profiled_training.trace.json", &trace).expect("write trace");
     println!(
         "wrote profiled_training.trace.json ({} of {} events exported)",

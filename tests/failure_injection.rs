@@ -38,7 +38,7 @@ fn ring_allreduce_survives_failed_wrap_link() {
     let inputs: Vec<Tensor> = (0..8)
         .map(|_| rng.uniform(Shape::vector(64), -1.0, 1.0))
         .collect();
-    let reference = Tensor::sum_all(&inputs);
+    let reference = Tensor::sum_all(&inputs).unwrap();
 
     let mut healthy_net = build();
     let ring_y = healthy_net.mesh().y_ring(0);

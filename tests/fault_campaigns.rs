@@ -16,7 +16,8 @@ fn demo_4x4() -> CampaignConfig {
 }
 
 fn chrome_export(recorder: &Recorder) -> String {
-    serde_json::to_string(&recorder.chrome_trace()).expect("chrome trace serializes")
+    serde_json::to_string(&recorder.chrome_trace().expect("chrome trace serializes"))
+        .expect("chrome trace serializes")
 }
 
 /// Same `FaultPlan`, same config → byte-identical Chrome-trace export.
@@ -62,7 +63,7 @@ fn link_heals_between_reduce_scatter_and_all_gather() {
     let inputs: Vec<Tensor> = (0..4)
         .map(|_| rng.uniform(Shape::vector(16), -1.0, 1.0))
         .collect();
-    let reference = Tensor::sum_all(&inputs);
+    let reference = Tensor::sum_all(&inputs).unwrap();
 
     // Healthy baseline for phase times.
     let mut healthy_net = build();

@@ -27,7 +27,7 @@ fn sharded_lamb_inside_2d_allreduce_matches_replicated_reference() {
         .collect();
 
     // Reference: replicated LAMB on the summed gradient.
-    let summed = Tensor::sum_all(&grads);
+    let summed = Tensor::sum_all(&grads).unwrap();
     let mut ref_opt = Lamb::new(0.01, 0.01);
     let mut ref_w = w0.clone();
     ref_opt.step(0, &mut ref_w, &summed);
@@ -149,7 +149,7 @@ fn feature_sharded_forward_plus_peer_gradient_ring() {
             SimTime::ZERO,
         )
         .expect("peer ring");
-        let expect = Tensor::sum_all(&inputs);
+        let expect = Tensor::sum_all(&inputs).unwrap();
         for r in &reduced.outputs {
             assert!(r.max_abs_diff(&expect) < 1e-4);
         }
@@ -166,7 +166,7 @@ fn bf16_2d_allreduce_error_bounded() {
     let grads: Vec<Tensor> = (0..mesh.num_chips())
         .map(|_| rng.uniform(Shape::vector(64), 0.5, 1.5))
         .collect();
-    let reference = Tensor::sum_all(&grads);
+    let reference = Tensor::sum_all(&grads).unwrap();
     let out = two_dim_all_reduce(&mut net, &grads, Precision::Bf16, 1, None).unwrap();
     let bound = reference.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()))
         * mesh.num_chips() as f32

@@ -46,7 +46,7 @@ fn ring_alpha_beta_tracks_numeric_execution() {
         .time
         .seconds();
         let fresh = net(1, y);
-        let costs = RingCosts::from_ring(&fresh, &fresh.mesh().y_ring(0), 1);
+        let costs = RingCosts::from_ring(&fresh, &fresh.mesh().y_ring(0), 1).unwrap();
         let analytic = costs.all_reduce_time(elems, Precision::F32, false);
         let ratio = numeric / analytic;
         assert!(
@@ -69,7 +69,9 @@ fn two_dim_alpha_beta_tracks_numeric_execution() {
                 .time
                 .seconds();
             let fresh = net(x, y);
-            let analytic = two_dim_all_reduce_time(&fresh, elems, precision, 1).total();
+            let analytic = two_dim_all_reduce_time(&fresh, elems, precision, 1)
+                .unwrap()
+                .total();
             let ratio = numeric / analytic;
             assert!(
                 (0.4..4.0).contains(&ratio),
@@ -100,7 +102,11 @@ fn layers_agree_on_configuration_ranking() {
                 .seconds(),
         );
         let fresh = net(x, y);
-        analytic_times.push(two_dim_all_reduce_time(&fresh, elems, Precision::F32, 1).total());
+        analytic_times.push(
+            two_dim_all_reduce_time(&fresh, elems, Precision::F32, 1)
+                .unwrap()
+                .total(),
+        );
     }
     // Near-ties (the α–β model is x/y-symmetric for some shapes) make a
     // full-order comparison noisy; both layers must at least agree on the
@@ -177,8 +183,8 @@ fn link_utilization_matches_alpha_beta_within_one_percent() {
     two_dim_all_reduce(&mut network, &ins, Precision::F32, 1, None).unwrap();
 
     let fresh = net(4, 4);
-    let y_costs = RingCosts::from_ring(&fresh, &fresh.mesh().y_ring(0), 1);
-    let x_costs = RingCosts::from_ring(&fresh, &fresh.mesh().x_line_strided(0, 0, 1), 1);
+    let y_costs = RingCosts::from_ring(&fresh, &fresh.mesh().y_ring(0), 1).unwrap();
+    let x_costs = RingCosts::from_ring(&fresh, &fresh.mesh().x_line_strided(0, 0, 1), 1).unwrap();
     let y_busy = 2.0 * y_costs.phase_beta_seconds(elems, Precision::F32, false);
     let x_busy = 2.0 * x_costs.phase_beta_seconds(elems / 4, Precision::F32, false);
     let horizon = recorder.horizon_seconds();
@@ -266,7 +272,7 @@ fn chrome_trace_export_round_trips_and_is_deterministic() {
         network.set_trace_sink(recorder.clone());
         let ins = inputs(8, 256, 3);
         two_dim_all_reduce(&mut network, &ins, Precision::F32, 1, None).unwrap();
-        recorder.chrome_trace()
+        recorder.chrome_trace().expect("chrome trace serializes")
     };
     let a = run();
     let b = run();

@@ -305,6 +305,17 @@ impl<T: Deserialize> Deserialize for Box<T> {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn ser(&self) -> Content {
+        (**self).ser()
+    }
+}
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn de(c: &Content) -> Result<Self, DeError> {
+        T::de(c).map(std::sync::Arc::new)
+    }
+}
+
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn ser(&self) -> Content {
         (**self).ser()
