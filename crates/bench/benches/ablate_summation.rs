@@ -17,10 +17,10 @@ fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurem
 fn bench(c: &mut Criterion) {
     let mut g = quick(c);
     g.bench_function("1d-vs-2d-sweep", |b| {
-        b.iter(|| summation_ablation(25_600_000, Precision::F32, &[64, 1024, 4096]))
+        b.iter(|| summation_ablation(25_600_000, Precision::F32, &[64, 1024, 4096]).unwrap())
     });
     g.bench_function("precision-sweep", |b| {
-        b.iter(|| precision_ablation(334_000_000, &[256, 4096]))
+        b.iter(|| precision_ablation(334_000_000, &[256, 4096]).unwrap())
     });
     g.finish();
 }

@@ -17,7 +17,7 @@ fn bench(c: &mut Criterion) {
     let mut g = quick(c);
     g.bench_function("tpu-and-gpu-speedups", |b| {
         b.iter(|| {
-            let curve = ScalingCurve::sweep(&catalog::bert(), &standard_chip_counts(1024));
+            let curve = ScalingCurve::sweep(&catalog::bert(), &standard_chip_counts(1024)).unwrap();
             let tpu = curve.end_to_end_speedups().last().unwrap().1;
             let base =
                 GpuCluster::new(GpuGeneration::A100, 16).end_to_end_minutes(&catalog::bert());

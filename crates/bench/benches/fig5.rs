@@ -16,7 +16,7 @@ use multipod_models::catalog;
 fn bench(c: &mut Criterion) {
     let mut g = quick(c);
     g.bench_function("sweep-16-to-4096", |b| {
-        b.iter(|| ScalingCurve::sweep(&catalog::resnet50(), &standard_chip_counts(4096)))
+        b.iter(|| ScalingCurve::sweep(&catalog::resnet50(), &standard_chip_counts(4096)).unwrap())
     });
     g.finish();
 }

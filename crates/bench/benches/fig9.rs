@@ -17,13 +17,13 @@ use multipod_models::catalog;
 fn bench(c: &mut Criterion) {
     let mut g = quick(c);
     g.bench_function("ssd-1-8-cores", |b| {
-        b.iter(|| speedup_curve(&catalog::ssd(), 1.0, &[1, 2, 4, 8]))
+        b.iter(|| speedup_curve(&catalog::ssd(), 1.0, &[1, 2, 4, 8]).unwrap())
     });
     g.bench_function("maskrcnn-1-8-cores", |b| {
-        b.iter(|| speedup_curve(&catalog::maskrcnn(), 1.0, &[1, 2, 4, 8]))
+        b.iter(|| speedup_curve(&catalog::maskrcnn(), 1.0, &[1, 2, 4, 8]).unwrap())
     });
     g.bench_function("transformer-1-4-cores", |b| {
-        b.iter(|| speedup_curve(&catalog::transformer(), 1.0, &[1, 2, 4]))
+        b.iter(|| speedup_curve(&catalog::transformer(), 1.0, &[1, 2, 4]).unwrap())
     });
     g.finish();
 }

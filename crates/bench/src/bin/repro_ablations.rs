@@ -11,7 +11,9 @@ fn main() {
         "Ablation: 1-D snake ring vs the 2-D Y-then-X schedule (ResNet-50 gradients)",
         &["Chips", "1-D ring (ms)", "2-D schedule (ms)", "2-D speedup"],
     );
-    for r in summation_ablation(25_600_000, Precision::F32, &[64, 256, 1024, 4096]) {
+    for r in summation_ablation(25_600_000, Precision::F32, &[64, 256, 1024, 4096])
+        .expect("healthy mesh ablation")
+    {
         println!(
             "{} | {:.2} | {:.2} | {:.1}x",
             r.chips,
@@ -25,7 +27,7 @@ fn main() {
         "Ablation: gradient payload precision (BERT gradients, 2-D schedule)",
         &["Chips", "f32 (ms)", "bf16 (ms)", "saving"],
     );
-    for r in precision_ablation(334_000_000, &[256, 1024, 4096]) {
+    for r in precision_ablation(334_000_000, &[256, 1024, 4096]).expect("healthy mesh ablation") {
         println!(
             "{} | {:.2} | {:.2} | {:.0}%",
             r.chips,

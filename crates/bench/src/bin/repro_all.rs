@@ -5,13 +5,17 @@
 //! step timelines plus a reference numeric 2-D summation.
 
 use multipod_bench::{paper, preset_by_name, trace_flag, write_trace};
+use multipod_ckpt::{run_rollback_campaign, young_daly_interval, RollbackConfig};
 use multipod_collectives::Precision;
 use multipod_core::ablate::{precision_ablation, summation_ablation, wus_ablation};
 use multipod_core::modelpar::speedup_curve;
 use multipod_core::scaling::{standard_chip_counts, ScalingCurve};
 use multipod_core::{presets, Executor};
+use multipod_faults::FaultPlan;
 use multipod_framework::{profiles, FrameworkKind, InitModel};
 use multipod_models::{catalog, GpuCluster, GpuGeneration};
+use multipod_simnet::SimTime;
+use multipod_topology::{ChipId, MultipodConfig};
 use serde_json::json;
 
 fn main() {
@@ -66,7 +70,7 @@ fn main() {
 
     // Figures 5-8 (sweeps).
     let sweep = |w: &multipod_models::Workload| {
-        let curve = ScalingCurve::sweep(w, &standard_chip_counts(4096));
+        let curve = ScalingCurve::sweep(w, &standard_chip_counts(4096)).expect("standard sweep");
         let e2e = curve.end_to_end_speedups();
         let thr = curve.throughput_speedups();
         let rows: Vec<_> = curve
@@ -91,9 +95,9 @@ fn main() {
 
     // Figure 9.
     let fig9 = json!({
-        "ssd": speedup_curve(&catalog::ssd(), 1.0, &[1, 2, 4, 8]),
-        "maskrcnn": speedup_curve(&catalog::maskrcnn(), 1.0, &[1, 2, 4, 8]),
-        "transformer": speedup_curve(&catalog::transformer(), 1.0, &[1, 2, 4]),
+        "ssd": speedup_curve(&catalog::ssd(), 1.0, &[1, 2, 4, 8]).expect("ssd sweep"),
+        "maskrcnn": speedup_curve(&catalog::maskrcnn(), 1.0, &[1, 2, 4, 8]).expect("maskrcnn sweep"),
+        "transformer": speedup_curve(&catalog::transformer(), 1.0, &[1, 2, 4]).expect("transformer sweep"),
     });
 
     // Figures 10-11 (GPU baselines).
@@ -126,9 +130,40 @@ fn main() {
     let wus_rows = wus_ablation(&bert_small, &[256, 512, 1024]);
     let ablations = json!({
         "summation_1d_vs_2d":
-            summation_ablation(25_600_000, Precision::F32, &[64, 256, 1024, 4096]),
-        "payload_precision": precision_ablation(334_000_000, &[256, 1024, 4096]),
+            summation_ablation(25_600_000, Precision::F32, &[64, 256, 1024, 4096])
+                .expect("healthy mesh ablation"),
+        "payload_precision": precision_ablation(334_000_000, &[256, 1024, 4096])
+            .expect("healthy mesh ablation"),
         "weight_update_sharding": wus_rows,
+    });
+
+    // Checkpoint/rollback recovery (multipod-ckpt): the canned 4x4
+    // chip-loss campaign plus the Young/Daly interval derived from the
+    // measured save cost and the campaign's failure rate.
+    let ckpt_config = RollbackConfig::demo(MultipodConfig::mesh(4, 4, true));
+    let ckpt_clean = run_rollback_campaign(&ckpt_config, &FaultPlan::new(), None)
+        .expect("fault-free rollback campaign");
+    let fault_at = ckpt_clean.steps[4].start_seconds + 1e-9;
+    let ckpt_plan = FaultPlan::new().chip_down(SimTime::from_seconds(fault_at), ChipId(5));
+    let ckpt_faulty =
+        run_rollback_campaign(&ckpt_config, &ckpt_plan, None).expect("rollback campaign");
+    let mean_save_seconds = ckpt_clean.save_seconds / ckpt_clean.checkpoints_saved as f64;
+    let mtbf_seconds = ckpt_faulty.total_seconds / ckpt_faulty.rollbacks.max(1) as f64;
+    let loss_tolerance = 1e-3 * (1.0 + ckpt_clean.final_loss.abs());
+    let checkpointing = json!({
+        "fault_free_total_seconds": ckpt_clean.total_seconds,
+        "rollback_total_seconds": ckpt_faulty.total_seconds,
+        "checkpoints_saved": ckpt_faulty.checkpoints_saved,
+        "rollbacks": ckpt_faulty.rollbacks,
+        "replayed_steps": ckpt_faulty.replayed_steps,
+        "save_seconds": ckpt_faulty.save_seconds,
+        "restore_seconds": ckpt_faulty.restore_seconds,
+        "loss_within_tolerance":
+            (ckpt_faulty.final_loss - ckpt_clean.final_loss).abs() <= loss_tolerance,
+        "young_daly_ckpt_seconds": mean_save_seconds,
+        "young_daly_mtbf_seconds": mtbf_seconds,
+        "young_daly_optimal_interval_seconds":
+            young_daly_interval(mean_save_seconds, mtbf_seconds),
     });
 
     let doc = json!({
@@ -139,6 +174,7 @@ fn main() {
         "fig9_model_parallel": fig9,
         "fig10_tpu_vs_gpu": fig10,
         "ablations": ablations,
+        "checkpointing": checkpointing,
     });
     println!("{}", serde_json::to_string_pretty(&doc).unwrap());
 

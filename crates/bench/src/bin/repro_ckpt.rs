@@ -1,0 +1,246 @@
+//! Sharded checkpointing: save cost, rollback recovery, and the
+//! Young/Daly optimal interval on the simulated multipod.
+//!
+//! Runs the canned rollback campaign — periodic sharded checkpoints with
+//! a mid-run chip loss recovered by restoring the last checkpoint onto
+//! the survivor mesh — and contrasts it with the fault-free run,
+//! emitting `BENCH_ckpt.json`.
+//!
+//! Flags:
+//!   --mesh <WxH>          mesh instead of the 128×32 multipod (e.g. 4x4)
+//!   --steps <n>           training steps (default 8)
+//!   --interval <n>        checkpoint every n steps (default 3)
+//!   --json <path>         output path (default BENCH_ckpt.json)
+//!   --trace <path>        also export the campaign Chrome trace
+//!   --check-determinism   run the campaign twice; exit 1 if the report
+//!                         or trace exports differ by a single byte
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use multipod_bench::trace_flag;
+use multipod_ckpt::{
+    interval_curve, run_rollback_campaign, young_daly_interval, RollbackConfig, RollbackReport,
+};
+use multipod_faults::{run_campaign, CampaignConfig, FaultPlan};
+use multipod_simnet::SimTime;
+use multipod_topology::{ChipId, Multipod, MultipodConfig};
+use multipod_trace::{Recorder, TraceSink};
+use serde_json::json;
+
+fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == name {
+            return args.next();
+        }
+        if let Some(v) = arg.strip_prefix(&format!("{name}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+fn mesh_config() -> MultipodConfig {
+    match arg_value("--mesh") {
+        None => MultipodConfig::multipod(4), // the paper's 128×32 machine
+        Some(spec) => {
+            let (x, y) = spec
+                .split_once('x')
+                .unwrap_or_else(|| panic!("--mesh expects WxH, got '{spec}'"));
+            MultipodConfig::mesh(
+                x.parse().expect("mesh width"),
+                y.parse().expect("mesh height"),
+                true,
+            )
+        }
+    }
+}
+
+fn campaign_trace(config: &RollbackConfig, plan: &FaultPlan) -> (RollbackReport, Arc<Recorder>) {
+    let recorder = Recorder::shared();
+    let report = run_rollback_campaign(config, plan, Some(recorder.clone() as Arc<dyn TraceSink>))
+        .expect("rollback campaign must complete");
+    (report, recorder)
+}
+
+fn main() -> ExitCode {
+    let mesh_cfg = mesh_config();
+    let mut config = RollbackConfig::demo(mesh_cfg.clone());
+    if let Some(steps) = arg_value("--steps") {
+        config.steps = steps.parse().expect("--steps expects an integer");
+    }
+    if let Some(interval) = arg_value("--interval") {
+        config.ckpt_interval = interval.parse().expect("--interval expects an integer");
+    }
+    let mesh = Multipod::new(mesh_cfg.clone());
+    println!(
+        "# Rollback campaign on {}x{} ({} chips), {} steps, checkpoint every {}",
+        mesh.x_len(),
+        mesh.y_len(),
+        mesh.num_chips(),
+        config.steps,
+        config.ckpt_interval
+    );
+
+    // Baseline: checkpoints ride along but no fault ever lands.
+    let clean =
+        run_rollback_campaign(&config, &FaultPlan::new(), None).expect("fault-free campaign");
+
+    // Canned fault: one chip dies mid-window — after the step following
+    // the first checkpoint ran, so the rollback replays a non-empty
+    // window on the survivor mesh.
+    let fault_step = (config.ckpt_interval + 1).min(config.steps) as usize;
+    let fault_at = clean
+        .steps
+        .get(fault_step)
+        .map_or(clean.total_seconds, |s| s.start_seconds)
+        + 1e-9;
+    // Kill a chip off row 0: the dimension-ordered router cannot dogleg
+    // around a dead chip that shares its row with the survivor-gather
+    // root, so a row-0 victim would leave the mesh unroutable rather
+    // than degraded. On a 4x4 mesh this is chip 5.
+    let victim_y = if mesh.y_len() > 1 { 1 } else { 0 };
+    let victim = ChipId(victim_y * mesh.x_len() + 1.min(mesh.x_len() - 1));
+    let plan = FaultPlan::new().chip_down(SimTime::from_seconds(fault_at), victim);
+    let (faulty, recorder) = campaign_trace(&config, &plan);
+
+    let mean_save_seconds = clean.save_seconds / clean.checkpoints_saved as f64;
+    let mtbf_seconds = faulty.total_seconds / faulty.rollbacks.max(1) as f64;
+    let optimal_interval = young_daly_interval(mean_save_seconds, mtbf_seconds);
+    let curve = interval_curve(mean_save_seconds, mtbf_seconds, 17);
+
+    // The PR-2 contrast: the same fault absorbed by drop-and-renormalize
+    // (no checkpoints, no replay). Rollback must cost strictly more
+    // simulated time than dropping — that difference is the price of
+    // exact-state recovery.
+    let drop_config = CampaignConfig {
+        mesh: mesh_cfg.clone(),
+        steps: config.steps,
+        elems: config.elems,
+        lr: config.lr,
+        host_seconds_per_step: config.host_seconds_per_step,
+        bf16_gradients: config.bf16_gradients,
+        fault_policy: config.fault_policy,
+        seed: config.seed,
+    };
+    let dropped = run_campaign(&drop_config, &plan, None).expect("drop-policy campaign");
+
+    let tolerance = 1e-3 * (1.0 + clean.final_loss.abs());
+    let loss_within_tolerance = (faulty.final_loss - clean.final_loss).abs() <= tolerance;
+    let strictly_slower = faulty.total_seconds > clean.total_seconds;
+    let recovery_overhead_seconds = faulty.total_seconds - dropped.total_seconds;
+
+    let determinism_checked = std::env::args().any(|a| a == "--check-determinism");
+    let mut deterministic = true;
+    if determinism_checked {
+        let (report_again, trace_again) = campaign_trace(&config, &plan);
+        let trace_a = serde_json::to_string(&recorder.chrome_trace().expect("trace json"))
+            .expect("trace json");
+        let trace_b = serde_json::to_string(&trace_again.chrome_trace().expect("trace json"))
+            .expect("trace json");
+        let report_a = serde_json::to_string(&faulty).expect("report json");
+        let report_b = serde_json::to_string(&report_again).expect("report json");
+        deterministic = trace_a == trace_b && report_a == report_b;
+        println!(
+            "determinism: {}",
+            if deterministic {
+                "byte-identical report and trace exports"
+            } else {
+                "MISMATCH — exports differ"
+            }
+        );
+    }
+
+    println!("config | total (ms) | ckpts | save (ms) | restore (ms) | replayed | final loss");
+    println!(
+        "fault-free | {:.3} | {} | {:.3} | - | 0 | {:.6}",
+        1e3 * clean.total_seconds,
+        clean.checkpoints_saved,
+        1e3 * clean.save_seconds,
+        clean.final_loss
+    );
+    println!(
+        "rollback | {:.3} | {} | {:.3} | {:.3} | {} | {:.6}",
+        1e3 * faulty.total_seconds,
+        faulty.checkpoints_saved,
+        1e3 * faulty.save_seconds,
+        1e3 * faulty.restore_seconds,
+        faulty.replayed_steps,
+        faulty.final_loss
+    );
+    println!(
+        "drop-policy | {:.3} | 0 | - | - | 0 | {:.6}",
+        1e3 * dropped.total_seconds,
+        dropped.final_loss
+    );
+    println!(
+        "(rollbacks: {}; loss within bf16 tolerance of fault-free: {}; slower than fault-free: {}; recovery overhead vs drop: {:.3} ms)",
+        faulty.rollbacks,
+        loss_within_tolerance,
+        strictly_slower,
+        1e3 * recovery_overhead_seconds
+    );
+    println!(
+        "young-daly: C = {:.3} ms, MTBF = {:.3} ms -> T* = {:.3} ms",
+        1e3 * mean_save_seconds,
+        1e3 * mtbf_seconds,
+        1e3 * optimal_interval
+    );
+
+    let fault_free = json!({
+        "total_seconds": clean.total_seconds,
+        "checkpoints_saved": clean.checkpoints_saved,
+        "save_seconds": clean.save_seconds,
+        "final_loss": clean.final_loss,
+    });
+    let rollback = json!({
+        "total_seconds": faulty.total_seconds,
+        "checkpoints_saved": faulty.checkpoints_saved,
+        "save_seconds": faulty.save_seconds,
+        "restore_seconds": faulty.restore_seconds,
+        "rollbacks": faulty.rollbacks,
+        "replayed_steps": faulty.replayed_steps,
+        "final_loss": faulty.final_loss,
+    });
+    let young_daly = json!({
+        "ckpt_seconds": mean_save_seconds,
+        "mtbf_seconds": mtbf_seconds,
+        "optimal_interval_seconds": optimal_interval,
+        "curve": curve,
+    });
+    let drop_policy = json!({
+        "total_seconds": dropped.total_seconds,
+        "final_loss": dropped.final_loss,
+        "degraded_steps": dropped.degraded_steps,
+    });
+    let doc = json!({
+        "mesh": format!("{}x{}", mesh.x_len(), mesh.y_len()),
+        "chips": mesh.num_chips(),
+        "steps": config.steps,
+        "ckpt_interval_steps": config.ckpt_interval,
+        "fault_free": fault_free,
+        "rollback": rollback,
+        "drop_policy": drop_policy,
+        "loss_within_tolerance": loss_within_tolerance,
+        "strictly_slower_than_fault_free": strictly_slower,
+        "recovery_overhead_seconds": recovery_overhead_seconds,
+        "young_daly": young_daly,
+        "deterministic": determinism_checked.then_some(deterministic),
+    });
+    let json_path = arg_value("--json").unwrap_or_else(|| "BENCH_ckpt.json".to_string());
+    let body = serde_json::to_string_pretty(&doc).expect("report json");
+    std::fs::write(&json_path, body + "\n").expect("write BENCH_ckpt.json");
+    println!("wrote {json_path}");
+
+    if let Some(path) = trace_flag() {
+        recorder.write_chrome_trace(&path).expect("write trace");
+        println!("wrote {}", path.display());
+    }
+
+    if deterministic && loss_within_tolerance && recovery_overhead_seconds > 0.0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -22,7 +22,7 @@ fn main() {
         (catalog::ssd(), 4096, 1024),
         (catalog::transformer(), 4096, 512),
     ] {
-        let curve = ScalingCurve::sweep(&w, &standard_chip_counts(tpu_max));
+        let curve = ScalingCurve::sweep(&w, &standard_chip_counts(tpu_max)).expect("sweep");
         let tpu_speedup = curve.end_to_end_speedups().last().unwrap().1;
         let gpu_base = GpuCluster::new(GpuGeneration::A100, 16).end_to_end_minutes(&w);
         let gpu_top = GpuCluster::new(GpuGeneration::A100, gpu_max).end_to_end_minutes(&w);

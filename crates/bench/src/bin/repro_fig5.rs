@@ -6,7 +6,8 @@ use multipod_core::scaling::{standard_chip_counts, ScalingCurve};
 use multipod_models::catalog;
 
 fn main() {
-    let curve = ScalingCurve::sweep(&catalog::resnet50(), &standard_chip_counts(4096));
+    let curve =
+        ScalingCurve::sweep(&catalog::resnet50(), &standard_chip_counts(4096)).expect("sweep");
     header(
         "Figure 5: ResNet-50 speedup vs chips (base = 16 chips)",
         &["Chips", "End-to-end speedup", "Throughput speedup", "Ideal"],

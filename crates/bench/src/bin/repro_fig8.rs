@@ -5,7 +5,7 @@ use multipod_core::scaling::{standard_chip_counts, ScalingCurve};
 use multipod_models::catalog;
 
 fn main() {
-    let curve = ScalingCurve::sweep(&catalog::bert(), &standard_chip_counts(4096));
+    let curve = ScalingCurve::sweep(&catalog::bert(), &standard_chip_counts(4096)).expect("sweep");
     header(
         "Figure 8: BERT step-time breakdown (ms)",
         &[

@@ -10,9 +10,9 @@ fn main() {
         "Figure 9: model-parallel speedup over 1 core",
         &["Cores", "SSD", "MaskRCNN", "Transformer"],
     );
-    let ssd = speedup_curve(&catalog::ssd(), 1.0, &[1, 2, 4, 8]);
-    let mask = speedup_curve(&catalog::maskrcnn(), 1.0, &[1, 2, 4, 8]);
-    let tra = speedup_curve(&catalog::transformer(), 1.0, &[1, 2, 4]);
+    let ssd = speedup_curve(&catalog::ssd(), 1.0, &[1, 2, 4, 8]).expect("ssd sweep");
+    let mask = speedup_curve(&catalog::maskrcnn(), 1.0, &[1, 2, 4, 8]).expect("maskrcnn sweep");
+    let tra = speedup_curve(&catalog::transformer(), 1.0, &[1, 2, 4]).expect("transformer sweep");
     for i in 0..4 {
         let t = if i < tra.len() {
             format!("{:.2}", tra[i].speedup)

@@ -1,0 +1,125 @@
+//! Young/Daly optimal checkpoint-interval analysis.
+//!
+//! With a measured checkpoint cost `C` and a mean time between failures
+//! `M`, Young's first-order approximation puts the optimal interval at
+//! `√(2·C·M)`; the expected overhead of checkpointing every `T` seconds
+//! is `C/T` (time spent saving) plus `T/(2·M)` (expected rework after a
+//! failure). The bench sweeps `T` around the optimum to show the
+//! U-shaped overhead curve on the simulated multipod.
+
+use serde::Serialize;
+
+/// Young's optimal checkpoint interval `√(2·C·M)` in seconds.
+///
+/// Degenerate inputs (non-positive cost or MTBF) return 0.0 rather than
+/// NaN so downstream JSON stays finite.
+pub fn young_daly_interval(ckpt_seconds: f64, mtbf_seconds: f64) -> f64 {
+    if ckpt_seconds <= 0.0 || mtbf_seconds <= 0.0 {
+        return 0.0;
+    }
+    (2.0 * ckpt_seconds * mtbf_seconds).sqrt()
+}
+
+/// First-order expected overhead fraction of checkpointing every
+/// `interval_seconds`: `C/T + T/(2·M)`.
+pub fn overhead_fraction(interval_seconds: f64, ckpt_seconds: f64, mtbf_seconds: f64) -> f64 {
+    if interval_seconds <= 0.0 || mtbf_seconds <= 0.0 {
+        return f64::INFINITY;
+    }
+    ckpt_seconds / interval_seconds + interval_seconds / (2.0 * mtbf_seconds)
+}
+
+/// One point of an interval sweep.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct IntervalPoint {
+    /// Checkpoint interval, seconds.
+    pub interval_seconds: f64,
+    /// Expected overhead fraction at this interval.
+    pub overhead: f64,
+    /// Whether this is the Young/Daly optimum of the sweep.
+    pub optimal: bool,
+}
+
+/// Sweeps `points` intervals geometrically spaced across
+/// `[optimum/8, optimum·8]` and marks the point nearest the optimum.
+pub fn interval_curve(ckpt_seconds: f64, mtbf_seconds: f64, points: usize) -> Vec<IntervalPoint> {
+    let optimum = young_daly_interval(ckpt_seconds, mtbf_seconds);
+    if optimum <= 0.0 || points == 0 {
+        return Vec::new();
+    }
+    let lo = optimum / 8.0;
+    let hi = optimum * 8.0;
+    let mut curve: Vec<IntervalPoint> = (0..points)
+        .map(|i| {
+            let f = if points == 1 {
+                0.5
+            } else {
+                i as f64 / (points - 1) as f64
+            };
+            let t = lo * (hi / lo).powf(f);
+            IntervalPoint {
+                interval_seconds: t,
+                overhead: overhead_fraction(t, ckpt_seconds, mtbf_seconds),
+                optimal: false,
+            }
+        })
+        .collect();
+    let nearest = curve
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            let da = (a.interval_seconds - optimum).abs();
+            let db = (b.interval_seconds - optimum).abs();
+            da.partial_cmp(&db).expect("finite sweep intervals")
+        })
+        .map(|(i, _)| i);
+    if let Some(i) = nearest {
+        curve[i].optimal = true;
+    }
+    curve
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimum_matches_the_closed_form() {
+        // C = 2s, M = 400s → T* = √(2·2·400) = 40s.
+        let t = young_daly_interval(2.0, 400.0);
+        assert!((t - 40.0).abs() < 1e-12);
+        assert_eq!(young_daly_interval(0.0, 400.0), 0.0);
+        assert_eq!(young_daly_interval(2.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn overhead_curve_has_its_minimum_at_the_optimum() {
+        let (c, m) = (2.0, 400.0);
+        let optimum = young_daly_interval(c, m);
+        let curve = interval_curve(c, m, 33);
+        assert_eq!(curve.len(), 33);
+        let best = curve
+            .iter()
+            .min_by(|a, b| a.overhead.partial_cmp(&b.overhead).unwrap())
+            .unwrap();
+        // The sweep's overhead minimum sits at (or adjacent to) the
+        // marked Young/Daly point.
+        assert!(
+            (best.interval_seconds / optimum).ln().abs() < 0.3,
+            "minimum {} should be near optimum {optimum}",
+            best.interval_seconds
+        );
+        assert_eq!(curve.iter().filter(|p| p.optimal).count(), 1);
+        // Both extremes are strictly worse than the optimum.
+        let at_opt = overhead_fraction(optimum, c, m);
+        assert!(curve[0].overhead > at_opt);
+        assert!(curve.last().unwrap().overhead > at_opt);
+    }
+
+    #[test]
+    fn degenerate_sweeps_are_empty_not_nan() {
+        assert!(interval_curve(0.0, 100.0, 9).is_empty());
+        assert!(interval_curve(1.0, 100.0, 0).is_empty());
+        assert!(overhead_fraction(0.0, 1.0, 1.0).is_infinite());
+    }
+}

@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 
 use multipod_collectives::timing::RingCosts;
 use multipod_collectives::twod::two_dim_all_reduce_time;
-use multipod_collectives::Precision;
+use multipod_collectives::{CollectiveError, Precision};
 use multipod_models::Workload;
 use multipod_simnet::{Network, NetworkConfig};
 use multipod_topology::{Multipod, MultipodConfig};
@@ -44,11 +44,18 @@ impl SummationRow {
 /// The 1-D ring has `chips − 1` latency-bound steps, so its time explodes
 /// with scale while the 2-D schedule pays `y_len + x_len` steps — the
 /// quantitative argument for §3.3.
+///
+/// # Errors
+///
+/// Propagates the `CollectiveError` (a typed `Network` routing failure)
+/// instead of panicking when a slice's rings do not route — which cannot
+/// happen for the freshly-built healthy meshes used here, but keeps the
+/// degraded-mesh discipline of `multipod-collectives`.
 pub fn summation_ablation(
     elems: usize,
     precision: Precision,
     chip_counts: &[u32],
-) -> Vec<SummationRow> {
+) -> Result<Vec<SummationRow>, CollectiveError> {
     chip_counts
         .iter()
         .map(|&chips| {
@@ -56,19 +63,14 @@ pub fn summation_ablation(
                 Multipod::new(MultipodConfig::slice(chips)),
                 NetworkConfig::tpu_v3(),
             );
-            // Invariant: the mesh was freshly built above with no failed
-            // links, so every ring hop routes and the stride is nonzero.
-            let snake = RingCosts::from_ring(&net, &net.mesh().snake_ring(), 1)
-                .expect("healthy mesh routes every snake-ring hop");
+            let snake = RingCosts::from_ring(&net, &net.mesh().snake_ring(), 1)?;
             let one_dim = snake.all_reduce_time(elems, precision, true);
-            let two_dim = two_dim_all_reduce_time(&net, elems, precision, 1)
-                .expect("healthy mesh routes every ring hop")
-                .total();
-            SummationRow {
+            let two_dim = two_dim_all_reduce_time(&net, elems, precision, 1)?.total();
+            Ok(SummationRow {
                 chips,
                 one_dim,
                 two_dim,
-            }
+            })
         })
         .collect()
 }
@@ -85,7 +87,15 @@ pub struct PrecisionRow {
 }
 
 /// Times the 2-D all-reduce at both payload precisions.
-pub fn precision_ablation(elems: usize, chip_counts: &[u32]) -> Vec<PrecisionRow> {
+///
+/// # Errors
+///
+/// Propagates routing failures as a typed `CollectiveError` (see
+/// [`summation_ablation`]).
+pub fn precision_ablation(
+    elems: usize,
+    chip_counts: &[u32],
+) -> Result<Vec<PrecisionRow>, CollectiveError> {
     chip_counts
         .iter()
         .map(|&chips| {
@@ -93,16 +103,11 @@ pub fn precision_ablation(elems: usize, chip_counts: &[u32]) -> Vec<PrecisionRow
                 Multipod::new(MultipodConfig::slice(chips)),
                 NetworkConfig::tpu_v3(),
             );
-            // Invariant: freshly built healthy mesh (as above).
-            PrecisionRow {
+            Ok(PrecisionRow {
                 chips,
-                f32_time: two_dim_all_reduce_time(&net, elems, Precision::F32, 1)
-                    .expect("healthy mesh routes every ring hop")
-                    .total(),
-                bf16_time: two_dim_all_reduce_time(&net, elems, Precision::Bf16, 1)
-                    .expect("healthy mesh routes every ring hop")
-                    .total(),
-            }
+                f32_time: two_dim_all_reduce_time(&net, elems, Precision::F32, 1)?.total(),
+                bf16_time: two_dim_all_reduce_time(&net, elems, Precision::Bf16, 1)?.total(),
+            })
         })
         .collect()
 }
@@ -151,7 +156,7 @@ mod tests {
 
     #[test]
     fn two_dim_schedule_wins_and_the_gap_grows_with_scale() {
-        let rows = summation_ablation(25_600_000, Precision::F32, &[64, 1024, 4096]);
+        let rows = summation_ablation(25_600_000, Precision::F32, &[64, 1024, 4096]).unwrap();
         for r in &rows {
             assert!(
                 r.speedup() > 1.0,
@@ -169,7 +174,7 @@ mod tests {
 
     #[test]
     fn bf16_halves_bandwidth_dominated_cost() {
-        let rows = precision_ablation(334_000_000, &[256, 4096]);
+        let rows = precision_ablation(334_000_000, &[256, 4096]).unwrap();
         for r in &rows {
             let ratio = r.bf16_time / r.f32_time;
             assert!(

@@ -35,5 +35,6 @@ pub mod trainer;
 mod executor;
 
 pub use executor::{Executor, Preset, Report};
+pub use scaling::SweepError;
 pub use step::{StepBreakdown, StepOptions};
-pub use trainer::{DataParallelTrainer, FaultPolicy, TrainStepStats};
+pub use trainer::{DataParallelTrainer, FaultPolicy, RecoveryMode, TrainStepStats};

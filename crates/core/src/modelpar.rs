@@ -16,6 +16,7 @@ use multipod_models::{TpuV3, Workload};
 use multipod_simnet::NetworkConfig;
 
 use crate::graphs;
+use crate::scaling::SweepError;
 
 /// One point of the Figure-9 curves.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -33,32 +34,39 @@ pub struct ModelParallelPoint {
 /// `per_replica_batch` is the number of samples one replica processes per
 /// step (e.g. 1 for the Transformer at the multipod scale).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when the workload is purely data-parallel (no representative
-/// graph) or `cores_list` is empty/not starting at 1.
+/// Returns a typed [`SweepError`] when `cores_list` is empty, does not
+/// start at the 1-core baseline, or the workload is purely data-parallel
+/// (no representative model-parallel graph).
 pub fn speedup_curve(
     workload: &Workload,
     per_replica_batch: f64,
     cores_list: &[u32],
-) -> Vec<ModelParallelPoint> {
-    assert!(
-        !cores_list.is_empty() && cores_list[0] == 1,
-        "sweep starts at 1 core"
-    );
+) -> Result<Vec<ModelParallelPoint>, SweepError> {
+    match cores_list.first() {
+        None => return Err(SweepError::EmptySweep),
+        Some(&first) if first != 1 => return Err(SweepError::MissingBaseline { first }),
+        Some(_) => {}
+    }
     let tpu = TpuV3::new();
     let cfg = NetworkConfig::tpu_v3();
     let points: Vec<(u32, f64)> = cores_list
         .iter()
         .map(|&cores| {
-            let rep =
-                graphs::representative(workload, cores as usize).expect("model-parallel workload");
+            let rep = graphs::representative(workload, cores as usize).ok_or_else(|| {
+                SweepError::DataParallelWorkload {
+                    workload: workload.name.to_string(),
+                }
+            })?;
             // Compute: partitioned per-core FLOPs, with utilization
             // degrading as the per-core work shrinks.
             let rep_flops = rep.flops_per_core_per_sample(cores as usize) * per_replica_batch;
             // Scale representative FLOPs to the full model's budget.
             let full_flops_1 = graphs::representative(workload, 1)
-                .expect("base graph")
+                .ok_or_else(|| SweepError::DataParallelWorkload {
+                    workload: workload.name.to_string(),
+                })?
                 .flops_per_core_per_sample(1);
             let scale = workload.flops_per_sample / full_flops_1;
             let flops = rep_flops * scale;
@@ -81,18 +89,18 @@ pub fn speedup_curve(
             } else {
                 0.0
             };
-            (cores, compute + comm)
+            Ok((cores, compute + comm))
         })
-        .collect();
+        .collect::<Result<_, SweepError>>()?;
     let base = points[0].1;
-    points
+    Ok(points
         .into_iter()
         .map(|(cores, step_time)| ModelParallelPoint {
             cores,
             step_time,
             speedup: base / step_time,
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -104,7 +112,7 @@ mod tests {
     fn transformer_reaches_paper_speedup_at_4_cores() {
         // §5: "The transformer model also achieves comparable speedup of
         // 2.3× on four TPU-v3 cores."
-        let curve = speedup_curve(&catalog::transformer(), 1.0, &[1, 2, 4]);
+        let curve = speedup_curve(&catalog::transformer(), 1.0, &[1, 2, 4]).unwrap();
         let at4 = curve.last().unwrap();
         assert_eq!(at4.cores, 4);
         assert!(
@@ -117,7 +125,7 @@ mod tests {
     #[test]
     fn spatial_models_speed_up_through_8_cores() {
         for w in [catalog::ssd(), catalog::maskrcnn()] {
-            let curve = speedup_curve(&w, 1.0, &[1, 2, 4, 8]);
+            let curve = speedup_curve(&w, 1.0, &[1, 2, 4, 8]).unwrap();
             // Monotone but sublinear.
             for pair in curve.windows(2) {
                 assert!(pair[1].speedup > pair[0].speedup, "{}: {curve:?}", w.name);
@@ -129,14 +137,30 @@ mod tests {
 
     #[test]
     fn speedup_is_sublinear_due_to_comm() {
-        let curve = speedup_curve(&catalog::ssd(), 4.0, &[1, 2, 4, 8]);
+        let curve = speedup_curve(&catalog::ssd(), 4.0, &[1, 2, 4, 8]).unwrap();
         let at8 = curve.last().unwrap().speedup;
         assert!(at8 < 7.0, "comm must make 8-core speedup sublinear: {at8}");
     }
 
     #[test]
-    #[should_panic(expected = "model-parallel workload")]
-    fn data_parallel_models_are_rejected() {
-        speedup_curve(&catalog::bert(), 1.0, &[1, 2]);
+    fn data_parallel_models_are_rejected_with_typed_error() {
+        assert_eq!(
+            speedup_curve(&catalog::bert(), 1.0, &[1, 2]),
+            Err(SweepError::DataParallelWorkload {
+                workload: "BERT".to_string()
+            })
+        );
+    }
+
+    #[test]
+    fn empty_and_baseline_less_sweeps_are_typed_errors() {
+        assert_eq!(
+            speedup_curve(&catalog::ssd(), 1.0, &[]),
+            Err(SweepError::EmptySweep)
+        );
+        assert_eq!(
+            speedup_curve(&catalog::ssd(), 1.0, &[2, 4]),
+            Err(SweepError::MissingBaseline { first: 2 })
+        );
     }
 }

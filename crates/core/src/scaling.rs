@@ -7,6 +7,51 @@ use multipod_models::Workload;
 use crate::executor::{Executor, Preset, Report};
 use crate::step::StepOptions;
 
+/// Why a sweep request could not produce a curve.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SweepError {
+    /// The caller passed no sweep points at all; every accessor on a
+    /// curve needs at least a baseline point.
+    EmptySweep,
+    /// Chip counts must strictly ascend so speedups-over-first make
+    /// sense.
+    UnorderedChipCounts {
+        /// The offending adjacent pair.
+        previous: u32,
+        /// The value that failed to ascend past `previous`.
+        next: u32,
+    },
+    /// Model-parallel sweeps must start at 1 core (the speedup baseline).
+    MissingBaseline {
+        /// The first core count the caller passed.
+        first: u32,
+    },
+    /// The workload has no representative model-parallel graph.
+    DataParallelWorkload {
+        /// Workload name.
+        workload: String,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::EmptySweep => write!(f, "sweep needs at least one chip count"),
+            SweepError::UnorderedChipCounts { previous, next } => {
+                write!(f, "chip counts must ascend: {previous} then {next}")
+            }
+            SweepError::MissingBaseline { first } => {
+                write!(f, "model-parallel sweep must start at 1 core, got {first}")
+            }
+            SweepError::DataParallelWorkload { workload } => {
+                write!(f, "workload {workload:?} has no model-parallel graph")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
 /// One point of a scaling sweep.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ScalePoint {
@@ -26,15 +71,20 @@ pub struct ScalingCurve {
 impl ScalingCurve {
     /// Sweeps a workload across chip counts with default options.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `chip_counts` is empty or not ascending.
-    pub fn sweep(workload: &Workload, chip_counts: &[u32]) -> ScalingCurve {
-        assert!(!chip_counts.is_empty(), "sweep needs chip counts");
-        assert!(
-            chip_counts.windows(2).all(|w| w[0] < w[1]),
-            "chip counts must ascend"
-        );
+    /// Returns a typed [`SweepError`] when `chip_counts` is empty (the
+    /// curve would have no baseline point) or not strictly ascending.
+    pub fn sweep(workload: &Workload, chip_counts: &[u32]) -> Result<ScalingCurve, SweepError> {
+        if chip_counts.is_empty() {
+            return Err(SweepError::EmptySweep);
+        }
+        if let Some(w) = chip_counts.windows(2).find(|w| w[0] >= w[1]) {
+            return Err(SweepError::UnorderedChipCounts {
+                previous: w[0],
+                next: w[1],
+            });
+        }
         let points = chip_counts
             .iter()
             .map(|&chips| {
@@ -50,7 +100,7 @@ impl ScalingCurve {
                 }
             })
             .collect();
-        ScalingCurve { points }
+        Ok(ScalingCurve { points })
     }
 
     /// End-to-end speedup of each point over the first (Figures 5/7/11).
@@ -119,7 +169,7 @@ mod tests {
     fn resnet_throughput_scales_better_than_end_to_end() {
         // Fig. 5: "the throughput speedup is closer to ideal scaling than
         // the end-to-end speedup" (epoch count doubles at large batch).
-        let curve = ScalingCurve::sweep(&catalog::resnet50(), &standard_chip_counts(4096));
+        let curve = ScalingCurve::sweep(&catalog::resnet50(), &standard_chip_counts(4096)).unwrap();
         let e2e = curve.end_to_end_speedups();
         let thr = curve.throughput_speedups();
         let last = e2e.len() - 1;
@@ -131,7 +181,7 @@ mod tests {
     #[test]
     fn bert_scales_through_4096_chips() {
         // Fig. 7: BERT shows the highest scaling 16 → 4096.
-        let curve = ScalingCurve::sweep(&catalog::bert(), &standard_chip_counts(4096));
+        let curve = ScalingCurve::sweep(&catalog::bert(), &standard_chip_counts(4096)).unwrap();
         let e2e = curve.end_to_end_speedups();
         let last = e2e.last().unwrap();
         assert_eq!(last.0, 4096);
@@ -141,13 +191,28 @@ mod tests {
 
     #[test]
     fn breakdown_series_shapes_match_fig6() {
-        let curve = ScalingCurve::sweep(&catalog::resnet50(), &standard_chip_counts(4096));
+        let curve = ScalingCurve::sweep(&catalog::resnet50(), &standard_chip_counts(4096)).unwrap();
         let rows = curve.step_time_breakdown();
         let (first_compute, first_comm) = (rows[0].1, rows[0].2);
         let (last_compute, last_comm) = (rows[rows.len() - 1].1, rows[rows.len() - 1].2);
         // Compute keeps decreasing; comm is ~flat.
         assert!(first_compute > 3.0 * last_compute);
         assert!(last_comm > 0.2 * first_comm && last_comm < 5.0 * first_comm);
+    }
+
+    #[test]
+    fn empty_and_unordered_sweeps_are_typed_errors() {
+        assert_eq!(
+            ScalingCurve::sweep(&catalog::resnet50(), &[]),
+            Err(SweepError::EmptySweep)
+        );
+        assert_eq!(
+            ScalingCurve::sweep(&catalog::resnet50(), &[64, 64]),
+            Err(SweepError::UnorderedChipCounts {
+                previous: 64,
+                next: 64
+            })
+        );
     }
 
     #[test]

@@ -57,8 +57,26 @@ pub struct TrainStepStats {
     pub degraded: bool,
 }
 
+/// What the trainer does with replicas lost to chip isolation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryMode {
+    /// Drop lost replicas from the data-parallel group and renormalize
+    /// the gradient average over the survivors (Kumar & Jouppi's
+    /// graceful degradation; the PR 2 behavior and the default).
+    #[default]
+    DropReplicas,
+    /// Surface replica loss to the caller instead of absorbing it: the
+    /// step fails with the triggering `Network` error after the dead set
+    /// is updated, so a checkpoint layer (see `multipod-ckpt`) can roll
+    /// the run back to the last checkpoint and resume on the survivor
+    /// mesh at full capacity minus the failures.
+    Rollback,
+}
+
 /// How the trainer reacts to faults mid-run: how often it retries a step
-/// after re-planning and how much simulated time each re-plan costs.
+/// after re-planning, how much simulated time each re-plan costs, and
+/// whether replica loss is absorbed (drop + renormalize) or escalated to
+/// a rollback layer.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct FaultPolicy {
     /// Maximum step retries before the fault is surfaced as an error.
@@ -66,6 +84,8 @@ pub struct FaultPolicy {
     /// Simulated re-plan cost of the first retry, seconds; doubled on each
     /// further retry (bounded exponential backoff).
     pub backoff_seconds: f64,
+    /// What to do about replicas lost to chip isolation.
+    pub recovery: RecoveryMode,
 }
 
 impl Default for FaultPolicy {
@@ -73,6 +93,7 @@ impl Default for FaultPolicy {
         FaultPolicy {
             max_retries: 3,
             backoff_seconds: 1e-3,
+            recovery: RecoveryMode::DropReplicas,
         }
     }
 }
@@ -158,6 +179,30 @@ impl<O: Optimizer> DataParallelTrainer<O> {
         self.dead.iter().copied().collect()
     }
 
+    /// The optimizer driving the weight updates.
+    pub fn optimizer(&self) -> &O {
+        &self.optimizer
+    }
+
+    /// Mutable optimizer access, so a checkpoint layer can export and
+    /// re-import its state around a rollback.
+    pub fn optimizer_mut(&mut self) -> &mut O {
+        &mut self.optimizer
+    }
+
+    /// Steps taken so far (the value the next [`Self::step`] reports as
+    /// `step - 1`).
+    pub fn current_step(&self) -> u64 {
+        self.step
+    }
+
+    /// Rewinds the step counter to `step`, so the learning-rate schedule
+    /// replays exactly as it did the first time. Optimizer state is *not*
+    /// touched — the rollback layer re-imports it from the checkpoint.
+    pub fn rollback_to(&mut self, step: u64) {
+        self.step = step;
+    }
+
     /// One training step: sums `local_grads` (one per chip) with the 2-D
     /// schedule, applies the sharded optimizer update at the shard owners,
     /// and writes the identical updated weights back into `weights`.
@@ -241,6 +286,19 @@ impl<O: Optimizer> DataParallelTrainer<O> {
                     }
                     let lost = self.mark_isolated_replicas(start);
                     if self.dead.len() >= n {
+                        return Err(CollectiveError::Network(err));
+                    }
+                    if self.fault_policy.recovery == RecoveryMode::Rollback && lost > 0 {
+                        // Escalate instead of absorbing: optimizer state
+                        // has not advanced this attempt, so the caller
+                        // can restore the last checkpoint and re-drive
+                        // the step on the survivor mesh.
+                        self.emit_sim_fault(
+                            "rollback-required",
+                            start,
+                            start,
+                            &[("replicas_lost", lost as f64)],
+                        );
                         return Err(CollectiveError::Network(err));
                     }
                     // Bounded exponential backoff in simulated time: the
@@ -690,6 +748,47 @@ mod tests {
     }
 
     #[test]
+    fn rollback_policy_escalates_chip_loss_instead_of_absorbing() {
+        use multipod_trace::{Recorder, TraceEvent};
+        let mut trainer = DataParallelTrainer::new(
+            MultipodConfig::mesh(4, 4, true),
+            SgdMomentum::new(1.0, 0.0),
+            LrSchedule::Constant { lr: 0.1 },
+        )
+        .with_fault_policy(FaultPolicy {
+            recovery: RecoveryMode::Rollback,
+            ..FaultPolicy::default()
+        });
+        let recorder = Recorder::shared();
+        trainer.set_trace_sink(recorder.clone());
+        let lost = trainer.network_mut().mesh().chips().nth(5).unwrap();
+        trainer.network_mut().fail_chip(lost, SimTime::ZERO);
+
+        let mut w = Tensor::fill(Shape::vector(16), 1.0);
+        let w_before = w.clone();
+        let grads = vec![Tensor::fill(Shape::vector(16), 0.5); 16];
+        assert!(matches!(
+            trainer.step(&mut w, &grads),
+            Err(CollectiveError::Network(_))
+        ));
+        // The dead set is updated for the caller, but neither weights nor
+        // the step counter advanced — the rollback layer owns recovery.
+        assert_eq!(trainer.dead_replicas(), vec![5]);
+        assert_eq!(w, w_before);
+        assert_eq!(trainer.current_step(), 0);
+        let escalated = recorder.events().into_iter().any(|e| {
+            matches!(e, TraceEvent::Span(s)
+                if s.category == SpanCategory::Fault && s.name == "rollback-required")
+        });
+        assert!(escalated, "rollback-required span must be emitted");
+
+        // After the (external) restore, the survivor mesh steps fine.
+        trainer.rollback_to(0);
+        trainer.step(&mut w, &grads).unwrap();
+        assert_eq!(trainer.current_step(), 1);
+    }
+
+    #[test]
     fn unroutable_mesh_exhausts_retries_with_typed_error() {
         // Non-torus 1-wide column: failing a middle link partitions the
         // chain without isolating any single chip, so no replica can be
@@ -702,6 +801,7 @@ mod tests {
         .with_fault_policy(FaultPolicy {
             max_retries: 2,
             backoff_seconds: 1e-3,
+            ..FaultPolicy::default()
         });
         let chips: Vec<ChipId> = trainer.network_mut().mesh().chips().collect();
         trainer

@@ -2,9 +2,10 @@
 
 use std::collections::HashMap;
 
-use multipod_tensor::Tensor;
+use multipod_tensor::{Shape, Tensor};
 
-use crate::{LayerStats, Optimizer, StateKey};
+use crate::optimizer::sort_slots;
+use crate::{LayerStats, Optimizer, StateKey, StateSlot};
 
 #[derive(Debug, Clone)]
 struct Slot {
@@ -140,6 +141,48 @@ impl Optimizer for Lamb {
         // m (3), v incl. g² (4), bias-corrected quotient (~5),
         // decay add (2), norms (4), apply (2).
         20
+    }
+
+    fn export_state(&self) -> Vec<StateSlot> {
+        let mut slots = Vec::with_capacity(3 * self.slots.len());
+        for (&key, slot) in &self.slots {
+            slots.push(StateSlot {
+                key,
+                name: "m".to_string(),
+                tensor: slot.m.clone(),
+            });
+            slots.push(StateSlot {
+                key,
+                name: "v".to_string(),
+                tensor: slot.v.clone(),
+            });
+            // The bias-correction step counter rides along as a scalar
+            // tensor; exact for any plausible simulated run (f32 holds
+            // integers up to 2^24).
+            slots.push(StateSlot {
+                key,
+                name: "t".to_string(),
+                tensor: Tensor::scalar(slot.t as f32),
+            });
+        }
+        sort_slots(slots)
+    }
+
+    fn import_state(&mut self, slots: &[StateSlot]) {
+        self.slots.clear();
+        for imported in slots {
+            let entry = self.slots.entry(imported.key).or_insert_with(|| Slot {
+                m: Tensor::zeros(Shape::vector(imported.tensor.len())),
+                v: Tensor::zeros(Shape::vector(imported.tensor.len())),
+                t: 0,
+            });
+            match imported.name.as_str() {
+                "m" => entry.m = imported.tensor.clone(),
+                "v" => entry.v = imported.tensor.clone(),
+                "t" => entry.t = imported.tensor.data()[0] as u64,
+                _ => {}
+            }
+        }
     }
 }
 

@@ -4,7 +4,8 @@ use std::collections::HashMap;
 
 use multipod_tensor::Tensor;
 
-use crate::{LayerStats, Optimizer, StateKey};
+use crate::optimizer::sort_slots;
+use crate::{LayerStats, Optimizer, StateKey, StateSlot};
 
 /// Layer-wise Adaptive Rate Scaling.
 ///
@@ -111,6 +112,28 @@ impl Optimizer for Lars {
 
     fn flops_per_param(&self) -> u64 {
         9 // decay axpy (2), two squared-norm accumulations (4), momentum (2), apply (1)
+    }
+
+    fn export_state(&self) -> Vec<StateSlot> {
+        sort_slots(
+            self.velocity
+                .iter()
+                .map(|(&key, tensor)| StateSlot {
+                    key,
+                    name: "velocity".to_string(),
+                    tensor: tensor.clone(),
+                })
+                .collect(),
+        )
+    }
+
+    fn import_state(&mut self, slots: &[StateSlot]) {
+        self.velocity.clear();
+        for slot in slots {
+            if slot.name == "velocity" {
+                self.velocity.insert(slot.key, slot.tensor.clone());
+            }
+        }
     }
 }
 

@@ -36,6 +36,6 @@ pub mod wus;
 
 pub use lamb::Lamb;
 pub use lars::Lars;
-pub use optimizer::{LayerStats, Optimizer, StateKey};
+pub use optimizer::{LayerStats, Optimizer, StateKey, StateSlot};
 pub use schedule::LrSchedule;
 pub use sgd::SgdMomentum;

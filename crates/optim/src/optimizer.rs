@@ -8,7 +8,7 @@ use multipod_tensor::Tensor;
 /// Weight-update sharding gives every accelerator its own slice of each
 /// layer; keying state by `(layer, shard)` keeps the sharded and
 /// replicated paths from aliasing each other's momenta.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StateKey {
     /// Layer index.
     pub layer: usize,
@@ -47,6 +47,23 @@ impl LayerStats {
     }
 }
 
+/// One exported piece of optimizer state: the tensor stored under a
+/// `(key, slot-name)` pair, e.g. SGD's `"velocity"` or LAMB's Adam
+/// moments `"m"`/`"v"`.
+///
+/// [`Optimizer::export_state`] returns slots sorted by `(name, key)` so a
+/// checkpoint of the same training state is always byte-identical;
+/// [`Optimizer::import_state`] accepts them in any order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StateSlot {
+    /// State key the tensor is stored under.
+    pub key: StateKey,
+    /// Slot name within the optimizer (e.g. `"velocity"`, `"m"`, `"v"`).
+    pub name: String,
+    /// The state tensor.
+    pub tensor: Tensor,
+}
+
 /// A large-batch optimizer with a shardable two-phase step.
 ///
 /// `prepare` consumes the gradient, advances any internal state
@@ -81,6 +98,30 @@ pub trait Optimizer {
         let (update, stats) = self.prepare(StateKey::full_layer(layer), weights, grad);
         self.apply(weights, &update, stats);
     }
+
+    /// Exports all internal state as named slots, sorted by
+    /// `(name, key)` for deterministic serialization. Stateless
+    /// optimizers return an empty list (the default).
+    fn export_state(&self) -> Vec<StateSlot> {
+        Vec::new()
+    }
+
+    /// Replaces the internal state with the given slots (the inverse of
+    /// [`Optimizer::export_state`]); slots with names the optimizer does
+    /// not own are ignored. The default is a no-op for stateless
+    /// optimizers.
+    fn import_state(&mut self, slots: &[StateSlot]) {
+        let _ = slots;
+    }
+}
+
+/// Sorts exported slots into the canonical `(name, key)` order.
+///
+/// Helper for `export_state` implementations that drain `HashMap`-backed
+/// state (whose iteration order is unspecified).
+pub fn sort_slots(mut slots: Vec<StateSlot>) -> Vec<StateSlot> {
+    slots.sort_by(|a, b| (a.name.as_str(), a.key).cmp(&(b.name.as_str(), b.key)));
+    slots
 }
 
 #[cfg(test)]

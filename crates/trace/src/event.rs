@@ -88,6 +88,9 @@ pub enum SpanCategory {
     /// instant a fault transition happened; windows (e.g. stragglers)
     /// carry their full extent.
     Fault,
+    /// Checkpoint traffic: sharded state save (ICI gather + PCIe
+    /// streaming), restore, and rollback-recovery windows.
+    Checkpoint,
 }
 
 impl SpanCategory {
@@ -101,6 +104,7 @@ impl SpanCategory {
             SpanCategory::Optimizer => "optimizer",
             SpanCategory::Input => "input",
             SpanCategory::Fault => "fault",
+            SpanCategory::Checkpoint => "checkpoint",
         }
     }
 }

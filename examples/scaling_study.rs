@@ -30,7 +30,7 @@ fn main() {
         "DLRM" => 256,
         _ => 4096,
     };
-    let curve = ScalingCurve::sweep(&workload, &standard_chip_counts(max));
+    let curve = ScalingCurve::sweep(&workload, &standard_chip_counts(max)).expect("sweep");
 
     println!("{name}: scaling 16 → {max} chips");
     println!("chips | batch | step(ms) | allreduce% | e2e(min) | speedup | ideal");

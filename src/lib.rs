@@ -30,6 +30,10 @@
 //!   outages, chip loss and straggler windows replayed against the
 //!   network, with graceful degradation (detours, replica drop with
 //!   gradient renormalization, bounded-backoff retries) up the stack.
+//! * [`ckpt`] — sharded checkpointing and elastic restart: host-aligned
+//!   shard placement, ICI gather + PCIe streaming with content-hashed
+//!   manifests, restore onto degraded survivor meshes, rollback recovery
+//!   campaigns and Young/Daly optimal-interval analysis.
 //!
 //! ## Quickstart
 //!
@@ -42,6 +46,7 @@
 //! assert!(report.end_to_end_minutes() < 1.0); // paper: 0.39 min
 //! ```
 
+pub use multipod_ckpt as ckpt;
 pub use multipod_collectives as collectives;
 pub use multipod_core as core;
 pub use multipod_faults as faults;

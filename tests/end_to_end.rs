@@ -66,7 +66,7 @@ fn table2_init_ordering_holds_for_all_benchmarks() {
 fn allreduce_share_grows_monotonically_with_scale() {
     // The Amdahl story of Figures 6/8, for both data-parallel models.
     for w in [catalog::resnet50(), catalog::bert()] {
-        let curve = ScalingCurve::sweep(&w, &standard_chip_counts(4096));
+        let curve = ScalingCurve::sweep(&w, &standard_chip_counts(4096)).expect("sweep");
         let shares: Vec<f64> = curve
             .points
             .iter()
