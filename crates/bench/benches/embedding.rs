@@ -23,7 +23,7 @@ fn bench(c: &mut Criterion) {
         })
         .collect();
     let placement = Placement::plan(&specs, 16, 64 * 1024);
-    let emb = ShardedEmbedding::init(placement, 3);
+    let emb = ShardedEmbedding::init(placement, 3).unwrap();
     let mut rng = SmallRng::seed_from_u64(9);
     let indices: Vec<Vec<usize>> = (0..512)
         .map(|_| {
@@ -43,7 +43,7 @@ fn bench(c: &mut Criterion) {
     let mut trng = TensorRng::seed(4);
     let feats = trng.uniform(Shape::of(&[256, 26 * 16]), -1.0, 1.0);
     g.bench_function("masked-self-interaction-256x26", |b| {
-        b.iter(|| masked_self_interaction(&feats, 16))
+        b.iter(|| masked_self_interaction(&feats, 16).unwrap())
     });
     g.finish();
 }

@@ -25,6 +25,7 @@ fn bench(c: &mut Criterion) {
                 100,
                 7,
             )
+            .unwrap()
         })
     });
     g.bench_function("uncompressed-64-hosts", |b| {
@@ -37,14 +38,15 @@ fn bench(c: &mut Criterion) {
                 100,
                 7,
             )
+            .unwrap()
         })
     });
     let corpus: Vec<f32> = (0..65536).map(|i| i as f32).collect();
     g.bench_function("shuffle-buffer-4096", |b| {
-        b.iter(|| buffered_shuffle(&corpus, 4096, 3))
+        b.iter(|| buffered_shuffle(&corpus, 4096, 3).unwrap())
     });
     g.bench_function("run-to-run-spread-study", |b| {
-        b.iter(|| run_to_run_spread(8192, 256, 64, 8))
+        b.iter(|| run_to_run_spread(8192, 256, 64, 8).unwrap())
     });
     g.finish();
 }

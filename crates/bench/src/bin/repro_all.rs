@@ -2,9 +2,11 @@
 //! EXPERIMENTS.md's measured values).
 //!
 //! Pass `--trace <out.json>` to also export a Chrome trace of the Table-1
-//! step timelines plus a reference numeric 2-D summation.
+//! step timelines plus a reference numeric 2-D summation, and
+//! `--profile <out.json>` to export the flight-recorder report over the
+//! same timelines.
 
-use multipod_bench::{paper, preset_by_name, trace_flag, write_trace};
+use multipod_bench::{paper, preset_by_name, profile_flag, trace_flag, write_profile, write_trace};
 use multipod_ckpt::{run_rollback_campaign, young_daly_interval, RollbackConfig};
 use multipod_collectives::Precision;
 use multipod_core::ablate::{precision_ablation, summation_ablation, wus_ablation};
@@ -182,5 +184,10 @@ fn main() {
         let refs: Vec<_> = table1_reports.iter().collect();
         write_trace(&path, &refs, 3).expect("write trace");
         eprintln!("wrote Chrome trace to {}", path.display());
+    }
+    if let Some(path) = profile_flag() {
+        let refs: Vec<_> = table1_reports.iter().collect();
+        write_profile(&path, &refs, 3).expect("write profile");
+        eprintln!("wrote flight report to {}", path.display());
     }
 }

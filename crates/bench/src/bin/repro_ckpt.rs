@@ -18,7 +18,7 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use multipod_bench::trace_flag;
+use multipod_bench::{arg_value, mesh_flag, trace_flag, BenchReport};
 use multipod_ckpt::{
     interval_curve, run_rollback_campaign, young_daly_interval, RollbackConfig, RollbackReport,
 };
@@ -28,35 +28,6 @@ use multipod_topology::{ChipId, Multipod, MultipodConfig};
 use multipod_trace::{Recorder, TraceSink};
 use serde_json::json;
 
-fn arg_value(name: &str) -> Option<String> {
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        if arg == name {
-            return args.next();
-        }
-        if let Some(v) = arg.strip_prefix(&format!("{name}=")) {
-            return Some(v.to_string());
-        }
-    }
-    None
-}
-
-fn mesh_config() -> MultipodConfig {
-    match arg_value("--mesh") {
-        None => MultipodConfig::multipod(4), // the paper's 128×32 machine
-        Some(spec) => {
-            let (x, y) = spec
-                .split_once('x')
-                .unwrap_or_else(|| panic!("--mesh expects WxH, got '{spec}'"));
-            MultipodConfig::mesh(
-                x.parse().expect("mesh width"),
-                y.parse().expect("mesh height"),
-                true,
-            )
-        }
-    }
-}
-
 fn campaign_trace(config: &RollbackConfig, plan: &FaultPlan) -> (RollbackReport, Arc<Recorder>) {
     let recorder = Recorder::shared();
     let report = run_rollback_campaign(config, plan, Some(recorder.clone() as Arc<dyn TraceSink>))
@@ -65,7 +36,8 @@ fn campaign_trace(config: &RollbackConfig, plan: &FaultPlan) -> (RollbackReport,
 }
 
 fn main() -> ExitCode {
-    let mesh_cfg = mesh_config();
+    // The paper's 128×32 machine unless --mesh overrides.
+    let mesh_cfg = mesh_flag(MultipodConfig::multipod(4));
     let mut config = RollbackConfig::demo(mesh_cfg.clone());
     if let Some(steps) = arg_value("--steps") {
         config.steps = steps.parse().expect("--steps expects an integer");
@@ -214,31 +186,40 @@ fn main() -> ExitCode {
         "final_loss": dropped.final_loss,
         "degraded_steps": dropped.degraded_steps,
     });
-    let doc = json!({
-        "mesh": format!("{}x{}", mesh.x_len(), mesh.y_len()),
-        "chips": mesh.num_chips(),
-        "steps": config.steps,
-        "ckpt_interval_steps": config.ckpt_interval,
-        "fault_free": fault_free,
-        "rollback": rollback,
-        "drop_policy": drop_policy,
-        "loss_within_tolerance": loss_within_tolerance,
-        "strictly_slower_than_fault_free": strictly_slower,
-        "recovery_overhead_seconds": recovery_overhead_seconds,
-        "young_daly": young_daly,
-        "deterministic": determinism_checked.then_some(deterministic),
-    });
+    let report = BenchReport::new(
+        "ckpt",
+        format!("{}x{}", mesh.x_len(), mesh.y_len()),
+        mesh.num_chips(),
+    )
+    .gate(
+        "deterministic",
+        determinism_checked.then_some(deterministic),
+    )
+    .gate("loss_within_tolerance", loss_within_tolerance)
+    .gate(
+        "recovery_costs_more_than_drop",
+        recovery_overhead_seconds > 0.0,
+    )
+    .measurement("steps", json!(config.steps))
+    .measurement("ckpt_interval_steps", json!(config.ckpt_interval))
+    .measurement("fault_free", fault_free)
+    .measurement("rollback", rollback)
+    .measurement("drop_policy", drop_policy)
+    .measurement("strictly_slower_than_fault_free", json!(strictly_slower))
+    .measurement(
+        "recovery_overhead_seconds",
+        json!(recovery_overhead_seconds),
+    )
+    .measurement("young_daly", young_daly);
     let json_path = arg_value("--json").unwrap_or_else(|| "BENCH_ckpt.json".to_string());
-    let body = serde_json::to_string_pretty(&doc).expect("report json");
-    std::fs::write(&json_path, body + "\n").expect("write BENCH_ckpt.json");
-    println!("wrote {json_path}");
+    report.write(&json_path);
 
     if let Some(path) = trace_flag() {
         recorder.write_chrome_trace(&path).expect("write trace");
         println!("wrote {}", path.display());
     }
 
-    if deterministic && loss_within_tolerance && recovery_overhead_seconds > 0.0 {
+    if report.passed() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -25,6 +25,7 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
+use multipod_bench::{arg_value, committed_measurement, mesh_flag, BenchReport};
 use multipod_collectives::ring::Direction;
 use multipod_collectives::twod::two_dim_all_reduce;
 use multipod_collectives::{CollectiveError, Precision, Schedule};
@@ -32,35 +33,6 @@ use multipod_simnet::{Network, NetworkConfig, SimTime};
 use multipod_tensor::{Shape, Tensor, TensorRng};
 use multipod_topology::{ChipId, Multipod, MultipodConfig, Ring};
 use serde_json::json;
-
-fn arg_value(name: &str) -> Option<String> {
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        if arg == name {
-            return args.next();
-        }
-        if let Some(v) = arg.strip_prefix(&format!("{name}=")) {
-            return Some(v.to_string());
-        }
-    }
-    None
-}
-
-fn mesh_config() -> MultipodConfig {
-    match arg_value("--mesh") {
-        None => MultipodConfig::mesh(8, 8, true),
-        Some(spec) => {
-            let (x, y) = spec
-                .split_once('x')
-                .unwrap_or_else(|| panic!("--mesh expects WxH, got '{spec}'"));
-            MultipodConfig::mesh(
-                x.parse().expect("mesh width"),
-                y.parse().expect("mesh height"),
-                true,
-            )
-        }
-    }
-}
 
 /// A forced deep copy: what every `.clone()` cost before tensors shared
 /// their storage.
@@ -290,7 +262,7 @@ fn random_inputs(n: usize, elems: usize, seed: u64) -> Vec<Tensor> {
 }
 
 fn main() -> ExitCode {
-    let mesh_cfg = mesh_config();
+    let mesh_cfg = mesh_flag(MultipodConfig::mesh(8, 8, true));
     let elems: usize = arg_value("--elems").map_or(1 << 18, |v| v.parse().expect("--elems"));
     let iters: usize = arg_value("--iters").map_or(5, |v| v.parse().expect("--iters"));
     let mesh = Multipod::new(mesh_cfg.clone());
@@ -345,29 +317,27 @@ fn main() -> ExitCode {
     println!("zero-copy | {zero_copy_ms:.2}");
     println!("speedup: {speedup:.2}x");
 
-    let doc = json!({
-        "mesh": format!("{}x{}", mesh.x_len(), mesh.y_len()),
-        "chips": n,
-        "elems_per_chip": elems,
-        "iters": iters,
-        "baseline_ms": baseline_ms,
-        "zero_copy_ms": zero_copy_ms,
-        "speedup": speedup,
-        "bit_identical": identical,
-    });
+    let report = BenchReport::new(
+        "collectives",
+        format!("{}x{}", mesh.x_len(), mesh.y_len()),
+        n,
+    )
+    .gate("bit_identical", identical)
+    .measurement("elems_per_chip", json!(elems))
+    .measurement("iters", json!(iters))
+    .measurement("baseline_ms", json!(baseline_ms))
+    .measurement("zero_copy_ms", json!(zero_copy_ms))
+    .measurement("speedup", json!(speedup));
     let json_path = arg_value("--json").unwrap_or_else(|| "BENCH_collectives.json".to_string());
-    let body = serde_json::to_string_pretty(&doc).expect("report json");
-    std::fs::write(&json_path, body + "\n").expect("write BENCH_collectives.json");
-    println!("wrote {json_path}");
+    report.write(&json_path);
 
     if let Some(committed) = arg_value("--check-regression") {
         let text =
             std::fs::read_to_string(&committed).unwrap_or_else(|e| panic!("read {committed}: {e}"));
         let prior: serde_json::Value = serde_json::from_str(&text).expect("committed report json");
-        let prior_speedup = prior
-            .get("speedup")
+        let prior_speedup = committed_measurement(&prior, "speedup")
             .and_then(|v| v.as_f64())
-            .expect("committed report has a speedup field");
+            .expect("committed report has a speedup measurement");
         // Wall times vary by machine; the same-host baseline/zero-copy
         // ratio is the stable signal. >20% regression fails the gate.
         let floor = prior_speedup * 0.8;

@@ -15,41 +15,12 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use multipod_bench::trace_flag;
+use multipod_bench::{arg_value, mesh_flag, trace_flag, BenchReport};
 use multipod_faults::{run_campaign, CampaignConfig, CampaignReport, FaultPlan};
 use multipod_simnet::SimTime;
 use multipod_topology::{Multipod, MultipodConfig};
 use multipod_trace::{Recorder, TraceSink};
 use serde_json::json;
-
-fn arg_value(name: &str) -> Option<String> {
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        if arg == name {
-            return args.next();
-        }
-        if let Some(v) = arg.strip_prefix(&format!("{name}=")) {
-            return Some(v.to_string());
-        }
-    }
-    None
-}
-
-fn mesh_config() -> MultipodConfig {
-    match arg_value("--mesh") {
-        None => MultipodConfig::multipod(4), // the paper's 128×32 machine
-        Some(spec) => {
-            let (x, y) = spec
-                .split_once('x')
-                .unwrap_or_else(|| panic!("--mesh expects WxH, got '{spec}'"));
-            MultipodConfig::mesh(
-                x.parse().expect("mesh width"),
-                y.parse().expect("mesh height"),
-                true,
-            )
-        }
-    }
-}
 
 fn campaign_trace(config: &CampaignConfig, plan: &FaultPlan) -> (CampaignReport, Arc<Recorder>) {
     let recorder = Recorder::shared();
@@ -59,7 +30,8 @@ fn campaign_trace(config: &CampaignConfig, plan: &FaultPlan) -> (CampaignReport,
 }
 
 fn main() -> ExitCode {
-    let mesh_cfg = mesh_config();
+    // The paper's 128×32 machine unless --mesh overrides.
+    let mesh_cfg = mesh_flag(MultipodConfig::multipod(4));
     let mut config = CampaignConfig::demo(mesh_cfg.clone());
     if let Some(steps) = arg_value("--steps") {
         config.steps = steps.parse().expect("--steps expects an integer");
@@ -146,19 +118,24 @@ fn main() -> ExitCode {
         "degraded_steps": faulty.degraded_steps,
         "final_loss": faulty.final_loss,
     });
-    let doc = json!({
-        "mesh": format!("{}x{}", mesh.x_len(), mesh.y_len()),
-        "chips": mesh.num_chips(),
-        "steps": config.steps,
-        "fault_free": fault_free,
-        "campaign": campaign,
-        "loss_matches_fault_free": faulty.final_loss == clean.final_loss,
-        "deterministic": determinism_checked.then_some(deterministic),
-    });
+    let report = BenchReport::new(
+        "faults",
+        format!("{}x{}", mesh.x_len(), mesh.y_len()),
+        mesh.num_chips(),
+    )
+    .gate(
+        "deterministic",
+        determinism_checked.then_some(deterministic),
+    )
+    .measurement("steps", json!(config.steps))
+    .measurement("fault_free", fault_free)
+    .measurement("campaign", campaign)
+    .measurement(
+        "loss_matches_fault_free",
+        json!(faulty.final_loss == clean.final_loss),
+    );
     let json_path = arg_value("--json").unwrap_or_else(|| "BENCH_faults.json".to_string());
-    let body = serde_json::to_string_pretty(&doc).expect("report json");
-    std::fs::write(&json_path, body + "\n").expect("write BENCH_faults.json");
-    println!("wrote {json_path}");
+    report.write(&json_path);
 
     if let Some(path) = trace_flag() {
         recorder.write_chrome_trace(&path).expect("write trace");

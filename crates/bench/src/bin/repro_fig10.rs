@@ -3,13 +3,18 @@
 //!
 //! Pass `--trace <out.json>` to also export a Chrome trace (loadable in
 //! Perfetto) of every benchmark's step timeline plus a reference numeric
-//! 2-D gradient summation with per-link transfer events.
+//! 2-D gradient summation with per-link transfer events, and
+//! `--profile <out.json>` to export the flight-recorder report (step
+//! telemetry plus critical-path decomposition) over the same timelines.
 
-use multipod_bench::{header, preset_by_name, run, trace_flag, write_trace};
+use multipod_bench::{
+    header, preset_by_name, profile_flag, run, trace_flag, write_profile, write_trace,
+};
 use multipod_models::{catalog, GpuCluster, GpuGeneration};
 
 fn main() {
     let trace_path = trace_flag();
+    let profile_path = profile_flag();
     let mut reports = Vec::new();
     header(
         "Figure 10: end-to-end minutes, TPU vs GPU",
@@ -52,6 +57,11 @@ fn main() {
         let refs: Vec<_> = reports.iter().collect();
         write_trace(&path, &refs, 3).expect("write trace");
         println!("(wrote Chrome trace to {})", path.display());
+    }
+    if let Some(path) = profile_path {
+        let refs: Vec<_> = reports.iter().collect();
+        write_profile(&path, &refs, 3).expect("write profile");
+        println!("(wrote flight report to {})", path.display());
     }
 }
 

@@ -1,7 +1,10 @@
 //! Regenerates Figure 5: ResNet-50 end-to-end and throughput speedup vs
 //! chips (vs ideal scaling).
+//!
+//! Pass `--trace <out.json>` to also export a Chrome trace of the step
+//! timeline at every swept chip count.
 
-use multipod_bench::header;
+use multipod_bench::{header, trace_flag, write_trace};
 use multipod_core::scaling::{standard_chip_counts, ScalingCurve};
 use multipod_models::catalog;
 
@@ -23,4 +26,9 @@ fn main() {
     }
     println!("(paper: throughput tracks ideal more closely than end-to-end,");
     println!(" because the 64k batch needs 88 epochs vs 44 at 4k)");
+    if let Some(path) = trace_flag() {
+        let refs: Vec<_> = curve.points.iter().map(|p| &p.report).collect();
+        write_trace(&path, &refs, 3).expect("write trace");
+        println!("(wrote Chrome trace to {})", path.display());
+    }
 }

@@ -1,6 +1,9 @@
 //! Regenerates Figure 6: ResNet-50 per-step computation vs all-reduce time.
+//!
+//! Pass `--trace <out.json>` to also export a Chrome trace of the step
+//! timeline at every swept chip count.
 
-use multipod_bench::{header, paper, pct};
+use multipod_bench::{header, paper, pct, trace_flag, write_trace};
 use multipod_core::scaling::{standard_chip_counts, ScalingCurve};
 use multipod_models::catalog;
 
@@ -34,4 +37,9 @@ fn main() {
         pct(paper::RESNET_ALLREDUCE_SHARE),
         pct(last.report.step.all_reduce_fraction())
     );
+    if let Some(path) = trace_flag() {
+        let refs: Vec<_> = curve.points.iter().map(|p| &p.report).collect();
+        write_trace(&path, &refs, 3).expect("write trace");
+        println!("(wrote Chrome trace to {})", path.display());
+    }
 }

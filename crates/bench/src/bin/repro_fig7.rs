@@ -1,6 +1,9 @@
 //! Regenerates Figure 7: BERT speedup vs chips.
+//!
+//! Pass `--trace <out.json>` to also export a Chrome trace of the step
+//! timeline at every swept chip count.
 
-use multipod_bench::header;
+use multipod_bench::{header, trace_flag, write_trace};
 use multipod_core::scaling::{standard_chip_counts, ScalingCurve};
 use multipod_models::catalog;
 
@@ -16,4 +19,9 @@ fn main() {
         println!("{} | {:.1} | {:.0}", e2e[i].0, e2e[i].1, ideal[i].1);
     }
     println!("(paper: BERT shows the highest scaling from 16 to 4096 chips)");
+    if let Some(path) = trace_flag() {
+        let refs: Vec<_> = curve.points.iter().map(|p| &p.report).collect();
+        write_trace(&path, &refs, 3).expect("write trace");
+        println!("(wrote Chrome trace to {})", path.display());
+    }
 }

@@ -1,7 +1,10 @@
 //! Regenerates Figure 9: speedup via model parallelism (SSD, MaskRCNN,
 //! Transformer).
+//!
+//! Pass `--trace <out.json>` to also export a Chrome trace of the three
+//! benchmarks' step timelines at their Table-1 scales.
 
-use multipod_bench::{header, paper};
+use multipod_bench::{header, paper, preset_by_name, run, trace_flag, write_trace};
 use multipod_core::modelpar::speedup_curve;
 use multipod_models::catalog;
 
@@ -29,4 +32,14 @@ fn main() {
         paper::TRANSFORMER_4CORE_SPEEDUP,
         tra.last().unwrap().speedup
     );
+    if let Some(path) = trace_flag() {
+        let reports = [
+            run(preset_by_name("SSD", 4096)),
+            run(preset_by_name("MaskRCNN", 512)),
+            run(preset_by_name("Transformer", 4096)),
+        ];
+        let refs: Vec<_> = reports.iter().collect();
+        write_trace(&path, &refs, 3).expect("write trace");
+        println!("(wrote Chrome trace to {})", path.display());
+    }
 }

@@ -20,7 +20,7 @@ fn main() {
             HostPipelineConfig::uncompressed_imagenet(),
         ),
     ] {
-        let s = simulate_run(&cfg, 64, 32, 1.0e-3, 300, 7);
+        let s = simulate_run(&cfg, 64, 32, 1.0e-3, 300, 7).expect("non-empty run");
         println!(
             "{label} | {:.1} | {:.0}%",
             1e6 * s.mean_stall,
@@ -45,7 +45,8 @@ fn main() {
         &["Buffer", "Final-loss spread (stddev)"],
     );
     for buffer in [16usize, 256, 4096] {
-        println!("{buffer} | {:.5}", run_to_run_spread(8192, buffer, 64, 12));
+        let spread = run_to_run_spread(8192, buffer, 64, 12).expect("non-zero buffer");
+        println!("{buffer} | {spread:.5}");
     }
 
     header(

@@ -1,0 +1,284 @@
+//! Flight-recorder profile of the simulated multipod: step critical-path
+//! decomposition, simnet telemetry counters, and α–β cost-model drift.
+//!
+//! Three deterministic stages, all in simulated time:
+//!
+//! 1. Replays the first steps of the ResNet-50 and BERT step timelines at
+//!    the mesh's chip count through the trace + telemetry layers and runs
+//!    the critical-path profiler over the recording.
+//! 2. Runs a numeric 2-D gradient summation on the mesh with telemetry
+//!    attached, populating the simnet transfer/hop/byte counters.
+//! 3. Runs numeric bidirectional ring all-reduces along a Y ring at a
+//!    ladder of payload sizes, fits `time = α + bytes/β` to the recorded
+//!    collective spans, and checks the fit against the analytic
+//!    `collectives::timing` model.
+//!
+//! Emits `BENCH_profile.json` in the shared envelope. Everything in the
+//! document is a function of simulated time, so two runs are
+//! byte-identical; wall-clock replay throughput is printed to stdout only.
+//!
+//! Flags:
+//!   --mesh <WxH>          mesh instead of the 128×32 multipod (e.g. 4x4)
+//!   --json <path>         output path (default BENCH_profile.json)
+//!   --profile <path>      also export the full flight-recorder report
+//!   --trace <path>        also export the step-timeline Chrome trace
+//!   --check-determinism   run everything twice; exit 1 if the reports
+//!                         differ by a single byte
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use multipod_bench::{arg_value, mesh_flag, profile_flag, trace_flag, BenchReport};
+use multipod_collectives::timing::RingCosts;
+use multipod_collectives::twod::two_dim_all_reduce;
+use multipod_collectives::{ring, Precision};
+use multipod_core::step::{record_step_telemetry, record_step_trace};
+use multipod_core::{presets, Executor};
+use multipod_simnet::{Network, NetworkConfig, SimTime};
+use multipod_telemetry::{
+    check_drift, collective_samples, fit_alpha_beta, FlightReport, MetricId, Subsystem, Telemetry,
+};
+use multipod_tensor::{Shape, TensorRng};
+use multipod_topology::{Multipod, MultipodConfig};
+use multipod_trace::Recorder;
+use serde::Serialize;
+use serde_json::{json, Value};
+
+/// Fractional drift tolerance for the α–β fit vs the analytic model.
+const DRIFT_TOLERANCE: f64 = 0.15;
+
+/// Elements per chip in the numeric 2-D summation stage: enough to split
+/// across the Y rings, the X chains, and the bidirectional lanes of each.
+fn summation_elems(mesh: &Multipod) -> usize {
+    4 * mesh.x_len() as usize * mesh.y_len() as usize
+}
+
+/// One deterministic profiling pass over the configured mesh.
+struct Outcome {
+    flight: FlightReport,
+    /// Step-timeline recorder (for `--trace`).
+    recorder: Arc<Recorder>,
+    /// Total simulated seconds across the numeric stages.
+    sim_seconds: f64,
+    /// Simnet transfers observed across the numeric stages.
+    transfers: u64,
+}
+
+fn run_once(cfg: &MultipodConfig) -> Outcome {
+    let telemetry = Telemetry::shared();
+    let chips = Multipod::new(cfg.clone()).num_chips();
+
+    // Stage 1: step timelines -> trace + telemetry -> profiler.
+    let recorder = Recorder::shared();
+    let mut cursor = SimTime::ZERO;
+    for report in [
+        Executor::new(presets::resnet50(chips as u32)).run(),
+        Executor::new(presets::bert(chips as u32)).run(),
+    ] {
+        for s in 0..3.min(report.steps) {
+            cursor =
+                record_step_trace(recorder.as_ref(), &report.name, &report.step, s + 1, cursor);
+            record_step_telemetry(&telemetry, &report.step);
+        }
+    }
+
+    // Stage 2: numeric 2-D summation with telemetry attached.
+    let mut net = Network::new(Multipod::new(cfg.clone()), NetworkConfig::tpu_v3());
+    net.set_telemetry(telemetry.clone());
+    let mut rng = TensorRng::seed(17);
+    let elems = summation_elems(net.mesh());
+    let inputs: Vec<_> = (0..net.mesh().num_chips())
+        .map(|_| rng.uniform(Shape::vector(elems), -1.0, 1.0))
+        .collect();
+    let summation = two_dim_all_reduce(&mut net, &inputs, Precision::F32, 1, None)
+        .expect("2-D summation on a healthy mesh");
+
+    // Stage 3: ring all-reduce ladder along a Y ring, recorded separately
+    // so its collective spans stay out of the step profiles.
+    let ring_recorder = Recorder::shared();
+    let mut ring_net = Network::new(Multipod::new(cfg.clone()), NetworkConfig::tpu_v3());
+    ring_net.set_telemetry(telemetry.clone());
+    ring_net.set_trace_sink(ring_recorder.clone());
+    let y_ring = ring_net.mesh().y_ring(0);
+    let n = y_ring.len();
+    let mut ring_cursor = SimTime::ZERO;
+    let mut drift = Vec::new();
+    if n >= 2 {
+        // Payloads divisible by 2n, so every run takes the bidirectional
+        // path the analytic model prices.
+        let sizes: Vec<usize> = (5..11).map(|k| (2 * n) << k).collect();
+        for &elems in &sizes {
+            let payloads: Vec<_> = (0..n)
+                .map(|_| rng.uniform(Shape::vector(elems), -1.0, 1.0))
+                .collect();
+            let out = ring::all_reduce(
+                &mut ring_net,
+                &y_ring,
+                &payloads,
+                Precision::F32,
+                ring_cursor,
+            )
+            .expect("ring all-reduce on a healthy mesh");
+            ring_cursor = out.time;
+        }
+        let samples = collective_samples(&ring_recorder.events(), "all-reduce");
+        let fit = fit_alpha_beta(&samples).expect("ladder spans distinct sizes");
+        let costs =
+            RingCosts::from_ring(&ring_net, &y_ring, 1).expect("ring costs on a healthy mesh");
+        let ref_elems = *sizes.last().expect("ladder is non-empty");
+        let model_alpha = 2.0 * costs.phase_alpha_seconds();
+        let model_bps = Precision::F32.wire_bytes(ref_elems) as f64
+            / (2.0 * costs.phase_beta_seconds(ref_elems, Precision::F32, true));
+        drift.push(check_drift(
+            "ring-all-reduce",
+            fit,
+            model_alpha,
+            model_bps,
+            DRIFT_TOLERANCE,
+        ));
+    }
+
+    let registry = telemetry.snapshot();
+    let transfers = registry.counter(&MetricId::new(Subsystem::Simnet, "transfers"));
+    Outcome {
+        flight: FlightReport {
+            registry,
+            profile: multipod_telemetry::profile(&recorder.events()),
+            drift,
+        },
+        recorder,
+        sim_seconds: summation.time.seconds() + ring_cursor.seconds(),
+        transfers,
+    }
+}
+
+/// Builds the deterministic report body (everything except the
+/// `deterministic` gate, which depends on the comparison itself).
+fn bench_report(outcome: &Outcome, mesh_label: &str, chips: usize) -> BenchReport {
+    let profile = &outcome.flight.profile;
+    let fraction_sum = |d: &multipod_telemetry::StepDecomposition| {
+        d.compute_fraction
+            + d.comm_fraction
+            + d.overlap_fraction
+            + d.input_fraction
+            + d.idle_fraction
+    };
+    let fractions_ok = std::iter::once(&profile.mean_decomposition)
+        .chain(profile.step_profiles.iter().map(|s| &s.decomposition))
+        .all(|d| (fraction_sum(d) - 1.0).abs() <= 1e-6);
+    let steps: Vec<Value> = profile
+        .step_profiles
+        .iter()
+        .map(|s| {
+            json!({
+                "name": s.name,
+                "step": s.step_index,
+                "duration_seconds": s.duration_seconds,
+                "critical_path_seconds": s.critical_path_seconds,
+                "decomposition": s.decomposition.ser(),
+            })
+        })
+        .collect();
+    let registry = &outcome.flight.registry;
+    let counter = |name| registry.counter(&MetricId::new(Subsystem::Simnet, name));
+    let events_per_sim_second = if outcome.sim_seconds > 0.0 {
+        outcome.transfers as f64 / outcome.sim_seconds
+    } else {
+        0.0
+    };
+    BenchReport::new("profile", mesh_label, chips)
+        .gate("fractions_sum_to_one", fractions_ok)
+        .gate(
+            "alpha_beta_within_tolerance",
+            outcome.flight.drift_within_tolerance(),
+        )
+        .measurement("steps", json!(profile.steps))
+        .measurement("mean_step_seconds", json!(profile.mean_step_seconds))
+        .measurement(
+            "mean_critical_path_seconds",
+            json!(profile.mean_critical_path_seconds),
+        )
+        .measurement("mean_decomposition", profile.mean_decomposition.ser())
+        .measurement("step_profiles", Value::Seq(steps))
+        .measurement("simnet_transfers", json!(outcome.transfers))
+        .measurement("simnet_link_hops", json!(counter("link_hops")))
+        .measurement("simnet_payload_bytes", json!(counter("payload_bytes")))
+        .measurement("simnet_sim_seconds", json!(outcome.sim_seconds))
+        .measurement("simnet_events_per_sim_second", json!(events_per_sim_second))
+        .measurement(
+            "drift",
+            Value::Seq(outcome.flight.drift.iter().map(|d| d.ser()).collect()),
+        )
+}
+
+fn main() -> ExitCode {
+    // The paper's 128×32 machine unless --mesh overrides.
+    let mesh_cfg = mesh_flag(MultipodConfig::multipod(4));
+    let mesh = Multipod::new(mesh_cfg.clone());
+    let mesh_label = format!("{}x{}", mesh.x_len(), mesh.y_len());
+    let chips = mesh.num_chips();
+    println!("# Flight-recorder profile on {mesh_label} ({chips} chips)");
+
+    let wall = Instant::now();
+    let outcome = run_once(&mesh_cfg);
+    let report = bench_report(&outcome, &mesh_label, chips);
+
+    let determinism_checked = std::env::args().any(|a| a == "--check-determinism");
+    let mut deterministic = true;
+    if determinism_checked {
+        let again = run_once(&mesh_cfg);
+        let a = serde_json::to_string_pretty(&report).expect("report json");
+        let b = serde_json::to_string_pretty(&bench_report(&again, &mesh_label, chips))
+            .expect("report json");
+        let flights_match = outcome.flight.to_json() == again.flight.to_json();
+        deterministic = a == b && flights_match;
+        println!(
+            "determinism: {}",
+            if deterministic {
+                "byte-identical report"
+            } else {
+                "MISMATCH — reports differ"
+            }
+        );
+    }
+    let wall_seconds = wall.elapsed().as_secs_f64();
+
+    print!("{}", outcome.flight.render_text());
+    // Wall-clock throughput is the one non-reproducible number; it stays
+    // on stdout so the JSON artifact remains byte-stable.
+    let runs = if determinism_checked { 2.0 } else { 1.0 };
+    println!(
+        "replay rate: {:.0} simnet events/sec wall-clock ({:.2}s wall)",
+        runs * outcome.transfers as f64 / wall_seconds.max(1e-9),
+        wall_seconds
+    );
+
+    let report = report.gate(
+        "deterministic",
+        determinism_checked.then_some(deterministic),
+    );
+    let json_path = arg_value("--json").unwrap_or_else(|| "BENCH_profile.json".to_string());
+    report.write(&json_path);
+
+    if let Some(path) = profile_flag() {
+        outcome
+            .flight
+            .write_json(&path)
+            .expect("write flight report");
+        println!("wrote {}", path.display());
+    }
+    if let Some(path) = trace_flag() {
+        outcome
+            .recorder
+            .write_chrome_trace(&path)
+            .expect("write trace");
+        println!("wrote {}", path.display());
+    }
+
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

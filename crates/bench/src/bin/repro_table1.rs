@@ -1,10 +1,14 @@
 //! Regenerates Table 1: end-to-end training minutes on the multipod.
+//!
+//! Pass `--trace <out.json>` to also export a Chrome trace of every row's
+//! TensorFlow step timeline.
 
-use multipod_bench::{header, paper, preset_by_name, run};
+use multipod_bench::{header, paper, preset_by_name, run, trace_flag, write_trace};
 use multipod_core::Executor;
 use multipod_framework::FrameworkKind;
 
 fn main() {
+    let mut reports = Vec::new();
     header(
         "Table 1: end-to-end time (minutes)",
         &[
@@ -41,5 +45,11 @@ fn main() {
                 r.end_to_end_minutes() / tf.end_to_end_minutes()
             )),
         );
+        reports.push(tf);
+    }
+    if let Some(path) = trace_flag() {
+        let refs: Vec<_> = reports.iter().collect();
+        write_trace(&path, &refs, 3).expect("write trace");
+        println!("(wrote Chrome trace to {})", path.display());
     }
 }

@@ -1,6 +1,10 @@
 //! Regenerates Table 2: initialization time, TensorFlow vs JAX.
+//!
+//! Pass `--trace <out.json>` to also export a Chrome trace of every row's
+//! training step timeline (initialization itself is a closed-form model
+//! with no recorded spans).
 
-use multipod_bench::{header, paper};
+use multipod_bench::{header, paper, preset_by_name, run, trace_flag, write_trace};
 use multipod_framework::{profiles, FrameworkKind, InitModel};
 
 fn main() {
@@ -23,5 +27,14 @@ fn main() {
         let tf = model.init_seconds(FrameworkKind::TensorFlow, &profile, chips);
         let jax = model.init_seconds(FrameworkKind::Jax, &profile, jax_chips);
         println!("{name} | {chips} | {tf_paper} | {tf:.0} | {jax_paper} | {jax:.0}");
+    }
+    if let Some(path) = trace_flag() {
+        let reports: Vec<_> = paper::TABLE2
+            .iter()
+            .map(|&(name, chips, _, _)| run(preset_by_name(name, chips)))
+            .collect();
+        let refs: Vec<_> = reports.iter().collect();
+        write_trace(&path, &refs, 3).expect("write trace");
+        println!("(wrote Chrome trace to {})", path.display());
     }
 }

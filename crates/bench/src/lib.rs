@@ -10,10 +10,13 @@
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use multipod_core::step::record_step_trace;
+use multipod_core::step::{record_step_telemetry, record_step_trace};
 use multipod_core::{presets, Executor, Preset, Report};
 use multipod_simnet::SimTime;
+use multipod_telemetry::{FlightReport, Telemetry};
+use multipod_topology::MultipodConfig;
 use multipod_trace::Recorder;
+use serde_json::Value;
 
 /// The paper's published values, used for side-by-side output.
 pub mod paper {
@@ -81,19 +84,53 @@ pub fn preset_by_name(name: &str, chips: u32) -> Preset {
     }
 }
 
-/// Parses a `--trace <path>` (or `--trace=<path>`) flag from the process
-/// arguments, for repro binaries that can export a Chrome trace.
-pub fn trace_flag() -> Option<PathBuf> {
+/// Parses a `--<name> <value>` (or `--<name>=<value>`) flag from the
+/// process arguments.
+pub fn arg_value(name: &str) -> Option<String> {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--trace" {
-            return args.next().map(PathBuf::from);
+        if arg == name {
+            return args.next();
         }
-        if let Some(path) = arg.strip_prefix("--trace=") {
-            return Some(PathBuf::from(path));
+        if let Some(v) = arg.strip_prefix(&format!("{name}=")) {
+            return Some(v.to_string());
         }
     }
     None
+}
+
+/// Parses a `--trace <path>` (or `--trace=<path>`) flag from the process
+/// arguments, for repro binaries that can export a Chrome trace.
+pub fn trace_flag() -> Option<PathBuf> {
+    arg_value("--trace").map(PathBuf::from)
+}
+
+/// Parses a `--profile <path>` (or `--profile=<path>`) flag, for repro
+/// binaries that can export a flight-recorder report.
+pub fn profile_flag() -> Option<PathBuf> {
+    arg_value("--profile").map(PathBuf::from)
+}
+
+/// Parses `--mesh <WxH>` into a [`MultipodConfig`], defaulting to
+/// `default` (usually the paper's 128×32 multipod).
+///
+/// # Panics
+///
+/// Panics when the spec is not `WxH` with integer extents.
+pub fn mesh_flag(default: MultipodConfig) -> MultipodConfig {
+    match arg_value("--mesh") {
+        None => default,
+        Some(spec) => {
+            let (x, y) = spec
+                .split_once('x')
+                .unwrap_or_else(|| panic!("--mesh expects WxH, got '{spec}'"));
+            MultipodConfig::mesh(
+                x.parse().expect("mesh width"),
+                y.parse().expect("mesh height"),
+                true,
+            )
+        }
+    }
 }
 
 /// Records a reference numeric 2-D gradient summation (an 8×8 slice,
@@ -134,6 +171,125 @@ pub fn write_trace(path: &Path, reports: &[&Report], steps_each: u64) -> std::io
     recorder.write_chrome_trace(path)
 }
 
+/// Replays the first `steps_each` steps of each report through the trace
+/// and telemetry layers, profiles the result, and writes the flight
+/// report to `path`. Output is fully deterministic.
+pub fn write_profile(path: &Path, reports: &[&Report], steps_each: u64) -> std::io::Result<()> {
+    let recorder = Recorder::shared();
+    let telemetry = Telemetry::shared();
+    let mut cursor = SimTime::ZERO;
+    for report in reports {
+        for s in 0..steps_each.min(report.steps) {
+            cursor =
+                record_step_trace(recorder.as_ref(), &report.name, &report.step, s + 1, cursor);
+            record_step_telemetry(&telemetry, &report.step);
+        }
+    }
+    let flight = FlightReport {
+        registry: telemetry.snapshot(),
+        profile: multipod_telemetry::profile(&recorder.events()),
+        drift: Vec::new(),
+    };
+    flight.write_json(path)
+}
+
+/// The common envelope of every `BENCH_*.json` artifact: what ran, on
+/// which mesh, which pass/fail gates applied, and the measured values.
+///
+/// Gates and measurements serialize in insertion order, so reports stay
+/// byte-stable run to run. An unchecked gate serializes as `null` and
+/// never fails [`BenchReport::passed`].
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    name: String,
+    mesh: String,
+    chips: usize,
+    gates: Vec<(String, Option<bool>)>,
+    measurements: Vec<(String, Value)>,
+}
+
+impl BenchReport {
+    /// A report for benchmark `name` on a `mesh`-labelled machine.
+    pub fn new(name: impl Into<String>, mesh: impl Into<String>, chips: usize) -> BenchReport {
+        BenchReport {
+            name: name.into(),
+            mesh: mesh.into(),
+            chips,
+            gates: Vec::new(),
+            measurements: Vec::new(),
+        }
+    }
+
+    /// Records a pass/fail gate (`None` = not checked this run).
+    pub fn gate(mut self, name: impl Into<String>, pass: impl Into<Option<bool>>) -> BenchReport {
+        self.gates.push((name.into(), pass.into()));
+        self
+    }
+
+    /// Records a measured value (build with `serde_json::json!`).
+    pub fn measurement(mut self, name: impl Into<String>, value: Value) -> BenchReport {
+        self.measurements.push((name.into(), value));
+        self
+    }
+
+    /// Whether every checked gate passed.
+    pub fn passed(&self) -> bool {
+        self.gates.iter().all(|(_, g)| *g != Some(false))
+    }
+
+    /// Reads one measurement back (for `--check-regression` style gates).
+    pub fn measured(&self, name: &str) -> Option<&Value> {
+        self.measurements
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Writes the pretty-JSON rendering to `path` and echoes the path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the file cannot be written.
+    pub fn write(&self, path: &str) {
+        let body = serde_json::to_string_pretty(self).expect("bench report json");
+        std::fs::write(path, body + "\n").unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path}");
+    }
+}
+
+impl serde::Serialize for BenchReport {
+    fn ser(&self) -> Value {
+        Value::Map(vec![
+            ("name".to_string(), Value::Str(self.name.clone())),
+            ("mesh".to_string(), Value::Str(self.mesh.clone())),
+            ("chips".to_string(), Value::U64(self.chips as u64)),
+            (
+                "gates".to_string(),
+                Value::Map(
+                    self.gates
+                        .iter()
+                        .map(|(k, g)| (k.clone(), g.map_or(Value::Null, Value::Bool)))
+                        .collect(),
+                ),
+            ),
+            (
+                "measurements".to_string(),
+                Value::Map(self.measurements.clone()),
+            ),
+        ])
+    }
+}
+
+/// Reads a measurement from a committed `BENCH_*.json` document,
+/// accepting both the enveloped layout (`measurements.<name>`) and the
+/// pre-envelope layout (`<name>` at top level).
+pub fn committed_measurement(doc: &Value, name: &str) -> Option<Value> {
+    doc.get("measurements")
+        .and_then(|m| m.get(name))
+        .or_else(|| doc.get(name))
+        .cloned()
+}
+
 /// Prints a markdown-ish table header.
 pub fn header(title: &str, columns: &[&str]) {
     println!("\n== {title} ==");
@@ -161,5 +317,49 @@ mod tests {
     #[test]
     fn pct_formats() {
         assert_eq!(pct(0.225), "22.5%");
+    }
+
+    #[test]
+    fn bench_report_envelope_is_stable_and_gated() {
+        let report = BenchReport::new("collectives", "8x8", 64)
+            .gate("bit_identical", true)
+            .gate("deterministic", None)
+            .measurement("speedup", serde_json::json!(2.5));
+        assert!(report.passed());
+        let json = serde_json::to_string_pretty(&report).expect("json");
+        let reparsed: Value = serde_json::from_str(&json).expect("reparse");
+        assert_eq!(
+            committed_measurement(&reparsed, "speedup").and_then(|v| v.as_f64()),
+            Some(2.5)
+        );
+        assert!(json.contains("\"name\": \"collectives\""));
+        assert!(json.contains("\"deterministic\": null"));
+        assert!(!BenchReport::new("x", "1x1", 1).gate("g", false).passed());
+        // Pre-envelope documents keep working for regression checks.
+        let old: Value = serde_json::from_str(r#"{"speedup": 3.0}"#).expect("old doc");
+        assert_eq!(
+            committed_measurement(&old, "speedup").and_then(|v| v.as_f64()),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn write_profile_emits_a_deterministic_flight_report() {
+        let dir = std::env::temp_dir().join("multipod-bench-profile-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let report = run(preset_by_name("ResNet-50", 256));
+        let a = dir.join("a.json");
+        let b = dir.join("b.json");
+        write_profile(&a, &[&report], 2).expect("write profile a");
+        write_profile(&b, &[&report], 2).expect("write profile b");
+        let body_a = std::fs::read_to_string(&a).expect("read a");
+        let body_b = std::fs::read_to_string(&b).expect("read b");
+        assert_eq!(body_a, body_b, "profile export must be byte-identical");
+        let doc: Value = serde_json::from_str(&body_a).expect("profile json");
+        let steps = doc
+            .get("profile")
+            .and_then(|p| p.get("steps"))
+            .and_then(|v| v.as_u64());
+        assert_eq!(steps, Some(2));
     }
 }

@@ -18,6 +18,7 @@
 use multipod_collectives::{ring, Precision};
 use multipod_optim::{Optimizer, StateKey, StateSlot};
 use multipod_simnet::{Network, SimTime};
+use multipod_telemetry::{MetricId, Subsystem};
 use multipod_tensor::Tensor;
 use multipod_topology::{ChipId, HostId, Ring, TopologyError};
 use multipod_trace::{SpanCategory, SpanEvent, Track};
@@ -356,6 +357,23 @@ pub fn save_checkpoint(
         );
     }
 
+    if let Some(telemetry) = net.telemetry() {
+        telemetry.inc_counter(MetricId::new(Subsystem::Ckpt, "saves"), 1);
+        telemetry.inc_counter(MetricId::new(Subsystem::Ckpt, "saved_bytes"), total_bytes);
+        telemetry.observe(
+            MetricId::new(Subsystem::Ckpt, "save_seconds"),
+            finish - start,
+        );
+        telemetry.observe(
+            MetricId::new(Subsystem::Ckpt, "save_ici_seconds"),
+            ici_seconds,
+        );
+        telemetry.observe(
+            MetricId::new(Subsystem::Ckpt, "save_pcie_seconds"),
+            pcie_seconds,
+        );
+    }
+
     let hashes: Vec<u64> = shards.iter().map(ShardData::hash).collect();
     let manifest = Manifest::new(bundle.step, placement, bundle.slot_lens(), &hashes);
     Ok(SaveOutcome {
@@ -518,6 +536,25 @@ pub fn restore_checkpoint(
             .with_arg("target_shards", target.num_shards as f64),
         );
     }
+    if let Some(telemetry) = net.telemetry() {
+        telemetry.inc_counter(MetricId::new(Subsystem::Ckpt, "restores"), 1);
+        telemetry.inc_counter(
+            MetricId::new(Subsystem::Ckpt, "restored_bytes"),
+            total_bytes,
+        );
+        telemetry.observe(
+            MetricId::new(Subsystem::Ckpt, "restore_seconds"),
+            finish - start,
+        );
+        telemetry.observe(
+            MetricId::new(Subsystem::Ckpt, "restore_pcie_seconds"),
+            pcie_seconds,
+        );
+        telemetry.observe(
+            MetricId::new(Subsystem::Ckpt, "restore_broadcast_seconds"),
+            finish - ingest_finish,
+        );
+    }
     Ok(RestoreOutcome {
         bundle,
         finish,
@@ -638,6 +675,31 @@ mod tests {
         assert!(spans.iter().any(|n| n == "ckpt-save-host"));
         assert!(spans.iter().any(|n| n == "ckpt-restore"));
         assert!(spans.iter().any(|n| n == "ckpt-restore-host"));
+    }
+
+    #[test]
+    fn save_and_restore_record_telemetry() {
+        let telemetry = multipod_telemetry::Telemetry::shared();
+        let mut net = network(MultipodConfig::mesh(4, 4, true));
+        net.set_telemetry(telemetry.clone());
+        let placement = ShardPlacement::plan(net.mesh(), &[], 64).unwrap();
+        let (bundle, _) = warm_bundle(64, 16);
+        let pcie = PcieCost::criteo();
+        let saved = save_checkpoint(&mut net, &placement, &bundle, &pcie, SimTime::ZERO).unwrap();
+        restore_checkpoint(&mut net, &placement, &saved.checkpoint, &pcie, saved.finish).unwrap();
+
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter(&MetricId::new(Subsystem::Ckpt, "saves")), 1);
+        assert_eq!(snap.counter(&MetricId::new(Subsystem::Ckpt, "restores")), 1);
+        assert_eq!(
+            snap.counter(&MetricId::new(Subsystem::Ckpt, "saved_bytes")),
+            saved.bytes
+        );
+        let save_hist = snap
+            .histogram(&MetricId::new(Subsystem::Ckpt, "save_seconds"))
+            .expect("save time observed");
+        assert_eq!(save_hist.count, 1);
+        assert!(save_hist.sum > 0.0);
     }
 
     #[test]

@@ -249,6 +249,15 @@ pub fn run_rollback_campaign(
                 // restore the last checkpoint onto the survivor mesh and
                 // replay the window since it.
                 rollbacks += 1;
+                if let Some(telemetry) = trainer.network().telemetry() {
+                    telemetry.inc_counter(
+                        multipod_telemetry::MetricId::new(
+                            multipod_telemetry::Subsystem::Ckpt,
+                            "rollbacks",
+                        ),
+                        1,
+                    );
+                }
                 if rollbacks > max_rollbacks {
                     return Err(CkptError::Network(err));
                 }

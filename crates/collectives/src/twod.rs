@@ -19,6 +19,7 @@
 use serde::{Deserialize, Serialize};
 
 use multipod_simnet::{Network, SimTime};
+use multipod_telemetry::{MetricId, Subsystem};
 use multipod_tensor::Tensor;
 use multipod_topology::ChipId;
 use multipod_trace::{SpanCategory, SpanEvent, Track};
@@ -240,41 +241,71 @@ pub fn two_dim_all_reduce(
     }
 
     // Machine-wide phase spans on the simulation track, with the α/β
-    // attribution the analytic model assigns to each phase.
-    if net.trace_sink().is_some() {
+    // attribution the analytic model assigns to each phase. The same
+    // per-phase numbers flow into the telemetry registry when attached.
+    if net.trace_sink().is_some() || net.telemetry().is_some() {
         let elems = inputs[0].len();
         let x_elems = elems.div_ceil(y_len.max(1) as usize);
         let y_costs = RingCosts::from_ring(net, &mesh.y_ring(0), 1)?;
         let x_costs =
             RingCosts::from_ring(net, &mesh.x_line_strided(0, 0, model_stride), model_stride)?;
         let phase = |name: &str, s: SimTime, e: SimTime, costs: &RingCosts, phase_elems: usize| {
-            emit_span(
-                net,
-                SpanEvent::new(Track::Sim, SpanCategory::CollectivePhase, name, s, e)
-                    .with_bytes(precision.wire_bytes(phase_elems))
-                    .with_arg("alpha_seconds", costs.phase_alpha_seconds())
-                    .with_arg(
-                        "beta_seconds",
-                        costs.phase_beta_seconds(phase_elems, precision, false),
-                    ),
-            );
+            let alpha = costs.phase_alpha_seconds();
+            let beta = costs.phase_beta_seconds(phase_elems, precision, false);
+            let bytes = precision.wire_bytes(phase_elems);
+            if net.trace_sink().is_some() {
+                emit_span(
+                    net,
+                    SpanEvent::new(Track::Sim, SpanCategory::CollectivePhase, name, s, e)
+                        .with_bytes(bytes)
+                        .with_arg("alpha_seconds", alpha)
+                        .with_arg("beta_seconds", beta),
+                );
+            }
+            if let Some(telemetry) = net.telemetry() {
+                telemetry.observe(
+                    MetricId::labeled(Subsystem::Collectives, "phase_seconds", name),
+                    e - s,
+                );
+                telemetry.inc_counter(
+                    MetricId::labeled(Subsystem::Collectives, "phase_bytes", name),
+                    bytes,
+                );
+                telemetry.observe(
+                    MetricId::labeled(Subsystem::Collectives, "model_alpha_seconds", name),
+                    alpha,
+                );
+                telemetry.observe(
+                    MetricId::labeled(Subsystem::Collectives, "model_beta_seconds", name),
+                    beta,
+                );
+            }
         };
         phase("y-reduce-scatter", SimTime::ZERO, y_rs_end, &y_costs, elems);
         phase("x-reduce-scatter", y_rs_end, x_rs_end, &x_costs, x_elems);
         phase("x-all-gather", x_rs_end, x_ag_end, &x_costs, x_elems);
         phase("y-all-gather", x_ag_end, y_ag_end, &y_costs, elems);
-        emit_span(
-            net,
-            SpanEvent::new(
-                Track::Sim,
-                SpanCategory::Collective,
-                "2d-all-reduce",
-                SimTime::ZERO,
-                y_ag_end,
-            )
-            .with_bytes(precision.wire_bytes(elems))
-            .with_arg("model_stride", model_stride as f64),
-        );
+        if net.trace_sink().is_some() {
+            emit_span(
+                net,
+                SpanEvent::new(
+                    Track::Sim,
+                    SpanCategory::Collective,
+                    "2d-all-reduce",
+                    SimTime::ZERO,
+                    y_ag_end,
+                )
+                .with_bytes(precision.wire_bytes(elems))
+                .with_arg("model_stride", model_stride as f64),
+            );
+        }
+        if let Some(telemetry) = net.telemetry() {
+            telemetry.inc_counter(MetricId::new(Subsystem::Collectives, "all_reduces"), 1);
+            telemetry.observe(
+                MetricId::new(Subsystem::Collectives, "all_reduce_seconds"),
+                y_ag_end - SimTime::ZERO,
+            );
+        }
     }
 
     // The per-chip fill is an invariant of the phase structure; the final

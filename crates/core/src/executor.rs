@@ -90,6 +90,25 @@ impl Executor {
         report
     }
 
+    /// Like [`Executor::run_traced`], but also records each traced step's
+    /// time breakdown into `telemetry`, so one call feeds both the
+    /// critical-path profiler (via the span timeline) and the metrics
+    /// registry.
+    pub fn run_observed(
+        &self,
+        sink: &dyn multipod_trace::TraceSink,
+        telemetry: &multipod_telemetry::Telemetry,
+        traced_steps: u64,
+    ) -> Report {
+        let report = self.run();
+        let mut t = multipod_simnet::SimTime::ZERO;
+        for s in 0..traced_steps.min(report.steps) {
+            t = crate::step::record_step_trace(sink, &report.name, &report.step, s + 1, t);
+            crate::step::record_step_telemetry(telemetry, &report.step);
+        }
+        report
+    }
+
     /// Simulates the run.
     pub fn run(&self) -> Report {
         let p = &self.preset;

@@ -36,5 +36,5 @@ mod executor;
 
 pub use executor::{Executor, Preset, Report};
 pub use scaling::SweepError;
-pub use step::{StepBreakdown, StepOptions};
+pub use step::{record_step_telemetry, record_step_trace, StepBreakdown, StepOptions};
 pub use trainer::{DataParallelTrainer, FaultPolicy, RecoveryMode, TrainStepStats};

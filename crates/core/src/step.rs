@@ -17,6 +17,7 @@ use multipod_collectives::twod::{two_dim_all_reduce_time, TwoDimBreakdown};
 use multipod_input::dlrm::{DlrmInputConfig, ParseGranularity, PcieLayout};
 use multipod_models::{TpuV3, Workload};
 use multipod_simnet::{Network, NetworkConfig, SimTime};
+use multipod_telemetry::{MetricId, Subsystem, Telemetry};
 use multipod_topology::{Multipod, MultipodConfig, CHIPS_PER_HOST};
 use multipod_trace::{SpanCategory, SpanEvent, TraceSink, Track};
 
@@ -309,6 +310,25 @@ pub fn record_step_trace(
             .with_arg("allreduce_share", breakdown.all_reduce_fraction()),
     );
     end
+}
+
+/// Records one step's time breakdown into the telemetry registry —
+/// per-phase histograms plus a step counter, mirroring the spans
+/// [`record_step_trace`] lays out.
+pub fn record_step_telemetry(telemetry: &Telemetry, breakdown: &StepBreakdown) {
+    telemetry.inc_counter(MetricId::new(Subsystem::Core, "steps"), 1);
+    let observe = |name: &'static str, seconds: f64| {
+        if seconds > 0.0 {
+            telemetry.observe(MetricId::new(Subsystem::Core, name), seconds);
+        }
+    };
+    observe("compute_seconds", breakdown.compute);
+    observe("model_parallel_comm_seconds", breakdown.model_parallel_comm);
+    observe("gradient_comm_seconds", breakdown.gradient_comm.total());
+    observe("weight_update_seconds", breakdown.weight_update);
+    observe("embedding_seconds", breakdown.embedding);
+    observe("input_stall_seconds", breakdown.input_stall);
+    observe("step_seconds", breakdown.total());
 }
 
 /// Devices per replica and replica count at a chip count (convenience for

@@ -10,6 +10,8 @@
 
 use multipod_tensor::{Shape, Tensor};
 
+use crate::EmbeddingError;
+
 /// The self-interaction output in both layouts.
 #[derive(Clone, Debug, PartialEq)]
 pub struct InteractionOutput {
@@ -27,13 +29,19 @@ pub struct InteractionOutput {
 /// lookup; it is interpreted as `tables` vectors of length `dim` per
 /// sample.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when the feature width is not divisible by `dim`.
-pub fn masked_self_interaction(features: &Tensor, dim: usize) -> InteractionOutput {
+/// [`EmbeddingError::IndivisibleWidth`] when the feature width is not
+/// divisible by `dim`.
+pub fn masked_self_interaction(
+    features: &Tensor,
+    dim: usize,
+) -> Result<InteractionOutput, EmbeddingError> {
     let batch = features.shape().dim(0);
     let width = features.shape().dim(1);
-    assert_eq!(width % dim, 0, "feature width must be tables * dim");
+    if dim == 0 || !width.is_multiple_of(dim) {
+        return Err(EmbeddingError::IndivisibleWidth { width, dim });
+    }
     let f = width / dim;
     let tri = f * (f - 1) / 2;
     let mut gathered = Vec::with_capacity(batch * tri);
@@ -52,10 +60,10 @@ pub fn masked_self_interaction(features: &Tensor, dim: usize) -> InteractionOutp
             }
         }
     }
-    InteractionOutput {
+    Ok(InteractionOutput {
         gathered: Tensor::new(Shape::of(&[batch, tri]), gathered),
         masked: Tensor::new(Shape::of(&[batch, f * f]), masked),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -67,7 +75,7 @@ mod tests {
     fn layouts_carry_the_same_information() {
         let mut rng = TensorRng::seed(4);
         let feats = rng.uniform(Shape::of(&[3, 4 * 2]), -1.0, 1.0); // 4 tables, dim 2
-        let out = masked_self_interaction(&feats, 2);
+        let out = masked_self_interaction(&feats, 2).unwrap();
         assert_eq!(out.gathered.shape().dims(), &[3, 6]);
         assert_eq!(out.masked.shape().dims(), &[3, 16]);
         // Every gathered value appears at its (i,j) slot in the masked
@@ -94,7 +102,7 @@ mod tests {
             Shape::of(&[1, 6]),
             vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0], // f0=(1,0), f1=(0,1), f2=(1,0)
         );
-        let out = masked_self_interaction(&feats, 2);
+        let out = masked_self_interaction(&feats, 2).unwrap();
         // gathered order: (1,0), (2,0), (2,1)
         assert_eq!(out.gathered.data(), &[0.0, 1.0, 0.0]);
     }
@@ -105,7 +113,7 @@ mod tests {
         // identical outputs for both layouts — the paper's invariant.
         let mut rng = TensorRng::seed(8);
         let feats = rng.uniform(Shape::of(&[5, 3 * 2]), -1.0, 1.0);
-        let out = masked_self_interaction(&feats, 2);
+        let out = masked_self_interaction(&feats, 2).unwrap();
         let f = 3;
         let tri = 3;
         let w_tri = rng.uniform(Shape::of(&[tri, 4]), -1.0, 1.0);
@@ -129,9 +137,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "feature width")]
     fn rejects_indivisible_width() {
         let feats = Tensor::zeros(Shape::of(&[1, 7]));
-        masked_self_interaction(&feats, 2);
+        let err = masked_self_interaction(&feats, 2);
+        assert_eq!(
+            err,
+            Err(EmbeddingError::IndivisibleWidth { width: 7, dim: 2 })
+        );
     }
 }

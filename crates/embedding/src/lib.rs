@@ -29,10 +29,12 @@
 //! assert!(!placement.is_replicated(1));
 //! ```
 
+mod error;
 mod interaction;
 mod placement;
 mod sharded;
 
+pub use error::EmbeddingError;
 pub use interaction::{masked_self_interaction, InteractionOutput};
 pub use placement::{EmbeddingSpec, Placement, TablePlacement};
 pub use sharded::{EvalAccumulator, LookupOutcome, ShardedEmbedding};

@@ -4,9 +4,9 @@ use std::collections::HashMap;
 
 use multipod_simnet::{Network, SimTime};
 use multipod_tensor::{Shape, Tensor, TensorRng};
-use multipod_topology::{ChipId, TopologyError};
+use multipod_topology::ChipId;
 
-use crate::{Placement, TablePlacement};
+use crate::{EmbeddingError, Placement, TablePlacement};
 
 /// The result of one distributed lookup step.
 #[derive(Clone, Debug)]
@@ -39,24 +39,30 @@ pub struct ShardedEmbedding {
 impl ShardedEmbedding {
     /// Initializes tables deterministically from a seed.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when tables disagree on dimension (the DLRM layout).
-    pub fn init(placement: Placement, seed: u64) -> ShardedEmbedding {
+    /// [`EmbeddingError::DimMismatch`] when tables disagree on dimension
+    /// (the DLRM layout requires one uniform embedding dim).
+    pub fn init(placement: Placement, seed: u64) -> Result<ShardedEmbedding, EmbeddingError> {
         let dim = placement.spec(0).dim;
         let mut rng = TensorRng::seed(seed);
-        let tables = (0..placement.num_tables())
-            .map(|t| {
-                let spec = placement.spec(t);
-                assert_eq!(spec.dim, dim, "uniform embedding dim");
-                rng.uniform(Shape::of(&[spec.rows, spec.dim]), -0.1, 0.1)
-            })
-            .collect();
-        ShardedEmbedding {
+        let mut tables = Vec::with_capacity(placement.num_tables());
+        for t in 0..placement.num_tables() {
+            let spec = placement.spec(t);
+            if spec.dim != dim {
+                return Err(EmbeddingError::DimMismatch {
+                    table: t,
+                    dim: spec.dim,
+                    expected: dim,
+                });
+            }
+            tables.push(rng.uniform(Shape::of(&[spec.rows, spec.dim]), -0.1, 0.1));
+        }
+        Ok(ShardedEmbedding {
             placement,
             tables,
             dim,
-        }
+        })
     }
 
     /// The placement in force.
@@ -66,13 +72,24 @@ impl ShardedEmbedding {
 
     /// One row of one table (test/inspection helper).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when out of range.
-    pub fn row(&self, table: usize, row: usize) -> Tensor {
+    /// [`EmbeddingError::TableOutOfRange`] / [`EmbeddingError::RowOutOfRange`]
+    /// when the request falls outside the placement.
+    pub fn row(&self, table: usize, row: usize) -> Result<Tensor, EmbeddingError> {
+        if table >= self.tables.len() {
+            return Err(EmbeddingError::TableOutOfRange {
+                table,
+                tables: self.tables.len(),
+            });
+        }
+        let rows = self.placement.spec(table).rows;
+        if row >= rows {
+            return Err(EmbeddingError::RowOutOfRange { table, row, rows });
+        }
         let dim = self.dim;
         let data = self.tables[table].data()[row * dim..(row + 1) * dim].to_vec();
-        Tensor::new(Shape::vector(dim), data)
+        Ok(Tensor::new(Shape::vector(dim), data))
     }
 
     /// Executes a batch lookup: `indices[sample][table]` selects one row
@@ -82,17 +99,16 @@ impl ShardedEmbedding {
     ///
     /// # Errors
     ///
-    /// Fails when a message cannot be routed.
-    ///
-    /// # Panics
-    ///
-    /// Panics when an index is out of range for its table.
+    /// [`EmbeddingError::ArityMismatch`] when a sample does not carry one
+    /// index per table, [`EmbeddingError::RowOutOfRange`] when an index
+    /// falls outside its table, and [`EmbeddingError::Network`] when a
+    /// response message cannot be routed.
     pub fn lookup(
         &self,
         net: &mut Network,
         indices: &[Vec<usize>],
         start: SimTime,
-    ) -> Result<LookupOutcome, TopologyError> {
+    ) -> Result<LookupOutcome, EmbeddingError> {
         let chips: Vec<ChipId> = net.mesh().chips().collect();
         let n_chips = chips.len();
         let batch = indices.len();
@@ -105,11 +121,23 @@ impl ShardedEmbedding {
         let mut remote_rows = 0usize;
         let mut local_rows = 0usize;
         for (sample, row_ids) in indices.iter().enumerate() {
-            assert_eq!(row_ids.len(), tables, "one index per table");
+            if row_ids.len() != tables {
+                return Err(EmbeddingError::ArityMismatch {
+                    sample,
+                    got: row_ids.len(),
+                    tables,
+                });
+            }
             let home = sample % n_chips;
             for (t, &row) in row_ids.iter().enumerate() {
                 let spec = self.placement.spec(t);
-                assert!(row < spec.rows, "index {row} out of range for table {t}");
+                if row >= spec.rows {
+                    return Err(EmbeddingError::RowOutOfRange {
+                        table: t,
+                        row,
+                        rows: spec.rows,
+                    });
+                }
                 out.extend_from_slice(&self.tables[t].data()[row * self.dim..(row + 1) * self.dim]);
                 match self.placement_kind(t) {
                     TablePlacement::Replicated => local_rows += 1,
@@ -150,13 +178,24 @@ impl ShardedEmbedding {
     /// mirrors the forward traffic (timed by the caller via
     /// [`ShardedEmbedding::lookup`]'s outcome, as the paper's step does).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when shapes disagree with the lookup layout.
-    pub fn scatter_update(&mut self, indices: &[Vec<usize>], grads: &Tensor, lr: f32) {
+    /// [`EmbeddingError::GradShapeMismatch`] when the gradient tensor's
+    /// shape disagrees with the lookup layout.
+    pub fn scatter_update(
+        &mut self,
+        indices: &[Vec<usize>],
+        grads: &Tensor,
+        lr: f32,
+    ) -> Result<(), EmbeddingError> {
         let tables = self.placement.num_tables();
         let dim = self.dim;
-        assert_eq!(grads.shape().dims(), &[indices.len(), tables * dim]);
+        if grads.shape().dims() != [indices.len(), tables * dim] {
+            return Err(EmbeddingError::GradShapeMismatch {
+                got: grads.shape().dims().to_vec(),
+                expected: vec![indices.len(), tables * dim],
+            });
+        }
         for (sample, row_ids) in indices.iter().enumerate() {
             for (t, &row) in row_ids.iter().enumerate() {
                 let g = &grads.data()
@@ -168,6 +207,7 @@ impl ShardedEmbedding {
                 }
             }
         }
+        Ok(())
     }
 
     fn placement_kind(&self, t: usize) -> TablePlacement {
@@ -240,7 +280,7 @@ mod tests {
             EmbeddingSpec { rows: 4096, dim: 4 }, // partitioned
         ];
         let placement = Placement::plan(&specs, 4, 1024);
-        (net, ShardedEmbedding::init(placement, 99))
+        (net, ShardedEmbedding::init(placement, 99).unwrap())
     }
 
     #[test]
@@ -249,9 +289,15 @@ mod tests {
         let indices = vec![vec![3, 100], vec![5, 2000]];
         let out = emb.lookup(&mut net, &indices, SimTime::ZERO).unwrap();
         assert_eq!(out.embeddings.shape().dims(), &[2, 8]);
-        assert_eq!(&out.embeddings.data()[0..4], emb.row(0, 3).data());
-        assert_eq!(&out.embeddings.data()[4..8], emb.row(1, 100).data());
-        assert_eq!(&out.embeddings.data()[12..16], emb.row(1, 2000).data());
+        assert_eq!(&out.embeddings.data()[0..4], emb.row(0, 3).unwrap().data());
+        assert_eq!(
+            &out.embeddings.data()[4..8],
+            emb.row(1, 100).unwrap().data()
+        );
+        assert_eq!(
+            &out.embeddings.data()[12..16],
+            emb.row(1, 2000).unwrap().data()
+        );
     }
 
     #[test]
@@ -287,15 +333,15 @@ mod tests {
     fn scatter_update_moves_only_touched_rows() {
         let (mut net, mut emb) = setup();
         let indices = vec![vec![3usize, 100]];
-        let before_touched = emb.row(1, 100);
-        let before_untouched = emb.row(1, 101);
+        let before_touched = emb.row(1, 100).unwrap();
+        let before_untouched = emb.row(1, 101).unwrap();
         let out = emb.lookup(&mut net, &indices, SimTime::ZERO).unwrap();
         let grads = Tensor::fill(out.embeddings.shape().clone(), 1.0);
-        emb.scatter_update(&indices, &grads, 0.5);
-        let after = emb.row(1, 100);
+        emb.scatter_update(&indices, &grads, 0.5).unwrap();
+        let after = emb.row(1, 100).unwrap();
         let expect = before_touched.map(|v| v - 0.5);
         assert!(after.max_abs_diff(&expect) < 1e-6);
-        assert_eq!(emb.row(1, 101), before_untouched);
+        assert_eq!(emb.row(1, 101).unwrap(), before_untouched);
     }
 
     #[test]
@@ -305,12 +351,12 @@ mod tests {
         let mesh = Multipod::new(MultipodConfig::mesh(2, 1, false));
         let mut net = Network::new(mesh, NetworkConfig::tpu_v3());
         let placement = Placement::plan(&[EmbeddingSpec { rows: 32, dim: 1 }], 2, 0);
-        let mut emb = ShardedEmbedding::init(placement, 1);
+        let mut emb = ShardedEmbedding::init(placement, 1).unwrap();
         let mut rng = SmallRng::seed_from_u64(2);
         let targets: Vec<f32> = (0..32).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let loss = |emb: &ShardedEmbedding| -> f32 {
             (0..32)
-                .map(|r| (emb.row(0, r).data()[0] - targets[r]).powi(2))
+                .map(|r| (emb.row(0, r).unwrap().data()[0] - targets[r]).powi(2))
                 .sum()
         };
         let initial = loss(&emb);
@@ -325,10 +371,40 @@ mod tests {
                 .map(|(r, &v)| 2.0 * (v - targets[r]))
                 .collect();
             let g = Tensor::new(out.embeddings.shape().clone(), grads);
-            emb.scatter_update(&indices, &g, 0.05);
+            emb.scatter_update(&indices, &g, 0.05).unwrap();
             net.reset();
         }
         assert!(loss(&emb) < 0.01 * initial, "loss did not drop");
+    }
+
+    #[test]
+    fn bad_requests_are_typed_errors() {
+        let (mut net, mut emb) = setup();
+        let err = emb.lookup(&mut net, &[vec![0usize]], SimTime::ZERO);
+        assert!(matches!(
+            err,
+            Err(EmbeddingError::ArityMismatch {
+                sample: 0,
+                got: 1,
+                tables: 2
+            })
+        ));
+        let err = emb.lookup(&mut net, &[vec![0usize, 5000]], SimTime::ZERO);
+        assert!(matches!(
+            err,
+            Err(EmbeddingError::RowOutOfRange {
+                table: 1,
+                row: 5000,
+                rows: 4096
+            })
+        ));
+        assert!(matches!(
+            emb.row(7, 0),
+            Err(EmbeddingError::TableOutOfRange { table: 7, .. })
+        ));
+        let grads = Tensor::zeros(Shape::of(&[2, 3]));
+        let err = emb.scatter_update(&[vec![0, 0], vec![0, 0]], &grads, 0.1);
+        assert!(matches!(err, Err(EmbeddingError::GradShapeMismatch { .. })));
     }
 
     #[test]

@@ -62,7 +62,7 @@ proptest! {
             EmbeddingSpec { rows: 500, dim: 3 },
         ];
         let placement = Placement::plan(&specs, 4, budget);
-        let emb = ShardedEmbedding::init(placement, seed);
+        let emb = ShardedEmbedding::init(placement, seed).unwrap();
         let mesh = Multipod::new(MultipodConfig::mesh(2, 2, true));
         let mut net = Network::new(mesh, NetworkConfig::tpu_v3());
         let mut r = seed;
@@ -76,7 +76,7 @@ proptest! {
         prop_assert_eq!(out.embeddings.shape().dims(), &[batch, 6]);
         for (s, row_ids) in indices.iter().enumerate() {
             for (t, &row) in row_ids.iter().enumerate() {
-                let expect = emb.row(t, row);
+                let expect = emb.row(t, row).unwrap();
                 let got = &out.embeddings.data()[s * 6 + t * 3..s * 6 + (t + 1) * 3];
                 prop_assert_eq!(got, expect.data());
             }
@@ -96,7 +96,7 @@ proptest! {
         let dim = 2usize;
         let mut rng = TensorRng::seed(seed);
         let feats = rng.uniform(Shape::of(&[batch, tables * dim]), -1.0, 1.0);
-        let out = masked_self_interaction(&feats, dim);
+        let out = masked_self_interaction(&feats, dim).unwrap();
         let f = tables;
         prop_assert_eq!(out.gathered.shape().dims(), &[batch, f * (f - 1) / 2]);
         prop_assert_eq!(out.masked.shape().dims(), &[batch, f * f]);

@@ -1,0 +1,69 @@
+//! Typed errors for the input-pipeline simulations.
+
+use serde::{Deserialize, Serialize};
+
+/// Why an input-pipeline simulation request was rejected.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InputError {
+    /// A run needs at least one host, one step, and one sample per host.
+    EmptyRun {
+        /// Requested host count.
+        hosts: usize,
+        /// Requested samples per host per step.
+        samples_per_host: usize,
+        /// Requested step count.
+        steps: usize,
+    },
+    /// A shuffle buffer must hold at least one sample.
+    ZeroShuffleCapacity,
+    /// Batch statistics need the stream to cover at least one batch.
+    BatchExceedsStream {
+        /// Requested batch size (zero is also rejected).
+        batch: usize,
+        /// Length of the provided stream.
+        stream_len: usize,
+    },
+    /// Coverage needs at least one file, host, and epoch.
+    EmptyCoverage {
+        /// Requested file count.
+        files: usize,
+        /// Requested host count.
+        hosts: usize,
+        /// Requested epoch count.
+        epochs: usize,
+    },
+}
+
+impl std::fmt::Display for InputError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InputError::EmptyRun {
+                hosts,
+                samples_per_host,
+                steps,
+            } => write!(
+                f,
+                "input run needs hosts, samples, and steps all positive, \
+                 got hosts={hosts} samples_per_host={samples_per_host} steps={steps}"
+            ),
+            InputError::ZeroShuffleCapacity => {
+                write!(f, "shuffle buffer capacity must be positive")
+            }
+            InputError::BatchExceedsStream { batch, stream_len } => write!(
+                f,
+                "batch size {batch} must be positive and no larger than the stream ({stream_len})"
+            ),
+            InputError::EmptyCoverage {
+                files,
+                hosts,
+                epochs,
+            } => write!(
+                f,
+                "coverage needs files, hosts, and epochs all positive, \
+                 got files={files} hosts={hosts} epochs={epochs}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InputError {}

@@ -11,7 +11,10 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use multipod_telemetry::{MetricId, Subsystem, Telemetry};
 use multipod_trace::{SimTime, SpanCategory, SpanEvent, TraceSink, Track};
+
+use crate::InputError;
 
 /// What the host pipeline must do per sample.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -95,9 +98,10 @@ pub struct InputStats {
 /// buffer; the accelerator step stalls when the buffer of *any* host is
 /// empty at its deadline (input time is a per-step max across hosts).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when `hosts`, `steps` or `samples_per_host` is zero.
+/// Returns [`InputError::EmptyRun`] when `hosts`, `steps` or
+/// `samples_per_host` is zero.
 pub fn simulate_run(
     config: &HostPipelineConfig,
     hosts: usize,
@@ -105,14 +109,15 @@ pub fn simulate_run(
     step_time: f64,
     steps: usize,
     seed: u64,
-) -> InputStats {
-    simulate_run_traced(
+) -> Result<InputStats, InputError> {
+    simulate_run_observed(
         config,
         hosts,
         samples_per_host,
         step_time,
         steps,
         seed,
+        None,
         None,
     )
 }
@@ -121,7 +126,7 @@ pub fn simulate_run(
 /// input work becomes an input span on that host's track (spans that
 /// overrun the step deadline carry a `stall_seconds` argument).
 ///
-/// # Panics
+/// # Errors
 ///
 /// See [`simulate_run`].
 pub fn simulate_run_traced(
@@ -132,8 +137,44 @@ pub fn simulate_run_traced(
     steps: usize,
     seed: u64,
     sink: Option<&dyn TraceSink>,
-) -> InputStats {
-    assert!(hosts > 0 && steps > 0 && samples_per_host > 0);
+) -> Result<InputStats, InputError> {
+    simulate_run_observed(
+        config,
+        hosts,
+        samples_per_host,
+        step_time,
+        steps,
+        seed,
+        sink,
+        None,
+    )
+}
+
+/// [`simulate_run_traced`] plus an optional telemetry sink recording
+/// per-step stall histograms, stalled-step counters, and the sustained
+/// host throughput gauge.
+///
+/// # Errors
+///
+/// See [`simulate_run`].
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_run_observed(
+    config: &HostPipelineConfig,
+    hosts: usize,
+    samples_per_host: usize,
+    step_time: f64,
+    steps: usize,
+    seed: u64,
+    sink: Option<&dyn TraceSink>,
+    telemetry: Option<&Telemetry>,
+) -> Result<InputStats, InputError> {
+    if hosts == 0 || steps == 0 || samples_per_host == 0 {
+        return Err(InputError::EmptyRun {
+            hosts,
+            samples_per_host,
+            steps,
+        });
+    }
     let mut total_stall = 0.0f64;
     let mut max_stall = 0.0f64;
     let mut stalled_steps = 0usize;
@@ -204,13 +245,31 @@ pub fn simulate_run_traced(
         if step_stall > 0.0 {
             stalled_steps += 1;
         }
+        if let Some(telemetry) = telemetry {
+            telemetry.observe(
+                MetricId::new(Subsystem::Input, "step_stall_seconds"),
+                step_stall,
+            );
+        }
     }
-    InputStats {
+    let stats = InputStats {
         mean_stall: total_stall / steps as f64,
         max_stall,
         stalled_fraction: stalled_steps as f64 / steps as f64,
         host_throughput: throughput_acc / hosts as f64,
+    };
+    if let Some(telemetry) = telemetry {
+        telemetry.inc_counter(MetricId::new(Subsystem::Input, "steps"), steps as u64);
+        telemetry.inc_counter(
+            MetricId::new(Subsystem::Input, "stalled_steps"),
+            stalled_steps as u64,
+        );
+        telemetry.set_gauge(
+            MetricId::new(Subsystem::Input, "host_throughput_samples_per_second"),
+            stats.host_throughput,
+        );
     }
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -230,7 +289,8 @@ mod tests {
             1.0e-3,
             steps,
             7,
-        );
+        )
+        .unwrap();
         let uncompressed = simulate_run(
             &HostPipelineConfig::uncompressed_imagenet(),
             64,
@@ -238,7 +298,8 @@ mod tests {
             1.0e-3,
             steps,
             7,
-        );
+        )
+        .unwrap();
         assert!(uncompressed.mean_stall < 1e-6, "{uncompressed:?}");
         assert!(
             compressed.stalled_fraction > 0.2,
@@ -255,8 +316,8 @@ mod tests {
             prefetch_capacity: 4, // shallow buffer exposes the tail
             ..HostPipelineConfig::compressed_imagenet()
         };
-        let few = simulate_run(&cfg, 4, 32, 1.1e-3, 150, 11);
-        let many = simulate_run(&cfg, 256, 32, 1.1e-3, 150, 11);
+        let few = simulate_run(&cfg, 4, 32, 1.1e-3, 150, 11).unwrap();
+        let many = simulate_run(&cfg, 256, 32, 1.1e-3, 150, 11).unwrap();
         assert!(
             many.stalled_fraction >= few.stalled_fraction,
             "few={few:?} many={many:?}"
@@ -274,8 +335,8 @@ mod tests {
             ..HostPipelineConfig::compressed_imagenet()
         };
         // Demand below mean throughput, so buffering can work.
-        let s_shallow = simulate_run(&shallow, 32, 32, 1.2e-3, 200, 3);
-        let s_deep = simulate_run(&deep, 32, 32, 1.2e-3, 200, 3);
+        let s_shallow = simulate_run(&shallow, 32, 32, 1.2e-3, 200, 3).unwrap();
+        let s_deep = simulate_run(&deep, 32, 32, 1.2e-3, 200, 3).unwrap();
         assert!(
             s_deep.mean_stall <= s_shallow.mean_stall,
             "deep={s_deep:?} shallow={s_shallow:?}"
@@ -289,7 +350,7 @@ mod tests {
         let cfg = HostPipelineConfig::compressed_imagenet();
         // 16 workers, ~450 µs/sample → ~28 µs/sample effective;
         // 1000 samples per 1 ms step is far beyond capacity.
-        let stats = simulate_run(&cfg, 8, 1000, 1.0e-3, 50, 5);
+        let stats = simulate_run(&cfg, 8, 1000, 1.0e-3, 50, 5).unwrap();
         assert!(stats.stalled_fraction > 0.9);
         assert!(stats.mean_stall > 1.0e-3);
     }
@@ -297,16 +358,56 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let cfg = HostPipelineConfig::compressed_imagenet();
-        let a = simulate_run(&cfg, 16, 32, 10.0e-3, 100, 9);
-        let b = simulate_run(&cfg, 16, 32, 10.0e-3, 100, 9);
+        let a = simulate_run(&cfg, 16, 32, 10.0e-3, 100, 9).unwrap();
+        let b = simulate_run(&cfg, 16, 32, 10.0e-3, 100, 9).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn throughput_reported_positive() {
         let cfg = HostPipelineConfig::uncompressed_imagenet();
-        let stats = simulate_run(&cfg, 4, 64, 5.0e-3, 100, 1);
+        let stats = simulate_run(&cfg, 4, 64, 5.0e-3, 100, 1).unwrap();
         // 16 workers at 50 µs/sample → ~320k samples/s.
         assert!(stats.host_throughput > 1e4);
+    }
+
+    #[test]
+    fn empty_run_is_a_typed_error() {
+        let cfg = HostPipelineConfig::uncompressed_imagenet();
+        let err = simulate_run(&cfg, 0, 32, 1e-3, 10, 1).unwrap_err();
+        assert_eq!(
+            err,
+            InputError::EmptyRun {
+                hosts: 0,
+                samples_per_host: 32,
+                steps: 10,
+            }
+        );
+        assert!(simulate_run(&cfg, 4, 32, 1e-3, 0, 1).is_err());
+        assert!(simulate_run(&cfg, 4, 0, 1e-3, 10, 1).is_err());
+    }
+
+    #[test]
+    fn telemetry_records_stall_metrics() {
+        let cfg = HostPipelineConfig::compressed_imagenet();
+        let telemetry = Telemetry::new();
+        let stats =
+            simulate_run_observed(&cfg, 8, 32, 1.0e-3, 100, 7, None, Some(&telemetry)).unwrap();
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter(&MetricId::new(Subsystem::Input, "steps")), 100);
+        let stalled = snap.counter(&MetricId::new(Subsystem::Input, "stalled_steps"));
+        assert_eq!(stalled as f64 / 100.0, stats.stalled_fraction);
+        let hist = snap
+            .histogram(&MetricId::new(Subsystem::Input, "step_stall_seconds"))
+            .unwrap();
+        assert_eq!(hist.count, 100);
+        assert_eq!(hist.max, stats.max_stall);
+        assert_eq!(
+            snap.gauge(&MetricId::new(
+                Subsystem::Input,
+                "host_throughput_samples_per_second"
+            )),
+            Some(stats.host_throughput)
+        );
     }
 }

@@ -18,3 +18,7 @@
 pub mod dlrm;
 pub mod host_pipeline;
 pub mod shuffle;
+
+mod error;
+
+pub use error::InputError;

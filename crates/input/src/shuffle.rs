@@ -18,6 +18,8 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::InputError;
+
 /// The relative order of the file-level `shuffle` and `repeat` stages.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FileOrder {
@@ -100,8 +102,14 @@ pub fn host_file_coverage(
     epochs: usize,
     order: FileOrder,
     seed: u64,
-) -> f64 {
-    assert!(hosts > 0 && files > 0 && epochs > 0);
+) -> Result<f64, InputError> {
+    if hosts == 0 || files == 0 || epochs == 0 {
+        return Err(InputError::EmptyCoverage {
+            files,
+            hosts,
+            epochs,
+        });
+    }
     let stream = file_stream(files, epochs, order, seed);
     let mut seen = vec![false; files];
     for epoch in 0..epochs {
@@ -109,14 +117,24 @@ pub fn host_file_coverage(
             seen[stream[epoch * files + pos]] = true;
         }
     }
-    seen.iter().filter(|&&s| s).count() as f64 / files as f64
+    Ok(seen.iter().filter(|&&s| s).count() as f64 / files as f64)
 }
 
 /// Applies a bounded shuffle buffer of `capacity` to a stream, exactly
 /// like `tf.data.shuffle(buffer_size)`: the buffer is kept full and a
 /// random occupant is emitted each step.
-pub fn buffered_shuffle(stream: &[f32], capacity: usize, seed: u64) -> Vec<f32> {
-    assert!(capacity > 0, "buffer capacity must be positive");
+///
+/// # Errors
+///
+/// Returns [`InputError::ZeroShuffleCapacity`] when `capacity` is zero.
+pub fn buffered_shuffle(
+    stream: &[f32],
+    capacity: usize,
+    seed: u64,
+) -> Result<Vec<f32>, InputError> {
+    if capacity == 0 {
+        return Err(InputError::ZeroShuffleCapacity);
+    }
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut buffer: Vec<f32> = Vec::with_capacity(capacity);
     let mut out = Vec::with_capacity(stream.len());
@@ -133,15 +151,20 @@ pub fn buffered_shuffle(stream: &[f32], capacity: usize, seed: u64) -> Vec<f32> 
         let idx = rng.gen_range(0..buffer.len());
         out.push(buffer.swap_remove(idx));
     }
-    out
+    Ok(out)
 }
 
 /// Per-batch bias of a shuffled stream: the RMS deviation of batch means
 /// from the global mean. Correlated (e.g. sorted) input that is only
 /// locally shuffled keeps biased batches; the paper links this to
 /// run-to-run convergence variance.
-pub fn batch_bias(stream: &[f32], batch: usize) -> f64 {
-    assert!(batch > 0 && stream.len() >= batch);
+pub fn batch_bias(stream: &[f32], batch: usize) -> Result<f64, InputError> {
+    if batch == 0 || stream.len() < batch {
+        return Err(InputError::BatchExceedsStream {
+            batch,
+            stream_len: stream.len(),
+        });
+    }
     let global_mean = stream.iter().map(|&x| x as f64).sum::<f64>() / stream.len() as f64;
     let batches = stream.len() / batch;
     let mut acc = 0.0f64;
@@ -153,7 +176,7 @@ pub fn batch_bias(stream: &[f32], batch: usize) -> f64 {
             / batch as f64;
         acc += (mean - global_mean).powi(2);
     }
-    (acc / batches as f64).sqrt()
+    Ok((acc / batches as f64).sqrt())
 }
 
 /// Run-to-run variance: trains a 1-D quadratic model on differently
@@ -161,39 +184,45 @@ pub fn batch_bias(stream: &[f32], batch: usize) -> f64 {
 /// of outcomes. Larger buffers make runs land closer together (§3.5:
 /// "with larger buffer sizes, every training batch of different runs can
 /// be more uniformly sampled").
-pub fn run_to_run_spread(corpus_len: usize, buffer: usize, batch: usize, runs: usize) -> f64 {
+///
+/// # Errors
+///
+/// Returns [`InputError::ZeroShuffleCapacity`] when `buffer` is zero.
+pub fn run_to_run_spread(
+    corpus_len: usize,
+    buffer: usize,
+    batch: usize,
+    runs: usize,
+) -> Result<f64, InputError> {
     // Correlated "dataset": a sorted ramp split into file-sized blocks.
     // Each run sees its own file order (as real runs do), so a small
     // sequence-level buffer preserves run-specific order bias while a
     // large buffer approaches uniform sampling for every run.
     let block = (corpus_len / 64).max(1);
-    let outcomes: Vec<f64> = (0..runs)
-        .map(|r| {
-            let mut rng = SmallRng::seed_from_u64(5000 + r as u64);
-            let mut blocks: Vec<usize> = (0..corpus_len.div_ceil(block)).collect();
-            blocks.shuffle(&mut rng);
-            let corpus: Vec<f32> = blocks
-                .iter()
-                .flat_map(|&b| {
-                    (b * block..((b + 1) * block).min(corpus_len))
-                        .map(|i| i as f32 / corpus_len as f32)
-                })
-                .collect();
-            let shuffled = buffered_shuffle(&corpus, buffer, 1000 + r as u64);
-            // One pass of SGD on f(w) = (w - x)²/2 with small lr; the
-            // final w depends on the order bias of late batches.
-            let mut w = 0.0f64;
-            let lr = 0.05f64;
-            for chunk in shuffled.chunks(batch) {
-                let grad: f64 =
-                    chunk.iter().map(|&x| w - x as f64).sum::<f64>() / chunk.len() as f64;
-                w -= lr * grad;
-            }
-            w
-        })
-        .collect();
+    let mut outcomes: Vec<f64> = Vec::with_capacity(runs);
+    for r in 0..runs {
+        let mut rng = SmallRng::seed_from_u64(5000 + r as u64);
+        let mut blocks: Vec<usize> = (0..corpus_len.div_ceil(block)).collect();
+        blocks.shuffle(&mut rng);
+        let corpus: Vec<f32> = blocks
+            .iter()
+            .flat_map(|&b| {
+                (b * block..((b + 1) * block).min(corpus_len)).map(|i| i as f32 / corpus_len as f32)
+            })
+            .collect();
+        let shuffled = buffered_shuffle(&corpus, buffer, 1000 + r as u64)?;
+        // One pass of SGD on f(w) = (w - x)²/2 with small lr; the
+        // final w depends on the order bias of late batches.
+        let mut w = 0.0f64;
+        let lr = 0.05f64;
+        for chunk in shuffled.chunks(batch) {
+            let grad: f64 = chunk.iter().map(|&x| w - x as f64).sum::<f64>() / chunk.len() as f64;
+            w -= lr * grad;
+        }
+        outcomes.push(w);
+    }
     let mean = outcomes.iter().sum::<f64>() / runs as f64;
-    (outcomes.iter().map(|o| (o - mean).powi(2)).sum::<f64>() / runs as f64).sqrt()
+    Ok((outcomes.iter().map(|o| (o - mean).powi(2)).sum::<f64>() / runs as f64).sqrt())
 }
 
 #[cfg(test)]
@@ -228,21 +257,21 @@ mod tests {
     #[test]
     fn repeat_then_shuffle_grows_per_host_coverage() {
         // The paper's 500-file / 128-host configuration.
-        let fixed = host_file_coverage(500, 128, 8, FileOrder::ShuffleThenRepeat, 4);
-        let fresh = host_file_coverage(500, 128, 8, FileOrder::RepeatThenShuffle, 4);
+        let fixed = host_file_coverage(500, 128, 8, FileOrder::ShuffleThenRepeat, 4).unwrap();
+        let fresh = host_file_coverage(500, 128, 8, FileOrder::RepeatThenShuffle, 4).unwrap();
         // shuffle→repeat: the host re-reads its ~4 files forever.
         assert!(fixed < 0.02, "fixed={fixed}");
         // repeat→shuffle: ~4 new files per epoch.
         assert!(fresh > 3.0 * fixed, "fresh={fresh} fixed={fixed}");
         // And with enough epochs coverage approaches the whole dataset.
-        let long = host_file_coverage(500, 128, 200, FileOrder::RepeatThenShuffle, 4);
+        let long = host_file_coverage(500, 128, 200, FileOrder::RepeatThenShuffle, 4).unwrap();
         assert!(long > 0.7, "long={long}");
     }
 
     #[test]
     fn buffered_shuffle_is_a_permutation() {
         let input: Vec<f32> = (0..1000).map(|i| i as f32).collect();
-        let mut out = buffered_shuffle(&input, 64, 5);
+        let mut out = buffered_shuffle(&input, 64, 5).unwrap();
         assert_eq!(out.len(), input.len());
         out.sort_by(f32::total_cmp);
         assert_eq!(out, input);
@@ -251,8 +280,8 @@ mod tests {
     #[test]
     fn bigger_buffers_reduce_batch_bias() {
         let corpus: Vec<f32> = (0..8192).map(|i| i as f32 / 8192.0).collect();
-        let small = batch_bias(&buffered_shuffle(&corpus, 16, 7), 64);
-        let large = batch_bias(&buffered_shuffle(&corpus, 4096, 7), 64);
+        let small = batch_bias(&buffered_shuffle(&corpus, 16, 7).unwrap(), 64).unwrap();
+        let large = batch_bias(&buffered_shuffle(&corpus, 4096, 7).unwrap(), 64).unwrap();
         assert!(
             large < 0.5 * small,
             "large buffer bias {large} vs small {small}"
@@ -261,8 +290,8 @@ mod tests {
 
     #[test]
     fn bigger_buffers_reduce_run_to_run_spread() {
-        let small = run_to_run_spread(4096, 16, 64, 8);
-        let large = run_to_run_spread(4096, 4096, 64, 8);
+        let small = run_to_run_spread(4096, 16, 64, 8).unwrap();
+        let large = run_to_run_spread(4096, 4096, 64, 8).unwrap();
         assert!(
             large < small,
             "large-buffer spread {large} vs small {small}"

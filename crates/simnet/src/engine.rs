@@ -22,6 +22,21 @@ use crate::SimTime;
 pub struct EventQueue<T> {
     heap: BinaryHeap<Reverse<Entry<T>>>,
     seq: u64,
+    popped: u64,
+    max_depth: usize,
+}
+
+/// Lifetime statistics of an [`EventQueue`], for telemetry export.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Total events ever scheduled.
+    pub scheduled: u64,
+    /// Total events popped.
+    pub popped: u64,
+    /// Deepest the queue ever got.
+    pub max_depth: usize,
+    /// Events currently pending.
+    pub pending: usize,
 }
 
 #[derive(Debug, Clone)]
@@ -54,6 +69,8 @@ impl<T> EventQueue<T> {
         EventQueue {
             heap: BinaryHeap::new(),
             seq: 0,
+            popped: 0,
+            max_depth: 0,
         }
     }
 
@@ -66,11 +83,27 @@ impl<T> EventQueue<T> {
         };
         self.seq += 1;
         self.heap.push(Reverse(entry));
+        self.max_depth = self.max_depth.max(self.heap.len());
     }
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
-        self.heap.pop().map(|Reverse(e)| (e.time, e.payload))
+        let popped = self.heap.pop().map(|Reverse(e)| (e.time, e.payload));
+        if popped.is_some() {
+            self.popped += 1;
+        }
+        popped
+    }
+
+    /// Lifetime scheduling statistics (`seq` doubles as the scheduled
+    /// count — it increments once per schedule and never resets).
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            scheduled: self.seq,
+            popped: self.popped,
+            max_depth: self.max_depth,
+            pending: self.heap.len(),
+        }
     }
 
     /// The time of the earliest event without removing it.
@@ -130,6 +163,21 @@ mod tests {
         q.pop();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn stats_track_depth_and_throughput() {
+        let mut q = EventQueue::new();
+        for i in 0..4 {
+            q.schedule(SimTime::from_seconds(i as f64), i);
+        }
+        q.pop();
+        q.schedule(SimTime::from_seconds(9.0), 99);
+        let stats = q.stats();
+        assert_eq!(stats.scheduled, 5);
+        assert_eq!(stats.popped, 1);
+        assert_eq!(stats.max_depth, 4);
+        assert_eq!(stats.pending, 4);
     }
 
     #[test]

@@ -27,7 +27,7 @@
 mod engine;
 mod network;
 
-pub use engine::EventQueue;
+pub use engine::{EventQueue, QueueStats};
 pub use network::{Network, NetworkConfig, Transfer};
 // `SimTime` moved down into `multipod-trace` (so trace events can be
 // stamped below this crate); re-exported here for compatibility.

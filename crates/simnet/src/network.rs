@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
+use multipod_telemetry::{MetricId, Subsystem, Telemetry};
 use multipod_topology::{ChipId, LinkClass, Multipod, Route, TopologyError};
 use multipod_trace::{LinkTransferEvent, SpanCategory, SpanEvent, TraceSink, Track};
 
@@ -92,6 +93,7 @@ pub struct Network {
     /// The [`Multipod::version`] the cached state was computed against.
     mesh_version: u64,
     sink: Option<Arc<dyn TraceSink>>,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl fmt::Debug for Network {
@@ -102,6 +104,7 @@ impl fmt::Debug for Network {
             .field("link_free", &self.link_free)
             .field("link_bytes", &self.link_bytes)
             .field("traced", &self.sink.is_some())
+            .field("observed", &self.telemetry.is_some())
             .finish()
     }
 }
@@ -118,6 +121,7 @@ impl Network {
             route_cache: HashMap::new(),
             mesh_version,
             sink: None,
+            telemetry: None,
         }
     }
 
@@ -136,6 +140,24 @@ impl Network {
     /// phase spans so one recorder sees the whole run.
     pub fn trace_sink(&self) -> Option<&Arc<dyn TraceSink>> {
         self.sink.as_ref()
+    }
+
+    /// Attaches a telemetry sink; every subsequent transfer records its
+    /// per-link queueing delay, serialization time, and byte counts into
+    /// the metrics registry.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// Detaches the telemetry sink, restoring the zero-overhead path.
+    pub fn clear_telemetry(&mut self) {
+        self.telemetry = None;
+    }
+
+    /// The attached telemetry sink, if any — collective schedules reuse it
+    /// for their per-phase α/β metrics so one registry sees the whole run.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// The trace classification of the directed link `from → to`.
@@ -344,6 +366,24 @@ impl Network {
                 });
             }
         }
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.inc_counter(MetricId::new(Subsystem::Simnet, "transfers"), 1);
+            telemetry.inc_counter(
+                MetricId::new(Subsystem::Simnet, "link_hops"),
+                route.num_hops() as u64,
+            );
+            telemetry.inc_counter(MetricId::new(Subsystem::Simnet, "payload_bytes"), bytes);
+            // Queueing delay: how long the head flit waited for occupied
+            // links beyond the fixed per-message overhead.
+            telemetry.observe(
+                MetricId::new(Subsystem::Simnet, "queueing_delay_seconds"),
+                depart - (start + self.config.message_overhead),
+            );
+            telemetry.observe(
+                MetricId::new(Subsystem::Simnet, "serialization_seconds"),
+                serialization,
+            );
+        }
         Transfer {
             finish,
             num_hops: route.num_hops(),
@@ -549,6 +589,48 @@ mod tests {
         n.transfer(ChipId(0), ChipId(1), 1000, SimTime::ZERO)
             .unwrap();
         assert_eq!(recorder.len(), 2, "detached sink must see nothing");
+    }
+
+    #[test]
+    fn telemetry_sees_transfers_and_queueing_delay() {
+        let mut n = net(4, 1);
+        let telemetry = Telemetry::shared();
+        n.set_telemetry(telemetry.clone());
+        // Two back-to-back messages over the same link: the second queues
+        // behind the first's serialization window.
+        n.transfer(ChipId(0), ChipId(1), 70_000, SimTime::ZERO)
+            .unwrap();
+        n.transfer(ChipId(0), ChipId(1), 70_000, SimTime::ZERO)
+            .unwrap();
+        let snap = telemetry.snapshot();
+        assert_eq!(
+            snap.counter(&MetricId::new(Subsystem::Simnet, "transfers")),
+            2
+        );
+        assert_eq!(
+            snap.counter(&MetricId::new(Subsystem::Simnet, "link_hops")),
+            2
+        );
+        assert_eq!(
+            snap.counter(&MetricId::new(Subsystem::Simnet, "payload_bytes")),
+            140_000
+        );
+        let delay = snap
+            .histogram(&MetricId::new(Subsystem::Simnet, "queueing_delay_seconds"))
+            .unwrap();
+        assert_eq!(delay.count, 2);
+        assert_eq!(delay.min, 0.0, "first message sees a free link");
+        assert!(delay.max > 0.0, "second message must queue");
+        n.clear_telemetry();
+        n.transfer(ChipId(0), ChipId(1), 1000, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(
+            telemetry
+                .snapshot()
+                .counter(&MetricId::new(Subsystem::Simnet, "transfers")),
+            2,
+            "detached telemetry must see nothing"
+        );
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! The "flight recorder" report: one deterministic document bundling the
+//! metrics registry snapshot, the critical-path profile, and any α–β drift
+//! checks, renderable as JSON or human-readable text.
+
+use std::io;
+use std::path::Path;
+
+use serde::{Content, Serialize};
+
+use crate::fit::DriftReport;
+use crate::profiler::ProfileReport;
+use crate::registry::Registry;
+
+/// Bundled observability output of one simulated run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FlightReport {
+    /// Metrics registry snapshot.
+    pub registry: Registry,
+    /// Critical-path profile of the recorded trace.
+    pub profile: ProfileReport,
+    /// Cost-model drift checks.
+    pub drift: Vec<DriftReport>,
+}
+
+impl Serialize for FlightReport {
+    fn ser(&self) -> Content {
+        Content::Map(vec![
+            ("registry".to_string(), self.registry.ser()),
+            ("profile".to_string(), self.profile.ser()),
+            (
+                "drift".to_string(),
+                Content::Seq(self.drift.iter().map(|d| d.ser()).collect()),
+            ),
+        ])
+    }
+}
+
+impl FlightReport {
+    /// Pretty JSON rendering (deterministic: sorted metric keys, recorded
+    /// span order fixed by the profiler's internal sort).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("flight report always serializes")
+    }
+
+    /// Writes the JSON rendering to `path`.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_json() + "\n")
+    }
+
+    /// Whether every drift check passed (vacuously true with none).
+    pub fn drift_within_tolerance(&self) -> bool {
+        self.drift.iter().all(|d| d.within_tolerance)
+    }
+
+    /// Compact text rendering for terminal output.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let d = &self.profile.mean_decomposition;
+        out.push_str(&format!(
+            "profile: {} steps | mean step {:.3} ms | critical path {:.3} ms\n",
+            self.profile.steps,
+            1e3 * self.profile.mean_step_seconds,
+            1e3 * self.profile.mean_critical_path_seconds,
+        ));
+        out.push_str(&format!(
+            "  compute {:.1}% | comm {:.1}% | overlap {:.1}% | input {:.1}% | idle {:.1}%\n",
+            100.0 * d.compute_fraction,
+            100.0 * d.comm_fraction,
+            100.0 * d.overlap_fraction,
+            100.0 * d.input_fraction,
+            100.0 * d.idle_fraction,
+        ));
+        for (id, value) in self.registry.counters() {
+            out.push_str(&format!("  {id} = {value}\n"));
+        }
+        for (id, value) in self.registry.gauges() {
+            out.push_str(&format!("  {id} = {value:.6}\n"));
+        }
+        for (id, hist) in self.registry.histograms() {
+            out.push_str(&format!(
+                "  {id}: n={} mean={:.3e} min={:.3e} max={:.3e}\n",
+                hist.count,
+                hist.mean().unwrap_or(0.0),
+                hist.min,
+                hist.max,
+            ));
+        }
+        for drift in &self.drift {
+            out.push_str(&format!(
+                "  drift[{}]: alpha {:.2e}s vs model {:.2e}s ({:+.1}%), bw {:.3e} B/s vs model {:.3e} B/s ({:+.1}%) -> {}\n",
+                drift.kind,
+                drift.fit.alpha_seconds,
+                drift.model_alpha_seconds,
+                100.0 * drift.alpha_drift_fraction,
+                drift.fit.bytes_per_second,
+                drift.model_bytes_per_second,
+                100.0 * drift.beta_drift_fraction,
+                if drift.within_tolerance { "ok" } else { "DRIFT" },
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{MetricId, Subsystem};
+
+    #[test]
+    fn report_serializes_and_renders() {
+        let mut report = FlightReport::default();
+        report
+            .registry
+            .inc_counter(MetricId::new(Subsystem::Simnet, "transfers"), 12);
+        let json = report.to_json();
+        assert!(json.contains("\"registry\""));
+        assert!(json.contains("simnet.transfers"));
+        let text = report.render_text();
+        assert!(text.contains("simnet.transfers = 12"));
+        assert!(report.drift_within_tolerance());
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests for the telemetry layer: histogram merge algebra and
+//! recording-order invariance of the critical-path profiler.
+
+use multipod_telemetry::{profile, LogHistogram};
+use multipod_trace::{SimTime, SpanCategory, SpanEvent, TraceEvent, Track};
+use proptest::prelude::*;
+
+/// Strategy for an observation stream with values spanning many octaves,
+/// including zeros and negatives (which land in the underflow bucket).
+fn values() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        prop_oneof![
+            -1e3f64..1e9f64,
+            1e-9f64..1e-3f64,
+            Just(0.0f64),
+            Just(1.0f64),
+        ],
+        0..64,
+    )
+}
+
+fn observe_all(values: &[f64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+/// The exactly-mergeable parts of a histogram (everything but the
+/// float-accumulated `sum`).
+fn exact_parts(h: &LogHistogram) -> (u64, f64, f64, Vec<(i32, u64)>) {
+    (
+        h.count,
+        h.min,
+        h.max,
+        h.buckets.iter().map(|(&k, &v)| (k, v)).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Splitting a stream anywhere and merging the parts gives the same
+    /// buckets, count, min, and max as observing the whole stream, and the
+    /// sum matches to float tolerance: merge is bucket-exact.
+    #[test]
+    fn histogram_merge_matches_whole_stream(stream in values(), cut in 0usize..65) {
+        let cut = cut.min(stream.len());
+        let whole = observe_all(&stream);
+        let mut left = observe_all(&stream[..cut]);
+        let right = observe_all(&stream[cut..]);
+        left.merge(&right);
+        prop_assert_eq!(exact_parts(&left), exact_parts(&whole));
+        let scale = 1.0 + whole.sum.abs();
+        prop_assert!((left.sum - whole.sum).abs() <= 1e-9 * scale);
+    }
+
+    /// Merge is commutative on the exact parts: a⊕b == b⊕a.
+    #[test]
+    fn histogram_merge_commutes(xs in values(), ys in values()) {
+        let (a, b) = (observe_all(&xs), observe_all(&ys));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(exact_parts(&ab), exact_parts(&ba));
+    }
+
+    /// Merge is associative on the exact parts: (a⊕b)⊕c == a⊕(b⊕c).
+    #[test]
+    fn histogram_merge_associates(xs in values(), ys in values(), zs in values()) {
+        let (a, b, c) = (observe_all(&xs), observe_all(&ys), observe_all(&zs));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(exact_parts(&left), exact_parts(&right));
+    }
+
+    /// The profiler's critical-path length and per-step decomposition are
+    /// invariant under the order spans were recorded in.
+    #[test]
+    fn critical_path_invariant_under_recording_order(
+        // Child spans as (start offset, duration, kind) within a 1s step.
+        raw in prop::collection::vec(
+            (0.0f64..0.8, 0.01f64..0.2, 0usize..4),
+            1..12,
+        ),
+        seed in 0u64..1_000,
+    ) {
+        let step = TraceEvent::Span(SpanEvent::new(
+            Track::Sim,
+            SpanCategory::Step,
+            "step",
+            SimTime::ZERO,
+            SimTime::from_seconds(1.0),
+        ));
+        let children: Vec<TraceEvent> = raw
+            .iter()
+            .map(|&(start, dur, kind)| {
+                let (category, name) = match kind {
+                    0 => (SpanCategory::StepPhase, "compute"),
+                    1 => (SpanCategory::CollectivePhase, "y-reduce-scatter"),
+                    2 => (SpanCategory::Optimizer, "weight-update"),
+                    _ => (SpanCategory::Input, "step-input"),
+                };
+                TraceEvent::Span(SpanEvent::new(
+                    Track::Sim,
+                    category,
+                    name,
+                    SimTime::from_seconds(start),
+                    SimTime::from_seconds((start + dur).min(1.0)),
+                ))
+            })
+            .collect();
+
+        let mut ordered: Vec<TraceEvent> = vec![step.clone()];
+        ordered.extend(children.iter().cloned());
+
+        // Deterministic pseudo-shuffle of the recording order.
+        let mut shuffled = children;
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        shuffled.push(step);
+
+        let a = profile(&ordered);
+        let b = profile(&shuffled);
+        prop_assert_eq!(a.steps, b.steps);
+        prop_assert_eq!(
+            a.step_profiles[0].critical_path_seconds.to_bits(),
+            b.step_profiles[0].critical_path_seconds.to_bits(),
+            "critical path must not depend on recording order"
+        );
+        prop_assert_eq!(&a.step_profiles[0].decomposition, &b.step_profiles[0].decomposition);
+        let total = a.step_profiles[0].decomposition.total();
+        prop_assert!((total - 1.0).abs() < 1e-9, "fractions sum to 1, got {}", total);
+        prop_assert!(a.step_profiles[0].critical_path_seconds <= 1.0 + 1e-9);
+    }
+}

@@ -51,7 +51,7 @@ fn main() {
         placement.bytes_fully_replicated() as f64 / (1 << 20) as f64,
     );
 
-    let mut emb = ShardedEmbedding::init(placement, 42);
+    let mut emb = ShardedEmbedding::init(placement, 42).expect("placement dims agree");
     let mut rng = TensorRng::seed(7);
 
     // Synthetic pCTR task: the label depends on a hidden weighting of the
@@ -94,7 +94,8 @@ fn main() {
             })
             .collect();
         let g = Tensor::new(out.embeddings.shape().clone(), grads);
-        emb.scatter_update(&idx, &g, 0.1);
+        emb.scatter_update(&idx, &g, 0.1)
+            .expect("gradient shape matches");
         if step % 100 == 99 {
             println!(
                 "step {:>3}: cumulative lookup comm {:.1} µs",
@@ -115,7 +116,7 @@ fn main() {
         let preds: Vec<f32> = (0..128).map(|s| score(&out.embeddings, s, width)).collect();
         // Exercise the interaction layer too (its masked layout feeds the
         // top MLP in the full model).
-        let _ = masked_self_interaction(&out.embeddings, 4);
+        let _ = masked_self_interaction(&out.embeddings, 4).expect("width divides dim");
         acc.accumulate(&preds, &labels);
     }
     let (preds, labels) = acc.drain_to_host();

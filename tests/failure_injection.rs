@@ -100,13 +100,13 @@ fn straggler_host_gates_steps_until_prefetch_hides_it() {
         prefetch_capacity: 1,
         ..HostPipelineConfig::compressed_imagenet()
     };
-    let gated = simulate_run(&slow, 16, 24, 1.0e-3, 200, 13);
+    let gated = simulate_run(&slow, 16, 24, 1.0e-3, 200, 13).expect("non-empty run");
     assert!(gated.stalled_fraction > 0.3, "{gated:?}");
     let buffered = HostPipelineConfig {
         prefetch_capacity: 2048,
         ..slow
     };
-    let hidden = simulate_run(&buffered, 16, 24, 1.0e-3, 200, 13);
+    let hidden = simulate_run(&buffered, 16, 24, 1.0e-3, 200, 13).expect("non-empty run");
     assert!(
         hidden.mean_stall <= gated.mean_stall,
         "hidden={hidden:?} gated={gated:?}"
