@@ -24,7 +24,7 @@ fn deep_graph(parts: usize) -> multipod_hlo::HloGraph {
         x = b.matmul(x, w).unwrap();
         x = b.relu(x).unwrap();
     }
-    b.build(vec![x])
+    b.build(vec![x]).unwrap()
 }
 
 fn gather_graph(parts: usize) -> multipod_hlo::HloGraph {
@@ -34,7 +34,7 @@ fn gather_graph(parts: usize) -> multipod_hlo::HloGraph {
         &(0..64).map(|i| (i * 61 % 4096) as f32).collect::<Vec<_>>(),
     ));
     let y = b.gather(table, idx).unwrap();
-    b.build(vec![y])
+    b.build(vec![y]).unwrap()
 }
 
 fn bench(c: &mut Criterion) {

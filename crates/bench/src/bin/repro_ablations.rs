@@ -6,14 +6,12 @@ use multipod_collectives::Precision;
 use multipod_core::ablate::{precision_ablation, summation_ablation, wus_ablation};
 use multipod_models::catalog;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     header(
         "Ablation: 1-D snake ring vs the 2-D Y-then-X schedule (ResNet-50 gradients)",
         &["Chips", "1-D ring (ms)", "2-D schedule (ms)", "2-D speedup"],
     );
-    for r in summation_ablation(25_600_000, Precision::F32, &[64, 256, 1024, 4096])
-        .expect("healthy mesh ablation")
-    {
+    for r in summation_ablation(25_600_000, Precision::F32, &[64, 256, 1024, 4096])? {
         println!(
             "{} | {:.2} | {:.2} | {:.1}x",
             r.chips,
@@ -27,7 +25,7 @@ fn main() {
         "Ablation: gradient payload precision (BERT gradients, 2-D schedule)",
         &["Chips", "f32 (ms)", "bf16 (ms)", "saving"],
     );
-    for r in precision_ablation(334_000_000, &[256, 1024, 4096]).expect("healthy mesh ablation") {
+    for r in precision_ablation(334_000_000, &[256, 1024, 4096])? {
         println!(
             "{} | {:.2} | {:.2} | {:.0}%",
             r.chips,
@@ -48,7 +46,7 @@ fn main() {
     );
     let mut bert = catalog::bert();
     bert.max_per_core_batch = 4;
-    for r in wus_ablation(&bert, &[256, 512, 1024]) {
+    for r in wus_ablation(&bert, &[256, 512, 1024])? {
         println!(
             "{} | {:.2} | {:.2} | {:.1}%",
             r.chips,
@@ -57,4 +55,5 @@ fn main() {
             100.0 * r.replicated_update_share
         );
     }
+    Ok(())
 }

@@ -20,23 +20,26 @@ use multipod_simnet::SimTime;
 use multipod_topology::{ChipId, MultipodConfig};
 use serde_json::json;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace_path = trace_flag();
     let mut table1_reports = Vec::new();
 
     // Table 1.
     let mut table1 = Vec::new();
     for &(name, chips, tf_paper, jax_paper, v06_paper) in paper::TABLE1 {
-        let tf = Executor::new(preset_by_name(name, chips)).run();
-        let jax_ours = jax_paper.map(|_| {
-            let mut p = preset_by_name(name, chips);
-            p.framework = FrameworkKind::Jax;
-            Executor::new(p).run().end_to_end_minutes()
-        });
-        let v06_ours = v06_paper.and_then(|_| {
-            presets::v06(name)
-                .map(|p| Executor::new(p).run().end_to_end_minutes() / tf.end_to_end_minutes())
-        });
+        let tf = Executor::new(preset_by_name(name, chips)).run()?;
+        let jax_ours = match jax_paper {
+            Some(_) => {
+                let mut p = preset_by_name(name, chips);
+                p.framework = FrameworkKind::Jax;
+                Some(Executor::new(p).run()?.end_to_end_minutes())
+            }
+            None => None,
+        };
+        let v06_ours = match v06_paper.and_then(|_| presets::v06(name)) {
+            Some(p) => Some(Executor::new(p).run()?.end_to_end_minutes() / tf.end_to_end_minutes()),
+            None => None,
+        };
         table1.push(json!({
             "benchmark": name,
             "chips": chips,
@@ -113,23 +116,23 @@ fn main() {
     ]
     .into_iter()
     .map(|(name, chips, gpu_cap)| {
-        let tpu = Executor::new(preset_by_name(name, chips)).run();
+        let tpu = Executor::new(preset_by_name(name, chips)).run()?;
         let w = catalog::all().into_iter().find(|w| w.name == name).unwrap();
-        json!({
+        Ok(json!({
             "benchmark": name,
             "tpu_minutes": tpu.end_to_end_minutes(),
             "v100_minutes":
                 GpuCluster::new(GpuGeneration::V100, 1536.min(gpu_cap)).end_to_end_minutes(&w),
             "a100_minutes":
                 GpuCluster::new(GpuGeneration::A100, 2048.min(gpu_cap)).end_to_end_minutes(&w),
-        })
+        }))
     })
-    .collect();
+    .collect::<Result<Vec<_>, multipod_core::StepError>>()?;
 
     // Ablations.
     let mut bert_small = catalog::bert();
     bert_small.max_per_core_batch = 4;
-    let wus_rows = wus_ablation(&bert_small, &[256, 512, 1024]);
+    let wus_rows = wus_ablation(&bert_small, &[256, 512, 1024])?;
     let ablations = json!({
         "summation_1d_vs_2d":
             summation_ablation(25_600_000, Precision::F32, &[64, 256, 1024, 4096])
@@ -168,6 +171,24 @@ fn main() {
             young_daly_interval(mean_save_seconds, mtbf_seconds),
     });
 
+    // Comm/compute overlap (multipod-taskgraph): the 128x32 BERT-like
+    // anchor of BENCH_overlap.json, summarized here for EXPERIMENTS.md.
+    let overlapped = multipod_core::overlap::overlapped_step(
+        &catalog::bert(),
+        4096,
+        &Default::default(),
+        &multipod_core::OverlapConfig::default(),
+    )?;
+    let overlap = json!({
+        "chips": 4096,
+        "buckets": multipod_core::OverlapConfig::default().buckets,
+        "serial_step_ms": 1e3 * overlapped.analytic.total(),
+        "overlapped_step_ms": 1e3 * overlapped.step_seconds(),
+        "compute_ms": 1e3 * overlapped.compute_seconds(),
+        "comm_ms": 1e3 * overlapped.comm_seconds(),
+        "overlap_ratio": overlapped.overlap_ratio(),
+    });
+
     let doc = json!({
         "table1": table1,
         "table2": table2,
@@ -177,6 +198,7 @@ fn main() {
         "fig10_tpu_vs_gpu": fig10,
         "ablations": ablations,
         "checkpointing": checkpointing,
+        "overlap": overlap,
     });
     println!("{}", serde_json::to_string_pretty(&doc).unwrap());
 
@@ -190,4 +212,5 @@ fn main() {
         write_profile(&path, &refs, 3).expect("write profile");
         eprintln!("wrote flight report to {}", path.display());
     }
+    Ok(())
 }

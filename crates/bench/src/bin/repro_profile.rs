@@ -65,7 +65,7 @@ struct Outcome {
     transfers: u64,
 }
 
-fn run_once(cfg: &MultipodConfig) -> Outcome {
+fn run_once(cfg: &MultipodConfig) -> Result<Outcome, multipod_core::StepError> {
     let telemetry = Telemetry::shared();
     let chips = Multipod::new(cfg.clone()).num_chips();
 
@@ -73,8 +73,8 @@ fn run_once(cfg: &MultipodConfig) -> Outcome {
     let recorder = Recorder::shared();
     let mut cursor = SimTime::ZERO;
     for report in [
-        Executor::new(presets::resnet50(chips as u32)).run(),
-        Executor::new(presets::bert(chips as u32)).run(),
+        Executor::new(presets::resnet50(chips as u32)).run()?,
+        Executor::new(presets::bert(chips as u32)).run()?,
     ] {
         for s in 0..3.min(report.steps) {
             cursor =
@@ -141,7 +141,7 @@ fn run_once(cfg: &MultipodConfig) -> Outcome {
 
     let registry = telemetry.snapshot();
     let transfers = registry.counter(&MetricId::new(Subsystem::Simnet, "transfers"));
-    Outcome {
+    Ok(Outcome {
         flight: FlightReport {
             registry,
             profile: multipod_telemetry::profile(&recorder.events()),
@@ -150,7 +150,7 @@ fn run_once(cfg: &MultipodConfig) -> Outcome {
         recorder,
         sim_seconds: summation.time.seconds() + ring_cursor.seconds(),
         transfers,
-    }
+    })
 }
 
 /// Builds the deterministic report body (everything except the
@@ -221,13 +221,19 @@ fn main() -> ExitCode {
     println!("# Flight-recorder profile on {mesh_label} ({chips} chips)");
 
     let wall = Instant::now();
-    let outcome = run_once(&mesh_cfg);
+    let outcome = match run_once(&mesh_cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("profile replay failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let report = bench_report(&outcome, &mesh_label, chips);
 
     let determinism_checked = std::env::args().any(|a| a == "--check-determinism");
     let mut deterministic = true;
     if determinism_checked {
-        let again = run_once(&mesh_cfg);
+        let again = run_once(&mesh_cfg).expect("first pass succeeded on the same mesh");
         let a = serde_json::to_string_pretty(&report).expect("report json");
         let b = serde_json::to_string_pretty(&bench_report(&again, &mesh_label, chips))
             .expect("report json");

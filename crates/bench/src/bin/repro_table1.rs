@@ -4,7 +4,6 @@
 //! TensorFlow step timeline.
 
 use multipod_bench::{header, paper, preset_by_name, run, trace_flag, write_trace};
-use multipod_core::Executor;
 use multipod_framework::FrameworkKind;
 
 fn main() {
@@ -27,12 +26,11 @@ fn main() {
         let jax = jax_paper.map(|_| {
             let mut p = preset_by_name(name, chips);
             p.framework = FrameworkKind::Jax;
-            Executor::new(p).run()
+            run(p)
         });
         // The v0.6 baseline configuration (old batch caps, MPMD tiles,
         // compressed input, no WUS).
-        let v06 = v06_paper
-            .and_then(|_| multipod_core::presets::v06(name).map(|p| Executor::new(p).run()));
+        let v06 = v06_paper.and_then(|_| multipod_core::presets::v06(name).map(run));
         println!(
             "{name} | {chips} | {tf_paper} | {:.2} | {} | {} | {} | {}",
             tf.end_to_end_minutes(),

@@ -4,7 +4,7 @@ use multipod_bench::{header, paper, pct};
 use multipod_core::step::{step_breakdown, StepOptions};
 use multipod_models::catalog;
 
-fn main() {
+fn main() -> Result<(), multipod_core::StepError> {
     let mut w = catalog::bert();
     w.max_per_core_batch = 4; // the ~4k-batch configuration of the anchor
     header(
@@ -19,7 +19,7 @@ fn main() {
                 weight_update_sharding: wus,
                 ..Default::default()
             },
-        );
+        )?;
         println!(
             "{label} | {:.2} | {:.3} | {}",
             1e3 * b.total(),
@@ -31,4 +31,5 @@ fn main() {
         "(paper: the replicated LAMB update is ~{} of the step at 512 chips)",
         pct(paper::BERT_WUS_SHARE)
     );
+    Ok(())
 }

@@ -63,8 +63,16 @@ pub fn pct(x: f64) -> String {
 }
 
 /// Runs a preset and returns its report.
+///
+/// # Panics
+///
+/// Panics if the preset's chip count does not form a valid slice — the
+/// catalog presets used by the repro binaries always do. Use
+/// [`Executor::run`] directly to handle the [`multipod_core::StepError`].
 pub fn run(preset: Preset) -> Report {
-    Executor::new(preset).run()
+    Executor::new(preset)
+        .run()
+        .expect("catalog presets define valid slices")
 }
 
 /// The preset for a named benchmark at a chip count.

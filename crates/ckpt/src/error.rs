@@ -54,6 +54,8 @@ pub enum CkptError {
     Network(TopologyError),
     /// A tensor reshape/split/concat on the (de)sharding path failed.
     Tensor(TensorError),
+    /// The step model under a pipelined save failed.
+    Step(multipod_core::StepError),
 }
 
 impl fmt::Display for CkptError {
@@ -89,6 +91,7 @@ impl fmt::Display for CkptError {
             CkptError::Collective(e) => write!(f, "restore collective failed: {e}"),
             CkptError::Network(e) => write!(f, "checkpoint transfer failed: {e}"),
             CkptError::Tensor(e) => write!(f, "checkpoint tensor op failed: {e}"),
+            CkptError::Step(e) => write!(f, "pipelined save step failed: {e}"),
         }
     }
 }
@@ -99,6 +102,7 @@ impl std::error::Error for CkptError {
             CkptError::Collective(e) => Some(e),
             CkptError::Network(e) => Some(e),
             CkptError::Tensor(e) => Some(e),
+            CkptError::Step(e) => Some(e),
             _ => None,
         }
     }
@@ -119,6 +123,12 @@ impl From<TopologyError> for CkptError {
 impl From<TensorError> for CkptError {
     fn from(e: TensorError) -> CkptError {
         CkptError::Tensor(e)
+    }
+}
+
+impl From<multipod_core::StepError> for CkptError {
+    fn from(e: multipod_core::StepError) -> CkptError {
+        CkptError::Step(e)
     }
 }
 

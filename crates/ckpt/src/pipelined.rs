@@ -1,0 +1,184 @@
+//! Pipelined checkpoint saves hidden behind the training step.
+//!
+//! [`crate::checkpoint::save_checkpoint`] is a blocking save: training
+//! stops while shards gather over ICI and stream over PCIe. This module
+//! derives the same per-host PCIe stream costs from a [`ShardPlacement`]
+//! and hands them to the task-graph step model
+//! ([`multipod_core::overlap`]) as [`CheckpointOverlap`] shard writes, so
+//! each host's writes start as soon as the weights they cover finish
+//! updating and ride the otherwise-idle PCIe resource concurrently with
+//! the step.
+//!
+//! The overlapped model's single `Pcie` resource stands for the
+//! *critical* host's link (hosts stream concurrently, so the slowest
+//! host bounds the save); [`checkpoint_overlap`] therefore prices the
+//! busiest host's shard queue, not the fleet total.
+
+use multipod_core::overlap::{overlapped_step, CheckpointOverlap, OverlapConfig, OverlappedStep};
+use multipod_core::step::{StepError, StepOptions};
+use multipod_models::Workload;
+use multipod_topology::{Multipod, MultipodConfig};
+
+use crate::checkpoint::PcieCost;
+use crate::error::CkptError;
+use crate::placement::ShardPlacement;
+
+/// Report of one step with a checkpoint save pipelined into it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PipelinedSave {
+    /// The scheduled step with the shard writes inside it.
+    pub step: OverlappedStep,
+    /// The same step scheduled without any checkpoint tasks.
+    pub baseline_seconds: f64,
+    /// The critical host's blocking write cost (what a stop-the-world
+    /// save of the same shards would add to the step).
+    pub blocking_save_seconds: f64,
+}
+
+impl PipelinedSave {
+    /// Seconds of save cost that leaked into the step (0 when the
+    /// writes hid completely behind compute and communication).
+    pub fn exposed_save_seconds(&self) -> f64 {
+        (self.step.step_seconds() - self.baseline_seconds).max(0.0)
+    }
+
+    /// Fraction of the blocking save cost hidden by pipelining. 1.0 when
+    /// the writes vanished into idle PCIe time; 0.0 (not NaN) when there
+    /// was nothing to hide.
+    pub fn hidden_fraction(&self) -> f64 {
+        if self.blocking_save_seconds == 0.0 {
+            return 0.0;
+        }
+        1.0 - self.exposed_save_seconds() / self.blocking_save_seconds
+    }
+}
+
+/// Prices `placement`'s shard writes for the overlapped step model: the
+/// busiest host's queue of per-chip shard writes on one PCIe link.
+pub fn checkpoint_overlap(placement: &ShardPlacement, pcie: &PcieCost) -> CheckpointOverlap {
+    let mut shards = 1u32;
+    let mut seconds = 0.0f64;
+    for host in &placement.hosts {
+        let host_seconds: f64 = host
+            .shards
+            .iter()
+            .map(|r| pcie.time(4 * r.len() as u64))
+            .sum();
+        if host_seconds > seconds {
+            seconds = host_seconds;
+            shards = host.shards.len().max(1) as u32;
+        }
+    }
+    CheckpointOverlap {
+        shards,
+        seconds_per_shard: seconds / shards as f64,
+    }
+}
+
+/// Schedules one training step with a full-model checkpoint save
+/// pipelined into it, next to the save-free baseline.
+///
+/// `elems` is the flattened model + optimizer state size; the placement
+/// spans every live chip of the `chips`-chip slice.
+///
+/// # Errors
+///
+/// [`CkptError::EmptyState`] for a zero-element state, and the
+/// [`StepError`] of the step model (e.g. a non-power-of-two `chips`)
+/// mapped through [`CkptError::Step`].
+pub fn pipelined_save_step(
+    workload: &Workload,
+    chips: u32,
+    elems: usize,
+    options: &StepOptions,
+    overlap: &OverlapConfig,
+    pcie: &PcieCost,
+) -> Result<PipelinedSave, CkptError> {
+    let mesh = Multipod::new(
+        MultipodConfig::try_slice(chips)
+            .map_err(|_| CkptError::Step(StepError::InvalidSliceShape { chips }))?,
+    );
+    let placement = ShardPlacement::plan(&mesh, &[], elems)?;
+    let ckpt = checkpoint_overlap(&placement, pcie);
+    let with_save = OverlapConfig {
+        checkpoint: Some(ckpt),
+        ..*overlap
+    };
+    let without_save = OverlapConfig {
+        checkpoint: None,
+        ..*overlap
+    };
+    let baseline = overlapped_step(workload, chips, options, &without_save)?;
+    let step = overlapped_step(workload, chips, options, &with_save)?;
+    Ok(PipelinedSave {
+        step,
+        baseline_seconds: baseline.step_seconds(),
+        blocking_save_seconds: ckpt.shards as f64 * ckpt.seconds_per_shard,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multipod_models::catalog;
+    use multipod_topology::CHIPS_PER_HOST;
+
+    #[test]
+    fn busiest_host_prices_the_overlap() {
+        let mesh = Multipod::new(MultipodConfig::mesh(8, 8, true));
+        let placement = ShardPlacement::plan(&mesh, &[], 1_000_000).unwrap();
+        let ckpt = checkpoint_overlap(&placement, &PcieCost::criteo());
+        assert_eq!(ckpt.shards as usize, CHIPS_PER_HOST);
+        assert!(ckpt.seconds_per_shard > 0.0);
+    }
+
+    #[test]
+    fn small_saves_hide_almost_completely() {
+        // A modest state on a big slice: per-host bytes are tiny next to
+        // the step, so pipelining should hide nearly all of the write.
+        let r = pipelined_save_step(
+            &catalog::bert(),
+            1024,
+            4_000_000,
+            &StepOptions::default(),
+            &OverlapConfig::default(),
+            &PcieCost::criteo(),
+        )
+        .unwrap();
+        assert!(r.blocking_save_seconds > 0.0);
+        assert!(
+            r.hidden_fraction() > 0.5,
+            "hidden={} exposed={} blocking={}",
+            r.hidden_fraction(),
+            r.exposed_save_seconds(),
+            r.blocking_save_seconds
+        );
+    }
+
+    #[test]
+    fn invalid_slices_and_empty_states_are_typed_errors() {
+        let e = pipelined_save_step(
+            &catalog::bert(),
+            100,
+            1,
+            &StepOptions::default(),
+            &OverlapConfig::default(),
+            &PcieCost::criteo(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            e,
+            CkptError::Step(StepError::InvalidSliceShape { chips: 100 })
+        );
+        let e = pipelined_save_step(
+            &catalog::bert(),
+            256,
+            0,
+            &StepOptions::default(),
+            &OverlapConfig::default(),
+            &PcieCost::criteo(),
+        )
+        .unwrap_err();
+        assert_eq!(e, CkptError::EmptyState);
+    }
+}

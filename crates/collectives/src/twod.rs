@@ -387,6 +387,62 @@ pub fn two_dim_all_reduce_time(
     })
 }
 
+/// Splits `elems` into `buckets` near-equal chunks: the first
+/// `elems % buckets` buckets get one extra element. Every bucket is
+/// non-empty only while `buckets <= elems`; trailing buckets of an
+/// over-split payload are zero-sized (and cost only the per-phase α).
+pub fn bucket_sizes(elems: usize, buckets: usize) -> Vec<usize> {
+    let buckets = buckets.max(1);
+    let base = elems / buckets;
+    let extra = elems % buckets;
+    (0..buckets)
+        .map(|i| base + usize::from(i < extra))
+        .collect()
+}
+
+/// α–β times for a **bucketed** 2-D all-reduce: the gradient payload is
+/// split into `buckets` chunks (see [`bucket_sizes`]) and each chunk runs
+/// the full Y-then-X schedule on its own. This is the chunked schedule
+/// the deferred task-graph runtime overlaps with backprop — bucket `i`
+/// can start its Y reduce-scatter as soon as backprop has produced the
+/// gradients of the layers in bucket `i`, instead of waiting for the
+/// whole backward pass.
+///
+/// More buckets mean more α (per-phase latency) cost: the bucket times
+/// sum to at least the single-shot [`two_dim_all_reduce_time`], and the
+/// gap grows with the bucket count. The payoff is overlap, not raw
+/// collective speed.
+///
+/// # Errors
+///
+/// See [`RingCosts::from_ring`]: an unroutable ring hop (degraded mesh)
+/// or a zero contention factor surfaces as a typed [`CollectiveError`].
+pub fn bucketed_two_dim_all_reduce_time(
+    net: &Network,
+    elems: usize,
+    precision: Precision,
+    model_stride: u32,
+    buckets: usize,
+) -> Result<Vec<TwoDimBreakdown>, CollectiveError> {
+    let mesh = net.mesh();
+    let y_costs = RingCosts::from_ring(net, &mesh.y_ring(0), 1)?;
+    let x_ring = mesh.x_line_strided(0, 0, model_stride);
+    let x_costs = RingCosts::from_ring(net, &x_ring, model_stride)?;
+    let y_len = mesh.y_len() as usize;
+    Ok(bucket_sizes(elems, buckets)
+        .into_iter()
+        .map(|bucket_elems| {
+            let x_elems = bucket_elems.div_ceil(y_len.max(1));
+            TwoDimBreakdown {
+                y_reduce_scatter: y_costs.reduce_scatter_time(bucket_elems, precision, true),
+                x_reduce_scatter: x_costs.reduce_scatter_time(x_elems, precision, true),
+                x_all_gather: x_costs.all_gather_time(x_elems, precision, true),
+                y_all_gather: y_costs.all_gather_time(bucket_elems, precision, true),
+            }
+        })
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -596,5 +652,68 @@ mod tests {
             numeric.time.seconds(),
             analytic.total()
         );
+    }
+
+    #[test]
+    fn bucket_sizes_partition_the_payload() {
+        assert_eq!(bucket_sizes(10, 4), vec![3, 3, 2, 2]);
+        assert_eq!(bucket_sizes(8, 1), vec![8]);
+        assert_eq!(bucket_sizes(2, 4), vec![1, 1, 0, 0]);
+        assert_eq!(bucket_sizes(0, 3), vec![0, 0, 0]);
+        // buckets = 0 is clamped to one bucket, never a division by zero.
+        assert_eq!(bucket_sizes(5, 0), vec![5]);
+        for (elems, buckets) in [(25_600_000usize, 7usize), (13, 13), (1, 64)] {
+            let sizes = bucket_sizes(elems, buckets);
+            assert_eq!(sizes.iter().sum::<usize>(), elems);
+            assert_eq!(sizes.len(), buckets);
+        }
+    }
+
+    #[test]
+    fn one_bucket_matches_the_single_shot_schedule() {
+        let net = setup(16, 8);
+        let single = two_dim_all_reduce_time(&net, 1 << 20, Precision::F32, 1).unwrap();
+        let bucketed =
+            bucketed_two_dim_all_reduce_time(&net, 1 << 20, Precision::F32, 1, 1).unwrap();
+        assert_eq!(bucketed.len(), 1);
+        assert_eq!(bucketed[0], single);
+    }
+
+    #[test]
+    fn bucketing_pays_alpha_but_stays_close() {
+        let net = setup(32, 16);
+        // BERT-scale payload: bandwidth dominates, so bucket α stays small.
+        let elems = 334_000_000;
+        let single = two_dim_all_reduce_time(&net, elems, Precision::F32, 1)
+            .unwrap()
+            .total();
+        let mut prev_sum = single;
+        for buckets in [2usize, 8, 32] {
+            let sum: f64 =
+                bucketed_two_dim_all_reduce_time(&net, elems, Precision::F32, 1, buckets)
+                    .unwrap()
+                    .iter()
+                    .map(TwoDimBreakdown::total)
+                    .sum();
+            // More buckets cost more α (the sum grows monotonically with
+            // the bucket count) but stay within a small multiple of the
+            // single shot — the overlap win must not be eaten by latency.
+            assert!(sum >= prev_sum - 1e-12, "buckets={buckets}");
+            assert!(
+                sum < 2.0 * single,
+                "buckets={buckets} sum={sum} single={single}"
+            );
+            prev_sum = sum;
+        }
+    }
+
+    #[test]
+    fn bucketed_respects_model_stride() {
+        let net = setup(16, 8);
+        let rows = bucketed_two_dim_all_reduce_time(&net, 1 << 18, Precision::Bf16, 4, 4).unwrap();
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.total() > 0.0);
+        }
     }
 }

@@ -18,7 +18,7 @@ use multipod_models::Workload;
 use multipod_simnet::{Network, NetworkConfig};
 use multipod_topology::{Multipod, MultipodConfig};
 
-use crate::step::{step_breakdown, StepOptions};
+use crate::step::{step_breakdown, StepError, StepOptions};
 
 /// One row of the 1-D vs 2-D summation comparison.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -126,11 +126,16 @@ pub struct WusRow {
 }
 
 /// Sweeps weight-update sharding on/off for a workload.
-pub fn wus_ablation(workload: &Workload, chip_counts: &[u32]) -> Vec<WusRow> {
+///
+/// # Errors
+///
+/// Propagates the [`StepError`] of a failing sweep point (e.g. a
+/// non-power-of-two chip count) instead of panicking.
+pub fn wus_ablation(workload: &Workload, chip_counts: &[u32]) -> Result<Vec<WusRow>, StepError> {
     chip_counts
         .iter()
         .map(|&chips| {
-            let sharded = step_breakdown(workload, chips, &StepOptions::default());
+            let sharded = step_breakdown(workload, chips, &StepOptions::default())?;
             let replicated = step_breakdown(
                 workload,
                 chips,
@@ -138,13 +143,13 @@ pub fn wus_ablation(workload: &Workload, chip_counts: &[u32]) -> Vec<WusRow> {
                     weight_update_sharding: false,
                     ..Default::default()
                 },
-            );
-            WusRow {
+            )?;
+            Ok(WusRow {
                 chips,
                 replicated_step: replicated.total(),
                 sharded_step: sharded.total(),
                 replicated_update_share: replicated.weight_update / replicated.total(),
-            }
+            })
         })
         .collect()
 }
@@ -194,10 +199,16 @@ mod tests {
     fn wus_matters_most_at_small_per_chip_batches() {
         let mut bert = catalog::bert();
         bert.max_per_core_batch = 4;
-        let rows = wus_ablation(&bert, &[256, 512, 1024]);
+        let rows = wus_ablation(&bert, &[256, 512, 1024]).unwrap();
         for r in &rows {
             assert!(r.sharded_step < r.replicated_step, "{r:?}");
             assert!(r.replicated_update_share > 0.03, "{r:?}");
         }
+    }
+
+    #[test]
+    fn wus_ablation_rejects_bad_chip_counts() {
+        let err = wus_ablation(&catalog::bert(), &[256, 300]).unwrap_err();
+        assert_eq!(err, StepError::InvalidSliceShape { chips: 300 });
     }
 }

@@ -10,7 +10,8 @@ use multipod_models::{TpuV3, Workload};
 use multipod_simnet::{Network, NetworkConfig};
 use multipod_topology::{Multipod, MultipodConfig};
 
-use crate::step::{step_breakdown, StepBreakdown, StepOptions};
+use crate::overlap::{overlapped_step, OverlapConfig, OverlappedStep};
+use crate::step::{step_breakdown, StepBreakdown, StepError, StepOptions};
 
 /// A benchmark configuration: what Table 1 calls a row.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -56,9 +57,14 @@ impl Report {
         (self.train_seconds + self.eval_seconds) / 60.0
     }
 
-    /// Samples per second during training.
+    /// Samples per second during training. A zero-length step has no
+    /// throughput: this returns 0.0 rather than Inf/NaN.
     pub fn throughput(&self) -> f64 {
-        self.global_batch as f64 / self.step.total()
+        let total = self.step.total();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.global_batch as f64 / total
     }
 }
 
@@ -81,13 +87,17 @@ impl Executor {
     /// Simulates the run and records a span timeline of its first steps
     /// (up to `traced_steps`) into `sink`, laid out back to back in
     /// simulated time via [`crate::step::record_step_trace`].
-    pub fn run_traced(&self, sink: &dyn multipod_trace::TraceSink, traced_steps: u64) -> Report {
-        let report = self.run();
+    pub fn run_traced(
+        &self,
+        sink: &dyn multipod_trace::TraceSink,
+        traced_steps: u64,
+    ) -> Result<Report, StepError> {
+        let report = self.run()?;
         let mut t = multipod_simnet::SimTime::ZERO;
         for s in 0..traced_steps.min(report.steps) {
             t = crate::step::record_step_trace(sink, &report.name, &report.step, s + 1, t);
         }
-        report
+        Ok(report)
     }
 
     /// Like [`Executor::run_traced`], but also records each traced step's
@@ -99,29 +109,29 @@ impl Executor {
         sink: &dyn multipod_trace::TraceSink,
         telemetry: &multipod_telemetry::Telemetry,
         traced_steps: u64,
-    ) -> Report {
-        let report = self.run();
+    ) -> Result<Report, StepError> {
+        let report = self.run()?;
         let mut t = multipod_simnet::SimTime::ZERO;
         for s in 0..traced_steps.min(report.steps) {
             t = crate::step::record_step_trace(sink, &report.name, &report.step, s + 1, t);
             crate::step::record_step_telemetry(telemetry, &report.step);
         }
-        report
+        Ok(report)
     }
 
     /// Simulates the run.
-    pub fn run(&self) -> Report {
+    pub fn run(&self) -> Result<Report, StepError> {
         let p = &self.preset;
         let w = &p.workload;
         let batch = w.global_batch(p.chips);
         let steps = w.convergence.steps_for_batch(batch);
-        let step = step_breakdown(w, p.chips, &p.options);
+        let step = step_breakdown(w, p.chips, &p.options)?;
         let train_seconds = steps as f64 * step.total();
         let init_seconds =
             self.init_model
                 .init_seconds(p.framework, &profiles::by_name(w.name), p.chips);
-        let eval_seconds = eval_seconds(w, p.chips, p.framework, train_seconds);
-        Report {
+        let eval_seconds = eval_seconds(w, p.chips, p.framework, train_seconds)?;
+        Ok(Report {
             name: w.name.to_string(),
             chips: p.chips,
             framework: p.framework,
@@ -131,7 +141,16 @@ impl Executor {
             step,
             train_seconds,
             eval_seconds,
-        }
+        })
+    }
+
+    /// Schedules the preset's step as a deferred task graph
+    /// ([`crate::overlap::overlapped_step`]) instead of the serial
+    /// analytic sum — with `overlap.overlap` off, the result's makespan
+    /// reproduces [`Executor::run`]'s step total bit for bit.
+    pub fn run_overlapped(&self, overlap: &OverlapConfig) -> Result<OverlappedStep, StepError> {
+        let p = &self.preset;
+        overlapped_step(&p.workload, p.chips, &p.options, overlap)
     }
 }
 
@@ -143,7 +162,7 @@ fn eval_seconds(
     chips: u32,
     framework: FrameworkKind,
     train_seconds: f64,
-) -> f64 {
+) -> Result<f64, StepError> {
     let tpu = TpuV3::new();
     let evals = workload.evals_per_run.max(1) as usize;
     // Device-side forward pass over the eval set at near-peak batch.
@@ -156,12 +175,12 @@ fn eval_seconds(
     }
     // Metric combination.
     let net = Network::new(
-        Multipod::new(MultipodConfig::slice(chips)),
+        Multipod::new(
+            MultipodConfig::try_slice(chips).map_err(|_| StepError::InvalidSliceShape { chips })?,
+        ),
         NetworkConfig::tpu_v3(),
     );
-    // Invariant: the mesh was freshly built above with no failed links.
-    let ring = RingCosts::from_ring(&net, &net.mesh().y_ring(0), 1)
-        .expect("healthy mesh routes every ring hop");
+    let ring = RingCosts::from_ring(&net, &net.mesh().y_ring(0), 1)?;
     let workers = InitModel::workers(chips) as usize;
     let combine = match framework {
         FrameworkKind::TensorFlow => {
@@ -192,7 +211,7 @@ fn eval_seconds(
         EvalPlacement::Coordinator => evals as f64 * host_metric_cost,
         EvalPlacement::RoundRobin { .. } => host_metric_cost,
     };
-    evals as f64 * (device_eval + combine) + timeline.stall + host_serial
+    Ok(evals as f64 * (device_eval + combine) + timeline.stall + host_serial)
 }
 
 #[cfg(test)]
@@ -212,7 +231,7 @@ mod tests {
             (presets::dlrm(256), 2.4, 2.5),
         ];
         for (preset, paper, tol) in rows {
-            let r = Executor::new(preset).run();
+            let r = Executor::new(preset).run().unwrap();
             let ours = r.end_to_end_minutes();
             assert!(
                 ours > paper / tol && ours < paper * tol,
@@ -228,17 +247,17 @@ mod tests {
     fn jax_and_tf_train_times_match_but_inits_differ() {
         // §4: "resulting in very similar step times as well as number of
         // convergence steps"; Table 2: very different init times.
-        let tf = Executor::new(presets::bert(4096)).run();
+        let tf = Executor::new(presets::bert(4096)).run().unwrap();
         let mut jax_preset = presets::bert(4096);
         jax_preset.framework = FrameworkKind::Jax;
-        let jax = Executor::new(jax_preset).run();
+        let jax = Executor::new(jax_preset).run().unwrap();
         assert!((tf.train_seconds - jax.train_seconds).abs() < 1e-9);
         assert!(tf.init_seconds > 2.0 * jax.init_seconds);
     }
 
     #[test]
     fn throughput_is_batch_over_step() {
-        let r = Executor::new(presets::resnet50(1024)).run();
+        let r = Executor::new(presets::resnet50(1024)).run().unwrap();
         assert!((r.throughput() - r.global_batch as f64 / r.step.total()).abs() < 1e-6);
         assert!(
             r.throughput() > 1e5,
@@ -262,10 +281,10 @@ mod tests {
                 5.0,
             ),
         ] {
-            let new = Executor::new(v07).run();
+            let new = Executor::new(v07).run().unwrap();
             let mut old_preset = v06;
             old_preset.options.weight_update_sharding = false;
-            let old = Executor::new(old_preset).run();
+            let old = Executor::new(old_preset).run().unwrap();
             let speedup = old.end_to_end_minutes() / new.end_to_end_minutes();
             assert!(
                 (lo..hi).contains(&speedup),
@@ -276,8 +295,41 @@ mod tests {
     }
 
     #[test]
+    fn zero_step_throughput_is_zero_not_inf() {
+        let mut r = Executor::new(presets::resnet50(1024)).run().unwrap();
+        r.step = StepBreakdown::default();
+        assert_eq!(r.step.total(), 0.0);
+        let tp = r.throughput();
+        assert!(tp.is_finite(), "tp={tp}");
+        assert_eq!(tp, 0.0);
+    }
+
+    #[test]
+    fn invalid_chip_count_propagates_from_run() {
+        let mut preset = presets::resnet50(1024);
+        preset.chips = 100;
+        let err = Executor::new(preset).run().unwrap_err();
+        assert_eq!(
+            err,
+            crate::step::StepError::InvalidSliceShape { chips: 100 }
+        );
+    }
+
+    #[test]
+    fn overlapped_run_beats_the_serial_step() {
+        let exec = Executor::new(presets::bert(4096));
+        let serial = exec.run().unwrap();
+        let overlapped = exec.run_overlapped(&OverlapConfig::default()).unwrap();
+        assert!(overlapped.step_seconds() < serial.step.total());
+        assert_eq!(
+            overlapped.analytic.total().to_bits(),
+            serial.step.total().to_bits()
+        );
+    }
+
+    #[test]
     fn eval_overhead_is_a_minor_fraction_for_vision_models() {
-        let r = Executor::new(presets::resnet50(4096)).run();
+        let r = Executor::new(presets::resnet50(4096)).run().unwrap();
         assert!(r.eval_seconds < r.train_seconds);
     }
 }

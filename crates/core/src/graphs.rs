@@ -71,7 +71,8 @@ fn transformer_layer(parts: usize, name: &str) -> RepresentativeModel {
     let h = b.matmul(x, w1).expect("w1 matmul");
     let h = b.relu(h).expect("relu");
     let y = b.matmul(h, w2).expect("w2 matmul"); // partial + all-reduce
-    let graph = b.build(vec![y]);
+                                                 // Invariant: `y` was just minted by this builder.
+    let graph = b.build(vec![y]).expect("output id is fresh");
     let layers = if name == "Transformer" { 12 } else { 24 };
     RepresentativeModel {
         graph,
@@ -100,7 +101,8 @@ fn conv_layer(
     );
     let k = b.parameter("k", Shape::of(&[3, 3]), Sharding::Replicated);
     let y = b.conv2d_same(img, k).expect("conv");
-    let graph = b.build(vec![y]);
+    // Invariant: `y` was just minted by this builder.
+    let graph = b.build(vec![y]).expect("output id is fresh");
     RepresentativeModel {
         graph,
         profile: ModelCommProfile {

@@ -19,7 +19,7 @@
 //! ```
 //! use multipod_core::{presets, Executor};
 //!
-//! let report = Executor::new(presets::resnet50(4096)).run();
+//! let report = Executor::new(presets::resnet50(4096)).run().unwrap();
 //! // Paper Table 1: 0.48 minutes on 4096 chips.
 //! assert!(report.end_to_end_minutes() > 0.2 && report.end_to_end_minutes() < 1.0);
 //! ```
@@ -27,6 +27,7 @@
 pub mod ablate;
 pub mod graphs;
 pub mod modelpar;
+pub mod overlap;
 pub mod presets;
 pub mod scaling;
 pub mod step;
@@ -35,6 +36,7 @@ pub mod trainer;
 mod executor;
 
 pub use executor::{Executor, Preset, Report};
+pub use overlap::{CheckpointOverlap, OverlapConfig, OverlappedStep};
 pub use scaling::SweepError;
-pub use step::{record_step_telemetry, record_step_trace, StepBreakdown, StepOptions};
+pub use step::{record_step_telemetry, record_step_trace, StepBreakdown, StepError, StepOptions};
 pub use trainer::{DataParallelTrainer, FaultPolicy, RecoveryMode, TrainStepStats};

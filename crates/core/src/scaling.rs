@@ -31,6 +31,14 @@ pub enum SweepError {
         /// Workload name.
         workload: String,
     },
+    /// A sweep point's step model failed (stringified
+    /// [`crate::step::StepError`], which keeps this enum `Eq`).
+    Step {
+        /// The chip count whose step failed.
+        chips: u32,
+        /// The underlying step error, rendered.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for SweepError {
@@ -45,6 +53,9 @@ impl std::fmt::Display for SweepError {
             }
             SweepError::DataParallelWorkload { workload } => {
                 write!(f, "workload {workload:?} has no model-parallel graph")
+            }
+            SweepError::Step { chips, message } => {
+                write!(f, "sweep point at {chips} chips failed: {message}")
             }
         }
     }
@@ -94,12 +105,13 @@ impl ScalingCurve {
                     framework: multipod_framework::FrameworkKind::TensorFlow,
                     options: StepOptions::default(),
                 };
-                ScalePoint {
+                let report = Executor::new(preset).run().map_err(|e| SweepError::Step {
                     chips,
-                    report: Executor::new(preset).run(),
-                }
+                    message: e.to_string(),
+                })?;
+                Ok(ScalePoint { chips, report })
             })
-            .collect();
+            .collect::<Result<Vec<_>, SweepError>>()?;
         Ok(ScalingCurve { points })
     }
 
@@ -213,6 +225,18 @@ mod tests {
                 next: 64
             })
         );
+    }
+
+    #[test]
+    fn bad_chip_counts_surface_as_step_sweep_errors() {
+        let err = ScalingCurve::sweep(&catalog::resnet50(), &[16, 48]).unwrap_err();
+        match err {
+            SweepError::Step { chips, message } => {
+                assert_eq!(chips, 48);
+                assert!(message.contains("48"), "message={message}");
+            }
+            other => panic!("expected Step error, got {other:?}"),
+        }
     }
 
     #[test]

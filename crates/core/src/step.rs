@@ -11,17 +11,74 @@
 //! * **embedding path** — HBM lookups and all-to-all for DLRM;
 //! * **input stall** — when the host pipeline cannot keep up (§3.5).
 
+use std::error::Error;
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 
 use multipod_collectives::twod::{two_dim_all_reduce_time, TwoDimBreakdown};
+use multipod_collectives::CollectiveError;
 use multipod_input::dlrm::{DlrmInputConfig, ParseGranularity, PcieLayout};
+use multipod_input::host_pipeline::HostPipelineConfig;
 use multipod_models::{TpuV3, Workload};
 use multipod_simnet::{Network, NetworkConfig, SimTime};
+use multipod_taskgraph::TaskGraphError;
 use multipod_telemetry::{MetricId, Subsystem, Telemetry};
 use multipod_topology::{Multipod, MultipodConfig, CHIPS_PER_HOST};
 use multipod_trace::{SpanCategory, SpanEvent, TraceSink, Track};
 
 use crate::graphs;
+
+/// Why a step could not be modeled.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StepError {
+    /// `chips` is not a power of two ≥ 2, so no slice of the paper's
+    /// sweeps holds it.
+    InvalidSliceShape {
+        /// The rejected chip count.
+        chips: u32,
+    },
+    /// A collective cost model failed (unroutable ring on a degraded
+    /// mesh, zero contention factor).
+    Collective(CollectiveError),
+    /// The overlapped step's task graph was malformed (a duration guard
+    /// tripped — indicates a bug in the graph builder).
+    TaskGraph(TaskGraphError),
+}
+
+impl fmt::Display for StepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepError::InvalidSliceShape { chips } => {
+                write!(f, "no slice holds {chips} chips (need a power of two >= 2)")
+            }
+            StepError::Collective(e) => write!(f, "step collective model failed: {e}"),
+            StepError::TaskGraph(e) => write!(f, "step task graph invalid: {e}"),
+        }
+    }
+}
+
+impl Error for StepError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StepError::InvalidSliceShape { .. } => None,
+            StepError::Collective(e) => Some(e),
+            StepError::TaskGraph(e) => Some(e),
+        }
+    }
+}
+
+impl From<CollectiveError> for StepError {
+    fn from(e: CollectiveError) -> StepError {
+        StepError::Collective(e)
+    }
+}
+
+impl From<TaskGraphError> for StepError {
+    fn from(e: TaskGraphError) -> StepError {
+        StepError::TaskGraph(e)
+    }
+}
 
 /// Optimization toggles (for ablations; the paper's submission runs with
 /// everything on).
@@ -72,8 +129,14 @@ impl StepBreakdown {
 
     /// The all-reduce share of device step time — the quantity Figures 6
     /// and 8 plot (22% for ResNet-50 and 27.3% for BERT at 4096 chips).
+    /// A zero-length step has no all-reduce share: this returns 0.0
+    /// rather than NaN.
     pub fn all_reduce_fraction(&self) -> f64 {
-        self.gradient_comm.total() / self.total()
+        let total = self.total();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.gradient_comm.total() / total
     }
 }
 
@@ -102,11 +165,15 @@ pub fn effective_stride(workload: &Workload, mesh: &Multipod) -> u32 {
 
 /// Computes the step breakdown for a workload on a `chips`-chip slice.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when `chips` is not a power of two ≥ 2 (the slice shapes the
-/// paper sweeps).
-pub fn step_breakdown(workload: &Workload, chips: u32, options: &StepOptions) -> StepBreakdown {
+/// [`StepError::InvalidSliceShape`] when `chips` is not a power of two
+/// ≥ 2 (the slice shapes the paper sweeps).
+pub fn step_breakdown(
+    workload: &Workload,
+    chips: u32,
+    options: &StepOptions,
+) -> Result<StepBreakdown, StepError> {
     step_breakdown_on(
         workload,
         chips,
@@ -125,8 +192,10 @@ pub fn step_breakdown_on(
     options: &StepOptions,
     tpu: &TpuV3,
     net_config: NetworkConfig,
-) -> StepBreakdown {
-    let mesh = Multipod::new(MultipodConfig::slice(chips));
+) -> Result<StepBreakdown, StepError> {
+    let mesh = Multipod::new(
+        MultipodConfig::try_slice(chips).map_err(|_| StepError::InvalidSliceShape { chips })?,
+    );
     let net = Network::new(mesh, net_config);
 
     let batch = workload.global_batch(chips);
@@ -145,11 +214,8 @@ pub fn step_breakdown_on(
     // Gradient summation: each chip contributes its share of the
     // (possibly sharded) weights; X-phase rings hop over model peers.
     let grad_elems_per_chip = (workload.params / stride as u64) as usize;
-    // Invariant: `net` was freshly built above with no failed links and
-    // `stride >= 1`, so the cost model cannot fail.
     let gradient_comm =
-        two_dim_all_reduce_time(&net, grad_elems_per_chip, workload.grad_precision, stride)
-            .expect("healthy mesh routes every ring hop");
+        two_dim_all_reduce_time(&net, grad_elems_per_chip, workload.grad_precision, stride)?;
 
     // Weight update: sharded updates divide the optimizer math by the
     // number of shards in the replica set (§3.2).
@@ -171,14 +237,14 @@ pub fn step_breakdown_on(
 
     let _ = cores_per_replica;
 
-    StepBreakdown {
+    Ok(StepBreakdown {
         compute,
         model_parallel_comm,
         gradient_comm,
         weight_update,
         embedding,
         input_stall,
-    }
+    })
 }
 
 fn model_comm_time(workload: &Workload, net: &Network, batch: u32, chips: u32) -> f64 {
@@ -217,16 +283,13 @@ fn embedding_time(workload: &Workload, net: &Network, batch: u32, tpu: &TpuV3) -
     hbm + all_to_all
 }
 
-fn input_stall(
-    workload: &Workload,
-    chips: u32,
-    batch: u32,
-    device_time: f64,
-    options: &StepOptions,
-) -> f64 {
+/// Time for one host to produce its share of a step's input batch —
+/// the quantity the device race against (§3.5). The overlapped step
+/// model schedules this same duration as an `InputFetch` task.
+pub fn host_input_time(workload: &Workload, chips: u32, batch: u32, options: &StepOptions) -> f64 {
     let hosts = (chips as usize).div_ceil(CHIPS_PER_HOST) as f64;
     let samples_per_host = batch as f64 / hosts;
-    let host_time = if workload.embedding.is_some() {
+    if workload.embedding.is_some() {
         // DLRM's batch-granularity, stacked-PCIe path (§3.5).
         DlrmInputConfig::criteo().step_input_time(
             samples_per_host.ceil() as usize,
@@ -234,17 +297,25 @@ fn input_stall(
             PcieLayout::Stacked,
         )
     } else {
-        let workers = 16.0;
-        let per_sample = if options.uncompressed_input {
-            50.0e-6
+        let pipeline = if options.uncompressed_input {
+            HostPipelineConfig::uncompressed_imagenet()
         } else {
             // Large-image JPEG decode (mean plus the expected heavy-tail
             // contribution of oversized images, §3.5).
-            50.0e-6 + 1.2e-3 * (1.0 + 0.02 * 7.0)
+            HostPipelineConfig::large_image_imagenet()
         };
-        samples_per_host * per_sample / workers
-    };
-    (host_time - device_time).max(0.0)
+        samples_per_host * pipeline.mean_sample_seconds() / pipeline.workers as f64
+    }
+}
+
+fn input_stall(
+    workload: &Workload,
+    chips: u32,
+    batch: u32,
+    device_time: f64,
+    options: &StepOptions,
+) -> f64 {
+    (host_input_time(workload, chips, batch, options) - device_time).max(0.0)
 }
 
 /// Records `breakdown` as a sequential span timeline on the simulation
@@ -345,7 +416,7 @@ mod tests {
     #[test]
     fn resnet_allreduce_share_matches_fig6() {
         // Fig. 6: all-reduce ≈ 22% of device step time at 4096 chips.
-        let b = step_breakdown(&catalog::resnet50(), 4096, &StepOptions::default());
+        let b = step_breakdown(&catalog::resnet50(), 4096, &StepOptions::default()).unwrap();
         let share = b.all_reduce_fraction();
         assert!(
             (0.12..0.32).contains(&share),
@@ -356,8 +427,8 @@ mod tests {
     #[test]
     fn bert_allreduce_share_matches_fig8() {
         // Fig. 8: ≈ 27.3% at 4096 chips, and higher than ResNet-50's.
-        let bert = step_breakdown(&catalog::bert(), 4096, &StepOptions::default());
-        let resnet = step_breakdown(&catalog::resnet50(), 4096, &StepOptions::default());
+        let bert = step_breakdown(&catalog::bert(), 4096, &StepOptions::default()).unwrap();
+        let resnet = step_breakdown(&catalog::resnet50(), 4096, &StepOptions::default()).unwrap();
         let share = bert.all_reduce_fraction();
         assert!((0.17..0.40).contains(&share), "share={share}");
         assert!(share > resnet.all_reduce_fraction());
@@ -368,8 +439,8 @@ mod tests {
         // Fig. 6's shape: computation time keeps decreasing, the
         // all-reduce time stays almost constant.
         let w = catalog::resnet50();
-        let small = step_breakdown(&w, 256, &StepOptions::default());
-        let large = step_breakdown(&w, 4096, &StepOptions::default());
+        let small = step_breakdown(&w, 256, &StepOptions::default()).unwrap();
+        let large = step_breakdown(&w, 4096, &StepOptions::default()).unwrap();
         assert!(small.compute > 3.0 * large.compute);
         let comm_ratio = small.gradient_comm.total() / large.gradient_comm.total();
         assert!((0.4..2.5).contains(&comm_ratio), "comm_ratio={comm_ratio}");
@@ -382,7 +453,7 @@ mod tests {
         // removes it.
         let mut w = catalog::bert();
         w.max_per_core_batch = 4;
-        let with = step_breakdown(&w, 512, &StepOptions::default());
+        let with = step_breakdown(&w, 512, &StepOptions::default()).unwrap();
         let without = step_breakdown(
             &w,
             512,
@@ -390,7 +461,8 @@ mod tests {
                 weight_update_sharding: false,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert!(without.weight_update > 50.0 * with.weight_update);
         // ~18% of the unsharded step.
         let share = without.weight_update / without.total();
@@ -400,15 +472,15 @@ mod tests {
 
     #[test]
     fn model_parallel_models_pay_tile_comm() {
-        let t = step_breakdown(&catalog::transformer(), 4096, &StepOptions::default());
+        let t = step_breakdown(&catalog::transformer(), 4096, &StepOptions::default()).unwrap();
         assert!(t.model_parallel_comm > 0.0);
-        let r = step_breakdown(&catalog::resnet50(), 4096, &StepOptions::default());
+        let r = step_breakdown(&catalog::resnet50(), 4096, &StepOptions::default()).unwrap();
         assert_eq!(r.model_parallel_comm, 0.0);
     }
 
     #[test]
     fn dlrm_embedding_and_input_paths_active() {
-        let d = step_breakdown(&catalog::dlrm(), 256, &StepOptions::default());
+        let d = step_breakdown(&catalog::dlrm(), 256, &StepOptions::default()).unwrap();
         assert!(d.embedding > 0.0);
         // The optimized input path keeps DLRM device-bound per §3.5's
         // fixes (stall may be zero or small).
@@ -418,7 +490,7 @@ mod tests {
     #[test]
     fn compressed_input_stalls_resnet_at_scale() {
         let w = catalog::resnet50();
-        let tuned = step_breakdown(&w, 128, &StepOptions::default());
+        let tuned = step_breakdown(&w, 128, &StepOptions::default()).unwrap();
         let legacy = step_breakdown(
             &w,
             128,
@@ -426,7 +498,8 @@ mod tests {
                 uncompressed_input: false,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert!(legacy.input_stall > tuned.input_stall);
         assert!(legacy.input_stall > 0.0, "legacy={legacy:?}");
     }
@@ -447,19 +520,59 @@ mod tests {
         // compute/embedding parts of the step shrink accordingly.
         use multipod_models::TpuV3;
         let w = catalog::dlrm();
-        let v3 = step_breakdown(&w, 256, &StepOptions::default());
+        let v3 = step_breakdown(&w, 256, &StepOptions::default()).unwrap();
         let v4 = step_breakdown_on(
             &w,
             256,
             &StepOptions::default(),
             &TpuV3::v4_projection(),
             NetworkConfig::tpu_v4(),
-        );
+        )
+        .unwrap();
         assert!(v4.compute < v3.compute);
         assert!(v4.embedding < v3.embedding);
         let ratio = v3.total() / v4.total();
         // Paper: 2.4 min (v3, 256 chips) vs 1.21 min (v4) ≈ 2x.
         assert!((1.4..3.0).contains(&ratio), "v4 speedup: {ratio}");
+    }
+
+    #[test]
+    fn non_power_of_two_chips_is_a_typed_error_not_a_panic() {
+        for chips in [0, 1, 3, 6, 100] {
+            let err =
+                step_breakdown(&catalog::resnet50(), chips, &StepOptions::default()).unwrap_err();
+            assert_eq!(err, StepError::InvalidSliceShape { chips });
+            assert!(err.to_string().contains(&chips.to_string()));
+        }
+    }
+
+    #[test]
+    fn all_reduce_fraction_of_an_empty_step_is_zero_not_nan() {
+        let b = StepBreakdown::default();
+        assert_eq!(b.total(), 0.0);
+        let share = b.all_reduce_fraction();
+        assert!(share.is_finite(), "share={share}");
+        assert_eq!(share, 0.0);
+    }
+
+    #[test]
+    fn host_input_time_matches_the_stall_race() {
+        // The extracted host-side time is exactly what input_stall races
+        // against the device: stall == max(host − device, 0).
+        let w = catalog::resnet50();
+        let opts = StepOptions {
+            uncompressed_input: false,
+            ..Default::default()
+        };
+        let b = step_breakdown(&w, 128, &opts).unwrap();
+        // Same fold order as the internal device_time, so bit-identical.
+        let device = b.compute
+            + b.model_parallel_comm
+            + b.gradient_comm.total()
+            + b.weight_update
+            + b.embedding;
+        let host = host_input_time(&w, 128, w.global_batch(128), &opts);
+        assert_eq!((host - device).max(0.0).to_bits(), b.input_stall.to_bits());
     }
 
     #[test]
@@ -470,7 +583,7 @@ mod tests {
                 "DLRM" => 256,
                 _ => 4096,
             };
-            let b = step_breakdown(&w, chips, &StepOptions::default());
+            let b = step_breakdown(&w, chips, &StepOptions::default()).unwrap();
             assert!(
                 b.total().is_finite() && b.total() > 0.0,
                 "{}: {b:?}",

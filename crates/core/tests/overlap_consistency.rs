@@ -1,0 +1,141 @@
+//! Consistency contract of the task-graph step model.
+//!
+//! Two halves:
+//!
+//! * a **differential** check — with overlap disabled the scheduled
+//!   makespan must reproduce the analytic [`StepBreakdown`] total *bit
+//!   for bit* (the serial chain left-folds its durations in the same
+//!   order as `StepBreakdown::total`), across the full workload catalog
+//!   and a ladder of slice sizes;
+//! * **property** checks — with overlap enabled, any bucket count and
+//!   any valid slice must schedule into the resource envelope
+//!   `[max(compute, comm, host), compute + comm + host + pcie]`, and
+//!   the schedule itself must replay deterministically.
+
+use multipod_core::overlap::{overlapped_step, CheckpointOverlap, OverlapConfig};
+use multipod_core::step::{step_breakdown, StepOptions};
+use multipod_core::StepBreakdown;
+use multipod_models::catalog;
+use multipod_taskgraph::Resource;
+use proptest::prelude::*;
+
+/// Workloads exercised by the differential sweep: the whole catalog.
+fn all_workloads() -> Vec<multipod_models::Workload> {
+    catalog::all()
+}
+
+#[test]
+fn serial_schedule_reproduces_the_analytic_breakdown_bit_for_bit() {
+    let serial = OverlapConfig {
+        overlap: false,
+        ..Default::default()
+    };
+    for w in all_workloads() {
+        for chips in [2, 16, 128, 1024, 4096] {
+            for uncompressed in [false, true] {
+                let opts = StepOptions {
+                    uncompressed_input: uncompressed,
+                    ..Default::default()
+                };
+                let analytic: StepBreakdown = step_breakdown(&w, chips, &opts).unwrap();
+                let scheduled = overlapped_step(&w, chips, &opts, &serial).unwrap();
+                assert_eq!(
+                    scheduled.step_seconds().to_bits(),
+                    analytic.total().to_bits(),
+                    "{} at {chips} chips (uncompressed={uncompressed}): \
+                     scheduled {} != analytic {}",
+                    w.name,
+                    scheduled.step_seconds(),
+                    analytic.total()
+                );
+                assert_eq!(
+                    scheduled.analytic.total().to_bits(),
+                    analytic.total().to_bits()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn overlap_never_beats_the_resource_lower_bound() {
+    // Spot-check the paper's headline configuration before the proptest
+    // sweeps the space: the 128x32 multipod running BERT.
+    let s = overlapped_step(
+        &catalog::bert(),
+        4096,
+        &StepOptions::default(),
+        &OverlapConfig::default(),
+    )
+    .unwrap();
+    let lower = s
+        .compute_seconds()
+        .max(s.comm_seconds())
+        .max(s.schedule.busy_seconds(Resource::Host));
+    assert!(s.step_seconds() >= lower * (1.0 - 1e-12));
+    assert!(s.step_seconds() < s.compute_seconds() + s.comm_seconds());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any bucket count on any valid slice keeps the overlapped makespan
+    /// inside `[max(per-resource busy), sum of all busy time]`.
+    #[test]
+    fn overlapped_makespan_stays_in_the_resource_envelope(
+        chips_log2 in 1u32..13,
+        buckets in 1u32..48,
+        prefetch in any::<bool>(),
+        wus in any::<bool>(),
+        ckpt_shards in 0u32..9,
+    ) {
+        let chips = 1u32 << chips_log2;
+        let w = catalog::bert();
+        let opts = StepOptions {
+            weight_update_sharding: wus,
+            // Uncompressed input keeps the host pipeline small so the
+            // envelope is driven by the device resources.
+            uncompressed_input: true,
+        };
+        let cfg = OverlapConfig {
+            buckets,
+            overlap: true,
+            prefetch_input: prefetch,
+            checkpoint: (ckpt_shards > 0).then_some(CheckpointOverlap {
+                shards: ckpt_shards,
+                seconds_per_shard: 2.0e-5,
+            }),
+        };
+        let s = overlapped_step(&w, chips, &opts, &cfg).unwrap();
+        let compute = s.compute_seconds();
+        let comm = s.comm_seconds();
+        let host = s.schedule.busy_seconds(Resource::Host);
+        let pcie = s.schedule.busy_seconds(Resource::Pcie);
+        let m = s.step_seconds();
+        let lower = compute.max(comm).max(host).max(pcie);
+        let upper = compute + comm + host + pcie;
+        prop_assert!(
+            m >= lower * (1.0 - 1e-12),
+            "makespan {m} below lower bound {lower} (chips={chips} buckets={buckets})"
+        );
+        prop_assert!(
+            m <= upper * (1.0 + 1e-12),
+            "makespan {m} above serial sum {upper} (chips={chips} buckets={buckets})"
+        );
+    }
+
+    /// The schedule is a pure function of its inputs: replaying the same
+    /// configuration twice yields identical task timings.
+    #[test]
+    fn schedules_replay_deterministically(
+        chips_log2 in 1u32..12,
+        buckets in 1u32..17,
+    ) {
+        let chips = 1u32 << chips_log2;
+        let cfg = OverlapConfig { buckets, ..Default::default() };
+        let opts = StepOptions::default();
+        let a = overlapped_step(&catalog::bert(), chips, &opts, &cfg).unwrap();
+        let b = overlapped_step(&catalog::bert(), chips, &opts, &cfg).unwrap();
+        prop_assert_eq!(a.schedule, b.schedule);
+    }
+}

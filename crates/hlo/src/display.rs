@@ -155,7 +155,7 @@ mod tests {
         let x = b.parameter("x", Shape::of(&[4, 8]), Sharding::Replicated);
         let w = b.parameter("w", Shape::of(&[8, 2]), Sharding::split(1, 2));
         let y = b.matmul(x, w).unwrap();
-        let g = b.build(vec![y]);
+        let g = b.build(vec![y]).unwrap();
         let text = g.to_string();
         assert!(text.contains("parameter \"x\""));
         assert!(text.contains("{split axis=1 parts=2}"));
@@ -169,7 +169,7 @@ mod tests {
         let x = b.parameter("x", Shape::of(&[4, 8]), Sharding::split(1, 2));
         let w = b.parameter("w", Shape::of(&[8, 2]), Sharding::split(0, 2));
         let y = b.matmul(x, w).unwrap();
-        let g = b.build(vec![y]);
+        let g = b.build(vec![y]).unwrap();
         let p = SpmdPartitioner::new(2).partition(&g).unwrap();
         let text = p.to_string();
         assert!(text.contains("SPMD program over 2 cores"));

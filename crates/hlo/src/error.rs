@@ -39,6 +39,8 @@ pub enum HloError {
         /// Supplied shape.
         got: Shape,
     },
+    /// A partitioner was asked to split a graph over zero cores.
+    InvalidPartCount,
     /// The partitioner hit an op/sharding combination it cannot rewrite.
     Unpartitionable {
         /// The node that failed.
@@ -66,6 +68,9 @@ impl fmt::Display for HloError {
                 expected,
                 got,
             } => write!(f, "feed '{name}' has shape {got}, expected {expected}"),
+            HloError::InvalidPartCount => {
+                write!(f, "partition count must be positive")
+            }
             HloError::Unpartitionable { node, reason } => {
                 write!(f, "cannot partition node {node:?}: {reason}")
             }

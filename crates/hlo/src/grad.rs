@@ -37,14 +37,24 @@ pub struct GradientGraph {
 ///
 /// # Errors
 ///
-/// Fails when a non-differentiable op (`TopK`, `Gather` indices paths,
-/// or an op that is itself a VJP helper) lies on the path from `loss` to
-/// a requested node, or when shapes disagree (a bug in the VJP rules).
+/// Fails with [`HloError::UnknownNode`] when `loss` or any `wrt` id is
+/// not in the graph, and otherwise when a non-differentiable op (`TopK`,
+/// `Gather` indices paths, or an op that is itself a VJP helper) lies on
+/// the path from `loss` to a requested node, or when shapes disagree (a
+/// bug in the VJP rules).
 pub fn gradients(
     graph: &HloGraph,
     loss: NodeId,
     wrt: &[NodeId],
 ) -> Result<GradientGraph, HloError> {
+    // Validate every caller-supplied id up front: `graph.shape` on an
+    // unknown id would panic below.
+    if loss.0 >= graph.num_nodes() {
+        return Err(HloError::UnknownNode(loss));
+    }
+    if let Some(&bad) = wrt.iter().find(|w| w.0 >= graph.num_nodes()) {
+        return Err(HloError::UnknownNode(bad));
+    }
     let mut b = HloBuilder::from_graph(graph);
     let mut adjoint: HashMap<NodeId, NodeId> = HashMap::new();
 
@@ -139,7 +149,7 @@ pub fn gradients(
     let mut outputs = vec![loss];
     outputs.extend(&grads);
     Ok(GradientGraph {
-        graph: b.build(outputs),
+        graph: b.build(outputs)?,
         loss,
         grads,
     })
@@ -166,6 +176,22 @@ mod tests {
     use crate::Sharding;
     use multipod_tensor::{Shape, TensorRng};
     use std::collections::HashMap as Feeds;
+
+    #[test]
+    fn unknown_loss_or_wrt_ids_are_typed_errors_not_panics() {
+        let mut b = HloBuilder::new();
+        let x = b.parameter("x", Shape::of(&[2, 2]), Sharding::Replicated);
+        let g = b.build(vec![x]).unwrap();
+        let bogus = NodeId(99);
+        assert_eq!(
+            gradients(&g, bogus, &[x]).unwrap_err(),
+            HloError::UnknownNode(bogus)
+        );
+        assert_eq!(
+            gradients(&g, x, &[bogus]).unwrap_err(),
+            HloError::UnknownNode(bogus)
+        );
+    }
 
     /// Finite-difference check of every gradient output.
     fn check_gradients(
@@ -222,7 +248,7 @@ mod tests {
         let y = b.matmul(h, w2).unwrap();
         let s = b.reduce_sum(y, 0).unwrap();
         let loss = b.reduce_sum(s, 0).unwrap();
-        let g = b.build(vec![loss]);
+        let g = b.build(vec![loss]).unwrap();
 
         let mut rng = TensorRng::seed(31);
         let f = feeds(vec![
@@ -242,7 +268,7 @@ mod tests {
         let r = b.relu(c).unwrap();
         let s = b.reduce_sum(r, 0).unwrap();
         let loss = b.reduce_sum(s, 0).unwrap();
-        let g = b.build(vec![loss]);
+        let g = b.build(vec![loss]).unwrap();
 
         let mut rng = TensorRng::seed(32);
         let f = feeds(vec![
@@ -261,7 +287,7 @@ mod tests {
         let squared = b.mul(gathered, gathered).unwrap();
         let s = b.reduce_sum(squared, 0).unwrap();
         let loss = b.reduce_sum(s, 0).unwrap();
-        let g = b.build(vec![loss]);
+        let g = b.build(vec![loss]).unwrap();
 
         let mut rng = TensorRng::seed(33);
         let f = feeds(vec![("t", rng.uniform(Shape::of(&[6, 3]), -1.0, 1.0))]);
@@ -291,7 +317,7 @@ mod tests {
         let y = b.add(y1, y2).unwrap();
         let s = b.reduce_sum(y, 0).unwrap();
         let loss = b.reduce_sum(s, 0).unwrap();
-        let g = b.build(vec![loss]);
+        let g = b.build(vec![loss]).unwrap();
         let mut rng = TensorRng::seed(34);
         let f = feeds(vec![
             ("x", rng.uniform(Shape::of(&[2, 3]), -1.0, 1.0)),
@@ -306,7 +332,7 @@ mod tests {
         let x = b.parameter("x", Shape::of(&[2]), Sharding::Replicated);
         let unused = b.parameter("unused", Shape::of(&[4]), Sharding::Replicated);
         let loss = b.reduce_sum(x, 0).unwrap();
-        let g = b.build(vec![loss]);
+        let g = b.build(vec![loss]).unwrap();
         let gg = gradients(&g, loss, &[unused]).unwrap();
         let f = feeds(vec![
             ("x", Tensor::from_slice(&[1.0, 2.0])),
@@ -322,7 +348,7 @@ mod tests {
         let x = b.parameter("x", Shape::of(&[8]), Sharding::Replicated);
         let t = b.top_k(x, 2).unwrap();
         let loss = b.reduce_sum(t, 0).unwrap();
-        let g = b.build(vec![loss]);
+        let g = b.build(vec![loss]).unwrap();
         assert!(gradients(&g, loss, &[x]).is_err());
     }
 }

@@ -45,7 +45,7 @@ pub struct HloGraph {
 /// let x = b.parameter("x", Shape::of(&[4, 8]), Sharding::Replicated);
 /// let w = b.parameter("w", Shape::of(&[8, 2]), Sharding::Replicated);
 /// let y = b.matmul(x, w).unwrap();
-/// let g = b.build(vec![y]);
+/// let g = b.build(vec![y]).unwrap();
 /// assert_eq!(g.shape(y).dims(), &[4, 2]);
 /// ```
 #[derive(Debug, Default)]
@@ -243,26 +243,32 @@ impl HloBuilder {
     /// Overrides the sharding annotation of a node (e.g. to request a
     /// sharded output from a matmul).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on an unknown node id.
-    pub fn annotate(&mut self, node: NodeId, sharding: Sharding) {
-        self.nodes[node.0].sharding = Some(sharding);
+    /// Returns [`HloError::UnknownNode`] for a bad node id.
+    pub fn annotate(&mut self, node: NodeId, sharding: Sharding) -> Result<(), HloError> {
+        self.nodes
+            .get_mut(node.0)
+            .ok_or(HloError::UnknownNode(node))?
+            .sharding = Some(sharding);
+        Ok(())
     }
 
     /// Finalizes the graph with the given outputs.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any output id is unknown.
-    pub fn build(self, outputs: Vec<NodeId>) -> HloGraph {
-        for out in &outputs {
-            assert!(out.0 < self.nodes.len(), "unknown output {out:?}");
+    /// Returns [`HloError::UnknownNode`] if any output id is unknown.
+    pub fn build(self, outputs: Vec<NodeId>) -> Result<HloGraph, HloError> {
+        for &out in &outputs {
+            if out.0 >= self.nodes.len() {
+                return Err(HloError::UnknownNode(out));
+            }
         }
-        HloGraph {
+        Ok(HloGraph {
             nodes: self.nodes,
             outputs,
-        }
+        })
     }
 
     fn infer(&mut self, op: Op) -> Result<NodeId, HloError> {
@@ -397,7 +403,7 @@ mod tests {
         let h = b.matmul(x, w1).unwrap();
         let h = b.relu(h).unwrap();
         let y = b.matmul(h, w2).unwrap();
-        let g = b.build(vec![y]);
+        let g = b.build(vec![y]).unwrap();
         assert_eq!(g.shape(y).dims(), &[2, 2]);
 
         let mut rng = TensorRng::seed(1);
@@ -430,7 +436,7 @@ mod tests {
     fn missing_and_misshapen_feeds_error() {
         let mut b = HloBuilder::new();
         let x = b.parameter("x", Shape::of(&[2]), Sharding::Replicated);
-        let g = b.build(vec![x]);
+        let g = b.build(vec![x]).unwrap();
         assert!(matches!(
             g.evaluate(&HashMap::new()),
             Err(HloError::MissingFeed(_))
@@ -445,7 +451,7 @@ mod tests {
         let c = b.constant(Tensor::fill(Shape::of(&[2, 2]), 3.0));
         let x = b.parameter("x", Shape::of(&[2, 2]), Sharding::Replicated);
         let y = b.matmul(c, x).unwrap();
-        let g = b.build(vec![y]);
+        let g = b.build(vec![y]).unwrap();
         assert_eq!(g.total_flops(), 2 * 2 * 2 * 2);
         let out = g
             .evaluate(&feeds(&[(
@@ -463,6 +469,21 @@ mod tests {
         assert!(matches!(
             b.matmul(x, NodeId(99)),
             Err(HloError::UnknownNode(NodeId(99)))
+        ));
+    }
+
+    #[test]
+    fn annotate_and_build_reject_unknown_ids_without_panicking() {
+        let mut b = HloBuilder::new();
+        let x = b.parameter("x", Shape::of(&[2, 2]), Sharding::Replicated);
+        assert!(matches!(
+            b.annotate(NodeId(7), Sharding::Replicated),
+            Err(HloError::UnknownNode(NodeId(7)))
+        ));
+        assert!(b.annotate(x, Sharding::Replicated).is_ok());
+        assert!(matches!(
+            b.build(vec![x, NodeId(7)]),
+            Err(HloError::UnknownNode(NodeId(7)))
         ));
     }
 }

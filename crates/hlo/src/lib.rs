@@ -36,7 +36,7 @@
 //! let x = b.parameter("x", Shape::of(&[8, 16]), Sharding::Replicated);
 //! let w = b.parameter("w", Shape::of(&[16, 32]), Sharding::split(1, 4));
 //! let y = b.matmul(x, w).unwrap();
-//! let graph = b.build(vec![y]);
+//! let graph = b.build(vec![y]).unwrap();
 //! let program = SpmdPartitioner::new(4).partition(&graph).unwrap();
 //! // The per-core weight shard is [16 x 8].
 //! assert_eq!(program.value_shape(y).dims(), &[8, 8]);

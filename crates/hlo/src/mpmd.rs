@@ -91,7 +91,7 @@ mod tests {
         let img = b.parameter("img", Shape::of(&[16, 8]), Sharding::split(0, 4));
         let k = b.parameter("k", Shape::of(&[3, 3]), Sharding::Replicated);
         let y = b.conv2d_same(img, k).unwrap();
-        b.build(vec![y])
+        b.build(vec![y]).unwrap()
     }
 
     fn feature_graph() -> HloGraph {
@@ -99,7 +99,7 @@ mod tests {
         let x = b.parameter("x", Shape::of(&[4, 8]), Sharding::split(1, 4));
         let w = b.parameter("w", Shape::of(&[8, 6]), Sharding::split(0, 4));
         let y = b.matmul(x, w).unwrap();
-        b.build(vec![y])
+        b.build(vec![y]).unwrap()
     }
 
     #[test]
@@ -119,13 +119,13 @@ mod tests {
         let img = b.parameter("img", Shape::of(&[16, 8]), Sharding::split(0, 2));
         let k = b.parameter("k", Shape::of(&[3, 3]), Sharding::Replicated);
         let y = b.conv2d_same(img, k).unwrap();
-        let g2 = b.build(vec![y]);
+        let g2 = b.build(vec![y]).unwrap();
         let p2 = MpmdPartitioner::new(2).partition(&g2).unwrap();
         let mut b = HloBuilder::new();
         let img = b.parameter("img", Shape::of(&[16, 8]), Sharding::split(0, 8));
         let k = b.parameter("k", Shape::of(&[3, 3]), Sharding::Replicated);
         let y = b.conv2d_same(img, k).unwrap();
-        let g8 = b.build(vec![y]);
+        let g8 = b.build(vec![y]).unwrap();
         let p8 = MpmdPartitioner::new(8).partition(&g8).unwrap();
         assert_eq!(p8.compile_cost(), 4 * p2.compile_cost());
         // And SPMD's cost does not scale (checked in spmd tests).

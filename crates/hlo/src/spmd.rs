@@ -146,20 +146,14 @@ impl SpmdPartitioner {
     /// A partitioner for `parts`-way model parallelism with optimized
     /// communication.
     ///
-    /// # Panics
-    ///
-    /// Panics when `parts` is zero.
+    /// A zero `parts` is rejected with a typed error by
+    /// [`SpmdPartitioner::partition`] rather than panicking here.
     pub fn new(parts: usize) -> SpmdPartitioner {
         SpmdPartitioner::with_comm_opt(parts, CommunicationOpt::Optimized)
     }
 
     /// A partitioner with an explicit communication strategy.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `parts` is zero.
     pub fn with_comm_opt(parts: usize, comm_opt: CommunicationOpt) -> SpmdPartitioner {
-        assert!(parts > 0, "parts must be positive");
         SpmdPartitioner {
             parts,
             comm_opt,
@@ -183,9 +177,12 @@ impl SpmdPartitioner {
     ///
     /// # Errors
     ///
-    /// Fails when an annotation is invalid for its shape or an
-    /// op/sharding combination cannot be rewritten.
+    /// Fails when the part count is zero, an annotation is invalid for
+    /// its shape, or an op/sharding combination cannot be rewritten.
     pub fn partition(&self, graph: &HloGraph) -> Result<PartitionedProgram, HloError> {
+        if self.parts == 0 {
+            return Err(HloError::InvalidPartCount);
+        }
         let mut em = Emitter {
             instrs: Vec::new(),
             shapes: Vec::new(),
@@ -859,7 +856,7 @@ mod tests {
         let x = b.parameter("x", Shape::of(&[4, 8]), Sharding::split(1, 4));
         let w = b.parameter("w", Shape::of(&[8, 6]), Sharding::split(0, 4));
         let y = b.matmul(x, w).unwrap();
-        let g = b.build(vec![y]);
+        let g = b.build(vec![y]).unwrap();
         let p = SpmdPartitioner::new(4).partition(&g).unwrap();
         assert_eq!(p.comm_stats().all_reduces, 1);
         assert_eq!(p.comm_stats().all_gathers, 0);
@@ -878,7 +875,7 @@ mod tests {
         let x = b.parameter("x", Shape::of(&[8, 4]), Sharding::split(0, 4));
         let w = b.parameter("w", Shape::of(&[4, 6]), Sharding::Replicated);
         let y = b.matmul(x, w).unwrap();
-        let g = b.build(vec![y]);
+        let g = b.build(vec![y]).unwrap();
         let p = SpmdPartitioner::new(4).partition(&g).unwrap();
         assert_eq!(p.comm_stats().total_collectives(), 0);
         assert_eq!(p.value_shape(y).dims(), &[2, 6]);
@@ -898,7 +895,7 @@ mod tests {
         let x = b.parameter("x", Shape::of(&[4, 8]), Sharding::Replicated);
         let w = b.parameter("w", Shape::of(&[8, 12]), Sharding::split(1, 4));
         let y = b.matmul(x, w).unwrap();
-        let g = b.build(vec![y]);
+        let g = b.build(vec![y]).unwrap();
         let p = SpmdPartitioner::new(4).partition(&g).unwrap();
         assert_eq!(p.comm_stats().total_collectives(), 0);
         assert_eq!(p.value_shape(y).dims(), &[4, 3]);
@@ -918,7 +915,7 @@ mod tests {
         let img = b.parameter("img", Shape::of(&[16, 8]), Sharding::split(0, 4));
         let k = b.parameter("k", Shape::of(&[3, 3]), Sharding::Replicated);
         let y = b.conv2d_same(img, k).unwrap();
-        let g = b.build(vec![y]);
+        let g = b.build(vec![y]).unwrap();
         let p = SpmdPartitioner::new(4).partition(&g).unwrap();
         assert_eq!(p.comm_stats().halo_exchanges, 1);
         assert_eq!(p.comm_stats().all_reduces, 0);
@@ -938,7 +935,7 @@ mod tests {
         let img = b.parameter("img", Shape::of(&[6, 12]), Sharding::split(1, 2));
         let k = b.parameter("k", Shape::of(&[5, 3]), Sharding::Replicated);
         let y = b.conv2d_same(img, k).unwrap();
-        let g = b.build(vec![y]);
+        let g = b.build(vec![y]).unwrap();
         let p = SpmdPartitioner::new(2).partition(&g).unwrap();
         assert_eq!(p.comm_stats().halo_exchanges, 1);
 
@@ -959,7 +956,7 @@ mod tests {
         let c = b.conv2d_same(img, k).unwrap();
         let r = b.relu(c).unwrap();
         let s = b.reduce_sum(r, 0).unwrap();
-        let g = b.build(vec![s]);
+        let g = b.build(vec![s]).unwrap();
         let p = SpmdPartitioner::new(2).partition(&g).unwrap();
         assert!(p.comm_stats().all_reduces >= 1);
         assert!(p.comm_stats().halo_exchanges >= 1);
@@ -977,7 +974,7 @@ mod tests {
         let mut b = HloBuilder::new();
         let x = b.parameter("x", Shape::of(&[8, 4]), Sharding::split(0, 4));
         let s = b.reduce_sum(x, 1).unwrap();
-        let g = b.build(vec![s]);
+        let g = b.build(vec![s]).unwrap();
         let p = SpmdPartitioner::new(4).partition(&g).unwrap();
         assert_eq!(p.comm_stats().total_collectives(), 0);
         assert_eq!(p.value_sharding(s), Sharding::split(0, 4));
@@ -993,7 +990,7 @@ mod tests {
         let x = b.parameter("x", Shape::of(&[8, 4]), Sharding::split(0, 2));
         let bias = b.parameter("bias", Shape::of(&[8, 4]), Sharding::Replicated);
         let y = b.add(x, bias).unwrap();
-        let g = b.build(vec![y]);
+        let g = b.build(vec![y]).unwrap();
         let p = SpmdPartitioner::new(2).partition(&g).unwrap();
         assert_eq!(p.comm_stats().total_collectives(), 0);
 
@@ -1011,8 +1008,8 @@ mod tests {
         let x = b.parameter("x", Shape::of(&[8, 4]), Sharding::split(0, 2));
         let w = b.parameter("w", Shape::of(&[4, 4]), Sharding::Replicated);
         let y = b.matmul(x, w).unwrap();
-        b.annotate(y, Sharding::Replicated);
-        let g = b.build(vec![y]);
+        b.annotate(y, Sharding::Replicated).unwrap();
+        let g = b.build(vec![y]).unwrap();
         let p = SpmdPartitioner::new(2).partition(&g).unwrap();
         assert_eq!(p.comm_stats().all_gathers, 1);
         assert_eq!(p.value_sharding(y), Sharding::Replicated);
@@ -1036,7 +1033,7 @@ mod tests {
         let r = b.relu(h).unwrap();
         let w2 = b.parameter("w2", Shape::of(&[8, 4]), Sharding::Replicated);
         let y = b.matmul(r, w2).unwrap();
-        let g = b.build(vec![y]);
+        let g = b.build(vec![y]).unwrap();
 
         let optimized = SpmdPartitioner::new(4).partition(&g).unwrap();
         let naive = SpmdPartitioner::with_comm_opt(4, CommunicationOpt::Naive)
@@ -1058,11 +1055,28 @@ mod tests {
     }
 
     #[test]
+    fn zero_parts_is_a_typed_error_not_a_panic() {
+        let mut b = HloBuilder::new();
+        let x = b.parameter("x", Shape::of(&[8, 4]), Sharding::Replicated);
+        let g = b.build(vec![x]).unwrap();
+        assert_eq!(
+            SpmdPartitioner::new(0).partition(&g).unwrap_err(),
+            HloError::InvalidPartCount
+        );
+        assert_eq!(
+            SpmdPartitioner::with_comm_opt(0, CommunicationOpt::Naive)
+                .partition(&g)
+                .unwrap_err(),
+            HloError::InvalidPartCount
+        );
+    }
+
+    #[test]
     fn invalid_annotations_are_rejected() {
         let mut b = HloBuilder::new();
         // 7 rows cannot split 4 ways.
         let _x = b.parameter("x", Shape::of(&[7, 4]), Sharding::split(0, 4));
-        let g = b.build(vec![NodeId(0)]);
+        let g = b.build(vec![NodeId(0)]).unwrap();
         assert!(matches!(
             SpmdPartitioner::new(4).partition(&g),
             Err(HloError::BadSharding { .. })
@@ -1070,7 +1084,7 @@ mod tests {
         // Declared parts must match the partitioner's.
         let mut b = HloBuilder::new();
         let _x = b.parameter("x", Shape::of(&[8, 4]), Sharding::split(0, 2));
-        let g = b.build(vec![NodeId(0)]);
+        let g = b.build(vec![NodeId(0)]).unwrap();
         assert!(matches!(
             SpmdPartitioner::new(4).partition(&g),
             Err(HloError::BadSharding { .. })
@@ -1083,7 +1097,7 @@ mod tests {
         let x = b.parameter("x", Shape::of(&[4, 4]), Sharding::Replicated);
         let w = b.parameter("w", Shape::of(&[4, 4]), Sharding::Replicated);
         let y = b.matmul(x, w).unwrap();
-        let g = b.build(vec![y]);
+        let g = b.build(vec![y]).unwrap();
         let p = SpmdPartitioner::new(1).partition(&g).unwrap();
         assert_eq!(p.comm_stats().total_collectives(), 0);
         let mut rng = TensorRng::seed(12);
@@ -1101,7 +1115,7 @@ mod tests {
             let x = b.parameter("x", Shape::of(&[16, 16]), Sharding::Replicated);
             let w = b.parameter("w", Shape::of(&[16, 16]), Sharding::Replicated);
             let y = b.matmul(x, w).unwrap();
-            b.build(vec![y])
+            b.build(vec![y]).unwrap()
         };
         let p2 = SpmdPartitioner::new(2).partition(&build()).unwrap();
         let p8 = SpmdPartitioner::new(8).partition(&build()).unwrap();

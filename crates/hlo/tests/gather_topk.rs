@@ -22,7 +22,7 @@ fn gather_graph(parts: usize) -> (multipod_hlo::HloGraph, HashMap<String, Tensor
     let mut rng = TensorRng::seed(13);
     let indices = b.constant(Tensor::from_slice(&[3.0, 31.0, 0.0, 17.0, 8.0]));
     let y = b.gather(table, indices).unwrap();
-    let g = b.build(vec![y]);
+    let g = b.build(vec![y]).unwrap();
     let feeds = [("table", rng.uniform(Shape::of(&[32, 4]), -1.0, 1.0))]
         .into_iter()
         .map(|(k, v)| (k.to_string(), v))
@@ -98,7 +98,7 @@ fn distributed_topk_matches_reference() {
         let mut b = HloBuilder::new();
         let x = b.parameter("x", Shape::of(&[64]), Sharding::split(0, parts));
         let y = b.top_k(x, 5).unwrap();
-        let g = b.build(vec![y]);
+        let g = b.build(vec![y]).unwrap();
         let p = SpmdPartitioner::new(parts).partition(&g).unwrap();
         // Local top-k → all-gather candidates → final top-k.
         assert!(p.comm_stats().all_gathers >= 1);
@@ -122,7 +122,7 @@ fn topk_larger_than_shard_is_rejected() {
     let mut b = HloBuilder::new();
     let x = b.parameter("x", Shape::of(&[16]), Sharding::split(0, 4));
     let y = b.top_k(x, 8).unwrap(); // 8 > 16/4
-    let g = b.build(vec![y]);
+    let g = b.build(vec![y]).unwrap();
     assert!(SpmdPartitioner::new(4).partition(&g).is_err());
 }
 
@@ -134,7 +134,7 @@ fn replicated_gather_and_topk_stay_local() {
     let gathered = b.gather(table, idx).unwrap();
     let summed = b.reduce_sum(gathered, 1).unwrap();
     let top = b.top_k(summed, 1).unwrap();
-    let g = b.build(vec![top]);
+    let g = b.build(vec![top]).unwrap();
     let p = SpmdPartitioner::new(4).partition(&g).unwrap();
     assert_eq!(p.comm_stats().total_collectives(), 0);
 }

@@ -37,7 +37,7 @@ fn sharded_mlp(
     let sq = b.mul(resid, resid).unwrap();
     let s = b.reduce_sum(sq, 0).unwrap();
     let loss = b.reduce_sum(s, 0).unwrap();
-    let graph = b.build(vec![loss]);
+    let graph = b.build(vec![loss]).unwrap();
     let gg = gradients(&graph, loss, &[w1, w2]).unwrap();
     let grads = gg.grads.clone();
     (gg.graph, gg.loss, grads)
@@ -130,7 +130,7 @@ fn spatial_conv_backward_partitions_and_matches() {
     let sq = b.mul(c, c).unwrap();
     let s = b.reduce_sum(sq, 0).unwrap();
     let loss = b.reduce_sum(s, 0).unwrap();
-    let graph = b.build(vec![loss]);
+    let graph = b.build(vec![loss]).unwrap();
     let gg = gradients(&graph, loss, &[k]).unwrap();
     let program = SpmdPartitioner::new(parts).partition(&gg.graph).unwrap();
     assert!(program.comm_stats().halo_exchanges >= 1);

@@ -99,7 +99,7 @@ proptest! {
                 }
             }
         }
-        let graph = b.build(vec![cur]);
+        let graph = b.build(vec![cur]).unwrap();
 
         let comm = if naive { CommunicationOpt::Naive } else { CommunicationOpt::Optimized };
         let program = match SpmdPartitioner::with_comm_opt(parts, comm).partition(&graph) {

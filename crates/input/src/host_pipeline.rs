@@ -63,6 +63,31 @@ impl HostPipelineConfig {
         }
     }
 
+    /// The legacy large-image JPEG pipeline the paper replaced (§3.5):
+    /// full-size decodes dominate and oversized images cost 8× — the
+    /// configuration behind the analytic step model's compressed-input
+    /// stall.
+    pub fn large_image_imagenet() -> HostPipelineConfig {
+        HostPipelineConfig {
+            augment_cost: 50.0e-6,
+            decode_cost: 1.2e-3,
+            tail_probability: 0.02,
+            decode_tail_multiplier: 8.0,
+            prefetch_capacity: 64,
+            workers: 16,
+        }
+    }
+
+    /// Expected per-sample cost, seconds: the augment cost plus the mean
+    /// decode cost including the heavy-tail contribution. This is the
+    /// deterministic per-sample figure the analytic step model and the
+    /// task-graph input-fetch task charge (the stochastic
+    /// [`simulate_run`] jitters around it).
+    pub fn mean_sample_seconds(&self) -> f64 {
+        self.augment_cost
+            + self.decode_cost * (1.0 + self.tail_probability * (self.decode_tail_multiplier - 1.0))
+    }
+
     fn sample_cost(&self, rng: &mut SmallRng) -> f64 {
         let mut cost = self.augment_cost;
         if self.decode_cost > 0.0 {
@@ -275,6 +300,20 @@ pub fn simulate_run_observed(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn mean_sample_seconds_includes_the_decode_tail() {
+        let fast = HostPipelineConfig::uncompressed_imagenet();
+        assert_eq!(fast.mean_sample_seconds(), 50.0e-6);
+        let slow = HostPipelineConfig::large_image_imagenet();
+        // augment + decode × (1 + p × (mult − 1)).
+        let expected: f64 = 50.0e-6 + 1.2e-3 * (1.0 + 0.02 * 7.0);
+        assert_eq!(slow.mean_sample_seconds().to_bits(), expected.to_bits());
+        assert!(
+            slow.mean_sample_seconds()
+                > HostPipelineConfig::compressed_imagenet().mean_sample_seconds()
+        );
+    }
 
     #[test]
     fn uncompressed_pipeline_eliminates_stalls() {

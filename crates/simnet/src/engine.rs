@@ -111,6 +111,21 @@ impl<T> EventQueue<T> {
         self.heap.peek().map(|Reverse(e)| e.time)
     }
 
+    /// Removes and returns every event scheduled for the earliest pending
+    /// instant, in insertion order. Schedulers use this to process all
+    /// completions at a timestamp before dispatching new work, so the
+    /// dispatch decision sees the full set of freed resources.
+    pub fn pop_batch(&mut self) -> Option<(SimTime, Vec<T>)> {
+        let time = self.peek_time()?;
+        let mut batch = Vec::new();
+        while self.peek_time() == Some(time) {
+            // Invariant: peek just confirmed a pending event at `time`.
+            let (_, payload) = self.pop().expect("peeked event must pop");
+            batch.push(payload);
+        }
+        Some((time, batch))
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -178,6 +193,23 @@ mod tests {
         assert_eq!(stats.popped, 1);
         assert_eq!(stats.max_depth, 4);
         assert_eq!(stats.pending, 4);
+    }
+
+    #[test]
+    fn pop_batch_drains_one_instant_in_fifo_order() {
+        let mut q = EventQueue::new();
+        let t1 = SimTime::from_seconds(1.0);
+        q.schedule(SimTime::from_seconds(2.0), "later");
+        q.schedule(t1, "a");
+        q.schedule(t1, "b");
+        let (time, batch) = q.pop_batch().unwrap();
+        assert_eq!(time, t1);
+        assert_eq!(batch, vec!["a", "b"]);
+        assert_eq!(q.len(), 1);
+        let (time, batch) = q.pop_batch().unwrap();
+        assert_eq!(time, SimTime::from_seconds(2.0));
+        assert_eq!(batch, vec!["later"]);
+        assert!(q.pop_batch().is_none());
     }
 
     #[test]

@@ -1,0 +1,50 @@
+//! A deferred task-graph runtime for the multipod simulator.
+//!
+//! The analytic step model in `multipod-core` charges every step phase
+//! serially: `compute + comm + update + …` ([Figures 6/8's no-overlap
+//! baseline]). Real TPU pods hide most of the gradient all-reduce by
+//! bucketing gradients and overlapping the Y-then-X reduction with
+//! backprop. This crate supplies the runtime for that overlapped model:
+//!
+//! * [`TaskKind`] — typed step tasks: layer backprop, per-bucket
+//!   reduce-scatter/all-gather phases, optimizer shard updates, input
+//!   fetch, checkpoint saves;
+//! * [`TaskGraph`] — a DAG builder with explicit dependencies (a task may
+//!   only depend on already-added tasks, so cycles cannot be expressed);
+//! * [`TaskGraph::run`] — a deterministic list scheduler over
+//!   [`multipod_simnet::EventQueue`]: each [`Resource`] (MXU, ICI, host,
+//!   PCIe) executes one task at a time, independent tasks on different
+//!   resources advance concurrently in sim-time.
+//!
+//! # Determinism contract
+//!
+//! Given the same graph, [`TaskGraph::run`] is bit-stable: ready tasks are
+//! dispatched lowest-id first, resources are polled in a fixed order, and
+//! the event queue breaks timestamp ties FIFO. A chain of tasks linked by
+//! dependencies accumulates its finish time as a left fold of `f64`
+//! additions in task order — which is how `multipod-core` reproduces the
+//! analytic `StepBreakdown::total()` bit-for-bit when overlap is disabled.
+//!
+//! ```
+//! use multipod_taskgraph::{Resource, TaskGraph, TaskKind};
+//!
+//! let mut g = TaskGraph::new();
+//! let bwd = g.add(TaskKind::LayerBackprop { layer: 0 }, Resource::Mxu, 2.0e-3, &[]).unwrap();
+//! let rs = g
+//!     .add(TaskKind::reduce_scatter_y(0), Resource::Ici, 1.0e-3, &[bwd])
+//!     .unwrap();
+//! let fetch = g.add(TaskKind::InputFetch, Resource::Host, 1.5e-3, &[]).unwrap();
+//! let s = g.run();
+//! // The input fetch overlaps the device work entirely.
+//! assert_eq!(s.makespan.seconds(), 3.0e-3);
+//! assert_eq!(s.tasks[rs.0].start.seconds(), 2.0e-3);
+//! assert_eq!(s.tasks[fetch.0].start.seconds(), 0.0);
+//! ```
+
+mod graph;
+mod sched;
+mod task;
+
+pub use graph::{TaskGraph, TaskGraphError};
+pub use sched::{ScheduledTask, TaskSchedule};
+pub use task::{Axis, Resource, SerialPhase, Task, TaskId, TaskKind};

@@ -1,0 +1,370 @@
+//! The deterministic list scheduler.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use multipod_simnet::{EventQueue, SimTime};
+use multipod_telemetry::{MetricId, Subsystem, Telemetry};
+use multipod_trace::{SpanCategory, SpanEvent, TraceSink, Track};
+
+use crate::graph::TaskGraph;
+use crate::task::{Resource, TaskId, TaskKind};
+
+/// One task's placement in simulated time.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledTask {
+    /// The task.
+    pub id: TaskId,
+    /// Its kind (copied out of the graph for reporting).
+    pub kind: TaskKind,
+    /// The resource it ran on.
+    pub resource: Resource,
+    /// Requested duration, seconds.
+    pub seconds: f64,
+    /// When it started.
+    pub start: SimTime,
+    /// When it finished (`start + seconds`).
+    pub end: SimTime,
+}
+
+/// The executed schedule: every task placed, plus the makespan.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TaskSchedule {
+    /// Placements in task-id order.
+    pub tasks: Vec<ScheduledTask>,
+    /// When the last task finished.
+    pub makespan: SimTime,
+}
+
+impl TaskGraph {
+    /// Executes the graph over the simnet event engine and returns the
+    /// schedule.
+    ///
+    /// Each [`Resource`] runs one task at a time; among ready tasks on a
+    /// resource the lowest id starts first, resources dispatch in
+    /// [`Resource::ALL`] order, and completion ties pop FIFO — so the
+    /// schedule is a pure function of the graph (the determinism
+    /// contract in the crate docs).
+    pub fn run(&self) -> TaskSchedule {
+        let n = self.tasks.len();
+        let mut remaining: Vec<usize> = self.tasks.iter().map(|t| t.deps.len()).collect();
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, t) in self.tasks.iter().enumerate() {
+            for d in &t.deps {
+                dependents[d.0].push(i);
+            }
+        }
+
+        let mut ready: [BTreeSet<usize>; 4] = Default::default();
+        let mut running: [Option<usize>; 4] = [None; 4];
+        let mut starts: Vec<SimTime> = vec![SimTime::ZERO; n];
+        let mut ends: Vec<SimTime> = vec![SimTime::ZERO; n];
+        let mut queue: EventQueue<usize> = EventQueue::new();
+
+        for (i, t) in self.tasks.iter().enumerate() {
+            if t.deps.is_empty() {
+                ready[t.resource.index()].insert(i);
+            }
+        }
+
+        let dispatch = |now: SimTime,
+                        ready: &mut [BTreeSet<usize>; 4],
+                        running: &mut [Option<usize>; 4],
+                        queue: &mut EventQueue<usize>,
+                        starts: &mut Vec<SimTime>,
+                        ends: &mut Vec<SimTime>| {
+            for r in Resource::ALL {
+                let slot = r.index();
+                if running[slot].is_some() {
+                    continue;
+                }
+                let Some(&next) = ready[slot].first() else {
+                    continue;
+                };
+                ready[slot].remove(&next);
+                let end = now + self.tasks[next].seconds;
+                starts[next] = now;
+                ends[next] = end;
+                running[slot] = Some(next);
+                queue.schedule(end, next);
+            }
+        };
+
+        dispatch(
+            SimTime::ZERO,
+            &mut ready,
+            &mut running,
+            &mut queue,
+            &mut starts,
+            &mut ends,
+        );
+        let mut makespan = SimTime::ZERO;
+        while let Some((now, done)) = queue.pop_batch() {
+            makespan = makespan.max(now);
+            for i in done {
+                running[self.tasks[i].resource.index()] = None;
+                for &d in &dependents[i] {
+                    remaining[d] -= 1;
+                    if remaining[d] == 0 {
+                        ready[self.tasks[d].resource.index()].insert(d);
+                    }
+                }
+            }
+            dispatch(
+                now,
+                &mut ready,
+                &mut running,
+                &mut queue,
+                &mut starts,
+                &mut ends,
+            );
+        }
+
+        let tasks = self
+            .tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| ScheduledTask {
+                id: TaskId(i),
+                kind: t.kind,
+                resource: t.resource,
+                seconds: t.seconds,
+                start: starts[i],
+                end: ends[i],
+            })
+            .collect();
+        TaskSchedule { tasks, makespan }
+    }
+}
+
+impl TaskSchedule {
+    /// Total busy seconds of a resource: the left-fold sum, in task-id
+    /// order, of the durations placed on it. Because a resource runs one
+    /// task at a time, the makespan can never be (more than a rounding
+    /// error) below any resource's busy time.
+    pub fn busy_seconds(&self, resource: Resource) -> f64 {
+        self.tasks
+            .iter()
+            .filter(|t| t.resource == resource)
+            .fold(0.0, |acc, t| acc + t.seconds)
+    }
+
+    /// MXU busy seconds (the "compute" side of the overlap bound).
+    pub fn compute_seconds(&self) -> f64 {
+        self.busy_seconds(Resource::Mxu)
+    }
+
+    /// ICI busy seconds (the "comm" side of the overlap bound).
+    pub fn comm_seconds(&self) -> f64 {
+        self.busy_seconds(Resource::Ici)
+    }
+
+    /// Records every task as a span starting at `base`, on the simulation
+    /// track, and returns `base + makespan` so successive steps can be
+    /// laid out back to back. Concurrent tasks produce overlapping spans,
+    /// which is exactly what the telemetry critical-path profiler's
+    /// `overlap_fraction` measures.
+    pub fn record_trace(&self, sink: &dyn TraceSink, base: SimTime) -> SimTime {
+        for t in &self.tasks {
+            if t.seconds <= 0.0 {
+                continue;
+            }
+            let category = match t.kind {
+                TaskKind::ReduceScatter { .. } | TaskKind::AllGather { .. } => {
+                    SpanCategory::CollectivePhase
+                }
+                TaskKind::OptimizerShardUpdate { .. } => SpanCategory::Optimizer,
+                TaskKind::InputFetch => SpanCategory::Input,
+                TaskKind::CheckpointSave { .. } => SpanCategory::Checkpoint,
+                TaskKind::Serial { phase } => match phase {
+                    crate::task::SerialPhase::GradientComm => SpanCategory::CollectivePhase,
+                    crate::task::SerialPhase::WeightUpdate => SpanCategory::Optimizer,
+                    crate::task::SerialPhase::InputStall => SpanCategory::Input,
+                    _ => SpanCategory::StepPhase,
+                },
+                _ => SpanCategory::StepPhase,
+            };
+            sink.record_span(SpanEvent::new(
+                Track::Sim,
+                category,
+                t.kind.label(),
+                base + t.start.seconds(),
+                base + t.end.seconds(),
+            ));
+        }
+        base + self.makespan.seconds()
+    }
+
+    /// Records the schedule into the telemetry registry: a task counter,
+    /// per-resource busy-time histograms, and the makespan.
+    pub fn record_telemetry(&self, telemetry: &Telemetry) {
+        telemetry.inc_counter(
+            MetricId::new(Subsystem::Sched, "tasks"),
+            self.tasks.len() as u64,
+        );
+        for r in Resource::ALL {
+            let busy = self.busy_seconds(r);
+            if busy > 0.0 {
+                telemetry.observe(
+                    MetricId::labeled(Subsystem::Sched, "resource_busy_seconds", r.label()),
+                    busy,
+                );
+            }
+        }
+        telemetry.observe(
+            MetricId::new(Subsystem::Sched, "makespan_seconds"),
+            self.makespan.seconds(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::SerialPhase;
+
+    #[test]
+    fn independent_resources_overlap() {
+        let mut g = TaskGraph::new();
+        g.add(TaskKind::Forward, Resource::Mxu, 3.0, &[]).unwrap();
+        g.add(TaskKind::InputFetch, Resource::Host, 2.0, &[])
+            .unwrap();
+        let s = g.run();
+        assert_eq!(s.makespan, SimTime::from_seconds(3.0));
+        assert_eq!(s.tasks[1].start, SimTime::ZERO);
+    }
+
+    #[test]
+    fn same_resource_serializes_lowest_id_first() {
+        let mut g = TaskGraph::new();
+        g.add(TaskKind::reduce_scatter_y(0), Resource::Ici, 1.0, &[])
+            .unwrap();
+        g.add(TaskKind::reduce_scatter_y(1), Resource::Ici, 1.0, &[])
+            .unwrap();
+        let s = g.run();
+        assert_eq!(s.tasks[0].start, SimTime::ZERO);
+        assert_eq!(s.tasks[1].start, SimTime::from_seconds(1.0));
+        assert_eq!(s.makespan, SimTime::from_seconds(2.0));
+        assert_eq!(s.comm_seconds(), 2.0);
+    }
+
+    #[test]
+    fn dependencies_gate_start_times() {
+        let mut g = TaskGraph::new();
+        let fwd = g.add(TaskKind::Forward, Resource::Mxu, 2.0, &[]).unwrap();
+        let bwd = g
+            .add(
+                TaskKind::LayerBackprop { layer: 0 },
+                Resource::Mxu,
+                1.0,
+                &[fwd],
+            )
+            .unwrap();
+        let rs = g
+            .add(TaskKind::reduce_scatter_y(0), Resource::Ici, 4.0, &[bwd])
+            .unwrap();
+        let s = g.run();
+        assert_eq!(s.tasks[rs.0].start, SimTime::from_seconds(3.0));
+        assert_eq!(s.makespan, SimTime::from_seconds(7.0));
+    }
+
+    #[test]
+    fn serial_chain_folds_left_bit_for_bit() {
+        // The overlap-disabled contract: a dependency chain accumulates
+        // its makespan as the left fold of the durations.
+        let durations = [0.1, 0.2, 0.3, 0.4, 0.05, 0.007];
+        let mut g = TaskGraph::new();
+        let mut prev: Option<TaskId> = None;
+        for &d in &durations {
+            let deps: Vec<TaskId> = prev.into_iter().collect();
+            prev = Some(
+                g.add(
+                    TaskKind::Serial {
+                        phase: SerialPhase::Compute,
+                    },
+                    Resource::Mxu,
+                    d,
+                    &deps,
+                )
+                .unwrap(),
+            );
+        }
+        let expected = durations.iter().fold(0.0f64, |acc, &d| acc + d);
+        let s = g.run();
+        assert_eq!(s.makespan.seconds().to_bits(), expected.to_bits());
+    }
+
+    #[test]
+    fn zero_duration_tasks_complete() {
+        let mut g = TaskGraph::new();
+        let a = g.add(TaskKind::Forward, Resource::Mxu, 0.0, &[]).unwrap();
+        let b = g
+            .add(
+                TaskKind::LayerBackprop { layer: 0 },
+                Resource::Mxu,
+                0.0,
+                &[a],
+            )
+            .unwrap();
+        g.add(TaskKind::reduce_scatter_y(0), Resource::Ici, 1.0, &[b])
+            .unwrap();
+        let s = g.run();
+        assert_eq!(s.makespan, SimTime::from_seconds(1.0));
+    }
+
+    #[test]
+    fn schedule_is_deterministic_across_runs() {
+        let build = || {
+            let mut g = TaskGraph::new();
+            let fwd = g.add(TaskKind::Forward, Resource::Mxu, 0.31, &[]).unwrap();
+            let mut grads = Vec::new();
+            for b in 0..4u32 {
+                let bwd = g
+                    .add(
+                        TaskKind::LayerBackprop { layer: b },
+                        Resource::Mxu,
+                        0.17,
+                        &[fwd],
+                    )
+                    .unwrap();
+                let rs = g
+                    .add(TaskKind::reduce_scatter_y(b), Resource::Ici, 0.11, &[bwd])
+                    .unwrap();
+                grads.push(rs);
+            }
+            g.add(TaskKind::InputFetch, Resource::Host, 0.5, &[])
+                .unwrap();
+            g.run()
+        };
+        let a = serde_json::to_string(&build()).unwrap();
+        let b = serde_json::to_string(&build()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn makespan_bounded_by_busy_sums() {
+        let mut g = TaskGraph::new();
+        let fwd = g.add(TaskKind::Forward, Resource::Mxu, 1.0, &[]).unwrap();
+        let mut prev = fwd;
+        for b in 0..3u32 {
+            let bwd = g
+                .add(
+                    TaskKind::LayerBackprop { layer: b },
+                    Resource::Mxu,
+                    0.5,
+                    &[prev],
+                )
+                .unwrap();
+            g.add(TaskKind::reduce_scatter_y(b), Resource::Ici, 0.6, &[bwd])
+                .unwrap();
+            prev = bwd;
+        }
+        let s = g.run();
+        let compute = s.compute_seconds();
+        let comm = s.comm_seconds();
+        let m = s.makespan.seconds();
+        assert!(m >= compute.max(comm) - 1e-12);
+        assert!(m <= compute + comm + 1e-12);
+    }
+}

@@ -30,6 +30,8 @@ pub enum Subsystem {
     Input,
     /// Checkpoint save/restore traffic.
     Ckpt,
+    /// The deferred task-graph scheduler (comm/compute overlap).
+    Sched,
 }
 
 impl Subsystem {
@@ -41,6 +43,7 @@ impl Subsystem {
             Subsystem::Core => "core",
             Subsystem::Input => "input",
             Subsystem::Ckpt => "ckpt",
+            Subsystem::Sched => "sched",
         }
     }
 }

@@ -31,6 +31,12 @@ pub enum TopologyError {
         /// Destination chip.
         to: ChipId,
     },
+    /// A slice was requested for a chip count the paper's sweeps cannot
+    /// carve (not a power of two, or below 2).
+    InvalidSliceShape {
+        /// The rejected chip count.
+        chips: u32,
+    },
 }
 
 impl fmt::Display for TopologyError {
@@ -44,6 +50,9 @@ impl fmt::Display for TopologyError {
             }
             TopologyError::NoRoute { from, to } => {
                 write!(f, "no route from {from} to {to}")
+            }
+            TopologyError::InvalidSliceShape { chips } => {
+                write!(f, "slice needs a power-of-two chip count >= 2, got {chips}")
             }
         }
     }
@@ -92,13 +101,26 @@ impl MultipodConfig {
     ///
     /// # Panics
     ///
-    /// Panics if `chips` is not a power of two or is smaller than 2.
+    /// Panics if `chips` is not a power of two or is smaller than 2; use
+    /// [`MultipodConfig::try_slice`] to get a typed error instead.
     pub fn slice(chips: u32) -> MultipodConfig {
-        assert!(
-            chips.is_power_of_two() && chips >= 2,
-            "chips must be a power of two >= 2"
-        );
-        if chips <= 1024 {
+        MultipodConfig::try_slice(chips).unwrap_or_else(|_| {
+            panic!("chips must be a power of two >= 2, got {chips}");
+        })
+    }
+
+    /// Fallible [`MultipodConfig::slice`]: returns
+    /// [`TopologyError::InvalidSliceShape`] when `chips` is not a power of
+    /// two ≥ 2 instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// See above.
+    pub fn try_slice(chips: u32) -> Result<MultipodConfig, TopologyError> {
+        if !(chips.is_power_of_two() && chips >= 2) {
+            return Err(TopologyError::InvalidSliceShape { chips });
+        }
+        Ok(if chips <= 1024 {
             // Cut the most square power-of-two slice with y ≤ 32, matching
             // how TPU-v3 slices are carved (4x4, 8x8, 16x16, 16x32, 32x32).
             let mut y = 1u32;
@@ -109,7 +131,7 @@ impl MultipodConfig {
             MultipodConfig::mesh(x, y, true)
         } else {
             MultipodConfig::multipod(chips / 1024)
-        }
+        })
     }
 }
 
@@ -399,6 +421,22 @@ mod tests {
             let m = Multipod::new(MultipodConfig::slice(chips));
             assert_eq!(m.num_chips() as u32, chips, "chips={chips}");
         }
+    }
+
+    #[test]
+    fn try_slice_rejects_bad_chip_counts_with_typed_errors() {
+        for chips in [0u32, 1, 3, 6, 100, 4095] {
+            assert_eq!(
+                MultipodConfig::try_slice(chips),
+                Err(TopologyError::InvalidSliceShape { chips }),
+                "chips={chips}"
+            );
+        }
+        assert_eq!(
+            MultipodConfig::try_slice(4096),
+            Ok(MultipodConfig::multipod(4))
+        );
+        assert_eq!(MultipodConfig::try_slice(16), Ok(MultipodConfig::slice(16)));
     }
 
     #[test]

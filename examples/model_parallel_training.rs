@@ -35,7 +35,7 @@ fn main() {
     let sq = b.mul(resid, resid).unwrap();
     let s = b.reduce_sum(sq, 0).unwrap();
     let loss = b.reduce_sum(s, 0).unwrap();
-    let forward = b.build(vec![loss]);
+    let forward = b.build(vec![loss]).unwrap();
 
     // Append the backward pass and partition the whole thing.
     let gg = gradients(&forward, loss, &[w1, w2]).expect("gradient graph");

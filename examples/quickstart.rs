@@ -10,7 +10,9 @@ use multipod::core::{presets, Executor};
 fn main() {
     // The Table-1 configuration: BERT, 4096 TPU-v3 chips, TensorFlow.
     let preset = presets::bert(4096);
-    let report = Executor::new(preset).run();
+    let report = Executor::new(preset)
+        .run()
+        .expect("the quickstart preset is valid");
 
     println!("benchmark      : {}", report.name);
     println!("chips          : {}", report.chips);

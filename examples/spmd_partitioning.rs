@@ -28,7 +28,7 @@ fn main() {
     let h = b.matmul(x, w1).unwrap();
     let h = b.relu(h).unwrap();
     let y = b.matmul(h, w2).unwrap();
-    let graph = b.build(vec![y]);
+    let graph = b.build(vec![y]).unwrap();
 
     let program = SpmdPartitioner::new(parts).partition(&graph).unwrap();
     let stats = program.comm_stats();
@@ -73,7 +73,7 @@ fn main() {
     let img = b.parameter("img", Shape::of(&[32, 16]), Sharding::split(0, parts));
     let k = b.parameter("k", Shape::of(&[3, 3]), Sharding::Replicated);
     let c = b.conv2d_same(img, k).unwrap();
-    let conv_graph = b.build(vec![c]);
+    let conv_graph = b.build(vec![c]).unwrap();
     let conv_program = SpmdPartitioner::new(parts).partition(&conv_graph).unwrap();
     println!("\nspatially partitioned conv over {parts} cores:");
     println!(

@@ -42,7 +42,7 @@
 //!
 //! // Reproduce the paper's headline BERT row: 4096 TPU-v3 chips.
 //! let preset = presets::bert(4096);
-//! let report = Executor::new(preset).run();
+//! let report = Executor::new(preset).run().unwrap();
 //! assert!(report.end_to_end_minutes() < 1.0); // paper: 0.39 min
 //! ```
 

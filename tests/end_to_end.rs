@@ -29,7 +29,7 @@ fn table1_all_rows_run_and_land_in_band() {
         };
         (preset, c, p, t)
     }) {
-        let r = Executor::new(preset).run();
+        let r = Executor::new(preset).run().unwrap();
         let ours = r.end_to_end_minutes();
         assert!(
             ours > paper / tol && ours < paper * tol,
@@ -94,14 +94,14 @@ fn every_model_prefers_its_paper_scale_or_larger() {
         (1024 * 2) / w.parallelism.cores_per_replica() > w.convergence.max_batch.unwrap();
     assert!(too_many_replicas, "512 chips must be MaskRCNN's ceiling");
 
-    let dlrm_small = Executor::new(presets::dlrm(256)).run();
-    let dlrm_large = Executor::new(presets::dlrm(1024)).run();
+    let dlrm_small = Executor::new(presets::dlrm(256)).run().unwrap();
+    let dlrm_large = Executor::new(presets::dlrm(1024)).run().unwrap();
     let gain = dlrm_small.end_to_end_minutes() / dlrm_large.end_to_end_minutes();
     assert!(gain < 2.0, "DLRM communication caps scale-out: {gain}");
 
     // BERT, in contrast, keeps improving to the full multipod.
-    let bert_pod = Executor::new(presets::bert(1024)).run();
-    let bert_multipod = Executor::new(presets::bert(4096)).run();
+    let bert_pod = Executor::new(presets::bert(1024)).run().unwrap();
+    let bert_multipod = Executor::new(presets::bert(4096)).run().unwrap();
     assert!(
         bert_multipod.end_to_end_minutes() < 0.5 * bert_pod.end_to_end_minutes(),
         "BERT should gain >2x from 1024 to 4096 chips"
@@ -113,8 +113,8 @@ fn jax_runs_report_lower_eval_and_init_overheads() {
     for make in [presets::ssd as fn(u32) -> _, presets::resnet50] {
         let mut jax_preset = make(2048);
         jax_preset.framework = FrameworkKind::Jax;
-        let tf = Executor::new(make(2048)).run();
-        let jax = Executor::new(jax_preset).run();
+        let tf = Executor::new(make(2048)).run().unwrap();
+        let jax = Executor::new(jax_preset).run().unwrap();
         assert!(jax.init_seconds < tf.init_seconds);
         assert!(jax.eval_seconds <= tf.eval_seconds + 1e-9);
         // Device train time is framework-independent (§4).
@@ -124,7 +124,7 @@ fn jax_runs_report_lower_eval_and_init_overheads() {
 
 #[test]
 fn reports_serialize_to_json() {
-    let r = Executor::new(presets::transformer(512)).run();
+    let r = Executor::new(presets::transformer(512)).run().unwrap();
     let json = serde_json::to_string(&r).expect("report serializes");
     assert!(json.contains("\"Transformer\""));
     assert!(json.contains("gradient_comm"));

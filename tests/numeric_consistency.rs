@@ -109,7 +109,7 @@ fn feature_sharded_forward_plus_peer_gradient_ring() {
     let x = b.parameter("x", Shape::of(&[4, 8]), Sharding::Replicated);
     let w = b.parameter("w", Shape::of(&[8, 6]), Sharding::split(1, parts));
     let y = b.matmul(x, w).unwrap();
-    let graph = b.build(vec![y]);
+    let graph = b.build(vec![y]).unwrap();
     let program = SpmdPartitioner::new(parts).partition(&graph).unwrap();
 
     let mut rng = TensorRng::seed(5);
