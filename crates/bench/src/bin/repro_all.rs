@@ -6,7 +6,9 @@
 //! `--profile <out.json>` to export the flight-recorder report over the
 //! same timelines.
 
-use multipod_bench::{paper, preset_by_name, profile_flag, trace_flag, write_profile, write_trace};
+use multipod_bench::{
+    paper, preset_by_name, profile_flag, simcore, trace_flag, write_profile, write_trace,
+};
 use multipod_ckpt::{run_rollback_campaign, young_daly_interval, RollbackConfig};
 use multipod_collectives::Precision;
 use multipod_core::ablate::{precision_ablation, summation_ablation, wus_ablation};
@@ -189,6 +191,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "overlap_ratio": overlapped.overlap_ratio(),
     });
 
+    // Simulator-core event replay (multipod-simnet): the seed event core
+    // (binary-heap queue, uncached network) against the hardware-fast one
+    // (calendar queue, memoized network) on a 64x16 all-reduce step.
+    // BENCH_simnet.json holds the full 128x32/256x64 ladder; this is the
+    // small anchor summarized in EXPERIMENTS.md.
+    let sim_cfg = MultipodConfig::mesh(64, 16, true);
+    let sim_elems = 1 << 18;
+    let (sim_base, sim_base_wall) =
+        simcore::time_side(2, || simcore::run_baseline(&sim_cfg, sim_elems));
+    let (sim_opt, sim_opt_wall) =
+        simcore::time_side(2, || simcore::run_optimized(&sim_cfg, sim_elems));
+    let simnet = json!({
+        "mesh": "64x16",
+        "events": sim_opt.events,
+        "sim_seconds": sim_opt.final_time.seconds(),
+        "bit_identical": sim_base.digest == sim_opt.digest
+            && sim_base.final_time.seconds().to_bits()
+                == sim_opt.final_time.seconds().to_bits(),
+        "baseline_events_per_sec": (sim_base.events as f64 / sim_base_wall).round(),
+        "optimized_events_per_sec": (sim_opt.events as f64 / sim_opt_wall).round(),
+        "speedup": sim_base_wall / sim_opt_wall,
+    });
+
     let doc = json!({
         "table1": table1,
         "table2": table2,
@@ -199,6 +224,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "ablations": ablations,
         "checkpointing": checkpointing,
         "overlap": overlap,
+        "simnet": simnet,
     });
     println!("{}", serde_json::to_string_pretty(&doc).unwrap());
 

@@ -1,0 +1,237 @@
+//! Simulator-core micro-benchmark: seed event core vs the hardware-fast
+//! core, driving the message pattern of one 2-D all-reduce step event by
+//! event (see [`multipod_bench::simcore`] for the shared workload).
+//!
+//! The baseline re-implements the pre-optimization simulator faithfully: a
+//! binary-heap event queue and a network that recomputes the route, per-hop
+//! latency, and hash-map link occupancy on every transfer. The optimized
+//! side runs the production calendar-queue `EventQueue` and the memoized
+//! `Network` (interned links, cached `Arc<Route>` paths, dense occupancy
+//! vectors). Both sides execute the same discrete-event simulation — every
+//! ring member of every Y-ring and X-ring chains 2(n-1) forward sends, each
+//! completion scheduling the next — and must agree on every event time, bit
+//! for bit, or the run fails.
+//!
+//! Emits `BENCH_simnet.json`.
+//!
+//! Flags:
+//!   --mesh <WxH>              run one mesh instead of the default pair
+//!                             (128x32 and 256x64)
+//!   --elems <n>               per-chip payload elements (default 262144)
+//!   --iters <n>               timed iterations per side (default 3)
+//!   --json <path>             output path (default BENCH_simnet.json)
+//!   --check-determinism       replay the optimized simulation twice; exit
+//!                             1 unless the event digests are identical
+//!   --check-regression <path> compare against a committed report: exit 1
+//!                             if the current speedup falls below 80% of
+//!                             the committed one (wall times are machine
+//!                             dependent; the baseline/optimized ratio on
+//!                             the same host is not)
+//!   --matrix                  diagnostic mode: time all four queue × core
+//!                             combinations on the last mesh and exit
+
+use std::process::ExitCode;
+
+use multipod_bench::simcore::{
+    all_reduce_rings, run_baseline, run_optimized, simulate, time_side, SeedNetwork, SimOutcome,
+};
+use multipod_bench::{arg_value, committed_measurement, BenchReport};
+use multipod_simnet::{EventQueue, HeapEventQueue, Network, NetworkConfig};
+use multipod_topology::{Multipod, MultipodConfig};
+use serde_json::json;
+
+/// One labelled queue × core combination for `--matrix`.
+type Combo = (&'static str, Box<dyn Fn() -> SimOutcome>);
+
+/// Diagnostic mode: time all four queue × core combinations, attributing
+/// the speedup between the event queue and the network memoization.
+fn matrix(cfg: &MultipodConfig, elems: usize, iters: usize) {
+    let combos: Vec<Combo> = vec![
+        ("heap+seed", {
+            let cfg = cfg.clone();
+            Box::new(move || run_baseline(&cfg, elems))
+        }),
+        ("cal+fast", {
+            let cfg = cfg.clone();
+            Box::new(move || run_optimized(&cfg, elems))
+        }),
+        ("heap+fast", {
+            let cfg = cfg.clone();
+            Box::new(move || {
+                let mut net = Network::new(Multipod::new(cfg.clone()), NetworkConfig::tpu_v3());
+                let rings = all_reduce_rings(net.mesh());
+                let mut queue = HeapEventQueue::new();
+                simulate(&mut queue, &mut net, &rings, elems)
+            })
+        }),
+        ("cal+seed", {
+            let cfg = cfg.clone();
+            Box::new(move || {
+                let mesh = Multipod::new(cfg.clone());
+                let rings = all_reduce_rings(&mesh);
+                let mut core = SeedNetwork::new(&cfg);
+                let mut queue = EventQueue::new();
+                simulate(&mut queue, &mut core, &rings, elems)
+            })
+        }),
+    ];
+    for (name, run) in combos {
+        let (outcome, wall) = time_side(iters, run);
+        println!(
+            "{name:>10}: {:.2} ms, {:.0} events/s",
+            wall * 1e3,
+            outcome.events as f64 / wall
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let elems: usize = arg_value("--elems").map_or(1 << 18, |v| v.parse().expect("--elems"));
+    let iters: usize = arg_value("--iters")
+        .map_or(3, |v| v.parse().expect("--iters"))
+        .max(1);
+    let meshes: Vec<(u32, u32)> = match arg_value("--mesh") {
+        Some(spec) => {
+            let (x, y) = spec
+                .split_once('x')
+                .unwrap_or_else(|| panic!("--mesh expects WxH, got '{spec}'"));
+            vec![(
+                x.parse().expect("mesh width"),
+                y.parse().expect("mesh height"),
+            )]
+        }
+        None => vec![(128, 32), (256, 64)],
+    };
+
+    if std::env::args().any(|a| a == "--matrix") {
+        let &(x, y) = meshes.last().expect("at least one mesh");
+        matrix(&MultipodConfig::mesh(x, y, true), elems, iters);
+        return ExitCode::SUCCESS;
+    }
+
+    let mesh_label = meshes
+        .iter()
+        .map(|(x, y)| format!("{x}x{y}"))
+        .collect::<Vec<_>>()
+        .join("+");
+    let total_chips: usize = meshes.iter().map(|&(x, y)| (x * y) as usize).sum();
+    let mut report = BenchReport::new("simnet", mesh_label.clone(), total_chips);
+
+    println!("# Simulator-core event throughput, {elems} elems/chip, {iters} iters/side");
+    let mut bit_identical = true;
+    let mut last_speedup = f64::NAN;
+    let mut speedup_at_target: Option<bool> = None;
+    for &(x, y) in &meshes {
+        let cfg = MultipodConfig::mesh(x, y, true);
+        let label = format!("{x}x{y}");
+
+        let (base, base_wall) = time_side(iters, || run_baseline(&cfg, elems));
+        let (opt, opt_wall) = time_side(iters, || run_optimized(&cfg, elems));
+
+        let identical = base.digest == opt.digest
+            && base.final_time.seconds().to_bits() == opt.final_time.seconds().to_bits()
+            && base.events == opt.events;
+        bit_identical &= identical;
+
+        let base_eps = base.events as f64 / base_wall;
+        let opt_eps = opt.events as f64 / opt_wall;
+        let speedup = opt_eps / base_eps;
+        last_speedup = speedup;
+        if (x, y) == (256, 64) {
+            speedup_at_target = Some(speedup >= 2.0);
+        }
+        println!(
+            "{label}: {} events, sim {} s, bit-identical: {identical}",
+            opt.events,
+            opt.final_time.seconds()
+        );
+        println!(
+            "  seed core      | {:>9.1} ms | {base_eps:>12.0} events/s",
+            base_wall * 1e3
+        );
+        println!(
+            "  hardware-fast  | {:>9.1} ms | {opt_eps:>12.0} events/s",
+            opt_wall * 1e3
+        );
+        println!("  speedup: {speedup:.2}x");
+
+        report = report
+            .measurement(format!("events_{label}"), json!(opt.events))
+            .measurement(
+                format!("sim_seconds_{label}"),
+                json!(opt.final_time.seconds()),
+            )
+            .measurement(format!("baseline_ms_{label}"), json!(base_wall * 1e3))
+            .measurement(format!("optimized_ms_{label}"), json!(opt_wall * 1e3))
+            .measurement(
+                format!("baseline_events_per_sec_{label}"),
+                json!(base_eps.round()),
+            )
+            .measurement(
+                format!("optimized_events_per_sec_{label}"),
+                json!(opt_eps.round()),
+            )
+            .measurement(format!("speedup_{label}"), json!(speedup));
+        if !identical {
+            eprintln!("FAIL: seed and hardware-fast cores disagree on {label}");
+        }
+    }
+
+    let determinism_checked = std::env::args().any(|a| a == "--check-determinism");
+    let mut deterministic = true;
+    if determinism_checked {
+        // Replay the optimized simulation on the last mesh twice more: the
+        // event digest (every pop, every finish time) must not move.
+        let &(x, y) = meshes.last().expect("at least one mesh");
+        let cfg = MultipodConfig::mesh(x, y, true);
+        let a = run_optimized(&cfg, elems);
+        let b = run_optimized(&cfg, elems);
+        deterministic = a.digest == b.digest
+            && a.final_time.seconds().to_bits() == b.final_time.seconds().to_bits();
+        println!(
+            "determinism: {}",
+            if deterministic {
+                "byte-identical event digests"
+            } else {
+                "MISMATCH — replays differ"
+            }
+        );
+    }
+
+    report = report
+        .gate("bit_identical", bit_identical)
+        .gate(
+            "deterministic",
+            determinism_checked.then_some(deterministic),
+        )
+        .gate("speedup_target_2x", speedup_at_target)
+        .measurement("speedup", json!(last_speedup));
+    let json_path = arg_value("--json").unwrap_or_else(|| "BENCH_simnet.json".to_string());
+    report.write(&json_path);
+
+    if !bit_identical || !deterministic || speedup_at_target == Some(false) {
+        if speedup_at_target == Some(false) {
+            eprintln!("FAIL: hardware-fast core below the 2x events/sec target at 256x64");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(committed) = arg_value("--check-regression") {
+        let text =
+            std::fs::read_to_string(&committed).unwrap_or_else(|e| panic!("read {committed}: {e}"));
+        let prior: serde_json::Value = serde_json::from_str(&text).expect("committed report json");
+        let prior_speedup = committed_measurement(&prior, "speedup")
+            .and_then(|v| v.as_f64())
+            .expect("committed report has a speedup measurement");
+        let floor = prior_speedup * 0.8;
+        println!(
+            "regression gate: speedup {last_speedup:.2}x vs committed {prior_speedup:.2}x (floor {floor:.2}x)"
+        );
+        if last_speedup < floor {
+            eprintln!("FAIL: simulator-core speedup regressed more than 20%");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    ExitCode::SUCCESS
+}

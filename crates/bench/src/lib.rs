@@ -7,6 +7,8 @@
 //! print paper-vs-measured side by side; `EXPERIMENTS.md` is generated
 //! from the same data.
 
+pub mod simcore;
+
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 

@@ -1,0 +1,201 @@
+//! Simulator-core event replay: the shared workload behind
+//! `repro_simnet` and the `simnet` section of `repro_all`.
+//!
+//! Drives the message pattern of one 2-D all-reduce step event by event,
+//! on either side of the hardware-fast rewrite: the seed core (binary-heap
+//! [`HeapEventQueue`] plus a network that re-derives the route, per-hop
+//! latency, and hash-map link occupancy on every transfer) or the
+//! optimized core (calendar [`EventQueue`] plus the memoized [`Network`]
+//! with interned links, cached `Arc<Route>` paths, and dense occupancy
+//! vectors). Both sides execute the same discrete-event simulation and
+//! must agree on every event time, bit for bit.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use multipod_simnet::{EventQueue, HeapEventQueue, Network, NetworkConfig, SimTime};
+use multipod_topology::{ChipId, Multipod, MultipodConfig, Ring};
+
+/// One in-flight chain: ring `ring`'s member `member` finishing schedule
+/// step `step`.
+pub type Ev = (u32, u32, u32);
+
+/// The two queue implementations expose the same API; the simulation is
+/// generic over it so both sides run the exact same code.
+pub trait EventSource {
+    fn schedule(&mut self, time: SimTime, payload: Ev);
+    fn pop(&mut self) -> Option<(SimTime, Ev)>;
+}
+
+impl EventSource for EventQueue<Ev> {
+    fn schedule(&mut self, time: SimTime, payload: Ev) {
+        EventQueue::schedule(self, time, payload);
+    }
+    fn pop(&mut self) -> Option<(SimTime, Ev)> {
+        EventQueue::pop(self)
+    }
+}
+
+impl EventSource for HeapEventQueue<Ev> {
+    fn schedule(&mut self, time: SimTime, payload: Ev) {
+        HeapEventQueue::schedule(self, time, payload);
+    }
+    fn pop(&mut self) -> Option<(SimTime, Ev)> {
+        HeapEventQueue::pop(self)
+    }
+}
+
+/// The timing core under test: something that can reserve a message on
+/// the interconnect and report when it lands.
+pub trait TimingCore {
+    fn transfer(&mut self, from: ChipId, to: ChipId, bytes: u64, start: SimTime) -> SimTime;
+}
+
+impl TimingCore for Network {
+    fn transfer(&mut self, from: ChipId, to: ChipId, bytes: u64, start: SimTime) -> SimTime {
+        Network::transfer(self, from, to, bytes, start)
+            .expect("live torus routes every pair")
+            .finish
+    }
+}
+
+/// The seed network, reconstructed: no route cache, no interned links —
+/// every transfer re-derives the route, re-sums per-hop latency, and hits
+/// a hash map per hop for occupancy. Arithmetic is identical to
+/// [`Network::reserve`] (route-order latency sum, max over link free
+/// times), so the two cores must agree bit for bit.
+pub struct SeedNetwork {
+    mesh: Multipod,
+    config: NetworkConfig,
+    busy: HashMap<(u32, u32), SimTime>,
+}
+
+impl SeedNetwork {
+    pub fn new(cfg: &MultipodConfig) -> SeedNetwork {
+        SeedNetwork {
+            mesh: Multipod::new(cfg.clone()),
+            config: NetworkConfig::tpu_v3(),
+            busy: HashMap::new(),
+        }
+    }
+}
+
+impl TimingCore for SeedNetwork {
+    fn transfer(&mut self, from: ChipId, to: ChipId, bytes: u64, start: SimTime) -> SimTime {
+        let route = self.mesh.route(from, to).expect("live torus");
+        let serialization = bytes as f64 / self.config.link_bandwidth;
+        let mut latency = 0.0f64;
+        let mut depart = start + self.config.message_overhead;
+        for w in route.chips.windows(2) {
+            let class = self.mesh.link_between(w[0], w[1]).expect("route link");
+            latency += self.config.hop_latency * class.latency_multiplier();
+            if let Some(&free) = self.busy.get(&(w[0].0, w[1].0)) {
+                depart = depart.max(free);
+            }
+        }
+        let finish = depart + latency + serialization;
+        let busy_until = depart + serialization;
+        for w in route.chips.windows(2) {
+            self.busy.insert((w[0].0, w[1].0), busy_until);
+        }
+        finish
+    }
+}
+
+/// The rings a 2-D all-reduce step touches: every Y-ring, then every
+/// X-ring (reduce-scatter along Y, X; all-gather along X, Y).
+pub fn all_reduce_rings(mesh: &Multipod) -> Vec<Ring> {
+    let mut rings = Vec::new();
+    for x in 0..mesh.x_len() {
+        rings.push(mesh.y_ring(x));
+    }
+    for y in 0..mesh.y_len() {
+        rings.push(mesh.x_line_strided(y, 0, 1));
+    }
+    rings.retain(|r| r.len() >= 2);
+    rings
+}
+
+pub struct SimOutcome {
+    pub events: u64,
+    pub final_time: SimTime,
+    /// FNV-1a over every popped event and its computed finish time, in
+    /// pop order: equal digests mean observationally identical runs.
+    pub digest: u64,
+}
+
+/// Runs the event-driven message pattern: each ring member's chain starts
+/// at t = 0 and re-schedules itself after each of its 2(n-1) sends.
+pub fn simulate<Q: EventSource, C: TimingCore>(
+    queue: &mut Q,
+    core: &mut C,
+    rings: &[Ring],
+    elems: usize,
+) -> SimOutcome {
+    let mut digest = 0xcbf29ce484222325u64;
+    let mut fnv = |x: u64| {
+        for b in x.to_le_bytes() {
+            digest ^= b as u64;
+            digest = digest.wrapping_mul(0x100000001b3);
+        }
+    };
+    for (r, ring) in rings.iter().enumerate() {
+        for m in 0..ring.len() {
+            queue.schedule(SimTime::ZERO, (r as u32, m as u32, 0));
+        }
+    }
+    let mut events = 0u64;
+    let mut final_time = SimTime::ZERO;
+    while let Some((t, (r, m, step))) = queue.pop() {
+        events += 1;
+        let ring = &rings[r as usize];
+        let n = ring.len();
+        let bytes = ((elems / n).max(1) * 4) as u64;
+        let from = ring.members()[m as usize];
+        let to = ring.members()[(m as usize + 1) % n];
+        let finish = core.transfer(from, to, bytes, t);
+        final_time = final_time.max(finish);
+        fnv(((r as u64) << 40) | ((m as u64) << 16) | step as u64);
+        fnv(finish.seconds().to_bits());
+        if (step as usize) + 1 < 2 * (n - 1) {
+            queue.schedule(finish, (r, m, step + 1));
+        }
+    }
+    SimOutcome {
+        events,
+        final_time,
+        digest,
+    }
+}
+
+/// One full simulated step on the optimized core (calendar queue plus
+/// memoized network).
+pub fn run_optimized(cfg: &MultipodConfig, elems: usize) -> SimOutcome {
+    let mut net = Network::new(Multipod::new(cfg.clone()), NetworkConfig::tpu_v3());
+    let rings = all_reduce_rings(net.mesh());
+    let mut queue = EventQueue::new();
+    simulate(&mut queue, &mut net, &rings, elems)
+}
+
+/// One full simulated step on the seed core (binary-heap queue plus
+/// uncached network).
+pub fn run_baseline(cfg: &MultipodConfig, elems: usize) -> SimOutcome {
+    let mesh = Multipod::new(cfg.clone());
+    let rings = all_reduce_rings(&mesh);
+    let mut core = SeedNetwork::new(cfg);
+    let mut queue = HeapEventQueue::new();
+    simulate(&mut queue, &mut core, &rings, elems)
+}
+
+/// Fastest-of-`iters` wall time for one full simulated step.
+pub fn time_side(iters: usize, mut run: impl FnMut() -> SimOutcome) -> (SimOutcome, f64) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..iters.max(1) {
+        let t0 = Instant::now();
+        let outcome = run();
+        best = best.min(t0.elapsed().as_secs_f64());
+        last = Some(outcome);
+    }
+    (last.expect("iters >= 1"), best)
+}

@@ -20,7 +20,7 @@ use multipod_optim::{Optimizer, StateKey, StateSlot};
 use multipod_simnet::{Network, SimTime};
 use multipod_telemetry::{MetricId, Subsystem};
 use multipod_tensor::Tensor;
-use multipod_topology::{ChipId, HostId, Ring, TopologyError};
+use multipod_topology::{ChipId, HostId, Ring};
 use multipod_trace::{SpanCategory, SpanEvent, Track};
 
 use crate::error::CkptError;
@@ -317,7 +317,7 @@ pub fn save_checkpoint(
                 // A dead row-sibling can leave the gather chip unroutable
                 // even though both chips share a host; the shard then
                 // streams over the chip's own PCIe lane instead of ICI.
-                Err(TopologyError::NoRoute { .. }) => {}
+                Err(e) if e.is_no_route() => {}
                 Err(e) => return Err(e.into()),
             }
         }
@@ -494,7 +494,7 @@ pub fn restore_checkpoint(
                 // the host's shards reach the root host over the
                 // datacenter network instead (ICI cost zero, like the
                 // all-chips-dead case).
-                Err(TopologyError::NoRoute { .. }) => ready,
+                Err(e) if e.is_no_route() => ready,
                 Err(e) => return Err(e.into()),
             }
         };

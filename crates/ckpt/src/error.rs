@@ -3,6 +3,7 @@
 use std::fmt;
 
 use multipod_collectives::CollectiveError;
+use multipod_simnet::NetworkError;
 use multipod_tensor::TensorError;
 use multipod_topology::TopologyError;
 
@@ -51,7 +52,7 @@ pub enum CkptError {
     /// A collective used by the restore broadcast failed.
     Collective(CollectiveError),
     /// A routed transfer on the save/restore path failed.
-    Network(TopologyError),
+    Network(NetworkError),
     /// A tensor reshape/split/concat on the (de)sharding path failed.
     Tensor(TensorError),
     /// The step model under a pipelined save failed.
@@ -114,9 +115,15 @@ impl From<CollectiveError> for CkptError {
     }
 }
 
+impl From<NetworkError> for CkptError {
+    fn from(e: NetworkError) -> CkptError {
+        CkptError::Network(e)
+    }
+}
+
 impl From<TopologyError> for CkptError {
     fn from(e: TopologyError) -> CkptError {
-        CkptError::Network(e)
+        CkptError::Network(NetworkError::Route(e))
     }
 }
 

@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use multipod_simnet::NetworkError;
 use multipod_tensor::TensorError;
 use multipod_topology::TopologyError;
 
@@ -28,8 +29,9 @@ pub enum CollectiveError {
     /// A ring cost model was asked for with a contention factor of zero
     /// (at least one concurrent offset ring must use the links).
     ZeroContentionFactor,
-    /// The underlying network could not route a message.
-    Network(TopologyError),
+    /// The underlying network could not time a message (routing failure
+    /// or an empty transfer).
+    Network(NetworkError),
     /// A tensor operation failed.
     Tensor(TensorError),
 }
@@ -65,9 +67,15 @@ impl Error for CollectiveError {
     }
 }
 
+impl From<NetworkError> for CollectiveError {
+    fn from(e: NetworkError) -> Self {
+        CollectiveError::Network(e)
+    }
+}
+
 impl From<TopologyError> for CollectiveError {
     fn from(e: TopologyError) -> Self {
-        CollectiveError::Network(e)
+        CollectiveError::Network(NetworkError::Route(e))
     }
 }
 

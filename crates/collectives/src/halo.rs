@@ -72,20 +72,25 @@ pub fn halo_exchange(
     let halo_bytes = precision.wire_bytes(zeros_halo.len());
     for i in 0..n {
         let top = if i > 0 {
-            // Part i-1's last rows travel to chip i.
-            finish = finish.max(
-                net.transfer(chips[i - 1], chips[i], halo_bytes, start)?
-                    .finish,
-            );
+            // Part i-1's last rows travel to chip i. A zero-width halo
+            // puts nothing on the wire, so it costs nothing to exchange.
+            if halo_bytes > 0 {
+                finish = finish.max(
+                    net.transfer(chips[i - 1], chips[i], halo_bytes, start)?
+                        .finish,
+                );
+            }
             precision.quantize(&tail(&parts[i - 1]))
         } else {
             zeros_halo.clone()
         };
         let bottom = if i + 1 < n {
-            finish = finish.max(
-                net.transfer(chips[i + 1], chips[i], halo_bytes, start)?
-                    .finish,
-            );
+            if halo_bytes > 0 {
+                finish = finish.max(
+                    net.transfer(chips[i + 1], chips[i], halo_bytes, start)?
+                        .finish,
+                );
+            }
             precision.quantize(&head(&parts[i + 1]))
         } else {
             zeros_halo.clone()

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use multipod_simnet::NetworkError;
 use multipod_topology::TopologyError;
 
 /// Why an embedding operation was rejected.
@@ -56,7 +57,7 @@ pub enum EmbeddingError {
         dim: usize,
     },
     /// A lookup response message could not be routed.
-    Network(TopologyError),
+    Network(NetworkError),
 }
 
 impl fmt::Display for EmbeddingError {
@@ -107,8 +108,14 @@ impl std::error::Error for EmbeddingError {
     }
 }
 
+impl From<NetworkError> for EmbeddingError {
+    fn from(e: NetworkError) -> EmbeddingError {
+        EmbeddingError::Network(e)
+    }
+}
+
 impl From<TopologyError> for EmbeddingError {
     fn from(e: TopologyError) -> EmbeddingError {
-        EmbeddingError::Network(e)
+        EmbeddingError::Network(NetworkError::Route(e))
     }
 }

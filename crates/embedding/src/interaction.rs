@@ -131,8 +131,8 @@ mod tests {
             }
         }
         let w_full = Tensor::new(Shape::of(&[f * f, 4]), w_full);
-        let a = out.gathered.matmul(&w_tri);
-        let b = out.masked.matmul(&w_full);
+        let a = out.gathered.matmul(&w_tri).unwrap();
+        let b = out.masked.matmul(&w_full).unwrap();
         assert!(a.max_abs_diff(&b) < 1e-5);
     }
 

@@ -417,7 +417,12 @@ mod tests {
                 ("w2", f2.clone()),
             ]))
             .unwrap();
-        let expect = fx.matmul(&f1).map(|v| v.max(0.0)).matmul(&f2);
+        let expect = fx
+            .matmul(&f1)
+            .unwrap()
+            .map(|v| v.max(0.0))
+            .matmul(&f2)
+            .unwrap();
         assert!(out[0].max_abs_diff(&expect) < 1e-5);
     }
 

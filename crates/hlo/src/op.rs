@@ -314,7 +314,7 @@ impl Op {
             Op::Parameter { .. } | Op::Constant { .. } => {
                 unreachable!("leaves are fed, not evaluated")
             }
-            Op::MatMul { .. } => operands[0].matmul(operands[1]),
+            Op::MatMul { .. } => operands[0].matmul(operands[1]).expect("validated matmul"),
             Op::Conv2dSame { .. } => conv2d_same(operands[0], operands[1]),
             Op::Add { .. } => operands[0].add(operands[1]).expect("validated add"),
             Op::Relu { .. } => operands[0].map(|v| v.max(0.0)),

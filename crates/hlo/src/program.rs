@@ -496,9 +496,9 @@ impl PartitionedProgram {
                 }
             }
             ComputeOp::Constant { value } => vec![value.clone(); n],
-            ComputeOp::MatMul { lhs, rhs } => {
-                (0..n).map(|c| val(lhs)[c].matmul(&val(rhs)[c])).collect()
-            }
+            ComputeOp::MatMul { lhs, rhs } => (0..n)
+                .map(|c| val(lhs)[c].matmul(&val(rhs)[c]).expect("validated matmul"))
+                .collect(),
             ComputeOp::ConvSame { input, kernel } => (0..n)
                 .map(|c| op::conv2d_same(&val(input)[c], &val(kernel)[c]))
                 .collect(),

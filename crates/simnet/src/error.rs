@@ -1,0 +1,61 @@
+//! Typed errors for network transfer timing.
+
+use multipod_topology::{ChipId, TopologyError};
+
+/// Why a transfer could not be timed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkError {
+    /// No route exists (or a supplied route no longer matches the
+    /// topology — e.g. it traverses a failed link).
+    Route(TopologyError),
+    /// A transfer of zero bytes or over an empty route: there is no
+    /// message to time, so the contention math has nothing to reserve.
+    /// Callers that legitimately produce empty messages (all-to-all
+    /// fan-outs with uneven shards) should skip them instead; batch APIs
+    /// like [`crate::Network::parallel_transfers`] do so automatically.
+    EmptyTransfer {
+        /// Source chip.
+        from: ChipId,
+        /// Destination chip.
+        to: ChipId,
+    },
+}
+
+impl NetworkError {
+    /// Whether this error is a routing failure caused by the current
+    /// (possibly degraded) topology — the condition fault-tolerant
+    /// callers retry or degrade around.
+    pub fn is_no_route(&self) -> bool {
+        matches!(self, NetworkError::Route(TopologyError::NoRoute { .. }))
+    }
+}
+
+impl std::fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetworkError::Route(e) => write!(f, "routing failed: {e}"),
+            NetworkError::EmptyTransfer { from, to } => {
+                write!(
+                    f,
+                    "empty transfer {} -> {}: zero bytes or empty route",
+                    from.0, to.0
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetworkError::Route(e) => Some(e),
+            NetworkError::EmptyTransfer { .. } => None,
+        }
+    }
+}
+
+impl From<TopologyError> for NetworkError {
+    fn from(e: TopologyError) -> Self {
+        NetworkError::Route(e)
+    }
+}

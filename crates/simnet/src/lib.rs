@@ -25,9 +25,11 @@
 //! ```
 
 mod engine;
+mod error;
 mod network;
 
-pub use engine::{EventQueue, QueueStats};
+pub use engine::{EventQueue, HeapEventQueue, QueueStats};
+pub use error::NetworkError;
 pub use network::{Network, NetworkConfig, Transfer};
 // `SimTime` moved down into `multipod-trace` (so trace events can be
 // stamped below this crate); re-exported here for compatibility.

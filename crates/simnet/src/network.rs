@@ -10,7 +10,7 @@ use multipod_telemetry::{MetricId, Subsystem, Telemetry};
 use multipod_topology::{ChipId, LinkClass, Multipod, Route, TopologyError};
 use multipod_trace::{LinkTransferEvent, SpanCategory, SpanEvent, TraceSink, Track};
 
-use crate::SimTime;
+use crate::{NetworkError, SimTime};
 
 /// Physical parameters of the ICI network.
 ///
@@ -70,6 +70,67 @@ pub struct Transfer {
     pub bytes: u64,
 }
 
+/// Dense per-directed-link occupancy state.
+///
+/// Directed links are interned lazily into small integer ids the first
+/// time a route touches them, so the per-transfer hot loop indexes flat
+/// vectors instead of hashing `(from, to)` pairs three times per hop.
+/// The interner survives topology mutations (chip ids are stable), which
+/// keeps cumulative byte counters alive across fault campaigns exactly
+/// like the old per-pair hash map did.
+#[derive(Clone, Debug, Default)]
+struct LinkTable {
+    ids: HashMap<(u32, u32), u32>,
+    /// Directed endpoints per id, for reverse lookups.
+    endpoints: Vec<(u32, u32)>,
+    /// When each link next becomes free. `SimTime::ZERO` means idle —
+    /// equivalent to the link being absent from the old map, since every
+    /// departure time is already `≥ start + overhead ≥ 0`.
+    free: Vec<SimTime>,
+    /// Cumulative bytes carried, across resets.
+    bytes: Vec<u64>,
+}
+
+impl LinkTable {
+    fn intern(&mut self, from: u32, to: u32) -> u32 {
+        let next = self.endpoints.len() as u32;
+        let id = *self.ids.entry((from, to)).or_insert(next);
+        if id == next {
+            self.endpoints.push((from, to));
+            self.free.push(SimTime::ZERO);
+            self.bytes.push(0);
+        }
+        id
+    }
+
+    fn reset_free(&mut self) {
+        self.free.fill(SimTime::ZERO);
+    }
+
+    fn clear_bytes(&mut self) {
+        self.bytes.fill(0);
+    }
+}
+
+/// A fully memoized route: the hop vector plus everything the timing
+/// loop would otherwise recompute per transfer — interned link ids, the
+/// route-order latency sum, and per-hop trace classes.
+///
+/// Valid only for the [`Multipod::version`] it was built against;
+/// [`Network::sync_topology`] drops every cached path on any topology
+/// mutation, so a stale path can never time a transfer.
+#[derive(Debug)]
+struct CachedPath {
+    route: Arc<Route>,
+    /// Interned directed-link ids, in route order.
+    links: Vec<u32>,
+    /// `Σ hop_latency × class multiplier`, accumulated in route order
+    /// (bit-identical to summing over `Route::link_classes`).
+    latency: f64,
+    /// Per-hop trace classification, for the trace sink.
+    trace_classes: Vec<multipod_trace::LinkClass>,
+}
+
 /// The simulated interconnect: a [`Multipod`] plus per-directed-link
 /// occupancy state.
 ///
@@ -79,17 +140,23 @@ pub struct Transfer {
 /// then held busy for the serialization time, which is what creates
 /// contention between overlapping transfers (e.g. peer-hopping gradient
 /// rings crossing model-parallel tiles, §3.3).
+///
+/// Repeated collective phases hit the memoized [`CachedPath`] state: after
+/// the first iteration over a route, a transfer is one hash lookup plus a
+/// walk over dense occupancy vectors — no route recomputation, no per-hop
+/// adjacency queries, no allocation.
 #[derive(Clone)]
 pub struct Network {
     mesh: Multipod,
     config: NetworkConfig,
-    link_free: HashMap<(u32, u32), SimTime>,
-    link_bytes: HashMap<(u32, u32), u64>,
-    /// Memoized routes keyed by `(from, to)`, shared by handle so a cache
-    /// hit never copies the hop vector. Valid only while `mesh_version`
-    /// matches the mesh; [`Network::sync_topology`] drops it on any
-    /// topology mutation.
-    route_cache: HashMap<(u32, u32), Arc<Route>>,
+    links: LinkTable,
+    /// Memoized mesh-preferred routes keyed by `(from, to)`, shared by
+    /// handle so a cache hit never copies the hop vector.
+    route_cache: HashMap<(u32, u32), Arc<CachedPath>>,
+    /// Memoized caller-supplied routes (see [`Network::transfer_along`]),
+    /// keyed by endpoints; multiple distinct routes between the same pair
+    /// coexist and are matched by hop-vector equality.
+    along_cache: HashMap<(u32, u32), Vec<Arc<CachedPath>>>,
     /// The [`Multipod::version`] the cached state was computed against.
     mesh_version: u64,
     sink: Option<Arc<dyn TraceSink>>,
@@ -101,8 +168,8 @@ impl fmt::Debug for Network {
         f.debug_struct("Network")
             .field("mesh", &self.mesh)
             .field("config", &self.config)
-            .field("link_free", &self.link_free)
-            .field("link_bytes", &self.link_bytes)
+            .field("links", &self.links)
+            .field("cached_routes", &self.route_cache.len())
             .field("traced", &self.sink.is_some())
             .field("observed", &self.telemetry.is_some())
             .finish()
@@ -116,9 +183,9 @@ impl Network {
         Network {
             mesh,
             config,
-            link_free: HashMap::new(),
-            link_bytes: HashMap::new(),
+            links: LinkTable::default(),
             route_cache: HashMap::new(),
+            along_cache: HashMap::new(),
             mesh_version,
             sink: None,
             telemetry: None,
@@ -160,10 +227,9 @@ impl Network {
         self.telemetry.as_ref()
     }
 
-    /// The trace classification of the directed link `from → to`.
-    pub fn trace_link_class(&self, from: ChipId, to: ChipId) -> multipod_trace::LinkClass {
-        match self.mesh.link_between(from, to) {
-            Some(LinkClass::IntraPod) => {
+    fn classify(&self, class: LinkClass, from: ChipId, to: ChipId) -> multipod_trace::LinkClass {
+        match class {
+            LinkClass::IntraPod => {
                 let a = self.mesh.coord_of(from);
                 let b = self.mesh.coord_of(to);
                 if a.y == b.y {
@@ -172,8 +238,15 @@ impl Network {
                     multipod_trace::LinkClass::MeshY
                 }
             }
-            Some(LinkClass::TorusWrap) => multipod_trace::LinkClass::WrapY,
-            Some(LinkClass::CrossPodOptical) => multipod_trace::LinkClass::CrossPod,
+            LinkClass::TorusWrap => multipod_trace::LinkClass::WrapY,
+            LinkClass::CrossPodOptical => multipod_trace::LinkClass::CrossPod,
+        }
+    }
+
+    /// The trace classification of the directed link `from → to`.
+    pub fn trace_link_class(&self, from: ChipId, to: ChipId) -> multipod_trace::LinkClass {
+        match self.mesh.link_between(from, to) {
+            Some(class) => self.classify(class, from, to),
             None => multipod_trace::LinkClass::Unknown,
         }
     }
@@ -196,13 +269,14 @@ impl Network {
 
     /// Reconciles cached state with the mesh: when the topology has been
     /// mutated since the cache was built (its version counter moved), drops
-    /// memoized routes and in-flight link occupancy. Called lazily at the
+    /// memoized paths and in-flight link occupancy. Called lazily at the
     /// start of every transfer, so callers mutating the mesh through
     /// [`Network::mesh_mut`] never observe stale routing.
     pub fn sync_topology(&mut self) {
         if self.mesh_version != self.mesh.version() {
             self.route_cache.clear();
-            self.link_free.clear();
+            self.along_cache.clear();
+            self.links.reset_free();
             self.mesh_version = self.mesh.version();
         }
     }
@@ -262,17 +336,20 @@ impl Network {
     /// Cumulative traffic statistics are kept; see
     /// [`Network::clear_traffic_stats`].
     pub fn reset(&mut self) {
-        self.link_free.clear();
+        self.links.reset_free();
     }
 
     /// Clears the cumulative per-link byte counters.
     pub fn clear_traffic_stats(&mut self) {
-        self.link_bytes.clear();
+        self.links.clear_bytes();
     }
 
     /// Cumulative bytes carried by the directed link `from → to`.
     pub fn link_traffic(&self, from: ChipId, to: ChipId) -> u64 {
-        self.link_bytes.get(&(from.0, to.0)).copied().unwrap_or(0)
+        match self.links.ids.get(&(from.0, to.0)) {
+            Some(&id) => self.links.bytes[id as usize],
+            None => 0,
+        }
     }
 
     /// Total bytes moved over X-direction links vs Y-direction links —
@@ -282,7 +359,7 @@ impl Network {
     pub fn traffic_by_dimension(&self) -> (u64, u64) {
         let mut x = 0u64;
         let mut y = 0u64;
-        for (&(from, to), &bytes) in &self.link_bytes {
+        for (&(from, to), &bytes) in self.links.endpoints.iter().zip(&self.links.bytes) {
             let a = self.mesh.coord_of(ChipId(from));
             let b = self.mesh.coord_of(ChipId(to));
             if a.y == b.y {
@@ -294,72 +371,62 @@ impl Network {
         (x, y)
     }
 
-    /// Times a message of `bytes` from `from` to `to`, issued at `start`.
+    /// Builds the memoized form of `route`: interned link ids, the
+    /// route-order latency sum, and trace classes.
     ///
     /// # Errors
     ///
-    /// Returns [`TopologyError::NoRoute`] when no route exists (failed
-    /// links).
-    pub fn transfer(
-        &mut self,
-        from: ChipId,
-        to: ChipId,
-        bytes: u64,
-        start: SimTime,
-    ) -> Result<Transfer, TopologyError> {
-        self.sync_topology();
-        let route = match self.route_cache.get(&(from.0, to.0)) {
-            Some(route) => Arc::clone(route),
-            None => {
-                let route = Arc::new(self.mesh.route(from, to)?);
-                self.route_cache.insert((from.0, to.0), Arc::clone(&route));
-                route
-            }
-        };
-        Ok(self.transfer_along(&route, bytes, start))
+    /// [`NetworkError::Route`] when the route traverses a pair of chips
+    /// with no live link between them (stale route on a mutated mesh).
+    fn build_path(&mut self, route: Arc<Route>) -> Result<CachedPath, NetworkError> {
+        let hops = route.num_hops();
+        let mut links = Vec::with_capacity(hops);
+        let mut trace_classes = Vec::with_capacity(hops);
+        let mut latency = 0.0f64;
+        for w in route.chips.windows(2) {
+            let class = self
+                .mesh
+                .link_between(w[0], w[1])
+                .ok_or(NetworkError::Route(TopologyError::NoRoute {
+                    from: w[0],
+                    to: w[1],
+                }))?;
+            latency += self.config.hop_latency * class.latency_multiplier();
+            trace_classes.push(self.classify(class, w[0], w[1]));
+            links.push(self.links.intern(w[0].0, w[1].0));
+        }
+        Ok(CachedPath {
+            route,
+            links,
+            latency,
+            trace_classes,
+        })
     }
 
-    /// Times a message along a precomputed route.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the route does not match the current topology.
-    pub fn transfer_along(&mut self, route: &Route, bytes: u64, start: SimTime) -> Transfer {
-        self.sync_topology();
-        if route.num_hops() == 0 {
-            return Transfer {
-                finish: start,
-                num_hops: 0,
-                bytes,
-            };
-        }
+    /// The timing hot loop: reserves every link of a memoized path for
+    /// one message and returns the transfer outcome. Touches only dense
+    /// vectors — no hashing, no allocation.
+    fn reserve(&mut self, path: &CachedPath, bytes: u64, start: SimTime) -> Transfer {
         let serialization = bytes as f64 / self.config.link_bandwidth;
         let mut depart = start + self.config.message_overhead;
-        for w in route.chips.windows(2) {
-            if let Some(free) = self.link_free.get(&(w[0].0, w[1].0)) {
-                depart = depart.max(*free);
-            }
+        for &id in &path.links {
+            depart = depart.max(self.links.free[id as usize]);
         }
-        let latency: f64 = route
-            .link_classes(&self.mesh)
-            .iter()
-            .map(|c| self.config.hop_latency * c.latency_multiplier())
-            .sum();
-        let finish = depart + latency + serialization;
+        let finish = depart + path.latency + serialization;
         let busy_until = depart + serialization;
-        for w in route.chips.windows(2) {
-            self.link_free.insert((w[0].0, w[1].0), busy_until);
-            *self.link_bytes.entry((w[0].0, w[1].0)).or_insert(0) += bytes;
+        for &id in &path.links {
+            self.links.free[id as usize] = busy_until;
+            self.links.bytes[id as usize] += bytes;
         }
         if let Some(sink) = &self.sink {
             // Cut-through: the message holds every link of the route for
             // the same serialization window, so each hop gets the same
             // [depart, busy_until] occupancy the contention model charged.
-            for w in route.chips.windows(2) {
+            for (i, w) in path.route.chips.windows(2).enumerate() {
                 sink.record_link(LinkTransferEvent {
                     src: w[0].0,
                     dst: w[1].0,
-                    class: self.trace_link_class(w[0], w[1]),
+                    class: path.trace_classes[i],
                     bytes,
                     start: depart,
                     end: busy_until,
@@ -370,7 +437,7 @@ impl Network {
             telemetry.inc_counter(MetricId::new(Subsystem::Simnet, "transfers"), 1);
             telemetry.inc_counter(
                 MetricId::new(Subsystem::Simnet, "link_hops"),
-                route.num_hops() as u64,
+                path.links.len() as u64,
             );
             telemetry.inc_counter(MetricId::new(Subsystem::Simnet, "payload_bytes"), bytes);
             // Queueing delay: how long the head flit waited for occupied
@@ -386,27 +453,129 @@ impl Network {
         }
         Transfer {
             finish,
-            num_hops: route.num_hops(),
+            num_hops: path.links.len(),
             bytes,
         }
+    }
+
+    /// Times a message of `bytes` from `from` to `to`, issued at `start`.
+    ///
+    /// A self-transfer (`from == to`) is a zero-cost fast path: nothing
+    /// crosses the wire, so it completes at `start` regardless of size.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetworkError::Route`] when no route exists (failed links).
+    /// * [`NetworkError::EmptyTransfer`] when `bytes == 0` between
+    ///   distinct chips — there is no message to time, and silently
+    ///   charging α-cost for it has historically hidden schedule bugs.
+    pub fn transfer(
+        &mut self,
+        from: ChipId,
+        to: ChipId,
+        bytes: u64,
+        start: SimTime,
+    ) -> Result<Transfer, NetworkError> {
+        self.sync_topology();
+        if from == to {
+            return Ok(Transfer {
+                finish: start,
+                num_hops: 0,
+                bytes,
+            });
+        }
+        if bytes == 0 {
+            return Err(NetworkError::EmptyTransfer { from, to });
+        }
+        let path = match self.route_cache.get(&(from.0, to.0)) {
+            Some(path) => Arc::clone(path),
+            None => {
+                let route = Arc::new(self.mesh.route(from, to)?);
+                let path = Arc::new(self.build_path(route)?);
+                self.route_cache.insert((from.0, to.0), Arc::clone(&path));
+                path
+            }
+        };
+        Ok(self.reserve(&path, bytes, start))
+    }
+
+    /// Times a message along a caller-supplied route.
+    ///
+    /// The route is memoized on first use (keyed by its endpoints,
+    /// disambiguated by hop-vector equality), so repeated collective
+    /// phases over the same explicit routes reuse the interned link state
+    /// just like [`Network::transfer`].
+    ///
+    /// An empty route (zero hops) is a zero-cost fast path completing at
+    /// `start`.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetworkError::Route`] when the route traverses chips with no
+    ///   live link between them (it no longer matches the topology).
+    /// * [`NetworkError::EmptyTransfer`] when `bytes == 0` over a
+    ///   non-empty route.
+    pub fn transfer_along(
+        &mut self,
+        route: &Route,
+        bytes: u64,
+        start: SimTime,
+    ) -> Result<Transfer, NetworkError> {
+        self.sync_topology();
+        if route.num_hops() == 0 {
+            return Ok(Transfer {
+                finish: start,
+                num_hops: 0,
+                bytes,
+            });
+        }
+        let from = route.chips[0];
+        let to = route.chips[route.chips.len() - 1];
+        if bytes == 0 {
+            return Err(NetworkError::EmptyTransfer { from, to });
+        }
+        let key = (from.0, to.0);
+        let cached = self
+            .along_cache
+            .get(&key)
+            .and_then(|paths| paths.iter().find(|p| p.route.chips == route.chips))
+            .map(Arc::clone);
+        let path = match cached {
+            Some(path) => path,
+            None => {
+                let path = Arc::new(self.build_path(Arc::new(route.clone()))?);
+                self.along_cache
+                    .entry(key)
+                    .or_default()
+                    .push(Arc::clone(&path));
+                path
+            }
+        };
+        Ok(self.reserve(&path, bytes, start))
     }
 
     /// Issues a batch of transfers at the same instant and returns the time
     /// the last one completes.
     ///
     /// Transfers are reserved in argument order, which makes contention
-    /// resolution deterministic.
+    /// resolution deterministic. Zero-byte messages (e.g. an all-to-all
+    /// fan-out with nothing for some peer) are skipped as a zero-cost fast
+    /// path: they put nothing on the wire, reserve no occupancy, and never
+    /// extend the batch finish time.
     ///
     /// # Errors
     ///
-    /// Fails if any message has no route.
+    /// Fails if any non-empty message has no route.
     pub fn parallel_transfers(
         &mut self,
         messages: &[(ChipId, ChipId, u64)],
         start: SimTime,
-    ) -> Result<SimTime, TopologyError> {
+    ) -> Result<SimTime, NetworkError> {
         let mut finish = start;
         for &(from, to, bytes) in messages {
+            if bytes == 0 {
+                continue;
+            }
             let t = self.transfer(from, to, bytes, start)?;
             finish = finish.max(t.finish);
         }
@@ -536,6 +705,105 @@ mod tests {
             .unwrap();
         assert_eq!(t.finish, SimTime::from_seconds(1.0));
         assert_eq!(t.num_hops, 0);
+    }
+
+    #[test]
+    fn zero_byte_transfer_is_a_typed_error() {
+        let mut n = net(4, 1);
+        let err = n
+            .transfer(ChipId(0), ChipId(1), 0, SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            NetworkError::EmptyTransfer {
+                from: ChipId(0),
+                to: ChipId(1)
+            }
+        );
+        assert!(!err.is_no_route());
+        // No occupancy was reserved: a follow-up message sees a free link.
+        let t = n
+            .transfer(ChipId(0), ChipId(1), 1000, SimTime::ZERO)
+            .unwrap();
+        assert!((t.finish.seconds() - n.uncontended_time(1, 1000)).abs() < 1e-15);
+        // Same contract along an explicit route.
+        let route = n.mesh().route(ChipId(0), ChipId(2)).unwrap();
+        let err = n.transfer_along(&route, 0, SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, NetworkError::EmptyTransfer { .. }));
+    }
+
+    #[test]
+    fn empty_route_is_a_zero_cost_fast_path() {
+        let mut n = net(2, 2);
+        let route = Route {
+            chips: vec![ChipId(3)],
+        };
+        // Even with zero bytes: an empty route has nothing to reserve, so
+        // it completes at `start` instead of erroring or emitting NaN
+        // occupancy.
+        let t = n
+            .transfer_along(&route, 0, SimTime::from_seconds(2.0))
+            .unwrap();
+        assert_eq!(t.finish, SimTime::from_seconds(2.0));
+        assert_eq!(t.num_hops, 0);
+    }
+
+    #[test]
+    fn parallel_transfers_skip_zero_byte_messages() {
+        let mut n = net(8, 1);
+        let with_empty = vec![
+            (ChipId(0), ChipId(1), 70_000u64),
+            (ChipId(2), ChipId(3), 0u64),
+            (ChipId(4), ChipId(5), 70_000u64),
+        ];
+        let finish = n.parallel_transfers(&with_empty, SimTime::ZERO).unwrap();
+        let mut clean = net(8, 1);
+        let without = vec![
+            (ChipId(0), ChipId(1), 70_000u64),
+            (ChipId(4), ChipId(5), 70_000u64),
+        ];
+        let expect = clean.parallel_transfers(&without, SimTime::ZERO).unwrap();
+        assert_eq!(finish.seconds().to_bits(), expect.seconds().to_bits());
+        // The skipped message reserved nothing on its link.
+        let t = n
+            .transfer(ChipId(2), ChipId(3), 1000, SimTime::ZERO)
+            .unwrap();
+        assert!((t.finish.seconds() - n.uncontended_time(1, 1000)).abs() < 1e-15);
+        assert_eq!(n.link_traffic(ChipId(2), ChipId(3)), 1000);
+    }
+
+    #[test]
+    fn stale_route_is_a_typed_error_not_a_panic() {
+        let mesh = Multipod::new(MultipodConfig::mesh(3, 3, false));
+        let mut n = Network::new(mesh, NetworkConfig::tpu_v3());
+        let a = n.mesh().chip_at(Coord::new(0, 0));
+        let far = n.mesh().chip_at(Coord::new(2, 2));
+        // A route that jumps between non-adjacent chips never matches the
+        // topology.
+        let bogus = Route {
+            chips: vec![a, far],
+        };
+        let err = n.transfer_along(&bogus, 100, SimTime::ZERO).unwrap_err();
+        assert!(err.is_no_route());
+    }
+
+    #[test]
+    fn transfer_along_memoizes_distinct_routes_per_endpoint_pair() {
+        let mut n = net(3, 3);
+        let direct = n.mesh().route(ChipId(0), ChipId(4)).unwrap();
+        // A second, distinct route between the same endpoints.
+        let detour = Route {
+            chips: vec![ChipId(0), ChipId(3), ChipId(4)],
+        };
+        for _ in 0..3 {
+            let a = n.transfer_along(&direct, 1000, SimTime::ZERO).unwrap();
+            let b = n.transfer_along(&detour, 1000, SimTime::ZERO).unwrap();
+            assert_eq!(a.num_hops, direct.num_hops());
+            assert_eq!(b.num_hops, 2);
+            n.reset();
+        }
+        // Both variants share the endpoint key in the memo table.
+        assert_eq!(n.along_cache[&(0, 4)].len(), 2);
     }
 
     #[test]

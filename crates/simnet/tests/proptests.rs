@@ -1,6 +1,6 @@
 //! Property tests for the network simulator.
 
-use multipod_simnet::{EventQueue, Network, NetworkConfig, SimTime};
+use multipod_simnet::{EventQueue, HeapEventQueue, Network, NetworkConfig, SimTime};
 use multipod_topology::{ChipId, Multipod, MultipodConfig};
 use proptest::prelude::*;
 
@@ -102,5 +102,81 @@ proptest! {
             popped.push(payload);
         }
         prop_assert_eq!(popped.len(), times.len());
+    }
+
+    /// The calendar queue is observationally equivalent to the binary-heap
+    /// reference: identical pop sequences (times and payloads, FIFO ties
+    /// included) under arbitrary interleaved schedule/pop traffic at any
+    /// timescale — from sub-bucket-width spacings to multi-second gaps.
+    #[test]
+    fn calendar_queue_matches_heap_reference(
+        ops in prop::collection::vec((0u32..2000, prop::bool::ANY), 1..120),
+        scale in prop::sample::select(vec![1e-9f64, 1e-6, 1e-3, 0.5]),
+    ) {
+        let mut cal = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        for (i, &(t, pop_after)) in ops.iter().enumerate() {
+            let time = SimTime::from_seconds(t as f64 * scale);
+            cal.schedule(time, i);
+            heap.schedule(time, i);
+            if pop_after {
+                prop_assert_eq!(cal.pop(), heap.pop());
+            }
+        }
+        while let Some(expected) = heap.pop() {
+            prop_assert_eq!(cal.pop(), Some(expected));
+        }
+        prop_assert_eq!(cal.pop(), None);
+        prop_assert!(cal.is_empty());
+    }
+
+    /// Failing or healing a link invalidates memoized routes and link
+    /// occupancy exactly as on a network that never cached anything: after
+    /// the same fault lands on a traffic-warmed network and a fresh one,
+    /// both produce bit-identical transfer times, and again after healing.
+    #[test]
+    fn fault_invalidation_matches_fresh_network(
+        warm in prop::collection::vec((0usize..64, 0usize..64, 1u64..5_000_000), 0..12),
+        probe in prop::collection::vec((0usize..64, 0usize..64, 1u64..5_000_000), 1..12),
+        fx in 0u32..8, fy in 0u32..8,
+        horizontal in prop::bool::ANY,
+    ) {
+        let (x, y) = (8u32, 8u32);
+        let mut warmed = net(x, y);
+        let chips = warmed.mesh().num_chips();
+        let chip = |sel: usize| ChipId((sel % chips) as u32);
+        // Warm the route cache and link occupancy with arbitrary traffic.
+        for &(a, b, bytes) in &warm {
+            warmed.transfer(chip(a), chip(b), bytes, SimTime::ZERO).unwrap();
+        }
+        // Fail one torus link incident to (fx, fy) on the warmed network
+        // and on a network that has never routed anything.
+        let la = ChipId(fy * x + fx);
+        let lb = if horizontal {
+            ChipId(fy * x + (fx + 1) % x)
+        } else {
+            ChipId(((fy + 1) % y) * x + fx)
+        };
+        let mut fresh = net(x, y);
+        warmed.fail_link(la, lb, SimTime::ZERO);
+        fresh.fail_link(la, lb, SimTime::ZERO);
+        // Dimension-order routing does not detour, so some probes can hit
+        // `NoRoute` while the link is down — both networks must then fail
+        // identically, not just succeed identically.
+        let run_probes = |n: &mut Network| -> Vec<Result<u64, String>> {
+            probe
+                .iter()
+                .map(|&(a, b, bytes)| {
+                    n.transfer(chip(a), chip(b), bytes, SimTime::ZERO)
+                        .map(|t| t.finish.seconds().to_bits())
+                        .map_err(|e| e.to_string())
+                })
+                .collect()
+        };
+        prop_assert_eq!(run_probes(&mut warmed), run_probes(&mut fresh));
+        // Healing must bring the link back identically on both.
+        warmed.heal_link(la, lb, SimTime::ZERO);
+        fresh.heal_link(la, lb, SimTime::ZERO);
+        prop_assert_eq!(run_probes(&mut warmed), run_probes(&mut fresh));
     }
 }

@@ -32,19 +32,25 @@ impl Bf16 {
     /// The machine epsilon of the format (2⁻⁷).
     pub const EPSILON: f32 = 1.0 / 128.0;
 
+    /// Branch-free bf16 bit pattern of an `f32` bit pattern: the
+    /// round-to-nearest-even path and the quiet-NaN path are both
+    /// computed and selected by mask, so the quantize loop vectorizes as
+    /// straight integer arithmetic.
+    #[inline]
+    fn demote_bits(bits: u32) -> u16 {
+        // NaN: exponent all ones, non-zero mantissa. Preserve the payload
+        // and force a quiet bit that survives truncation.
+        let is_nan_mask = 0u32.wrapping_sub(((bits & 0x7fff_ffff) > 0x7f80_0000) as u32);
+        let nan = (bits >> 16) | 0x0040;
+        // Round to nearest even on the 16 discarded bits.
+        let lsb = (bits >> 16) & 1;
+        let rne = bits.wrapping_add(0x0000_7fff + lsb) >> 16;
+        ((nan & is_nan_mask) | (rne & !is_nan_mask)) as u16
+    }
+
     /// Converts an `f32` to `Bf16` with round-to-nearest-even.
     pub fn from_f32(value: f32) -> Bf16 {
-        let bits = value.to_bits();
-        if value.is_nan() {
-            // Preserve NaN; force a quiet NaN payload that survives truncation.
-            return Bf16(((bits >> 16) as u16) | 0x0040);
-        }
-        // Round to nearest even on the 16 discarded bits.
-        let round_bit = 0x0000_8000u32;
-        let lsb = (bits >> 16) & 1;
-        let rounded = bits.wrapping_add(0x0000_7fff + lsb);
-        let _ = round_bit;
-        Bf16((rounded >> 16) as u16)
+        Bf16(Bf16::demote_bits(value.to_bits()))
     }
 
     /// Converts back to `f32` (exact; bf16 values are a subset of f32).
@@ -76,8 +82,19 @@ impl Bf16 {
     }
 
     /// Applies [`Bf16::round_trip`] to every element of a slice in place.
+    ///
+    /// This is the inner loop of every payload demotion on the collective
+    /// hot path; it runs [`Bf16::demote_bits`] over fixed-width chunks so
+    /// the branch-free integer rounding vectorizes.
     pub fn quantize_slice(values: &mut [f32]) {
-        for v in values.iter_mut() {
+        const LANES: usize = 8;
+        let mut chunks = values.chunks_exact_mut(LANES);
+        for c in chunks.by_ref() {
+            for v in c.iter_mut() {
+                *v = f32::from_bits((Bf16::demote_bits(v.to_bits()) as u32) << 16);
+            }
+        }
+        for v in chunks.into_remainder() {
             *v = Bf16::round_trip(*v);
         }
     }
@@ -210,6 +227,41 @@ mod tests {
         let mut v = vec![1.0f32 + 1.0 / 512.0; 8];
         Bf16::quantize_slice(&mut v);
         assert!(v.iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn branch_free_demotion_matches_reference_rounding() {
+        // Every high half-word against a spread of discarded low halves,
+        // NaNs and infinities included: the mask-select demotion must
+        // agree bit for bit with the branchy reference.
+        for hi in 0..=u16::MAX {
+            for lo in [0u16, 1, 0x7fff, 0x8000, 0x8001, 0xffff] {
+                let bits = ((hi as u32) << 16) | lo as u32;
+                let v = f32::from_bits(bits);
+                let reference = if v.is_nan() {
+                    ((bits >> 16) as u16) | 0x0040
+                } else {
+                    let lsb = (bits >> 16) & 1;
+                    (bits.wrapping_add(0x0000_7fff + lsb) >> 16) as u16
+                };
+                assert_eq!(Bf16::from_f32(v).to_bits(), reference, "bits={bits:#010x}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_slice_matches_scalar_round_trip_across_chunk_remainders() {
+        for n in [0usize, 1, 7, 8, 9, 17, 64] {
+            let mut v: Vec<f32> = (0..n).map(|i| (i as f32).exp() * 1.001).collect();
+            if n > 2 {
+                v[1] = f32::NAN;
+                v[2] = f32::INFINITY;
+            }
+            let reference: Vec<u32> = v.iter().map(|&x| Bf16::round_trip(x).to_bits()).collect();
+            Bf16::quantize_slice(&mut v);
+            let got: Vec<u32> = v.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(got, reference, "n={n}");
+        }
     }
 
     #[test]

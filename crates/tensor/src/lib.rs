@@ -12,13 +12,14 @@
 //!
 //! let a = Tensor::fill(Shape::of(&[2, 3]), 1.5);
 //! let b = Tensor::fill(Shape::of(&[3, 2]), 2.0);
-//! let c = a.matmul(&b);
+//! let c = a.matmul(&b).unwrap();
 //! assert_eq!(c.shape().dims(), &[2, 2]);
 //! assert!((c.data()[0] - 9.0).abs() < 1e-6);
 //! ```
 
 mod bf16;
 mod error;
+pub mod kernels;
 mod ops;
 mod rng;
 mod shape;

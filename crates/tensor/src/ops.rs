@@ -4,7 +4,7 @@
 //! steps (LAMB/LARS need norms and axpy), collective reductions, partial
 //! matmuls in the model-parallel forward pass, and evaluation metrics.
 
-use crate::{Shape, Tensor, TensorError};
+use crate::{kernels, Shape, Tensor, TensorError};
 
 impl Tensor {
     /// Elementwise sum, consuming neither operand.
@@ -47,15 +47,14 @@ impl Tensor {
                 rhs: rhs.shape().clone(),
             });
         }
-        for (a, b) in self.data_mut().iter_mut().zip(rhs.data()) {
-            *a += alpha * b;
-        }
+        kernels::axpy(self.data_mut(), alpha, rhs.data());
         Ok(())
     }
 
     /// Returns `self * alpha`.
     pub fn scale(&self, alpha: f32) -> Tensor {
-        let data = self.data().iter().map(|v| v * alpha).collect();
+        let mut data = Vec::new();
+        kernels::scale_into(&mut data, self.data(), alpha);
         Tensor::new(self.shape().clone(), data)
     }
 
@@ -65,21 +64,19 @@ impl Tensor {
         Tensor::new(self.shape().clone(), data)
     }
 
-    /// Sum of all elements.
+    /// Sum of all elements (chunked lane accumulators; deterministic, may
+    /// differ from a sequential fold by rounding ulps).
     pub fn sum(&self) -> f32 {
-        self.data().iter().sum()
+        kernels::sum(self.data())
     }
 
     /// Euclidean (L2) norm of the flattened tensor.
     ///
     /// LARS and LAMB use per-layer weight and update norms for their trust
-    /// ratios.
+    /// ratios. Accumulated in f64 lane accumulators with a fixed fold
+    /// order.
     pub fn norm2(&self) -> f32 {
-        self.data()
-            .iter()
-            .map(|v| (*v as f64) * (*v as f64))
-            .sum::<f64>()
-            .sqrt() as f32
+        kernels::sum_squares(self.data()).sqrt() as f32
     }
 
     /// Dot product of two same-shape tensors.
@@ -95,12 +92,7 @@ impl Tensor {
                 rhs: rhs.shape().clone(),
             });
         }
-        Ok(self
-            .data()
-            .iter()
-            .zip(rhs.data())
-            .map(|(a, b)| (*a as f64) * (*b as f64))
-            .sum::<f64>() as f32)
+        Ok(kernels::dot(self.data(), rhs.data()) as f32)
     }
 
     /// Rank-2 matrix multiplication.
@@ -109,15 +101,24 @@ impl Tensor {
     /// then all-reduce (§3.1); tests use this kernel as the ground truth the
     /// sharded computation must reproduce.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `self` is `[m×k]` and `rhs` is `[k×n]`.
-    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
-        assert_eq!(self.shape().rank(), 2, "matmul lhs must be rank 2");
-        assert_eq!(rhs.shape().rank(), 2, "matmul rhs must be rank 2");
+    /// Returns [`TensorError::ShapeMismatch`] unless `self` is `[m×k]`
+    /// and `rhs` is `[k×n]` (non-rank-2 operands or disagreeing inner
+    /// dimensions).
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        if self.shape().rank() != 2
+            || rhs.shape().rank() != 2
+            || self.shape().dim(1) != rhs.shape().dim(0)
+        {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape().clone(),
+                rhs: rhs.shape().clone(),
+            });
+        }
         let (m, k) = (self.shape().dim(0), self.shape().dim(1));
-        let (k2, n) = (rhs.shape().dim(0), rhs.shape().dim(1));
-        assert_eq!(k, k2, "matmul inner dimensions must agree: {k} vs {k2}");
+        let n = rhs.shape().dim(1);
         let mut out = vec![0.0f32; m * n];
         let a = self.data();
         let b = rhs.data();
@@ -127,14 +128,12 @@ impl Tensor {
                 if aip == 0.0 {
                     continue;
                 }
-                let row = &b[p * n..(p + 1) * n];
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(row) {
-                    *o += aip * bv;
-                }
+                // Row-times-scalar accumulation is exactly the chunked
+                // axpy kernel (bit-exact under chunking).
+                kernels::axpy(&mut out[i * n..(i + 1) * n], aip, &b[p * n..(p + 1) * n]);
             }
         }
-        Tensor::new(Shape::of(&[m, n]), out)
+        Ok(Tensor::new(Shape::of(&[m, n]), out))
     }
 
     /// Sums a list of same-shape tensors; the scalar reference that every
@@ -173,7 +172,7 @@ impl Tensor {
         &self,
         rhs: &Tensor,
         op: &'static str,
-        f: impl Fn(f32, f32) -> f32,
+        f: impl Fn(f32, f32) -> f32 + Copy,
     ) -> Result<Tensor, TensorError> {
         if self.shape() != rhs.shape() {
             return Err(TensorError::ShapeMismatch {
@@ -182,12 +181,8 @@ impl Tensor {
                 rhs: rhs.shape().clone(),
             });
         }
-        let data = self
-            .data()
-            .iter()
-            .zip(rhs.data())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        let mut data = Vec::new();
+        kernels::zip_into(&mut data, self.data(), rhs.data(), f);
         Ok(Tensor::new(self.shape().clone(), data))
     }
 }
@@ -233,7 +228,7 @@ mod tests {
     fn matmul_matches_hand_computation() {
         let a = Tensor::new(Shape::of(&[2, 3]), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         let b = Tensor::new(Shape::of(&[3, 2]), vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
-        let c = a.matmul(&b);
+        let c = a.matmul(&b).unwrap();
         assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
     }
 
@@ -241,15 +236,26 @@ mod tests {
     fn matmul_identity_is_identity() {
         let a = Tensor::new(Shape::of(&[2, 2]), vec![1.0, 2.0, 3.0, 4.0]);
         let i = Tensor::new(Shape::of(&[2, 2]), vec![1.0, 0.0, 0.0, 1.0]);
-        assert_eq!(a.matmul(&i), a);
+        assert_eq!(a.matmul(&i).unwrap(), a);
     }
 
     #[test]
-    #[should_panic(expected = "inner dimensions")]
-    fn matmul_rejects_bad_inner_dim() {
+    fn matmul_rejects_bad_shapes_as_typed_errors() {
         let a = Tensor::zeros(Shape::of(&[2, 3]));
         let b = Tensor::zeros(Shape::of(&[2, 2]));
-        a.matmul(&b);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(TensorError::ShapeMismatch { op: "matmul", .. })
+        ));
+        let flat = Tensor::zeros(Shape::of(&[4]));
+        assert!(matches!(
+            flat.matmul(&b),
+            Err(TensorError::ShapeMismatch { op: "matmul", .. })
+        ));
+        assert!(matches!(
+            b.matmul(&flat),
+            Err(TensorError::ShapeMismatch { op: "matmul", .. })
+        ));
     }
 
     #[test]

@@ -78,13 +78,13 @@ proptest! {
         let mut rng = TensorRng::seed(seedv);
         let a = rng.uniform(Shape::of(&[m, k]), -1.0, 1.0);
         let b = rng.uniform(Shape::of(&[k, n]), -1.0, 1.0);
-        let full = a.matmul(&b);
+        let full = a.matmul(&b).unwrap();
         let a_parts = a.split(1, parts).unwrap();
         let b_parts = b.split(0, parts).unwrap();
         let partials: Vec<Tensor> = a_parts
             .iter()
             .zip(&b_parts)
-            .map(|(ap, bp)| ap.matmul(bp))
+            .map(|(ap, bp)| ap.matmul(bp).unwrap())
             .collect();
         let summed = Tensor::sum_all(&partials).unwrap();
         prop_assert!(full.max_abs_diff(&summed) < 1e-4);

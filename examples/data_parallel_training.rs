@@ -30,12 +30,14 @@ fn main() {
     let shards: Vec<(Tensor, Tensor)> = (0..chips)
         .map(|_| {
             let x = rng.uniform(Shape::of(&[samples_per_chip, dim]), -1.0, 1.0);
-            let y = x.matmul(
-                &w_true
-                    .clone()
-                    .reshape(Shape::of(&[dim, 1]))
-                    .expect("column vector"),
-            );
+            let y = x
+                .matmul(
+                    &w_true
+                        .clone()
+                        .reshape(Shape::of(&[dim, 1]))
+                        .expect("column vector"),
+                )
+                .expect("matmul");
             (x, y)
         })
         .collect();
@@ -52,7 +54,7 @@ fn main() {
         shards
             .iter()
             .map(|(x, y)| {
-                let pred = x.matmul(&wm);
+                let pred = x.matmul(&wm).expect("matmul");
                 pred.sub(y).unwrap().norm2().powi(2)
             })
             .sum::<f32>()
@@ -70,13 +72,14 @@ fn main() {
         let local_grads: Vec<Tensor> = shards
             .iter()
             .map(|(x, y)| {
-                let resid = x.matmul(&wm).sub(y).unwrap();
+                let resid = x.matmul(&wm).expect("matmul").sub(y).unwrap();
                 // Xᵀ r computed as rᵀ X (keeps everything rank-2).
                 let rt = resid
                     .clone()
                     .reshape(Shape::of(&[1, samples_per_chip]))
                     .unwrap();
                 rt.matmul(x)
+                    .expect("matmul")
                     .scale(2.0 / (chips * samples_per_chip) as f32)
                     .reshape(Shape::vector(dim))
                     .unwrap()

@@ -3,7 +3,7 @@
 
 use multipod::collectives::{ring, Precision};
 use multipod::metrics::accuracy::{distributed_accuracy, EvalShard};
-use multipod::simnet::{Network, NetworkConfig, SimTime};
+use multipod::simnet::{Network, NetworkConfig, NetworkError, SimTime};
 use multipod::tensor::{Shape, Tensor, TensorRng};
 use multipod::topology::{Coord, Multipod, MultipodConfig, TopologyError};
 
@@ -84,7 +84,10 @@ fn isolated_chip_reports_no_route() {
     let b = net.mesh().chip_at(Coord::new(1, 0));
     net.fail_link(a, b, SimTime::ZERO);
     let err = net.transfer(a, b, 1024, SimTime::ZERO).unwrap_err();
-    assert!(matches!(err, TopologyError::NoRoute { .. }));
+    assert!(matches!(
+        err,
+        NetworkError::Route(TopologyError::NoRoute { .. })
+    ));
 }
 
 /// Straggler host: one host 10x slower than the rest gates every step
