@@ -214,6 +214,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "speedup": sim_base_wall / sim_opt_wall,
     });
 
+    // Multi-tenant scheduling (multipod-sched): a small 32×32 overload
+    // campaign — the full 128×32 heterogeneous campaign with canned
+    // faults lives in BENCH_sched.json via repro_sched.
+    let sched_config =
+        multipod_sched::SchedConfig::demo(MultipodConfig::mesh(32, 32, true), 200, 42);
+    let sched_report = multipod_sched::PodScheduler::new(sched_config)
+        .run()
+        .expect("scheduling campaign");
+    let sched = json!({
+        "mesh": "32x32",
+        "jobs": sched_report.jobs,
+        "completed": sched_report.completed,
+        "preemptions": sched_report.preemptions,
+        "restores_bit_identical": sched_report.restores_bit_identical,
+        "makespan_seconds": sched_report.makespan_seconds,
+        "mean_utilization": sched_report.mean_utilization,
+        "queue_wait_p50_seconds": sched_report.queue_wait.p50,
+        "queue_wait_p99_seconds": sched_report.queue_wait.p99,
+        "preemption_overhead_mean_seconds": sched_report.preemption_overhead.mean,
+    });
+
     let doc = json!({
         "table1": table1,
         "table2": table2,
@@ -225,6 +246,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "checkpointing": checkpointing,
         "overlap": overlap,
         "simnet": simnet,
+        "sched": sched,
     });
     println!("{}", serde_json::to_string_pretty(&doc).unwrap());
 

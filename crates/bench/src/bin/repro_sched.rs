@@ -1,0 +1,198 @@
+//! Multi-tenant scheduling campaign on the simulated multipod.
+//!
+//! Streams a heavy heterogeneous job mix — BERT / ResNet-50 / DLRM
+//! training at MLPerf slice sizes under a tail of small high-priority
+//! eval jobs — through the gang scheduler on the paper's 128×32 machine,
+//! with preemption implemented as real sharded checkpoint saves and
+//! bit-identical elastic restores, and a canned pair of chip-loss faults.
+//! Emits `BENCH_sched.json`.
+//!
+//! Flags:
+//!   --mesh <WxH>          mesh instead of the 128×32 multipod (e.g. 32x32)
+//!   --jobs <n>            jobs in the arrival stream (default 2000)
+//!   --seed <n>            arrival-stream seed (default 42)
+//!   --json <path>         output path (default BENCH_sched.json)
+//!   --trace <path>        also export the campaign Chrome trace
+//!   --check-determinism   run the campaign twice; exit 1 if the report
+//!                         or trace exports differ by a single byte
+//!
+//! Gates: mean mesh utilization ≥ 0.70 under the canned overload, every
+//! elastic restore bit-identical to its save, per-event preemption
+//! overhead fully accounted by checkpoint save+restore traffic, and
+//! (with `--check-determinism`) byte-identical reruns.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use multipod_bench::{arg_value, mesh_flag, trace_flag, BenchReport};
+use multipod_faults::FaultPlan;
+use multipod_sched::{PodScheduler, SchedConfig, SchedReport};
+use multipod_simnet::SimTime;
+use multipod_topology::{ChipId, Multipod, MultipodConfig};
+use multipod_trace::{Recorder, TraceSink};
+use serde_json::json;
+
+/// Mean mesh utilization the canned overload campaign must sustain.
+const UTILIZATION_FLOOR: f64 = 0.70;
+
+fn campaign(config: &SchedConfig, plan: &FaultPlan) -> (SchedReport, Arc<Recorder>) {
+    let recorder = Recorder::shared();
+    let mut sched = PodScheduler::new(config.clone());
+    sched.set_trace_sink(recorder.clone() as Arc<dyn TraceSink>);
+    let report = sched
+        .run_with_faults(plan)
+        .expect("scheduling campaign must complete");
+    (report, recorder)
+}
+
+fn main() -> ExitCode {
+    // The paper's 128×32 machine unless --mesh overrides.
+    let mesh_cfg = mesh_flag(MultipodConfig::multipod(4));
+    let jobs: u32 =
+        arg_value("--jobs").map_or(2000, |v| v.parse().expect("--jobs expects an integer"));
+    let seed: u64 =
+        arg_value("--seed").map_or(42, |v| v.parse().expect("--seed expects an integer"));
+    let config = SchedConfig::demo(mesh_cfg.clone(), jobs, seed);
+    let mesh = Multipod::new(mesh_cfg);
+    println!(
+        "# Scheduling campaign on {}x{} ({} chips), {} jobs, seed {}",
+        mesh.x_len(),
+        mesh.y_len(),
+        mesh.num_chips(),
+        jobs,
+        seed
+    );
+
+    // Canned faults: two chips die mid-campaign, off row 0, scaled to
+    // whatever mesh is under test. Each kills the slice's job back to
+    // its last checkpoint.
+    let victim_y = if mesh.y_len() > 1 { 1 } else { 0 };
+    let fault_window = config.arrivals.mean_interarrival_seconds * f64::from(jobs);
+    let plan = FaultPlan::new()
+        .chip_down(
+            SimTime::from_seconds(0.25 * fault_window),
+            ChipId(victim_y * mesh.x_len() + 1.min(mesh.x_len() - 1)),
+        )
+        .chip_down(
+            SimTime::from_seconds(0.75 * fault_window),
+            ChipId(victim_y * mesh.x_len() + mesh.x_len() / 2),
+        );
+
+    let (report, recorder) = campaign(&config, &plan);
+
+    let determinism_checked = std::env::args().any(|a| a == "--check-determinism");
+    let mut deterministic = true;
+    if determinism_checked {
+        let (report_again, trace_again) = campaign(&config, &plan);
+        let trace_a = serde_json::to_string(&recorder.chrome_trace().expect("trace json"))
+            .expect("trace json");
+        let trace_b = serde_json::to_string(&trace_again.chrome_trace().expect("trace json"))
+            .expect("trace json");
+        let report_a = serde_json::to_string(&report).expect("report json");
+        let report_b = serde_json::to_string(&report_again).expect("report json");
+        deterministic = trace_a == trace_b && report_a == report_b;
+        println!(
+            "determinism: {}",
+            if deterministic {
+                "byte-identical report and trace exports"
+            } else {
+                "MISMATCH — exports differ"
+            }
+        );
+    }
+
+    println!(
+        "jobs {} | completed {} | preemptions {} | fault kills {} | restores {} (bit-identical: {})",
+        report.jobs,
+        report.completed,
+        report.preemptions,
+        report.fault_kills,
+        report.restores,
+        report.restores_bit_identical
+    );
+    println!(
+        "makespan {:.3} s | mean utilization {:.1}% (floor {:.0}%)",
+        report.makespan_seconds,
+        1e2 * report.mean_utilization,
+        1e2 * UTILIZATION_FLOOR
+    );
+    println!(
+        "queue wait: mean {:.3} ms, p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms, max {:.3} ms",
+        1e3 * report.queue_wait.mean,
+        1e3 * report.queue_wait.p50,
+        1e3 * report.queue_wait.p90,
+        1e3 * report.queue_wait.p99,
+        1e3 * report.queue_wait.max
+    );
+    println!(
+        "preemption overhead: {} events, mean {:.3} ms, p99 {:.3} ms (save {:.3} s + restore {:.3} s total)",
+        report.preemption_overhead.count,
+        1e3 * report.preemption_overhead.mean,
+        1e3 * report.preemption_overhead.p99,
+        report.save_seconds,
+        report.restore_seconds
+    );
+    println!("kind | jobs | completed | mean wait (ms) | mean turnaround (ms)");
+    for k in &report.per_kind {
+        println!(
+            "{} | {} | {} | {:.3} | {:.3}",
+            k.kind,
+            k.jobs,
+            k.completed,
+            1e3 * k.mean_queue_wait_seconds,
+            1e3 * k.mean_turnaround_seconds
+        );
+    }
+
+    // Preemption overhead must be exactly the checkpoint traffic: the
+    // per-event sum never exceeds total simulated save+restore time.
+    let overhead_sum = report.preemption_overhead.mean * report.preemption_overhead.count as f64;
+    let ckpt_total = report.save_seconds + report.restore_seconds;
+    let overhead_accounted = overhead_sum <= ckpt_total + 1e-9 * (1.0 + ckpt_total);
+
+    let bench = BenchReport::new(
+        "sched",
+        format!("{}x{}", mesh.x_len(), mesh.y_len()),
+        mesh.num_chips(),
+    )
+    .gate(
+        "utilization_floor",
+        report.mean_utilization >= UTILIZATION_FLOOR,
+    )
+    .gate("restores_bit_identical", report.restores_bit_identical)
+    .gate("all_jobs_completed", report.completed == report.jobs)
+    .gate("preemption_overhead_accounted", overhead_accounted)
+    .gate(
+        "deterministic",
+        determinism_checked.then_some(deterministic),
+    )
+    .measurement("jobs", json!(report.jobs))
+    .measurement("completed", json!(report.completed))
+    .measurement("preemptions", json!(report.preemptions))
+    .measurement("fault_kills", json!(report.fault_kills))
+    .measurement("restores", json!(report.restores))
+    .measurement("makespan_seconds", json!(report.makespan_seconds))
+    .measurement("mean_utilization", json!(report.mean_utilization))
+    .measurement("queue_wait_seconds", json!(report.queue_wait))
+    .measurement(
+        "preemption_overhead_seconds",
+        json!(report.preemption_overhead),
+    )
+    .measurement("save_seconds", json!(report.save_seconds))
+    .measurement("restore_seconds", json!(report.restore_seconds))
+    .measurement("per_kind", json!(report.per_kind))
+    .measurement("seed", json!(seed));
+    let json_path = arg_value("--json").unwrap_or_else(|| "BENCH_sched.json".to_string());
+    bench.write(&json_path);
+
+    if let Some(path) = trace_flag() {
+        recorder.write_chrome_trace(&path).expect("write trace");
+        println!("wrote {}", path.display());
+    }
+
+    if bench.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

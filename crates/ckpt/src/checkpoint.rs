@@ -587,7 +587,8 @@ mod tests {
         let w_shards = w.split(0, shards).unwrap();
         let g_shards = g.split(0, shards).unwrap();
         for s in 0..shards {
-            opt.prepare(StateKey { layer: 0, shard: s }, &w_shards[s], &g_shards[s]);
+            opt.prepare(StateKey { layer: 0, shard: s }, &w_shards[s], &g_shards[s])
+                .unwrap();
         }
         let bundle = StateBundle::from_optimizer(3, &w, &opt, shards).unwrap();
         (bundle, opt)

@@ -31,7 +31,8 @@ fn warm_bundle(elems: usize, shards: usize, seed: u64, bf16: bool) -> StateBundl
     let w_shards = w.split(0, shards).unwrap();
     let g_shards = g.split(0, shards).unwrap();
     for s in 0..shards {
-        opt.prepare(StateKey { layer: 0, shard: s }, &w_shards[s], &g_shards[s]);
+        opt.prepare(StateKey { layer: 0, shard: s }, &w_shards[s], &g_shards[s])
+            .unwrap();
     }
     StateBundle::from_optimizer(1, &w, &opt, shards).unwrap()
 }

@@ -490,9 +490,10 @@ impl<O: Optimizer> DataParallelTrainer<O> {
         let mut global = LayerStats::default();
         let mut updates = Vec::with_capacity(n);
         for s in 0..n {
-            let (u, stats) =
-                self.optimizer
-                    .prepare(StateKey { layer: 0, shard: s }, &w_shards[s], &g_shards[s]);
+            let (u, stats) = self
+                .optimizer
+                .prepare(StateKey { layer: 0, shard: s }, &w_shards[s], &g_shards[s])
+                .map_err(CollectiveError::from)?;
             global = global.merge(stats);
             updates.push(u);
         }
@@ -503,10 +504,15 @@ impl<O: Optimizer> DataParallelTrainer<O> {
         // correct under bf16 payload quantization.
         let optimizer = &self.optimizer;
         let mesh = self.net.mesh().clone();
+        // The apply callback cannot return an error through the collective;
+        // capture the first failure and surface it after the reduce.
+        let mut apply_err: Option<multipod_optim::OptimError> = None;
         let mut apply = |chip, shard: &mut Tensor| {
             let s = shard_index(&mesh, chip, 1);
             let mut w_shard = w_shards[s].clone();
-            optimizer.apply(&mut w_shard, &updates[s], global);
+            if let Err(e) = optimizer.apply(&mut w_shard, &updates[s], global) {
+                apply_err.get_or_insert(e);
+            }
             *shard = w_shard;
         };
         let out = two_dim_all_reduce(
@@ -516,6 +522,9 @@ impl<O: Optimizer> DataParallelTrainer<O> {
             1,
             Some(&mut apply),
         )?;
+        if let Some(e) = apply_err {
+            return Err(e.into());
+        }
         *weights = out.outputs[0].clone().reshape(weights.shape().clone())?;
         if let Some(sink) = self.net.trace_sink() {
             // The sharded optimizer update runs at the shard owners
@@ -592,21 +601,26 @@ impl<O: Optimizer> DataParallelTrainer<O> {
         let mut global = LayerStats::default();
         let mut updates = Vec::with_capacity(n);
         for idx in 0..n {
-            let (u, stats) = self.optimizer.prepare(
-                StateKey {
-                    layer: 0,
-                    shard: idx,
-                },
-                &w_shards[idx],
-                &g_shards[idx],
-            );
+            let (u, stats) = self
+                .optimizer
+                .prepare(
+                    StateKey {
+                        layer: 0,
+                        shard: idx,
+                    },
+                    &w_shards[idx],
+                    &g_shards[idx],
+                )
+                .map_err(CollectiveError::from)?;
             global = global.merge(stats);
             updates.push(u);
         }
         let mut updated = Vec::with_capacity(n);
         for idx in 0..n {
             let mut w_shard = w_shards[idx].clone();
-            self.optimizer.apply(&mut w_shard, &updates[idx], global);
+            self.optimizer
+                .apply(&mut w_shard, &updates[idx], global)
+                .map_err(CollectiveError::from)?;
             updated.push(w_shard);
         }
         *weights = Tensor::concat(&updated, 0)?.reshape(weights.shape().clone())?;
@@ -647,7 +661,9 @@ mod tests {
                 .map(|_| rng.uniform(Shape::vector(elems), -0.1, 0.1))
                 .collect();
             trainer.step(&mut w_dist, &grads).unwrap();
-            reference.step(0, &mut w_ref, &Tensor::sum_all(&grads).unwrap());
+            reference
+                .step(0, &mut w_ref, &Tensor::sum_all(&grads).unwrap())
+                .unwrap();
         }
         assert!(
             w_dist.max_abs_diff(&w_ref) < 1e-4,
@@ -813,7 +829,7 @@ mod tests {
             .unwrap()
             .scale(n as f32 / (n - 1) as f32);
         let mut reference = SgdMomentum::new(0.1, 0.0);
-        reference.step(0, &mut w_ref, &renorm);
+        reference.step(0, &mut w_ref, &renorm).unwrap();
         assert!(
             w.max_abs_diff(&w_ref) < 1e-5,
             "renormalized survivor update: {}",

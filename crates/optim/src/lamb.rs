@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use multipod_tensor::{Shape, Tensor};
 
 use crate::optimizer::sort_slots;
-use crate::{LayerStats, Optimizer, StateKey, StateSlot};
+use crate::{LayerStats, OptimError, Optimizer, StateKey, StateSlot};
 
 #[derive(Debug, Clone)]
 struct Slot {
@@ -78,7 +78,12 @@ impl Optimizer for Lamb {
         "lamb"
     }
 
-    fn prepare(&mut self, key: StateKey, weights: &Tensor, grad: &Tensor) -> (Tensor, LayerStats) {
+    fn prepare(
+        &mut self,
+        key: StateKey,
+        weights: &Tensor,
+        grad: &Tensor,
+    ) -> Result<(Tensor, LayerStats), OptimError> {
         let slot = self.slots.entry(key).or_insert_with(|| Slot {
             m: Tensor::zeros(weights.shape().clone()),
             v: Tensor::zeros(weights.shape().clone()),
@@ -87,10 +92,10 @@ impl Optimizer for Lamb {
         slot.t += 1;
         // m = β₁ m + (1−β₁) g ; v = β₂ v + (1−β₂) g².
         slot.m = slot.m.scale(self.beta1);
-        slot.m.axpy(1.0 - self.beta1, grad).expect("m shape");
-        let g_sq = grad.mul(grad).expect("g² shape");
+        slot.m.axpy(1.0 - self.beta1, grad)?;
+        let g_sq = grad.mul(grad)?;
         slot.v = slot.v.scale(self.beta2);
-        slot.v.axpy(1.0 - self.beta2, &g_sq).expect("v shape");
+        slot.v.axpy(1.0 - self.beta2, &g_sq)?;
         // Bias correction.
         let mc = 1.0 - self.beta1.powi(slot.t as i32);
         let vc = 1.0 - self.beta2.powi(slot.t as i32);
@@ -116,10 +121,15 @@ impl Optimizer for Lamb {
                 .sum(),
             update_sq: u.data().iter().map(|&x| (x as f64) * (x as f64)).sum(),
         };
-        (u, stats)
+        Ok((u, stats))
     }
 
-    fn apply(&self, weights: &mut Tensor, update: &Tensor, stats: LayerStats) {
+    fn apply(
+        &self,
+        weights: &mut Tensor,
+        update: &Tensor,
+        stats: LayerStats,
+    ) -> Result<(), OptimError> {
         let w_norm = stats.weight_sq.sqrt() as f32;
         let u_norm = stats.update_sq.sqrt() as f32;
         let trust = if w_norm > 0.0 && u_norm > 0.0 {
@@ -127,9 +137,8 @@ impl Optimizer for Lamb {
         } else {
             1.0
         };
-        weights
-            .axpy(-self.lr * trust, update)
-            .expect("weights/update shape");
+        weights.axpy(-self.lr * trust, update)?;
+        Ok(())
     }
 
     fn set_learning_rate(&mut self, lr: f32) {
@@ -196,7 +205,7 @@ mod tests {
         let mut opt = Lamb::new(0.01, 0.0);
         let mut w = Tensor::fill(Shape::of(&[4]), 1.0);
         let g = Tensor::from_slice(&[0.5, -0.5, 2.0, -2.0]);
-        opt.step(0, &mut w, &g);
+        opt.step(0, &mut w, &g).unwrap();
         // With bias correction, the first Adam update is ~sign(g).
         assert!(w.data()[0] < 1.0 && w.data()[1] > 1.0);
         assert!(w.data()[2] < 1.0 && w.data()[3] > 1.0);
@@ -210,7 +219,7 @@ mod tests {
         let mut w = Tensor::fill(Shape::of(&[16]), 1e-3);
         let g = Tensor::fill(Shape::of(&[16]), 10.0);
         let before = w.clone();
-        opt.step(0, &mut w, &g);
+        opt.step(0, &mut w, &g).unwrap();
         let step_norm = w.sub(&before).unwrap().norm2();
         // ‖Δw‖ = lr · tr · ‖u‖ = lr · ‖w‖ (up to ε).
         assert!((step_norm - 0.1 * before.norm2()).abs() < 1e-5);
@@ -224,7 +233,7 @@ mod tests {
             let mut w = rng.uniform(Shape::of(&[32]), -1.0, 1.0);
             for _ in 0..10 {
                 let g = rng.uniform(Shape::of(&[32]), -0.5, 0.5);
-                opt.step(0, &mut w, &g);
+                opt.step(0, &mut w, &g).unwrap();
             }
             w
         };
@@ -237,7 +246,7 @@ mod tests {
         let mut w = Tensor::fill(Shape::of(&[4]), 2.0);
         let g = Tensor::zeros(Shape::of(&[4]));
         let before = w.data()[0];
-        opt.step(0, &mut w, &g);
+        opt.step(0, &mut w, &g).unwrap();
         assert!(w.data()[0] < before);
     }
 }

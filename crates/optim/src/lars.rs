@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use multipod_tensor::Tensor;
 
 use crate::optimizer::sort_slots;
-use crate::{LayerStats, Optimizer, StateKey, StateSlot};
+use crate::{LayerStats, OptimError, Optimizer, StateKey, StateSlot};
 
 /// Layer-wise Adaptive Rate Scaling.
 ///
@@ -70,10 +70,15 @@ impl Optimizer for Lars {
         "lars"
     }
 
-    fn prepare(&mut self, key: StateKey, weights: &Tensor, grad: &Tensor) -> (Tensor, LayerStats) {
+    fn prepare(
+        &mut self,
+        key: StateKey,
+        weights: &Tensor,
+        grad: &Tensor,
+    ) -> Result<(Tensor, LayerStats), OptimError> {
         // d = g + λw
         let mut d = grad.clone();
-        d.axpy(self.weight_decay, weights).expect("decay shapes");
+        d.axpy(self.weight_decay, weights)?;
         let stats = LayerStats {
             weight_sq: weights
                 .data()
@@ -88,11 +93,16 @@ impl Optimizer for Lars {
             .entry(key)
             .or_insert_with(|| Tensor::zeros(weights.shape().clone()));
         *v = v.scale(self.momentum);
-        v.axpy(1.0, &d).expect("velocity shapes");
-        (v.clone(), stats)
+        v.axpy(1.0, &d)?;
+        Ok((v.clone(), stats))
     }
 
-    fn apply(&self, weights: &mut Tensor, update: &Tensor, stats: LayerStats) {
+    fn apply(
+        &self,
+        weights: &mut Tensor,
+        update: &Tensor,
+        stats: LayerStats,
+    ) -> Result<(), OptimError> {
         let w_norm = stats.weight_sq.sqrt() as f32;
         let d_norm = stats.update_sq.sqrt() as f32;
         let trust = if w_norm > 0.0 && d_norm > 0.0 {
@@ -100,9 +110,8 @@ impl Optimizer for Lars {
         } else {
             1.0
         };
-        weights
-            .axpy(-self.lr * trust, update)
-            .expect("weights/update shape");
+        weights.axpy(-self.lr * trust, update)?;
+        Ok(())
     }
 
     fn set_learning_rate(&mut self, lr: f32) {
@@ -150,7 +159,7 @@ mod tests {
         let mut w = Tensor::fill(Shape::of(&[4]), 100.0);
         let g = Tensor::fill(Shape::of(&[4]), 1e-4);
         let before = w.data()[0];
-        opt.step(0, &mut w, &g);
+        opt.step(0, &mut w, &g).unwrap();
         let step = before - w.data()[0];
         // trust = 0.001 * 200 / 2e-4 = 1000 → step = 1000 * 1e-4 = 0.1.
         assert!((step - 0.1).abs() < 1e-4, "step={step}");
@@ -161,7 +170,7 @@ mod tests {
         let mut opt = Lars::new(0.5, 0.0, 0.0);
         let mut w = Tensor::zeros(Shape::of(&[2]));
         let g = Tensor::fill(Shape::of(&[2]), 1.0);
-        opt.step(0, &mut w, &g);
+        opt.step(0, &mut w, &g).unwrap();
         assert!((w.data()[0] + 0.5).abs() < 1e-6);
     }
 
@@ -174,8 +183,8 @@ mod tests {
         let g = rng.uniform(Shape::of(&[8]), -0.1, 0.1);
         let mut wa = w0.clone();
         let mut wb = w0.clone();
-        with_wd.step(0, &mut wa, &g);
-        without.step(0, &mut wb, &g);
+        with_wd.step(0, &mut wa, &g).unwrap();
+        without.step(0, &mut wb, &g).unwrap();
         assert!(wa.max_abs_diff(&wb) > 1e-6);
     }
 
@@ -184,9 +193,9 @@ mod tests {
         let mut opt = Lars::new(0.1, 0.9, 0.0);
         let mut w = Tensor::fill(Shape::of(&[2]), 1.0);
         let g = Tensor::fill(Shape::of(&[2]), 0.1);
-        opt.step(0, &mut w, &g);
+        opt.step(0, &mut w, &g).unwrap();
         let after_one = w.data()[0];
-        opt.step(0, &mut w, &g);
+        opt.step(0, &mut w, &g).unwrap();
         // Second step moves further due to momentum.
         assert!((1.0 - after_one) < (after_one - w.data()[0]) + 1e-9);
     }

@@ -27,6 +27,7 @@
 //! assert!((w.data()[0] - 0.95).abs() < 1e-6);
 //! ```
 
+mod error;
 mod lamb;
 mod lars;
 mod optimizer;
@@ -34,6 +35,7 @@ mod schedule;
 mod sgd;
 pub mod wus;
 
+pub use error::OptimError;
 pub use lamb::Lamb;
 pub use lars::Lars;
 pub use optimizer::{LayerStats, Optimizer, StateKey, StateSlot};

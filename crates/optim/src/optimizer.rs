@@ -2,6 +2,8 @@
 
 use multipod_tensor::Tensor;
 
+use crate::OptimError;
+
 /// Identifies the state slot an update touches: a layer plus the shard of
 /// that layer being updated (`shard = 0, of = 1` for replicated updates).
 ///
@@ -80,10 +82,30 @@ pub trait Optimizer {
 
     /// Phase 1: advance state, produce the raw update direction and
     /// partial statistics for this shard.
-    fn prepare(&mut self, key: StateKey, weights: &Tensor, grad: &Tensor) -> (Tensor, LayerStats);
+    ///
+    /// # Errors
+    ///
+    /// [`OptimError::Tensor`] when the gradient's shape disagrees with the
+    /// weights or with state persisted under `key`.
+    fn prepare(
+        &mut self,
+        key: StateKey,
+        weights: &Tensor,
+        grad: &Tensor,
+    ) -> Result<(Tensor, LayerStats), OptimError>;
 
     /// Phase 2: apply the update direction under global layer statistics.
-    fn apply(&self, weights: &mut Tensor, update: &Tensor, stats: LayerStats);
+    ///
+    /// # Errors
+    ///
+    /// [`OptimError::Tensor`] when the update's shape disagrees with the
+    /// weights.
+    fn apply(
+        &self,
+        weights: &mut Tensor,
+        update: &Tensor,
+        stats: LayerStats,
+    ) -> Result<(), OptimError>;
 
     /// Approximate floating-point operations per parameter per step, for
     /// the weight-update compute-time model (§3.2's 18% anchor).
@@ -94,9 +116,19 @@ pub trait Optimizer {
     fn set_learning_rate(&mut self, lr: f32);
 
     /// Convenience: a full replicated step on one layer.
-    fn step(&mut self, layer: usize, weights: &mut Tensor, grad: &Tensor) {
-        let (update, stats) = self.prepare(StateKey::full_layer(layer), weights, grad);
-        self.apply(weights, &update, stats);
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OptimError`] from [`Optimizer::prepare`] /
+    /// [`Optimizer::apply`].
+    fn step(
+        &mut self,
+        layer: usize,
+        weights: &mut Tensor,
+        grad: &Tensor,
+    ) -> Result<(), OptimError> {
+        let (update, stats) = self.prepare(StateKey::full_layer(layer), weights, grad)?;
+        self.apply(weights, &update, stats)
     }
 
     /// Exports all internal state as named slots, sorted by

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use multipod_tensor::Tensor;
 
 use crate::optimizer::sort_slots;
-use crate::{LayerStats, Optimizer, StateKey, StateSlot};
+use crate::{LayerStats, OptimError, Optimizer, StateKey, StateSlot};
 
 /// Plain SGD with heavyball momentum: `v ← μ v + g`, `w ← w − lr v`.
 ///
@@ -45,20 +45,29 @@ impl Optimizer for SgdMomentum {
         "sgd-momentum"
     }
 
-    fn prepare(&mut self, key: StateKey, weights: &Tensor, grad: &Tensor) -> (Tensor, LayerStats) {
+    fn prepare(
+        &mut self,
+        key: StateKey,
+        weights: &Tensor,
+        grad: &Tensor,
+    ) -> Result<(Tensor, LayerStats), OptimError> {
         let v = self
             .velocity
             .entry(key)
             .or_insert_with(|| Tensor::zeros(weights.shape().clone()));
         *v = v.scale(self.momentum);
-        v.axpy(1.0, grad).expect("velocity/grad shape");
-        (v.clone(), LayerStats::default())
+        v.axpy(1.0, grad)?;
+        Ok((v.clone(), LayerStats::default()))
     }
 
-    fn apply(&self, weights: &mut Tensor, update: &Tensor, _stats: LayerStats) {
-        weights
-            .axpy(-self.lr, update)
-            .expect("weights/update shape");
+    fn apply(
+        &self,
+        weights: &mut Tensor,
+        update: &Tensor,
+        _stats: LayerStats,
+    ) -> Result<(), OptimError> {
+        weights.axpy(-self.lr, update)?;
+        Ok(())
     }
 
     fn set_learning_rate(&mut self, lr: f32) {
@@ -103,7 +112,7 @@ mod tests {
         let mut opt = SgdMomentum::new(0.5, 0.9);
         let mut w = Tensor::fill(Shape::of(&[3]), 1.0);
         let g = Tensor::fill(Shape::of(&[3]), 1.0);
-        opt.step(0, &mut w, &g);
+        opt.step(0, &mut w, &g).unwrap();
         assert!(w.data().iter().all(|&v| (v - 0.5).abs() < 1e-6));
     }
 
@@ -112,8 +121,8 @@ mod tests {
         let mut opt = SgdMomentum::new(1.0, 0.5);
         let mut w = Tensor::fill(Shape::of(&[1]), 0.0);
         let g = Tensor::fill(Shape::of(&[1]), 1.0);
-        opt.step(0, &mut w, &g); // v = 1, w = -1
-        opt.step(0, &mut w, &g); // v = 1.5, w = -2.5
+        opt.step(0, &mut w, &g).unwrap(); // v = 1, w = -1
+        opt.step(0, &mut w, &g).unwrap(); // v = 1.5, w = -2.5
         assert!((w.data()[0] + 2.5).abs() < 1e-6);
     }
 
@@ -123,9 +132,9 @@ mod tests {
         let mut w0 = Tensor::fill(Shape::of(&[1]), 0.0);
         let mut w1 = Tensor::fill(Shape::of(&[1]), 0.0);
         let g = Tensor::fill(Shape::of(&[1]), 1.0);
-        opt.step(0, &mut w0, &g);
-        opt.step(0, &mut w0, &g);
-        opt.step(1, &mut w1, &g);
+        opt.step(0, &mut w0, &g).unwrap();
+        opt.step(0, &mut w0, &g).unwrap();
+        opt.step(1, &mut w1, &g).unwrap();
         // Layer 1's first step has no accumulated momentum.
         assert!((w1.data()[0] + 1.0).abs() < 1e-6);
         assert!(w0.data()[0] < -2.0);

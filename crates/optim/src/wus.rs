@@ -65,9 +65,9 @@ pub fn replicated_step(
     // it to each replica's copy (their states are mirrored by
     // construction).
     let (update, stats) =
-        optimizer.prepare(StateKey::full_layer(layer), &weights[0], &ar.outputs[0]);
+        optimizer.prepare(StateKey::full_layer(layer), &weights[0], &ar.outputs[0])?;
     for w in weights.iter_mut() {
-        optimizer.apply(w, &update, stats);
+        optimizer.apply(w, &update, stats)?;
     }
     Ok(ar.time)
 }
@@ -110,7 +110,7 @@ pub fn sharded_step(
             },
             &w_shard,
             grad_shard,
-        );
+        )?;
         global_stats = global_stats.merge(stats);
         prepared.push((w_shard, update));
     }
@@ -134,7 +134,7 @@ pub fn sharded_step(
         rs.time
     };
     for (w_shard, update) in prepared.iter_mut() {
-        optimizer.apply(w_shard, update, global_stats);
+        optimizer.apply(w_shard, update, global_stats)?;
         updated_shards.push(w_shard.clone());
     }
     // Broadcast the updated shards back to every replica.

@@ -1,0 +1,66 @@
+//! Regression tests for the optimizer panic-path sweep: shape mismatches
+//! between weights, gradients, and persisted state must surface as typed
+//! [`OptimError`]s, never as panics.
+
+use multipod_optim::{Lamb, Lars, LayerStats, OptimError, Optimizer, SgdMomentum, StateKey};
+use multipod_tensor::{Shape, Tensor, TensorError};
+
+fn optimizers() -> Vec<Box<dyn Optimizer>> {
+    vec![
+        Box::new(SgdMomentum::new(0.1, 0.9)),
+        Box::new(Lars::new(0.1, 0.9, 1e-4)),
+        Box::new(Lamb::new(0.01, 0.01)),
+    ]
+}
+
+#[test]
+fn mismatched_gradient_is_a_typed_error() {
+    for mut opt in optimizers() {
+        let mut w = Tensor::fill(Shape::vector(8), 1.0);
+        let g = Tensor::fill(Shape::vector(4), 1.0);
+        let err = opt
+            .step(0, &mut w, &g)
+            .expect_err("a 4-element gradient must not update 8-element weights");
+        assert!(
+            matches!(err, OptimError::Tensor(_)),
+            "expected a tensor-level error, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn mismatched_persisted_state_is_a_typed_error() {
+    // Momentum/Adam state persisted for one shape rejects a differently
+    // shaped gradient on the next step — the checkpoint-restored-for-a-
+    // different-sharding scenario.
+    for mut opt in optimizers() {
+        let mut w = Tensor::fill(Shape::vector(8), 1.0);
+        let g = Tensor::fill(Shape::vector(8), 0.5);
+        opt.step(0, &mut w, &g).expect("well-shaped step");
+        let w_small = Tensor::fill(Shape::vector(4), 1.0);
+        let g_small = Tensor::fill(Shape::vector(4), 0.5);
+        let result = opt.prepare(StateKey::full_layer(0), &w_small, &g_small);
+        assert!(
+            matches!(result, Err(OptimError::Tensor(_))),
+            "{}: persisted 8-element state must reject a 4-element step, got {result:?}",
+            opt.name()
+        );
+    }
+}
+
+#[test]
+fn mismatched_update_in_apply_is_a_typed_error() {
+    for opt in optimizers() {
+        let mut w = Tensor::fill(Shape::vector(8), 1.0);
+        let update = Tensor::fill(Shape::vector(2), 1.0);
+        let err = opt
+            .apply(&mut w, &update, LayerStats::default())
+            .expect_err("a 2-element update must not apply to 8-element weights");
+        match err {
+            OptimError::Tensor(TensorError::ShapeMismatch { op, .. }) => {
+                assert_eq!(op, "axpy");
+            }
+            other => panic!("expected an axpy shape mismatch, got {other:?}"),
+        }
+    }
+}

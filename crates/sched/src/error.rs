@@ -1,0 +1,96 @@
+//! Typed scheduler errors.
+
+use std::error::Error;
+use std::fmt;
+
+use multipod_ckpt::CkptError;
+use multipod_core::StepError;
+use multipod_optim::OptimError;
+use multipod_topology::TopologyError;
+
+/// A scheduling campaign failed.
+#[derive(Debug)]
+pub enum SchedError {
+    /// A job asked for more chips than the mesh has, or a chip count no
+    /// rectangular power-of-two slice can cover.
+    UnplaceableJob {
+        /// The offending job id.
+        job: u64,
+        /// Chips the job requested.
+        chips: u32,
+    },
+    /// The checkpoint layer failed during a preemption save or an elastic
+    /// restore.
+    Ckpt(CkptError),
+    /// An elastic restore returned state that was not bit-identical to
+    /// what the preemption save captured.
+    RestoreMismatch {
+        /// The job whose state diverged.
+        job: u64,
+    },
+    /// The step-time model rejected a job's slice shape.
+    Step(StepError),
+    /// A job's optimizer update failed (shape drift in model state).
+    Optim(OptimError),
+    /// The mesh configuration itself was invalid.
+    Topology(TopologyError),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::UnplaceableJob { job, chips } => {
+                write!(
+                    f,
+                    "job {job} requests {chips} chips: no slice shape fits the mesh"
+                )
+            }
+            SchedError::Ckpt(e) => write!(f, "preemption checkpoint failed: {e}"),
+            SchedError::RestoreMismatch { job } => {
+                write!(
+                    f,
+                    "restored state for job {job} is not bit-identical to the save"
+                )
+            }
+            SchedError::Step(e) => write!(f, "step-time model rejected a job: {e}"),
+            SchedError::Optim(e) => write!(f, "job model update failed: {e}"),
+            SchedError::Topology(e) => write!(f, "invalid mesh: {e}"),
+        }
+    }
+}
+
+impl Error for SchedError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SchedError::Ckpt(e) => Some(e),
+            SchedError::Step(e) => Some(e),
+            SchedError::Optim(e) => Some(e),
+            SchedError::Topology(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CkptError> for SchedError {
+    fn from(e: CkptError) -> SchedError {
+        SchedError::Ckpt(e)
+    }
+}
+
+impl From<StepError> for SchedError {
+    fn from(e: StepError) -> SchedError {
+        SchedError::Step(e)
+    }
+}
+
+impl From<OptimError> for SchedError {
+    fn from(e: OptimError) -> SchedError {
+        SchedError::Optim(e)
+    }
+}
+
+impl From<TopologyError> for SchedError {
+    fn from(e: TopologyError) -> SchedError {
+        SchedError::Topology(e)
+    }
+}

@@ -32,6 +32,9 @@ pub enum Subsystem {
     Ckpt,
     /// The deferred task-graph scheduler (comm/compute overlap).
     Sched,
+    /// The multi-tenant pod scheduler (slices, gang scheduling,
+    /// preemption).
+    Pod,
 }
 
 impl Subsystem {
@@ -44,6 +47,7 @@ impl Subsystem {
             Subsystem::Input => "input",
             Subsystem::Ckpt => "ckpt",
             Subsystem::Sched => "sched",
+            Subsystem::Pod => "pod",
         }
     }
 }

@@ -91,6 +91,9 @@ pub enum SpanCategory {
     /// Checkpoint traffic: sharded state save (ICI gather + PCIe
     /// streaming), restore, and rollback-recovery windows.
     Checkpoint,
+    /// Pod-scheduler events: a job's queue wait, its run on a slice,
+    /// preemption (save + requeue), and elastic resume.
+    Sched,
 }
 
 impl SpanCategory {
@@ -105,6 +108,7 @@ impl SpanCategory {
             SpanCategory::Input => "input",
             SpanCategory::Fault => "fault",
             SpanCategory::Checkpoint => "checkpoint",
+            SpanCategory::Sched => "sched",
         }
     }
 }

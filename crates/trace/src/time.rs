@@ -62,13 +62,14 @@ impl SimTime {
     }
 }
 
-// SimTime construction rejects NaN, so the order is total.
+// SimTime construction rejects NaN, so the order is total; total_cmp
+// keeps that guarantee panic-free even if a NaN ever slipped through.
 impl Eq for SimTime {}
 
 #[allow(clippy::derive_ord_xor_partial_ord)]
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.partial_cmp(other).expect("SimTime is never NaN")
+        self.0.total_cmp(&other.0)
     }
 }
 

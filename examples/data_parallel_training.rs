@@ -99,8 +99,9 @@ fn main() {
         let mut global = LayerStats::default();
         let mut prepared = Vec::with_capacity(n_shards);
         for s in 0..n_shards {
-            let (u, st) =
-                probe.prepare(StateKey { layer: 0, shard: s }, &w_shards[s], &g_shards[s]);
+            let (u, st) = probe
+                .prepare(StateKey { layer: 0, shard: s }, &w_shards[s], &g_shards[s])
+                .expect("same-shape gradient shards");
             global = global.merge(st);
             prepared.push(u);
         }
@@ -112,7 +113,9 @@ fn main() {
             let mut w_shard = w_shards[s].clone();
             // Scale the trust-ratio step by the scheduled rate.
             let scaled = prepared[s].scale(lr);
-            optimizer.apply(&mut w_shard, &scaled, global);
+            optimizer
+                .apply(&mut w_shard, &scaled, global)
+                .expect("same-shape update shards");
             *shard = w_shard;
         };
         let out = two_dim_all_reduce(&mut net, &local_grads, Precision::F32, 1, Some(&mut update))

@@ -30,7 +30,7 @@ fn sharded_lamb_inside_2d_allreduce_matches_replicated_reference() {
     let summed = Tensor::sum_all(&grads).unwrap();
     let mut ref_opt = Lamb::new(0.01, 0.01);
     let mut ref_w = w0.clone();
-    ref_opt.step(0, &mut ref_w, &summed);
+    ref_opt.step(0, &mut ref_w, &summed).unwrap();
 
     // Sharded: the 2-D schedule leaves each chip one shard of summed
     // gradients; each owner updates its weight shard with per-shard LAMB
@@ -50,8 +50,9 @@ fn sharded_lamb_inside_2d_allreduce_matches_replicated_reference() {
     let w_shards = w0.split(0, shards_total).unwrap();
     let g_shards = summed.split(0, shards_total).unwrap();
     for s in 0..shards_total {
-        let (_u, stats) =
-            probe.prepare(StateKey { layer: 0, shard: s }, &w_shards[s], &g_shards[s]);
+        let (_u, stats) = probe
+            .prepare(StateKey { layer: 0, shard: s }, &w_shards[s], &g_shards[s])
+            .unwrap();
         global = global.merge(stats);
     }
 
@@ -67,16 +68,18 @@ fn sharded_lamb_inside_2d_allreduce_matches_replicated_reference() {
             .expect("shard corresponds to a slice of the summed gradient");
         shard_index.insert(chip, idx);
         let mut w_shard = w_shards[idx].clone();
-        let (u, stats) = shard_opt.prepare(
-            StateKey {
-                layer: 0,
-                shard: idx,
-            },
-            &w_shard,
-            shard,
-        );
+        let (u, stats) = shard_opt
+            .prepare(
+                StateKey {
+                    layer: 0,
+                    shard: idx,
+                },
+                &w_shard,
+                shard,
+            )
+            .unwrap();
         let _ = stats; // replaced by the globally merged norms
-        shard_opt.apply(&mut w_shard, &u, global);
+        shard_opt.apply(&mut w_shard, &u, global).unwrap();
         *shard = w_shard;
         assert_eq!(shard.len(), shard_elems);
     };
