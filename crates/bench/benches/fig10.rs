@@ -31,8 +31,10 @@ fn bench(c: &mut Criterion) {
                 .iter()
                 .map(|w| {
                     let gpus = gpu_cap(w.name);
-                    GpuCluster::new(GpuGeneration::A100, gpus).end_to_end_minutes(w)
-                        + GpuCluster::new(GpuGeneration::V100, gpus).end_to_end_minutes(w)
+                    let a100 = GpuCluster::new(GpuGeneration::A100, gpus).expect("cluster");
+                    let v100 = GpuCluster::new(GpuGeneration::V100, gpus).expect("cluster");
+                    a100.end_to_end_minutes(w).expect("e2e")
+                        + v100.end_to_end_minutes(w).expect("e2e")
                 })
                 .sum::<f64>()
         })

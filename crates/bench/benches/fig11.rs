@@ -19,10 +19,14 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let curve = ScalingCurve::sweep(&catalog::bert(), &standard_chip_counts(1024)).unwrap();
             let tpu = curve.end_to_end_speedups().last().unwrap().1;
-            let base =
-                GpuCluster::new(GpuGeneration::A100, 16).end_to_end_minutes(&catalog::bert());
-            let top =
-                GpuCluster::new(GpuGeneration::A100, 1024).end_to_end_minutes(&catalog::bert());
+            let base = GpuCluster::new(GpuGeneration::A100, 16)
+                .expect("cluster")
+                .end_to_end_minutes(&catalog::bert())
+                .expect("e2e");
+            let top = GpuCluster::new(GpuGeneration::A100, 1024)
+                .expect("cluster")
+                .end_to_end_minutes(&catalog::bert())
+                .expect("e2e");
             tpu + base / top
         })
     });

@@ -21,7 +21,8 @@ fn bench(c: &mut Criterion) {
                 multipod_bench::paper::TABLE2
                     .iter()
                     .map(|&(name, chips, _, _)| {
-                        model.init_seconds(kind, &profiles::by_name(name), chips)
+                        let profile = profiles::by_name(name).expect("profile");
+                        model.init_seconds(kind, &profile, chips)
                     })
                     .sum::<f64>()
             })

@@ -63,17 +63,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let table2: Vec<_> = paper::TABLE2
         .iter()
         .map(|&(name, chips, tf_paper, jax_paper)| {
-            let p = profiles::by_name(name);
+            let p = profiles::by_name(name)?;
             let jax_chips = if name == "SSD" { 2048 } else { chips };
-            json!({
+            Ok(json!({
                 "benchmark": name,
                 "tf_paper": tf_paper,
                 "tf_ours": model.init_seconds(FrameworkKind::TensorFlow, &p, chips),
                 "jax_paper": jax_paper,
                 "jax_ours": model.init_seconds(FrameworkKind::Jax, &p, jax_chips),
-            })
+            }))
         })
-        .collect();
+        .collect::<Result<Vec<_>, multipod_framework::FrameworkError>>()?;
 
     // Figures 5-8 (sweeps).
     let sweep = |w: &multipod_models::Workload| {
@@ -120,13 +120,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .map(|(name, chips, gpu_cap)| {
         let tpu = Executor::new(preset_by_name(name, chips)).run()?;
         let w = catalog::all().into_iter().find(|w| w.name == name).unwrap();
+        let v100 = GpuCluster::new(GpuGeneration::V100, 1536.min(gpu_cap))?;
+        let a100 = GpuCluster::new(GpuGeneration::A100, 2048.min(gpu_cap))?;
         Ok(json!({
             "benchmark": name,
             "tpu_minutes": tpu.end_to_end_minutes(),
-            "v100_minutes":
-                GpuCluster::new(GpuGeneration::V100, 1536.min(gpu_cap)).end_to_end_minutes(&w),
-            "a100_minutes":
-                GpuCluster::new(GpuGeneration::A100, 2048.min(gpu_cap)).end_to_end_minutes(&w),
+            "v100_minutes": v100.end_to_end_minutes(&w)?,
+            "a100_minutes": a100.end_to_end_minutes(&w)?,
         }))
     })
     .collect::<Result<Vec<_>, multipod_core::StepError>>()?;
@@ -235,6 +235,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "preemption_overhead_mean_seconds": sched_report.preemption_overhead.mean,
     });
 
+    // Online serving co-scheduled with training (multipod-serve): a
+    // small 32×32 scenario — the full 128×32 one lives in
+    // BENCH_serve.json via repro_serve.
+    let mut serve_config =
+        multipod_serve::ServeCampaignConfig::demo(MultipodConfig::mesh(32, 32, false), 100, 42);
+    serve_config.dlrm.stream.queries = 500;
+    let serve_report = multipod_serve::ServeCampaign::new(serve_config)
+        .run()
+        .expect("co-scheduled serving scenario");
+    let serve = json!({
+        "mesh": "32x32",
+        "training_completed": serve_report.sched.completed,
+        "training_utilization": serve_report.sched.mean_utilization,
+        "dlrm_requests": serve_report.dlrm.requests,
+        "dlrm_p50_seconds": serve_report.dlrm.latency.p50,
+        "dlrm_p99_seconds": serve_report.dlrm.latency.p99,
+        "dlrm_cache_hit_rate": serve_report.dlrm.cache_hit_rate,
+        "dlrm_achieved_qps": serve_report.dlrm.achieved_qps,
+        "rl_actor_p999_seconds": serve_report.rl.actor_latency.p999,
+        "rl_learner_throughput": serve_report.rl.learner_throughput,
+    });
+
     let doc = json!({
         "table1": table1,
         "table2": table2,
@@ -247,6 +269,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "overlap": overlap,
         "simnet": simnet,
         "sched": sched,
+        "serve": serve,
     });
     println!("{}", serde_json::to_string_pretty(&doc).unwrap());
 

@@ -40,10 +40,14 @@ fn main() {
             .into_iter()
             .find(|w| w.name == name)
             .expect("catalog entry");
-        let v100 =
-            GpuCluster::new(GpuGeneration::V100, 1536.min(gpu_cap(name))).end_to_end_minutes(&w);
-        let a100 =
-            GpuCluster::new(GpuGeneration::A100, 2048.min(gpu_cap(name))).end_to_end_minutes(&w);
+        let v100 = GpuCluster::new(GpuGeneration::V100, 1536.min(gpu_cap(name)))
+            .expect("cluster")
+            .end_to_end_minutes(&w)
+            .expect("gpu baseline");
+        let a100 = GpuCluster::new(GpuGeneration::A100, 2048.min(gpu_cap(name)))
+            .expect("cluster")
+            .end_to_end_minutes(&w)
+            .expect("gpu baseline");
         println!(
             "{name} | {chips} | {:.2} | {:.2} | {:.2}",
             tpu.end_to_end_minutes(),

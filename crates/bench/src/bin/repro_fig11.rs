@@ -24,8 +24,14 @@ fn main() {
     ] {
         let curve = ScalingCurve::sweep(&w, &standard_chip_counts(tpu_max)).expect("sweep");
         let tpu_speedup = curve.end_to_end_speedups().last().unwrap().1;
-        let gpu_base = GpuCluster::new(GpuGeneration::A100, 16).end_to_end_minutes(&w);
-        let gpu_top = GpuCluster::new(GpuGeneration::A100, gpu_max).end_to_end_minutes(&w);
+        let gpu_base = GpuCluster::new(GpuGeneration::A100, 16)
+            .expect("cluster")
+            .end_to_end_minutes(&w)
+            .expect("gpu baseline");
+        let gpu_top = GpuCluster::new(GpuGeneration::A100, gpu_max)
+            .expect("cluster")
+            .end_to_end_minutes(&w)
+            .expect("gpu baseline");
         println!(
             "{} | {tpu_max} | {:.1} | {gpu_max} | {:.1}",
             w.name,

@@ -1,0 +1,192 @@
+//! Online serving co-scheduled with the training campaign.
+//!
+//! Reserves a 256-chip DLRM serving replica and a 128-chip RL
+//! actor–learner group as long-lived high-priority slices on the
+//! paper's 128×32 machine, streams the heavy heterogeneous training
+//! campaign around them, then replays a deterministic open-loop DLRM
+//! query stream (batched, cache-assisted sharded lookups, dense
+//! forward) and a Podracer-style actor–learner loop on the granted
+//! slices. Emits `BENCH_serve.json`.
+//!
+//! Flags:
+//!   --mesh <WxH>          mesh instead of the 128×32 multipod (e.g. 32x32)
+//!   --jobs <n>            training jobs in the arrival stream (default 2000)
+//!   --queries <n>         DLRM queries to serve (default 2000)
+//!   --seed <n>            campaign + stream seed (default 42)
+//!   --json <path>         output path (default BENCH_serve.json)
+//!   --trace <path>        also export the combined Chrome trace
+//!   --check-determinism   run everything twice; exit 1 if the report
+//!                         or trace exports differ by a single byte
+//!
+//! Gates: DLRM p99 latency under the 5 ms SLO, a warm embedding cache
+//! (hit rate > 0), training utilization ≥ 0.70 with both reservations
+//! carved out, all training jobs completed, and (with
+//! `--check-determinism`) byte-identical reruns.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use multipod_bench::{arg_value, mesh_flag, trace_flag, BenchReport};
+use multipod_serve::{ServeCampaign, ServeCampaignConfig, ServeCampaignReport};
+use multipod_topology::{Multipod, MultipodConfig};
+use multipod_trace::{Recorder, TraceSink};
+use serde_json::json;
+
+/// Mean training-mesh utilization the co-scheduled campaign must keep.
+const UTILIZATION_FLOOR: f64 = 0.70;
+/// DLRM p99 latency ceiling, seconds.
+const P99_SLO_SECONDS: f64 = 5.0e-3;
+
+fn scenario(config: &ServeCampaignConfig) -> (ServeCampaignReport, Arc<Recorder>) {
+    let recorder = Recorder::shared();
+    let mut campaign = ServeCampaign::new(config.clone());
+    campaign.set_trace_sink(recorder.clone() as Arc<dyn TraceSink>);
+    let report = campaign.run().expect("co-scheduled campaign must complete");
+    (report, recorder)
+}
+
+fn main() -> ExitCode {
+    let mesh_cfg = mesh_flag(MultipodConfig::multipod(4));
+    let jobs: u32 =
+        arg_value("--jobs").map_or(2000, |v| v.parse().expect("--jobs expects an integer"));
+    let queries: u32 =
+        arg_value("--queries").map_or(2000, |v| v.parse().expect("--queries expects an integer"));
+    let seed: u64 =
+        arg_value("--seed").map_or(42, |v| v.parse().expect("--seed expects an integer"));
+    let mut config = ServeCampaignConfig::demo(mesh_cfg.clone(), jobs, seed);
+    config.dlrm.stream.queries = queries;
+    let mesh = Multipod::new(mesh_cfg);
+    println!(
+        "# Serving co-scheduled with training on {}x{} ({} chips): {} jobs, {} queries, seed {}",
+        mesh.x_len(),
+        mesh.y_len(),
+        mesh.num_chips(),
+        jobs,
+        queries,
+        seed
+    );
+
+    let (report, recorder) = scenario(&config);
+
+    let determinism_checked = std::env::args().any(|a| a == "--check-determinism");
+    let mut deterministic = true;
+    if determinism_checked {
+        let (report_again, trace_again) = scenario(&config);
+        let trace_a = serde_json::to_string(&recorder.chrome_trace().expect("trace json"))
+            .expect("trace json");
+        let trace_b = serde_json::to_string(&trace_again.chrome_trace().expect("trace json"))
+            .expect("trace json");
+        let report_a = serde_json::to_string(&report).expect("report json");
+        let report_b = serde_json::to_string(&report_again).expect("report json");
+        deterministic = trace_a == trace_b && report_a == report_b;
+        println!(
+            "determinism: {}",
+            if deterministic {
+                "byte-identical report and trace exports"
+            } else {
+                "MISMATCH — exports differ"
+            }
+        );
+    }
+
+    let dlrm = &report.dlrm;
+    let rl = &report.rl;
+    let sched = &report.sched;
+    for s in &sched.services {
+        println!(
+            "service {} | {} chips granted as {}x{} | migrations {}",
+            s.name, s.chips, s.shape.0, s.shape.1, s.migrations
+        );
+    }
+    println!(
+        "training: {} jobs, {} completed | utilization {:.1}% (floor {:.0}%) | makespan {:.3} s",
+        sched.jobs,
+        sched.completed,
+        1e2 * sched.mean_utilization,
+        1e2 * UTILIZATION_FLOOR,
+        sched.makespan_seconds
+    );
+    println!(
+        "dlrm: {} requests in {} batches (mean {:.1} samples) | {:.0} QPS | cache hit rate {:.1}%",
+        dlrm.requests,
+        dlrm.batches,
+        dlrm.mean_batch_samples,
+        dlrm.achieved_qps,
+        1e2 * dlrm.cache_hit_rate
+    );
+    println!(
+        "dlrm latency: p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms (SLO {:.1} ms), p99.9 {:.3} ms",
+        1e3 * dlrm.latency.p50,
+        1e3 * dlrm.latency.p95,
+        1e3 * dlrm.latency.p99,
+        1e3 * P99_SLO_SECONDS,
+        1e3 * dlrm.latency.p999
+    );
+    println!(
+        "dlrm phases (mean ms): batch-wait {:.3} | queue {:.3} | lookup {:.3} | all-to-all {:.3} | dense {:.3}",
+        1e3 * dlrm.phase_means.batch_wait,
+        1e3 * dlrm.phase_means.queue,
+        1e3 * dlrm.phase_means.lookup,
+        1e3 * dlrm.phase_means.all_to_all,
+        1e3 * dlrm.phase_means.dense
+    );
+    println!(
+        "rl: {} actors × rounds = {} | actor p50 {:.3} ms, p99.9 {:.3} ms | learner {:.2} steps/s over {} broadcasts",
+        rl.actors,
+        rl.rounds,
+        1e3 * rl.actor_latency.p50,
+        1e3 * rl.actor_latency.p999,
+        rl.learner_throughput,
+        rl.broadcasts
+    );
+
+    let bench = BenchReport::new(
+        "serve",
+        format!("{}x{}", mesh.x_len(), mesh.y_len()),
+        mesh.num_chips(),
+    )
+    .gate("dlrm_p99_slo", dlrm.latency.p99 <= P99_SLO_SECONDS)
+    .gate("cache_warm", dlrm.cache_hit_rate > 0.0)
+    .gate(
+        "utilization_floor",
+        sched.mean_utilization >= UTILIZATION_FLOOR,
+    )
+    .gate("all_jobs_completed", sched.completed == sched.jobs)
+    .gate(
+        "deterministic",
+        determinism_checked.then_some(deterministic),
+    )
+    .measurement("training_jobs", json!(sched.jobs))
+    .measurement("training_completed", json!(sched.completed))
+    .measurement("training_utilization", json!(sched.mean_utilization))
+    .measurement("training_makespan_seconds", json!(sched.makespan_seconds))
+    .measurement("services", json!(sched.services))
+    .measurement("dlrm_requests", json!(dlrm.requests))
+    .measurement("dlrm_batches", json!(dlrm.batches))
+    .measurement("dlrm_mean_batch_samples", json!(dlrm.mean_batch_samples))
+    .measurement("dlrm_latency_seconds", json!(dlrm.latency))
+    .measurement("dlrm_phase_means_seconds", json!(dlrm.phase_means))
+    .measurement("dlrm_cache_hit_rate", json!(dlrm.cache_hit_rate))
+    .measurement("dlrm_cache_hits", json!(dlrm.cache_hits))
+    .measurement("dlrm_remote_rows", json!(dlrm.remote_rows))
+    .measurement("dlrm_achieved_qps", json!(dlrm.achieved_qps))
+    .measurement("rl_actors", json!(rl.actors))
+    .measurement("rl_rounds", json!(rl.rounds))
+    .measurement("rl_actor_latency_seconds", json!(rl.actor_latency))
+    .measurement("rl_learner_throughput", json!(rl.learner_throughput))
+    .measurement("rl_broadcasts", json!(rl.broadcasts))
+    .measurement("seed", json!(seed));
+    let json_path = arg_value("--json").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    bench.write(&json_path);
+
+    if let Some(path) = trace_flag() {
+        recorder.write_chrome_trace(&path).expect("write trace");
+        println!("wrote {}", path.display());
+    }
+
+    if bench.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -21,7 +21,7 @@ fn main() {
     );
     let model = InitModel::calibrated();
     for &(name, chips, tf_paper, jax_paper) in paper::TABLE2 {
-        let profile = profiles::by_name(name);
+        let profile = profiles::by_name(name).expect("profile");
         // The paper measured SSD's JAX entry at 2048 chips.
         let jax_chips = if name == "SSD" { 2048 } else { chips };
         let tf = model.init_seconds(FrameworkKind::TensorFlow, &profile, chips);

@@ -20,6 +20,7 @@ const COMMITTED_ARTIFACTS: &[&str] = &[
     "BENCH_overlap.json",
     "BENCH_profile.json",
     "BENCH_sched.json",
+    "BENCH_serve.json",
     "BENCH_simnet.json",
 ];
 

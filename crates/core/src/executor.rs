@@ -124,12 +124,14 @@ impl Executor {
         let p = &self.preset;
         let w = &p.workload;
         let batch = w.global_batch(p.chips);
-        let steps = w.convergence.steps_for_batch(batch);
+        let steps = w
+            .convergence
+            .steps_for_batch(batch)
+            .map_err(StepError::Model)?;
         let step = step_breakdown(w, p.chips, &p.options)?;
         let train_seconds = steps as f64 * step.total();
-        let init_seconds =
-            self.init_model
-                .init_seconds(p.framework, &profiles::by_name(w.name), p.chips);
+        let profile = profiles::by_name(w.name).map_err(StepError::Framework)?;
+        let init_seconds = self.init_model.init_seconds(p.framework, &profile, p.chips);
         let eval_seconds = eval_seconds(w, p.chips, p.framework, train_seconds)?;
         Ok(Report {
             name: w.name.to_string(),
@@ -166,7 +168,10 @@ fn eval_seconds(
     let tpu = TpuV3::new();
     let evals = workload.evals_per_run.max(1) as usize;
     // Device-side forward pass over the eval set at near-peak batch.
-    let eff = workload.efficiency.at(workload.max_per_core_batch as f64);
+    let eff = workload
+        .efficiency
+        .at(workload.max_per_core_batch as f64)
+        .map_err(StepError::Model)?;
     let fwd_flops = workload.eval_samples as f64 * workload.flops_per_sample / 3.0;
     let mut device_eval = fwd_flops / (chips as f64 * tpu.peak_matmul_flops * eff);
     if let Some(emb) = workload.embedding {

@@ -75,7 +75,10 @@ pub fn speedup_curve(
             // post-partition dimensions).
             let eff = workload
                 .efficiency
-                .at((per_replica_batch / (cores as f64).sqrt()).max(1e-3));
+                .at((per_replica_batch / (cores as f64).sqrt()).max(1e-3))
+                .map_err(|e| SweepError::Model {
+                    message: e.to_string(),
+                })?;
             let compute = tpu.step_overhead + flops / (tpu.peak_matmul_flops / 2.0 * eff);
             // Tile communication: bytes and collective count from the
             // partitioned program.

@@ -39,6 +39,13 @@ pub enum SweepError {
         /// The underlying step error, rendered.
         message: String,
     },
+    /// A sweep point's analytic workload model rejected the
+    /// configuration (stringified [`multipod_models::ModelError`],
+    /// which keeps this enum `Eq`).
+    Model {
+        /// The underlying model error, rendered.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for SweepError {
@@ -56,6 +63,9 @@ impl std::fmt::Display for SweepError {
             }
             SweepError::Step { chips, message } => {
                 write!(f, "sweep point at {chips} chips failed: {message}")
+            }
+            SweepError::Model { message } => {
+                write!(f, "sweep workload model rejected the config: {message}")
             }
         }
     }

@@ -18,9 +18,10 @@ use serde::{Deserialize, Serialize};
 
 use multipod_collectives::twod::{two_dim_all_reduce_time, TwoDimBreakdown};
 use multipod_collectives::CollectiveError;
+use multipod_framework::FrameworkError;
 use multipod_input::dlrm::{DlrmInputConfig, ParseGranularity, PcieLayout};
 use multipod_input::host_pipeline::HostPipelineConfig;
-use multipod_models::{TpuV3, Workload};
+use multipod_models::{ModelError, TpuV3, Workload};
 use multipod_simnet::{Network, NetworkConfig, SimTime};
 use multipod_taskgraph::TaskGraphError;
 use multipod_telemetry::{MetricId, Subsystem, Telemetry};
@@ -44,6 +45,13 @@ pub enum StepError {
     /// The overlapped step's task graph was malformed (a duration guard
     /// tripped — indicates a bug in the graph builder).
     TaskGraph(TaskGraphError),
+    /// An analytic workload/machine model rejected the configuration
+    /// (zero batch, out-of-range efficiency, batch above the
+    /// convergence cap).
+    Model(ModelError),
+    /// The framework control-plane model rejected the configuration
+    /// (e.g. no init profile for the workload name).
+    Framework(FrameworkError),
 }
 
 impl fmt::Display for StepError {
@@ -54,6 +62,8 @@ impl fmt::Display for StepError {
             }
             StepError::Collective(e) => write!(f, "step collective model failed: {e}"),
             StepError::TaskGraph(e) => write!(f, "step task graph invalid: {e}"),
+            StepError::Model(e) => write!(f, "step workload model rejected the config: {e}"),
+            StepError::Framework(e) => write!(f, "step framework model rejected the config: {e}"),
         }
     }
 }
@@ -64,6 +74,8 @@ impl Error for StepError {
             StepError::InvalidSliceShape { .. } => None,
             StepError::Collective(e) => Some(e),
             StepError::TaskGraph(e) => Some(e),
+            StepError::Model(e) => Some(e),
+            StepError::Framework(e) => Some(e),
         }
     }
 }
@@ -77,6 +89,18 @@ impl From<CollectiveError> for StepError {
 impl From<TaskGraphError> for StepError {
     fn from(e: TaskGraphError) -> StepError {
         StepError::TaskGraph(e)
+    }
+}
+
+impl From<ModelError> for StepError {
+    fn from(e: ModelError) -> StepError {
+        StepError::Model(e)
+    }
+}
+
+impl From<FrameworkError> for StepError {
+    fn from(e: FrameworkError) -> StepError {
+        StepError::Framework(e)
     }
 }
 
@@ -205,8 +229,8 @@ pub fn step_breakdown_on(
     // MXU compute: utilization follows the per-replica batch, discounted
     // by √(tile width) for the shrinking-dimension losses of model
     // parallelism (§4.4, §5).
-    let eff = workload.efficiency.at(efficiency_batch(workload, chips));
-    let compute = tpu.core_compute_time(workload.flops_per_core_step(chips), eff);
+    let eff = workload.efficiency.at(efficiency_batch(workload, chips))?;
+    let compute = tpu.core_compute_time(workload.flops_per_core_step(chips), eff)?;
 
     // Model-parallel communication (feature sharding / spatial tiles).
     let model_parallel_comm = model_comm_time(workload, &net, batch, chips);

@@ -29,11 +29,13 @@
 //! assert!(!placement.is_replicated(1));
 //! ```
 
+mod cache;
 mod error;
 mod interaction;
 mod placement;
 mod sharded;
 
+pub use cache::{EmbeddingCache, LruCache};
 pub use error::EmbeddingError;
 pub use interaction::{masked_self_interaction, InteractionOutput};
 pub use placement::{EmbeddingSpec, Placement, TablePlacement};

@@ -1,12 +1,12 @@
 //! Distributed embedding lookup over the simulated mesh.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use multipod_simnet::{Network, SimTime};
 use multipod_tensor::{Shape, Tensor, TensorRng};
 use multipod_topology::ChipId;
 
-use crate::{EmbeddingError, Placement, TablePlacement};
+use crate::{EmbeddingCache, EmbeddingError, Placement, TablePlacement};
 
 /// The result of one distributed lookup step.
 #[derive(Clone, Debug)]
@@ -19,6 +19,8 @@ pub struct LookupOutcome {
     pub remote_rows: usize,
     /// Local rows (replicated tables or locally owned rows).
     pub local_rows: usize,
+    /// Remote rows served from the home chip's cache (no mesh traffic).
+    pub cache_hits: usize,
 }
 
 /// Embedding tables distributed across the chips of a mesh.
@@ -109,6 +111,37 @@ impl ShardedEmbedding {
         indices: &[Vec<usize>],
         start: SimTime,
     ) -> Result<LookupOutcome, EmbeddingError> {
+        self.lookup_impl(net, indices, start, None)
+    }
+
+    /// Like [`ShardedEmbedding::lookup`], but consults a per-home-chip
+    /// [`EmbeddingCache`] first: a remote row found in its sample's home
+    /// cache is served locally (counted in
+    /// [`LookupOutcome::cache_hits`]) and generates no mesh traffic; a
+    /// miss pays the all-to-all and installs the row. This is the serving
+    /// path — training lookups bypass the cache because scatter-updates
+    /// would invalidate it every step.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ShardedEmbedding::lookup`].
+    pub fn lookup_cached(
+        &self,
+        net: &mut Network,
+        indices: &[Vec<usize>],
+        start: SimTime,
+        cache: &mut EmbeddingCache,
+    ) -> Result<LookupOutcome, EmbeddingError> {
+        self.lookup_impl(net, indices, start, Some(cache))
+    }
+
+    fn lookup_impl(
+        &self,
+        net: &mut Network,
+        indices: &[Vec<usize>],
+        start: SimTime,
+        mut cache: Option<&mut EmbeddingCache>,
+    ) -> Result<LookupOutcome, EmbeddingError> {
         let chips: Vec<ChipId> = net.mesh().chips().collect();
         let n_chips = chips.len();
         let batch = indices.len();
@@ -117,9 +150,12 @@ impl ShardedEmbedding {
 
         // Gather the numeric result and the per-(src,dst) traffic matrix.
         let mut out = Vec::with_capacity(batch * tables * self.dim);
-        let mut traffic: HashMap<(usize, usize), u64> = HashMap::new();
+        // BTreeMap so the all-to-all issues in a deterministic order —
+        // contention resolution, and thus timing, depends on it.
+        let mut traffic: BTreeMap<(usize, usize), u64> = BTreeMap::new();
         let mut remote_rows = 0usize;
         let mut local_rows = 0usize;
+        let mut cache_hits = 0usize;
         for (sample, row_ids) in indices.iter().enumerate() {
             if row_ids.len() != tables {
                 return Err(EmbeddingError::ArityMismatch {
@@ -145,6 +181,13 @@ impl ShardedEmbedding {
                         let owner = self.placement.owner_of(t, row);
                         if owner == home {
                             local_rows += 1;
+                        } else if let Some(c) = cache.as_deref_mut() {
+                            if c.access(home, t, row) {
+                                cache_hits += 1;
+                            } else {
+                                remote_rows += 1;
+                                *traffic.entry((owner, home)).or_insert(0) += row_bytes;
+                            }
                         } else {
                             remote_rows += 1;
                             *traffic.entry((owner, home)).or_insert(0) += row_bytes;
@@ -170,6 +213,7 @@ impl ShardedEmbedding {
             time,
             remote_rows,
             local_rows,
+            cache_hits,
         })
     }
 
@@ -327,6 +371,39 @@ mod tests {
         let t_large = emb.lookup(&mut net, &large, SimTime::ZERO).unwrap();
         assert!(t_large.remote_rows > 10 * t_small.remote_rows);
         assert!(t_large.time >= t_small.time);
+    }
+
+    #[test]
+    fn cached_lookup_skips_the_mesh_on_repeat() {
+        let (mut net, emb) = setup();
+        let mut cache = EmbeddingCache::new(4, 64);
+        let indices = vec![vec![0, 0]; 8]; // table-1 row 0: remote for 6/8 homes
+        let cold = emb
+            .lookup_cached(&mut net, &indices, SimTime::ZERO, &mut cache)
+            .unwrap();
+        // Homes 1..3 each carry two samples: the first misses and installs
+        // the row, the second hits within the same batch.
+        assert_eq!(cold.cache_hits, 3);
+        assert_eq!(cold.remote_rows, 3);
+        assert!(cold.time > SimTime::ZERO);
+        net.reset();
+        let warm = emb
+            .lookup_cached(&mut net, &indices, SimTime::ZERO, &mut cache)
+            .unwrap();
+        // Every previously remote row now hits its home cache: no traffic.
+        assert_eq!(warm.cache_hits, 6);
+        assert_eq!(warm.remote_rows, 0);
+        assert_eq!(warm.time, SimTime::ZERO);
+        // Numerics are unchanged by caching.
+        assert_eq!(warm.embeddings, cold.embeddings);
+        assert!(cache.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn uncached_lookup_reports_zero_hits() {
+        let (mut net, emb) = setup();
+        let out = emb.lookup(&mut net, &[vec![0, 0]], SimTime::ZERO).unwrap();
+        assert_eq!(out.cache_hits, 0);
     }
 
     #[test]

@@ -1,0 +1,28 @@
+//! Typed errors for the control-plane models.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Error raised by the framework control-plane models.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FrameworkError {
+    /// No init profile exists for the requested benchmark name.
+    UnknownBenchmark {
+        /// The name that failed to resolve.
+        name: String,
+    },
+}
+
+impl fmt::Display for FrameworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameworkError::UnknownBenchmark { name } => {
+                write!(f, "unknown benchmark '{name}'")
+            }
+        }
+    }
+}
+
+impl Error for FrameworkError {}

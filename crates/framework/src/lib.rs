@@ -19,8 +19,10 @@
 //! compilation, JAX's off-main-thread infeed).
 
 mod dispatch;
+mod error;
 mod init;
 pub mod profiles;
 
 pub use dispatch::{JaxHostLoop, TfCompilePipeline};
+pub use error::FrameworkError;
 pub use init::{FrameworkKind, InitBreakdown, InitModel, ModelInitProfile};

@@ -5,7 +5,7 @@
 //! on the paper's measured init times at 4096 chips (2048 for SSD's JAX
 //! entry): TF 498/1040/772/868 s and JAX 134/190/122/294 s.
 
-use crate::ModelInitProfile;
+use crate::{FrameworkError, ModelInitProfile};
 
 /// ResNet-50 (Table 2: TF 498 s, JAX 134 s at 4096 chips).
 pub fn resnet50() -> ModelInitProfile {
@@ -66,18 +66,20 @@ pub fn dlrm() -> ModelInitProfile {
 
 /// Profile lookup by benchmark name.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics for unknown names.
-pub fn by_name(name: &str) -> ModelInitProfile {
+/// Returns [`FrameworkError::UnknownBenchmark`] for unknown names.
+pub fn by_name(name: &str) -> Result<ModelInitProfile, FrameworkError> {
     match name {
-        "ResNet-50" => resnet50(),
-        "BERT" => bert(),
-        "SSD" => ssd(),
-        "Transformer" => transformer(),
-        "MaskRCNN" => maskrcnn(),
-        "DLRM" => dlrm(),
-        other => panic!("unknown benchmark '{other}'"),
+        "ResNet-50" => Ok(resnet50()),
+        "BERT" => Ok(bert()),
+        "SSD" => Ok(ssd()),
+        "Transformer" => Ok(transformer()),
+        "MaskRCNN" => Ok(maskrcnn()),
+        "DLRM" => Ok(dlrm()),
+        other => Err(FrameworkError::UnknownBenchmark {
+            name: other.to_string(),
+        }),
     }
 }
 
@@ -95,13 +97,17 @@ mod tests {
             "MaskRCNN",
             "DLRM",
         ] {
-            assert_eq!(by_name(name).name, name);
+            assert_eq!(by_name(name).unwrap().name, name);
         }
     }
 
     #[test]
-    #[should_panic(expected = "unknown benchmark")]
     fn lookup_rejects_unknown() {
-        by_name("GPT-3");
+        assert_eq!(
+            by_name("GPT-3"),
+            Err(FrameworkError::UnknownBenchmark {
+                name: "GPT-3".to_string()
+            })
+        );
     }
 }

@@ -10,6 +10,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::ModelError;
+
 /// A piecewise model of samples-to-converge vs. global batch.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ConvergenceModel {
@@ -30,19 +32,22 @@ pub struct ConvergenceModel {
 impl ConvergenceModel {
     /// Steps to reach target quality at a global batch size.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `batch` is zero or exceeds the model's `max_batch`.
-    pub fn steps_for_batch(&self, batch: u32) -> u64 {
-        assert!(batch > 0, "batch must be positive");
+    /// Returns [`ModelError::NonPositiveBatch`] when `batch` is zero and
+    /// [`ModelError::BatchAboveConvergenceCap`] when it exceeds the
+    /// model's `max_batch`.
+    pub fn steps_for_batch(&self, batch: u32) -> Result<u64, ModelError> {
+        if batch == 0 {
+            return Err(ModelError::NonPositiveBatch);
+        }
         if let Some(max) = self.max_batch {
-            assert!(
-                batch <= max,
-                "batch {batch} exceeds the largest converging batch {max}"
-            );
+            if batch > max {
+                return Err(ModelError::BatchAboveConvergenceCap { batch, max });
+            }
         }
         let samples = self.samples_for_batch(batch);
-        samples.div_ceil(batch as u64)
+        Ok(samples.div_ceil(batch as u64))
     }
 
     /// Total samples processed to reach target quality.
@@ -80,8 +85,8 @@ mod tests {
     #[test]
     fn perfect_scaling_below_critical_batch() {
         let m = resnet_like();
-        let s1 = m.steps_for_batch(4096);
-        let s2 = m.steps_for_batch(8192);
+        let s1 = m.steps_for_batch(4096).unwrap();
+        let s2 = m.steps_for_batch(8192).unwrap();
         // Half the steps for double the batch.
         assert!((s1 as f64 / s2 as f64 - 2.0).abs() < 0.01);
     }
@@ -100,16 +105,25 @@ mod tests {
         let m = resnet_like();
         let mut prev = u64::MAX;
         for b in [1024u32, 2048, 4096, 8192, 16384, 32768, 65536] {
-            let s = m.steps_for_batch(b);
+            let s = m.steps_for_batch(b).unwrap();
             assert!(s <= prev, "steps increased at batch {b}");
             prev = s;
         }
     }
 
     #[test]
-    #[should_panic(expected = "largest converging batch")]
     fn batch_cap_is_enforced() {
-        resnet_like().steps_for_batch(131072);
+        assert_eq!(
+            resnet_like().steps_for_batch(131072),
+            Err(ModelError::BatchAboveConvergenceCap {
+                batch: 131072,
+                max: 65536
+            })
+        );
+        assert_eq!(
+            resnet_like().steps_for_batch(0),
+            Err(ModelError::NonPositiveBatch)
+        );
     }
 
     #[test]

@@ -1,0 +1,51 @@
+//! Typed errors for the analytic model layer.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Error raised by the workload / machine / convergence models when a
+/// caller asks for a configuration outside the model's domain.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ModelError {
+    /// A batch size of zero was passed where the model needs at least
+    /// one sample (efficiency curves, steps-to-quality).
+    NonPositiveBatch,
+    /// The requested global batch exceeds the largest batch with known
+    /// converging hyperparameters ([`crate::ConvergenceModel::max_batch`]).
+    BatchAboveConvergenceCap {
+        /// The rejected batch.
+        batch: u32,
+        /// The model's largest converging batch.
+        max: u32,
+    },
+    /// An MXU utilization outside `(0, 1]` was passed to a compute-time
+    /// model.
+    InvalidEfficiency {
+        /// The rejected utilization.
+        efficiency: f64,
+    },
+    /// A GPU cluster was requested with zero GPUs.
+    EmptyCluster,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NonPositiveBatch => write!(f, "batch must be positive"),
+            ModelError::BatchAboveConvergenceCap { batch, max } => {
+                write!(
+                    f,
+                    "batch {batch} exceeds the largest converging batch {max}"
+                )
+            }
+            ModelError::InvalidEfficiency { efficiency } => {
+                write!(f, "efficiency must be in (0,1], got {efficiency}")
+            }
+            ModelError::EmptyCluster => write!(f, "cluster needs at least one GPU"),
+        }
+    }
+}
+
+impl Error for ModelError {}

@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 
 use multipod_collectives::Precision;
 
-use crate::Workload;
+use crate::{ModelError, Workload};
 
 /// GPU generation fielded in MLPerf v0.7.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -66,17 +66,19 @@ pub struct GpuCluster {
 impl GpuCluster {
     /// A cluster of `gpus` accelerators with 8-GPU nodes.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `gpus` is zero.
-    pub fn new(generation: GpuGeneration, gpus: u32) -> GpuCluster {
-        assert!(gpus > 0, "cluster needs GPUs");
-        GpuCluster {
+    /// Returns [`ModelError::EmptyCluster`] when `gpus` is zero.
+    pub fn new(generation: GpuGeneration, gpus: u32) -> Result<GpuCluster, ModelError> {
+        if gpus == 0 {
+            return Err(ModelError::EmptyCluster);
+        }
+        Ok(GpuCluster {
             generation,
             gpus,
             gpus_per_node: 8.min(gpus),
             ib_latency: 5.0e-6,
-        }
+        })
     }
 
     /// Number of nodes.
@@ -125,13 +127,18 @@ impl GpuCluster {
     pub const EFFICIENCY_DERATE: f64 = 0.45;
 
     /// Time for one training step, seconds.
-    pub fn step_time(&self, workload: &Workload) -> f64 {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from the efficiency curve (cannot fire
+    /// in practice — the per-GPU batch is clamped to a positive floor).
+    pub fn step_time(&self, workload: &Workload) -> Result<f64, ModelError> {
         let batch = self.global_batch(workload);
         let per_gpu = batch as f64 / self.gpus as f64;
         // Reuse the TPU-core-calibrated curve at per-GPU/4 (a GPU's
         // occupancy needs are closer to four TPU cores' worth of batch),
         // derated per the published utilizations.
-        let eff = workload.efficiency.at((per_gpu / 4.0).max(0.05)) * Self::EFFICIENCY_DERATE;
+        let eff = workload.efficiency.at((per_gpu / 4.0).max(0.05))? * Self::EFFICIENCY_DERATE;
         let compute = per_gpu * workload.flops_per_sample / (self.generation.peak_flops() * eff);
         let mut comm = self.all_reduce_time(workload.gradient_elems(), Precision::Bf16);
         if let Some(emb) = workload.embedding {
@@ -141,14 +148,20 @@ impl GpuCluster {
             comm += 2.0 * lookup / bisection.max(self.generation.ib_bandwidth());
         }
         let launch_overhead = 200.0e-6;
-        compute + comm + launch_overhead
+        Ok(compute + comm + launch_overhead)
     }
 
     /// End-to-end training time in minutes (steps × step time).
-    pub fn end_to_end_minutes(&self, workload: &Workload) -> f64 {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from the convergence model and
+    /// efficiency curve ([`GpuCluster::global_batch`] already respects
+    /// the convergence cap, so this cannot fire in practice).
+    pub fn end_to_end_minutes(&self, workload: &Workload) -> Result<f64, ModelError> {
         let batch = self.global_batch(workload);
-        let steps = workload.convergence.steps_for_batch(batch);
-        steps as f64 * self.step_time(workload) / 60.0
+        let steps = workload.convergence.steps_for_batch(batch)?;
+        Ok(steps as f64 * self.step_time(workload)? / 60.0)
     }
 }
 
@@ -160,15 +173,15 @@ mod tests {
     #[test]
     fn a100_beats_v100_per_step() {
         let w = catalog::resnet50();
-        let v = GpuCluster::new(GpuGeneration::V100, 1024);
-        let a = GpuCluster::new(GpuGeneration::A100, 1024);
-        assert!(a.step_time(&w) < v.step_time(&w));
+        let v = GpuCluster::new(GpuGeneration::V100, 1024).unwrap();
+        let a = GpuCluster::new(GpuGeneration::A100, 1024).unwrap();
+        assert!(a.step_time(&w).unwrap() < v.step_time(&w).unwrap());
     }
 
     #[test]
     fn all_reduce_has_nvlink_and_ib_components() {
-        let c = GpuCluster::new(GpuGeneration::A100, 256);
-        let single_node = GpuCluster::new(GpuGeneration::A100, 8);
+        let c = GpuCluster::new(GpuGeneration::A100, 256).unwrap();
+        let single_node = GpuCluster::new(GpuGeneration::A100, 8).unwrap();
         let elems = 25_600_000;
         assert!(
             c.all_reduce_time(elems, Precision::F32)
@@ -180,9 +193,15 @@ mod tests {
     #[test]
     fn end_to_end_improves_then_saturates_with_scale() {
         let w = catalog::resnet50();
-        let t16 = GpuCluster::new(GpuGeneration::A100, 16).end_to_end_minutes(&w);
-        let t256 = GpuCluster::new(GpuGeneration::A100, 256).end_to_end_minutes(&w);
-        let t2048 = GpuCluster::new(GpuGeneration::A100, 2048).end_to_end_minutes(&w);
+        let e2e = |gpus| {
+            GpuCluster::new(GpuGeneration::A100, gpus)
+                .unwrap()
+                .end_to_end_minutes(&w)
+                .unwrap()
+        };
+        let t16 = e2e(16);
+        let t256 = e2e(256);
+        let t2048 = e2e(2048);
         assert!(t256 < t16);
         assert!(t2048 < t256);
         // Far-from-ideal scaling at the top end: 8x the GPUs from 256 to
@@ -193,8 +212,21 @@ mod tests {
 
     #[test]
     fn node_count_rounds_up() {
-        assert_eq!(GpuCluster::new(GpuGeneration::V100, 12).nodes(), 2);
-        assert_eq!(GpuCluster::new(GpuGeneration::V100, 8).nodes(), 1);
-        assert_eq!(GpuCluster::new(GpuGeneration::V100, 4).gpus_per_node, 4);
+        assert_eq!(GpuCluster::new(GpuGeneration::V100, 12).unwrap().nodes(), 2);
+        assert_eq!(GpuCluster::new(GpuGeneration::V100, 8).unwrap().nodes(), 1);
+        assert_eq!(
+            GpuCluster::new(GpuGeneration::V100, 4)
+                .unwrap()
+                .gpus_per_node,
+            4
+        );
+    }
+
+    #[test]
+    fn empty_cluster_is_rejected() {
+        assert_eq!(
+            GpuCluster::new(GpuGeneration::A100, 0),
+            Err(crate::ModelError::EmptyCluster)
+        );
     }
 }

@@ -23,16 +23,18 @@
 //! let bert = catalog::bert();
 //! assert_eq!(bert.params, 334_000_000);
 //! // LAMB keeps BERT data-parallel at a global batch of 8192.
-//! assert!(bert.convergence.steps_for_batch(8192) > 0);
+//! assert!(bert.convergence.steps_for_batch(8192).unwrap() > 0);
 //! ```
 
 pub mod catalog;
 mod convergence;
+mod error;
 mod gpu;
 mod machine;
 mod workload;
 
 pub use convergence::ConvergenceModel;
+pub use error::ModelError;
 pub use gpu::{GpuCluster, GpuGeneration};
 pub use machine::{EfficiencyCurve, TpuV3};
 pub use workload::{EmbeddingConfig, ParallelismPlan, Workload};

@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::ModelError;
+
 /// MXU utilization as a function of per-core batch size.
 ///
 /// Small per-core batches under-fill the 128×128 systolic arrays and
@@ -21,12 +23,15 @@ pub struct EfficiencyCurve {
 impl EfficiencyCurve {
     /// Utilization at the given per-core batch.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics for non-positive batch sizes.
-    pub fn at(&self, per_core_batch: f64) -> f64 {
-        assert!(per_core_batch > 0.0, "batch must be positive");
-        self.max * per_core_batch / (per_core_batch + self.half_batch)
+    /// Returns [`ModelError::NonPositiveBatch`] for non-positive batch
+    /// sizes.
+    pub fn at(&self, per_core_batch: f64) -> Result<f64, ModelError> {
+        if per_core_batch <= 0.0 {
+            return Err(ModelError::NonPositiveBatch);
+        }
+        Ok(self.max * per_core_batch / (per_core_batch + self.half_batch))
     }
 }
 
@@ -64,15 +69,15 @@ impl TpuV3 {
 
     /// Matmul-bound compute time for `flops` at a given MXU utilization.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `efficiency` is not in (0, 1].
-    pub fn compute_time(&self, flops: f64, efficiency: f64) -> f64 {
-        assert!(
-            efficiency > 0.0 && efficiency <= 1.0,
-            "efficiency must be in (0,1], got {efficiency}"
-        );
-        self.step_overhead + flops / (self.peak_matmul_flops * efficiency)
+    /// Returns [`ModelError::InvalidEfficiency`] when `efficiency` is
+    /// not in (0, 1].
+    pub fn compute_time(&self, flops: f64, efficiency: f64) -> Result<f64, ModelError> {
+        if !(efficiency > 0.0 && efficiency <= 1.0) {
+            return Err(ModelError::InvalidEfficiency { efficiency });
+        }
+        Ok(self.step_overhead + flops / (self.peak_matmul_flops * efficiency))
     }
 
     /// Vector-unit time for `flops` of elementwise/optimizer math.
@@ -83,15 +88,15 @@ impl TpuV3 {
     /// Matmul-bound compute time for `flops` on a single TensorCore
     /// (half the chip's MXUs).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `efficiency` is not in (0, 1].
-    pub fn core_compute_time(&self, flops: f64, efficiency: f64) -> f64 {
-        assert!(
-            efficiency > 0.0 && efficiency <= 1.0,
-            "efficiency must be in (0,1], got {efficiency}"
-        );
-        self.step_overhead + flops / (self.peak_matmul_flops / 2.0 * efficiency)
+    /// Returns [`ModelError::InvalidEfficiency`] when `efficiency` is
+    /// not in (0, 1].
+    pub fn core_compute_time(&self, flops: f64, efficiency: f64) -> Result<f64, ModelError> {
+        if !(efficiency > 0.0 && efficiency <= 1.0) {
+            return Err(ModelError::InvalidEfficiency { efficiency });
+        }
+        Ok(self.step_overhead + flops / (self.peak_matmul_flops / 2.0 * efficiency))
     }
 
     /// Optimizer-update time for `elems` parameters: the update streams
@@ -141,21 +146,21 @@ mod tests {
             max: 0.8,
             half_batch: 8.0,
         };
-        assert!((c.at(8.0) - 0.4).abs() < 1e-9);
-        assert!(c.at(1024.0) > 0.79);
-        assert!(c.at(1.0) < 0.1);
+        assert!((c.at(8.0).unwrap() - 0.4).abs() < 1e-9);
+        assert!(c.at(1024.0).unwrap() > 0.79);
+        assert!(c.at(1.0).unwrap() < 0.1);
         // Monotone.
-        assert!(c.at(2.0) < c.at(4.0));
+        assert!(c.at(2.0).unwrap() < c.at(4.0).unwrap());
     }
 
     #[test]
-    #[should_panic(expected = "batch must be positive")]
     fn efficiency_rejects_zero_batch() {
-        EfficiencyCurve {
+        let c = EfficiencyCurve {
             max: 0.5,
             half_batch: 1.0,
-        }
-        .at(0.0);
+        };
+        assert_eq!(c.at(0.0), Err(ModelError::NonPositiveBatch));
+        assert_eq!(c.at(-2.0), Err(ModelError::NonPositiveBatch));
     }
 
     #[test]
@@ -168,10 +173,25 @@ mod tests {
     #[test]
     fn compute_time_scales_inversely_with_efficiency() {
         let tpu = TpuV3::new();
-        let fast = tpu.compute_time(1e12, 0.8);
-        let slow = tpu.compute_time(1e12, 0.2);
+        let fast = tpu.compute_time(1e12, 0.8).unwrap();
+        let slow = tpu.compute_time(1e12, 0.2).unwrap();
         assert!(slow > 3.0 * fast - tpu.step_overhead * 4.0);
         assert!(fast > tpu.step_overhead);
+    }
+
+    #[test]
+    fn compute_time_rejects_out_of_range_efficiency() {
+        let tpu = TpuV3::new();
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            assert!(matches!(
+                tpu.compute_time(1e12, bad),
+                Err(ModelError::InvalidEfficiency { .. })
+            ));
+            assert!(matches!(
+                tpu.core_compute_time(1e12, bad),
+                Err(ModelError::InvalidEfficiency { .. })
+            ));
+        }
     }
 
     #[test]
@@ -179,7 +199,7 @@ mod tests {
         let v3 = TpuV3::new();
         let v4 = TpuV3::v4_projection();
         assert!(v4.peak_matmul_flops > 2.0 * v3.peak_matmul_flops);
-        assert!(v4.compute_time(1e12, 0.5) < v3.compute_time(1e12, 0.5));
+        assert!(v4.compute_time(1e12, 0.5).unwrap() < v3.compute_time(1e12, 0.5).unwrap());
         assert!(v4.optimizer_update_time(1 << 20, 20) < v3.optimizer_update_time(1 << 20, 20));
     }
 

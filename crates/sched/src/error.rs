@@ -34,6 +34,15 @@ pub enum SchedError {
     Optim(OptimError),
     /// The mesh configuration itself was invalid.
     Topology(TopologyError),
+    /// A long-lived service reservation could not be placed on the mesh
+    /// (at campaign start, or after a fault when no migration target
+    /// exists even with every job preempted).
+    ServiceUnplaceable {
+        /// The service's name.
+        service: String,
+        /// Chips the service reserves.
+        chips: u32,
+    },
 }
 
 impl fmt::Display for SchedError {
@@ -55,6 +64,12 @@ impl fmt::Display for SchedError {
             SchedError::Step(e) => write!(f, "step-time model rejected a job: {e}"),
             SchedError::Optim(e) => write!(f, "job model update failed: {e}"),
             SchedError::Topology(e) => write!(f, "invalid mesh: {e}"),
+            SchedError::ServiceUnplaceable { service, chips } => {
+                write!(
+                    f,
+                    "service '{service}' reserves {chips} chips: no slice fits the mesh"
+                )
+            }
         }
     }
 }

@@ -80,6 +80,21 @@ pub struct JobSpec {
     pub arrival: SimTime,
 }
 
+/// A long-lived serving reservation: a slice held for the lifetime of
+/// the campaign rather than a batch job that completes.
+///
+/// Services are allocated before the first arrival, are never preempted
+/// (they outrank every job priority), and never complete. A chip-loss
+/// fault inside a service's slice *migrates* the service: the scheduler
+/// re-places it, preempting training jobs if the mesh is full.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceSpec {
+    /// Human-readable name, reported in [`crate::SchedReport`].
+    pub name: String,
+    /// Chips the service reserves (a power of two ≥ 2).
+    pub chips: u32,
+}
+
 /// Parameters of the deterministic arrival stream.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ArrivalConfig {

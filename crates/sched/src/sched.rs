@@ -29,14 +29,18 @@ use multipod_core::StepOptions;
 use multipod_faults::{FaultAction, FaultPlan};
 use multipod_optim::{Optimizer, SgdMomentum};
 use multipod_simnet::{EventQueue, Network, NetworkConfig, SimTime};
-use multipod_telemetry::{MetricId, Subsystem, Telemetry};
+use multipod_telemetry::{DistSummary, MetricId, Subsystem, Telemetry};
 use multipod_tensor::{Shape, Tensor};
 use multipod_topology::{ChipId, Multipod, MultipodConfig};
 use multipod_trace::{SpanCategory, SpanEvent, TraceSink, Track};
 
-use crate::job::{arrival_stream, ArrivalConfig, JobKind, JobSpec};
+use crate::job::{arrival_stream, ArrivalConfig, JobKind, JobSpec, ServiceSpec};
 use crate::slice::{Slice, SliceAllocator};
 use crate::SchedError;
+
+/// Job ids at or above this value belong to service reservations, not
+/// stream jobs (stream ids are dense from 0, far below this).
+const SERVICE_ID_BASE: u64 = 1 << 48;
 
 /// Campaign parameters.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -45,6 +49,9 @@ pub struct SchedConfig {
     pub mesh: MultipodConfig,
     /// The arrival stream.
     pub arrivals: ArrivalConfig,
+    /// Long-lived serving reservations, allocated before the first job
+    /// arrival and held for the whole campaign.
+    pub services: Vec<ServiceSpec>,
     /// Elements of model + optimizer state each job checkpoints.
     pub state_elems: usize,
     /// Learning rate of the per-job model updates.
@@ -57,46 +64,9 @@ impl SchedConfig {
         SchedConfig {
             mesh,
             arrivals: ArrivalConfig::heavy(jobs, seed),
+            services: Vec::new(),
             state_elems: 4096,
             lr: 0.05,
-        }
-    }
-}
-
-/// Summary statistics of one distribution (exact, from the raw samples).
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
-pub struct DistSummary {
-    /// Sample count.
-    pub count: u64,
-    /// Mean.
-    pub mean: f64,
-    /// Median.
-    pub p50: f64,
-    /// 90th percentile.
-    pub p90: f64,
-    /// 99th percentile.
-    pub p99: f64,
-    /// Largest sample.
-    pub max: f64,
-}
-
-impl DistSummary {
-    /// Summarizes `samples` (need not be sorted).
-    pub fn of(mut samples: Vec<f64>) -> DistSummary {
-        if samples.is_empty() {
-            return DistSummary::default();
-        }
-        samples.sort_by(f64::total_cmp);
-        let count = samples.len();
-        // Nearest-rank percentiles: exact order statistics, no interpolation.
-        let pct = |p: f64| samples[((count as f64 * p).ceil() as usize).clamp(1, count) - 1];
-        DistSummary {
-            count: count as u64,
-            mean: samples.iter().sum::<f64>() / count as f64,
-            p50: pct(0.50),
-            p90: pct(0.90),
-            p99: pct(0.99),
-            max: samples[count - 1],
         }
     }
 }
@@ -114,6 +84,19 @@ pub struct KindStats {
     pub mean_queue_wait_seconds: f64,
     /// Mean turnaround (arrival → completion), seconds.
     pub mean_turnaround_seconds: f64,
+}
+
+/// Per-service campaign stats.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Service name.
+    pub name: String,
+    /// Chips reserved.
+    pub chips: u32,
+    /// Final slice shape `(w, h)`; `(0, 0)` if displaced at campaign end.
+    pub shape: (u32, u32),
+    /// Fault-driven migrations to a new slice.
+    pub migrations: u64,
 }
 
 /// What a campaign did and what it cost.
@@ -145,6 +128,8 @@ pub struct SchedReport {
     pub restore_seconds: f64,
     /// Per-kind breakdown, in kind order.
     pub per_kind: Vec<KindStats>,
+    /// Long-lived service reservations, in config order.
+    pub services: Vec<ServiceStats>,
 }
 
 /// Events driving the scheduler's sim-time loop.
@@ -238,6 +223,15 @@ struct JobRun {
     completed_at: Option<SimTime>,
 }
 
+/// Runtime state of one long-lived service reservation.
+struct ServiceRun {
+    spec: ServiceSpec,
+    /// Current slice, or `None` while displaced by a fault and awaiting
+    /// re-placement.
+    slice: Option<Slice>,
+    migrations: u64,
+}
+
 /// A dispatched job's slice occupancy.
 struct Running {
     slice: Slice,
@@ -261,6 +255,7 @@ pub struct PodScheduler {
     allocator: SliceAllocator,
     jobs: BTreeMap<u64, JobRun>,
     running: BTreeMap<u64, Running>,
+    services: Vec<ServiceRun>,
     pending: Vec<u64>,
     tenant_usage: BTreeMap<u32, f64>,
     /// Memoized per-(kind chips) step seconds.
@@ -295,6 +290,7 @@ impl PodScheduler {
             allocator: SliceAllocator::new(&mesh),
             jobs: BTreeMap::new(),
             running: BTreeMap::new(),
+            services: Vec::new(),
             pending: Vec::new(),
             tenant_usage: BTreeMap::new(),
             step_cache: BTreeMap::new(),
@@ -446,6 +442,30 @@ impl PodScheduler {
         stream: Vec<JobSpec>,
         faults: &FaultPlan,
     ) -> Result<SchedReport, SchedError> {
+        // Service reservations claim their slices before the first job
+        // arrives — they are the highest-priority tenants on the mesh.
+        for (i, spec) in self.config.services.clone().into_iter().enumerate() {
+            let id = SERVICE_ID_BASE + i as u64;
+            let slice = self.allocator.allocate(id, spec.chips).map_err(|_| {
+                SchedError::ServiceUnplaceable {
+                    service: spec.name.clone(),
+                    chips: spec.chips,
+                }
+            })?;
+            let Some(slice) = slice else {
+                return Err(SchedError::ServiceUnplaceable {
+                    service: spec.name.clone(),
+                    chips: spec.chips,
+                });
+            };
+            self.count("service_placements", 1);
+            self.services.push(ServiceRun {
+                spec,
+                slice: Some(slice),
+                migrations: 0,
+            });
+        }
+
         let mut queue: EventQueue<Event> = EventQueue::new();
         for (i, spec) in stream.iter().enumerate() {
             queue.schedule(spec.arrival, Event::Arrival(i));
@@ -591,6 +611,16 @@ impl PodScheduler {
             save_seconds: self.save_seconds,
             restore_seconds: self.restore_seconds,
             per_kind,
+            services: self
+                .services
+                .iter()
+                .map(|s| ServiceStats {
+                    name: s.spec.name.clone(),
+                    chips: s.spec.chips,
+                    shape: s.slice.map_or((0, 0), |sl| sl.shape()),
+                    migrations: s.migrations,
+                })
+                .collect(),
         })
     }
 
@@ -602,6 +632,30 @@ impl PodScheduler {
         now: SimTime,
         queue: &mut EventQueue<Event>,
     ) -> Result<(), SchedError> {
+        // Displaced services re-place before any job is considered: a
+        // serving reservation outranks every job priority.
+        for i in 0..self.services.len() {
+            if self.services[i].slice.is_some() {
+                continue;
+            }
+            let id = SERVICE_ID_BASE + i as u64;
+            let chips = self.services[i].spec.chips;
+            match self.allocator.allocate(id, chips)? {
+                Some(slice) => {
+                    let svc = &mut self.services[i];
+                    svc.slice = Some(slice);
+                    svc.migrations += 1;
+                    self.count("service_migrations", 1);
+                    self.span(
+                        "service-migrate",
+                        now,
+                        now,
+                        &[("service", i as f64), ("chips", f64::from(chips))],
+                    );
+                }
+                None => self.try_preempt_for_service(i, now, queue)?,
+            }
+        }
         self.queue_order();
         let order: Vec<u64> = self.pending.clone();
         let mut blocked_shapes: Vec<u32> = Vec::new();
@@ -799,6 +853,54 @@ impl PodScheduler {
         Ok(())
     }
 
+    /// Preempts running jobs so a displaced service can re-place. Every
+    /// running job is a candidate (services outrank all priorities),
+    /// cheapest victims first, exactly as [`PodScheduler::try_preempt_for`].
+    fn try_preempt_for_service(
+        &mut self,
+        svc: usize,
+        now: SimTime,
+        queue: &mut EventQueue<Event>,
+    ) -> Result<(), SchedError> {
+        let id = SERVICE_ID_BASE + svc as u64;
+        let chips = self.services[svc].spec.chips;
+        let mut candidates: Vec<u64> = self.running.keys().copied().collect();
+        candidates.sort_by(|a, b| {
+            let ja = &self.jobs[a];
+            let jb = &self.jobs[b];
+            jb.spec
+                .priority
+                .cmp(&ja.spec.priority)
+                .then(self.running[b].started.cmp(&self.running[a].started))
+                .then(b.cmp(a))
+        });
+        let mut trial = self.allocator.clone();
+        let mut victims = Vec::new();
+        for v in candidates {
+            trial.free(v);
+            victims.push(v);
+            if trial.allocate(id, chips)?.is_some() {
+                let mut latest = now;
+                for &v in &victims {
+                    let free_at = self.preempt(v, now)?;
+                    latest = latest.max(free_at);
+                }
+                queue.schedule(latest, Event::SliceFreed { victims });
+                return Ok(());
+            }
+        }
+        // Nothing (left) to preempt. Draining victims from an earlier
+        // round will free space shortly; otherwise the mesh genuinely
+        // cannot host the reservation any more.
+        if self.jobs.values().any(|j| j.draining) {
+            return Ok(());
+        }
+        Err(SchedError::ServiceUnplaceable {
+            service: self.services[svc].spec.name.clone(),
+            chips,
+        })
+    }
+
     /// Preempts running `job` at `now`: advance its model for the steps
     /// that completed, save a real sharded checkpoint on its slice, and
     /// mark it draining until the save finishes. Returns when its slice
@@ -896,6 +998,22 @@ impl PodScheduler {
         let Some(job) = victim else {
             return Ok(());
         };
+        if job >= SERVICE_ID_BASE {
+            // A service lost a chip: release the rest of its slice and
+            // mark it displaced; the next scheduling round re-places it
+            // (preempting training work if the mesh is full).
+            let svc = (job - SERVICE_ID_BASE) as usize;
+            self.allocator.free(job);
+            self.services[svc].slice = None;
+            self.count("service_faults", 1);
+            self.span(
+                "service-fault",
+                now,
+                now,
+                &[("service", svc as f64), ("chip", chip.index() as f64)],
+            );
+            return Ok(());
+        }
         // In-flight progress since the last checkpoint is lost.
         if let Some(running) = self.running.remove(&job) {
             let spec = self.jobs[&job].spec.clone();
@@ -949,6 +1067,7 @@ mod tests {
                 mean_interarrival_seconds: 0.01,
                 tenants: 4,
             },
+            services: Vec::new(),
             state_elems: 512,
             lr: 0.05,
         }
@@ -982,6 +1101,7 @@ mod tests {
                 mean_interarrival_seconds: 0.004,
                 tenants: 4,
             },
+            services: Vec::new(),
             state_elems: 512,
             lr: 0.05,
         }
@@ -1011,6 +1131,64 @@ mod tests {
         assert_eq!(run(), run());
     }
 
+    fn with_service(mut c: SchedConfig, name: &str, chips: u32) -> SchedConfig {
+        c.services.push(crate::ServiceSpec {
+            name: name.to_string(),
+            chips,
+        });
+        c
+    }
+
+    #[test]
+    fn service_reservation_holds_chips_for_the_whole_campaign() {
+        let config = with_service(fitted_config(60, 11), "dlrm-serve", 256);
+        let mut sched = PodScheduler::new(config);
+        let report = sched.run().expect("campaign");
+        assert_eq!(report.services.len(), 1);
+        let svc = &report.services[0];
+        assert_eq!(svc.name, "dlrm-serve");
+        assert_eq!(svc.chips, 256);
+        assert_eq!(svc.shape.0 * svc.shape.1, 256, "service is resident");
+        assert_eq!(svc.migrations, 0, "no faults, no migrations");
+        // Training still completes around the reservation.
+        assert_eq!(report.completed, 60);
+        assert!(report.restores_bit_identical);
+    }
+
+    #[test]
+    fn oversized_service_is_a_typed_error() {
+        let config = with_service(fitted_config(10, 1), "too-big", 2048);
+        let mut sched = PodScheduler::new(config);
+        assert!(matches!(
+            sched.run(),
+            Err(SchedError::ServiceUnplaceable { chips: 2048, .. })
+        ));
+    }
+
+    #[test]
+    fn service_migrates_off_a_dead_chip() {
+        // The service lands most-square-first at (0,0) as 16x16, so chip
+        // (0,0) is inside its slice.
+        let config = with_service(fitted_config(40, 5), "dlrm-serve", 256);
+        let plan = FaultPlan::new().chip_down(SimTime::from_seconds(0.05), ChipId(0));
+        let mut sched = PodScheduler::new(config);
+        let report = sched.run_with_faults(&plan).expect("campaign");
+        let svc = &report.services[0];
+        assert_eq!(svc.migrations, 1, "the fault displaced the service once");
+        assert_eq!(svc.shape.0 * svc.shape.1, 256, "re-placed at full size");
+        assert!(report.restores_bit_identical);
+    }
+
+    #[test]
+    fn campaign_with_service_is_deterministic() {
+        let run = || {
+            let config = with_service(fitted_config(60, 11), "dlrm-serve", 128);
+            let mut sched = PodScheduler::new(config);
+            sched.run().expect("campaign")
+        };
+        assert_eq!(run(), run());
+    }
+
     #[test]
     fn chip_fault_kills_and_recovers_the_job() {
         let config = fitted_config(40, 5);
@@ -1024,16 +1202,5 @@ mod tests {
         // The mesh shrank, so utilization accounting saw 1023 live chips
         // after the fault.
         assert!(report.makespan_seconds >= clean_report.makespan_seconds);
-    }
-
-    #[test]
-    fn dist_summary_percentiles_are_exact() {
-        let d = DistSummary::of((1..=100).map(f64::from).collect());
-        assert_eq!(d.count, 100);
-        assert_eq!(d.mean, 50.5);
-        assert_eq!(d.p50, 50.0);
-        assert_eq!(d.p90, 90.0);
-        assert_eq!(d.p99, 99.0);
-        assert_eq!(d.max, 100.0);
     }
 }

@@ -134,6 +134,7 @@ proptest! {
                 mean_interarrival_seconds: 0.002,
                 tenants: 4,
             },
+            services: Vec::new(),
             state_elems: 256,
             lr: 0.05,
         };

@@ -1,0 +1,218 @@
+//! Co-scheduling serving and training on one pod.
+//!
+//! The paper's campaign multiplexes thousands of training jobs over a
+//! multipod; here two long-lived serving reservations — a DLRM replica
+//! and an RL actor–learner group — ride the same [`PodScheduler`] as
+//! high-priority slices, and the training stream packs around them. The
+//! campaign runs first; the slices the scheduler actually granted then
+//! parameterize the serving simulations, so displacement (faults,
+//! migrations) feeds straight into serving capacity.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use multipod_sched::{PodScheduler, SchedConfig, SchedReport, ServiceSpec};
+use multipod_telemetry::Telemetry;
+use multipod_topology::MultipodConfig;
+use multipod_trace::TraceSink;
+
+use crate::dlrm::{DlrmServeConfig, DlrmServeReport, DlrmServer};
+use crate::rl::{RlServeConfig, RlServeReport, RlServer};
+use crate::ServeError;
+
+/// The full co-scheduled scenario: one training campaign plus two
+/// serving reservations.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServeCampaignConfig {
+    /// The training campaign; `services` must name the two serving
+    /// reservations (DLRM first, RL second).
+    pub sched: SchedConfig,
+    /// The DLRM replica. Its `slice` is overwritten with whatever shape
+    /// the scheduler granted the first service.
+    pub dlrm: DlrmServeConfig,
+    /// The RL group. Its `slice` is overwritten with the second
+    /// service's granted shape.
+    pub rl: RlServeConfig,
+}
+
+impl ServeCampaignConfig {
+    /// The canned co-scheduled scenario: the paper-scale training
+    /// campaign with a 256-chip DLRM replica and a 128-chip RL group
+    /// reserved out of the same mesh.
+    pub fn demo(mesh: MultipodConfig, jobs: u32, seed: u64) -> ServeCampaignConfig {
+        let mut sched = SchedConfig::demo(mesh, jobs, seed);
+        sched.services = vec![
+            ServiceSpec {
+                name: "dlrm-serve".to_string(),
+                chips: 256,
+            },
+            ServiceSpec {
+                name: "rl-serve".to_string(),
+                chips: 128,
+            },
+        ];
+        ServeCampaignConfig {
+            sched,
+            // Placeholder slices; `run` substitutes the granted shapes.
+            dlrm: DlrmServeConfig::demo(MultipodConfig::mesh(16, 16, false), 2000, seed),
+            rl: RlServeConfig::demo(MultipodConfig::mesh(16, 8, false)),
+        }
+    }
+}
+
+/// What the co-scheduled scenario did.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServeCampaignReport {
+    /// The training campaign around the reservations.
+    pub sched: SchedReport,
+    /// The DLRM replica on its granted slice.
+    pub dlrm: DlrmServeReport,
+    /// The RL group on its granted slice.
+    pub rl: RlServeReport,
+}
+
+/// Runs training and both serving workloads co-scheduled on one mesh.
+pub struct ServeCampaign {
+    config: ServeCampaignConfig,
+    telemetry: Option<Arc<Telemetry>>,
+    trace: Option<Arc<dyn TraceSink>>,
+}
+
+impl ServeCampaign {
+    /// A co-scheduled scenario over `config`.
+    pub fn new(config: ServeCampaignConfig) -> ServeCampaign {
+        ServeCampaign {
+            config,
+            telemetry: None,
+            trace: None,
+        }
+    }
+
+    /// Attaches a telemetry registry, shared by scheduler and servers.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// Attaches a trace sink, shared by scheduler and servers.
+    pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// Runs the campaign, then each serving workload on the slice the
+    /// scheduler granted it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] when `sched.services` does not hold
+    /// exactly the two expected reservations or a granted slice came
+    /// back empty; scheduler and serving errors pass through.
+    pub fn run(&self) -> Result<ServeCampaignReport, ServeError> {
+        if self.config.sched.services.len() != 2 {
+            return Err(ServeError::InvalidConfig {
+                field: "sched.services",
+                value: self.config.sched.services.len() as f64,
+            });
+        }
+        let mut scheduler = PodScheduler::new(self.config.sched.clone());
+        if let Some(t) = &self.telemetry {
+            scheduler.set_telemetry(t.clone());
+        }
+        if let Some(sink) = &self.trace {
+            scheduler.set_trace_sink(sink.clone());
+        }
+        let sched_report = scheduler.run()?;
+
+        let granted = |i: usize| -> Result<MultipodConfig, ServeError> {
+            let (w, h) = sched_report.services[i].shape;
+            if w == 0 || h == 0 {
+                return Err(ServeError::InvalidConfig {
+                    field: "sched.services.shape",
+                    value: i as f64,
+                });
+            }
+            Ok(MultipodConfig::mesh(w, h, false))
+        };
+
+        let mut dlrm_config = self.config.dlrm.clone();
+        dlrm_config.slice = granted(0)?;
+        let mut dlrm = DlrmServer::new(dlrm_config);
+        if let Some(t) = &self.telemetry {
+            dlrm.set_telemetry(t.clone());
+        }
+        if let Some(sink) = &self.trace {
+            dlrm.set_trace_sink(sink.clone());
+        }
+        let dlrm_report = dlrm.run()?;
+
+        let mut rl_config = self.config.rl.clone();
+        rl_config.slice = granted(1)?;
+        let mut rl = RlServer::new(rl_config);
+        if let Some(t) = &self.telemetry {
+            rl.set_telemetry(t.clone());
+        }
+        if let Some(sink) = &self.trace {
+            rl.set_trace_sink(sink.clone());
+        }
+        let rl_report = rl.run()?;
+
+        Ok(ServeCampaignReport {
+            sched: sched_report,
+            dlrm: dlrm_report,
+            rl: rl_report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ServeCampaignConfig {
+        let mut c = ServeCampaignConfig::demo(MultipodConfig::mesh(32, 32, false), 60, 11);
+        c.dlrm.stream.queries = 300;
+        c.dlrm.stream.tables = 8;
+        c.dlrm.stream.rows_per_table = 8192;
+        c.rl.learner_chips = 64;
+        c.rl.learner_steps = 30;
+        c.rl.actor_rounds = 20;
+        c
+    }
+
+    #[test]
+    fn training_packs_around_the_reservations() {
+        let report = ServeCampaign::new(small()).run().expect("campaign");
+        assert_eq!(report.sched.completed, 60);
+        assert_eq!(report.sched.services.len(), 2);
+        // Both reservations held their full grant to campaign end.
+        assert_eq!(
+            report.sched.services[0].shape.0 * report.sched.services[0].shape.1,
+            256
+        );
+        assert_eq!(
+            report.sched.services[1].shape.0 * report.sched.services[1].shape.1,
+            128
+        );
+        assert!(report.dlrm.requests > 0);
+        assert!(report.rl.rounds > 0);
+    }
+
+    #[test]
+    fn co_scheduled_campaign_is_deterministic() {
+        let run = || ServeCampaign::new(small()).run().expect("campaign");
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn missing_reservations_are_a_typed_error() {
+        let mut c = small();
+        c.sched.services.pop();
+        assert!(matches!(
+            ServeCampaign::new(c).run(),
+            Err(ServeError::InvalidConfig {
+                field: "sched.services",
+                ..
+            })
+        ));
+    }
+}

@@ -1,0 +1,368 @@
+//! The DLRM online-serving path over the simulated mesh.
+//!
+//! Each dispatched batch pays three phases on the serving slice, modeled
+//! as a released task graph over the deterministic list scheduler:
+//!
+//! 1. **lookup** (host): per-sample cache probes plus local HBM gathers
+//!    for replicated/owned/cached rows;
+//! 2. **all-to-all** (ICI): the small-batch exchange fetching remote
+//!    partitioned rows that missed the per-host cache, priced on a
+//!    slice-shaped network;
+//! 3. **dense** (MXU): the interaction + top-MLP forward pass.
+//!
+//! Batches are pinned to their dispatch times with task *release* times,
+//! so the schedule reproduces open-loop queueing: a late batch waits for
+//! the host/ICI/MXU pipeline to drain, and per-request latency decomposes
+//! exactly into batch-wait / queue / lookup / all-to-all / dense.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use multipod_embedding::{EmbeddingCache, EmbeddingSpec, Placement, ShardedEmbedding};
+use multipod_models::{catalog, TpuV3};
+use multipod_simnet::{Network, NetworkConfig, SimTime};
+use multipod_taskgraph::{Resource, TaskGraph, TaskKind};
+use multipod_telemetry::{DistSummary, MetricId, Subsystem, Telemetry};
+use multipod_topology::{Multipod, MultipodConfig};
+use multipod_trace::TraceSink;
+
+use crate::batch::{assemble, BatchingConfig};
+use crate::stream::{query_stream, QueryStreamConfig};
+use crate::ServeError;
+
+/// Fixed host-side cost per batch lookup: probe the cache, build the
+/// gather lists, launch the kernels.
+const LOOKUP_OVERHEAD_SECONDS: f64 = 2.0e-5;
+
+/// DLRM serving parameters.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DlrmServeConfig {
+    /// The serving slice (a rectangle carved out of the pod).
+    pub slice: MultipodConfig,
+    /// The query stream.
+    pub stream: QueryStreamConfig,
+    /// The batching policy.
+    pub batching: BatchingConfig,
+    /// Embedding dimension of every table.
+    pub embedding_dim: usize,
+    /// Per-host embedding-cache capacity in rows (0 disables caching).
+    pub cache_rows_per_chip: usize,
+    /// Replication budget handed to [`Placement::plan`], bytes per chip.
+    pub replication_budget_bytes: u64,
+    /// Seed for the table initialization.
+    pub table_seed: u64,
+}
+
+impl DlrmServeConfig {
+    /// A canned serving replica: the given slice, the canned DLRM stream
+    /// and batching policy, warm 4096-row caches.
+    pub fn demo(slice: MultipodConfig, queries: u32, seed: u64) -> DlrmServeConfig {
+        DlrmServeConfig {
+            slice,
+            stream: QueryStreamConfig::dlrm(queries, seed),
+            batching: BatchingConfig::demo(),
+            embedding_dim: 32,
+            cache_rows_per_chip: 4096,
+            replication_budget_bytes: 1 << 20,
+            table_seed: 99,
+        }
+    }
+}
+
+/// Mean seconds per phase across requests. The five phases sum to the
+/// mean end-to-end latency exactly.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseMeans {
+    /// Waiting for the batch to close (accumulation window).
+    pub batch_wait: f64,
+    /// Waiting for the host lookup stage to start after dispatch.
+    pub queue: f64,
+    /// Host cache probes + local gathers.
+    pub lookup: f64,
+    /// Remote-row all-to-all, including any stall for the ICI stage.
+    pub all_to_all: f64,
+    /// Dense forward, including any stall for the MXU stage.
+    pub dense: f64,
+}
+
+/// What a serving run did.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DlrmServeReport {
+    /// Requests served.
+    pub requests: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Mean samples per batch.
+    pub mean_batch_samples: f64,
+    /// End-to-end request latency (arrival → dense finish), seconds.
+    pub latency: DistSummary,
+    /// Mean per-phase decomposition, seconds.
+    pub phase_means: PhaseMeans,
+    /// Embedding-cache hit rate over all remote-row accesses.
+    pub cache_hit_rate: f64,
+    /// Remote rows served from per-host caches.
+    pub cache_hits: u64,
+    /// Remote rows that crossed the mesh.
+    pub remote_rows: u64,
+    /// Completed requests per simulated second.
+    pub achieved_qps: f64,
+    /// When the last dense pass finished, seconds.
+    pub makespan_seconds: f64,
+}
+
+/// The DLRM serving replica simulator.
+pub struct DlrmServer {
+    config: DlrmServeConfig,
+    telemetry: Option<Arc<Telemetry>>,
+    trace: Option<Arc<dyn TraceSink>>,
+}
+
+impl DlrmServer {
+    /// A replica over `config`.
+    pub fn new(config: DlrmServeConfig) -> DlrmServer {
+        DlrmServer {
+            config,
+            telemetry: None,
+            trace: None,
+        }
+    }
+
+    /// Attaches a telemetry registry (`serve.*` metrics).
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// Attaches a trace sink: every batch's lookup/all-to-all/dense span
+    /// lands on the `Serve` category.
+    pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// Runs the stream to completion. Deterministic: the same config
+    /// yields a byte-identical report.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] when the stream, batching policy, slice or
+    /// embedding layout is invalid.
+    pub fn run(&self) -> Result<DlrmServeReport, ServeError> {
+        let requests = query_stream(&self.config.stream)?;
+        let batches = assemble(&requests, &self.config.batching)?;
+
+        let mesh = Multipod::new(self.config.slice.clone());
+        let chips = mesh.num_chips();
+        let mut net = Network::new(mesh, NetworkConfig::tpu_v3());
+        let dim = self.config.embedding_dim;
+        if dim == 0 {
+            return Err(ServeError::InvalidConfig {
+                field: "embedding_dim",
+                value: 0.0,
+            });
+        }
+        let specs = vec![
+            EmbeddingSpec {
+                rows: self.config.stream.rows_per_table,
+                dim,
+            };
+            self.config.stream.tables
+        ];
+        let placement = Placement::plan(&specs, chips, self.config.replication_budget_bytes);
+        let emb = ShardedEmbedding::init(placement, self.config.table_seed)?;
+        let mut cache = EmbeddingCache::new(chips, self.config.cache_rows_per_chip);
+
+        let tpu = TpuV3::new();
+        let workload = catalog::dlrm();
+        let mut remote_rows = 0u64;
+
+        // Build one released task graph over every batch: lookup (host)
+        // → all-to-all (ICI) → dense (MXU), each stage priced up front.
+        let mut graph = TaskGraph::new();
+        let mut stages = Vec::with_capacity(batches.len());
+        for (i, b) in batches.iter().enumerate() {
+            let indices: Vec<Vec<usize>> = b
+                .requests
+                .iter()
+                .flat_map(|&r| requests[r].samples.iter().cloned())
+                .collect();
+            let outcome = emb.lookup_cached(&mut net, &indices, SimTime::ZERO, &mut cache)?;
+            net.reset();
+            remote_rows += outcome.remote_rows as u64;
+            let all_to_all_s = outcome.time.seconds();
+            let local_row_bytes =
+                ((outcome.local_rows + outcome.cache_hits) * dim * 4) as f64 / chips as f64;
+            let lookup_s = LOOKUP_OVERHEAD_SECONDS + local_row_bytes / tpu.hbm_bandwidth;
+            let per_core_batch = (b.samples as f64 / chips as f64).max(1.0);
+            let eff = workload.efficiency.at(per_core_batch)?;
+            let dense_flops = b.samples as f64 * workload.flops_per_sample / chips as f64;
+            let dense_s = tpu.core_compute_time(dense_flops, eff)?;
+
+            let batch_id = i as u32;
+            let lookup = graph.add_released(
+                TaskKind::ServeLookup { batch: batch_id },
+                Resource::Host,
+                lookup_s,
+                b.dispatch,
+                &[],
+            )?;
+            let a2a = graph.add(
+                TaskKind::ServeAllToAll { batch: batch_id },
+                Resource::Ici,
+                all_to_all_s,
+                &[lookup],
+            )?;
+            let dense = graph.add(
+                TaskKind::ServeDense { batch: batch_id },
+                Resource::Mxu,
+                dense_s,
+                &[a2a],
+            )?;
+            stages.push((lookup, a2a, dense));
+        }
+
+        let schedule = graph.run();
+        if let Some(sink) = &self.trace {
+            schedule.record_trace(sink.as_ref(), SimTime::ZERO);
+        }
+
+        // Decompose every request's latency into the five phases.
+        let mut latencies = Vec::with_capacity(requests.len());
+        let mut means = PhaseMeans::default();
+        for (b, &(lookup, a2a, dense)) in batches.iter().zip(&stages) {
+            let lk = &schedule.tasks[lookup.0];
+            let aa = &schedule.tasks[a2a.0];
+            let de = &schedule.tasks[dense.0];
+            for &r in &b.requests {
+                let arrival = requests[r].arrival;
+                means.batch_wait += b.dispatch - arrival;
+                means.queue += lk.start - b.dispatch;
+                means.lookup += lk.end - lk.start;
+                means.all_to_all += aa.end - lk.end;
+                means.dense += de.end - aa.end;
+                let latency = de.end - arrival;
+                if let Some(t) = &self.telemetry {
+                    t.observe(MetricId::new(Subsystem::Serve, "latency_seconds"), latency);
+                }
+                latencies.push(latency);
+            }
+        }
+        let n = requests.len() as f64;
+        means.batch_wait /= n;
+        means.queue /= n;
+        means.lookup /= n;
+        means.all_to_all /= n;
+        means.dense /= n;
+
+        let makespan = schedule.makespan.seconds();
+        let report = DlrmServeReport {
+            requests: requests.len() as u64,
+            batches: batches.len() as u64,
+            mean_batch_samples: batches.iter().map(|b| b.samples as f64).sum::<f64>()
+                / batches.len() as f64,
+            latency: DistSummary::of(latencies),
+            phase_means: means,
+            cache_hit_rate: cache.hit_rate(),
+            cache_hits: cache.hits(),
+            remote_rows,
+            achieved_qps: requests.len() as f64 / makespan.max(f64::MIN_POSITIVE),
+            makespan_seconds: makespan,
+        };
+        if let Some(t) = &self.telemetry {
+            t.set_gauge(
+                MetricId::new(Subsystem::Serve, "cache_hit_rate"),
+                report.cache_hit_rate,
+            );
+            t.set_gauge(
+                MetricId::new(Subsystem::Serve, "achieved_qps"),
+                report.achieved_qps,
+            );
+            t.inc_counter(MetricId::new(Subsystem::Serve, "requests"), report.requests);
+            t.inc_counter(MetricId::new(Subsystem::Serve, "batches"), report.batches);
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(queries: u32, seed: u64) -> DlrmServeConfig {
+        let mut c = DlrmServeConfig::demo(MultipodConfig::mesh(4, 4, false), queries, seed);
+        // Small tables keep the unit test fast; a tiny replication
+        // budget keeps them partitioned so remote traffic exists.
+        c.stream.tables = 4;
+        c.stream.rows_per_table = 4096;
+        c.replication_budget_bytes = 1024;
+        c
+    }
+
+    #[test]
+    fn serving_run_reports_and_decomposes() {
+        let server = DlrmServer::new(demo(300, 42));
+        let report = server.run().expect("serving run");
+        assert_eq!(report.requests, 300);
+        assert!(report.batches > 0 && report.batches <= 300);
+        assert!(report.makespan_seconds > 0.0);
+        assert!(report.achieved_qps > 0.0);
+        assert!(
+            report.cache_hit_rate > 0.0,
+            "skewed keys must hit the cache"
+        );
+        assert_eq!(report.latency.count, 300);
+        // The five phases sum to the mean latency exactly (same additions
+        // in a different grouping, so allow only rounding slack).
+        let m = &report.phase_means;
+        let sum = m.batch_wait + m.queue + m.lookup + m.all_to_all + m.dense;
+        assert!(
+            (sum - report.latency.mean).abs() < 1e-9,
+            "phase sum {sum} vs mean latency {}",
+            report.latency.mean
+        );
+        assert!(report.latency.p999 >= report.latency.p99);
+        assert!(report.latency.p99 >= report.latency.p50);
+    }
+
+    #[test]
+    fn serving_is_deterministic() {
+        let run = || DlrmServer::new(demo(200, 7)).run().expect("serving run");
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn bigger_cache_never_hurts_hit_rate() {
+        let rate = |rows: usize| {
+            let mut c = demo(200, 11);
+            c.cache_rows_per_chip = rows;
+            DlrmServer::new(c)
+                .run()
+                .expect("serving run")
+                .cache_hit_rate
+        };
+        let small = rate(64);
+        let large = rate(4096);
+        assert!(large >= small, "hit rate regressed: {large} < {small}");
+    }
+
+    #[test]
+    fn no_cache_means_no_hits() {
+        let mut c = demo(100, 3);
+        c.cache_rows_per_chip = 0;
+        let report = DlrmServer::new(c).run().expect("serving run");
+        assert_eq!(report.cache_hits, 0);
+        assert_eq!(report.cache_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn zero_dim_is_a_typed_error() {
+        let mut c = demo(10, 1);
+        c.embedding_dim = 0;
+        assert!(matches!(
+            DlrmServer::new(c).run(),
+            Err(ServeError::InvalidConfig {
+                field: "embedding_dim",
+                ..
+            })
+        ));
+    }
+}

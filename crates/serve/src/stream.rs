@@ -1,0 +1,255 @@
+//! The deterministic open-loop query-stream generator.
+//!
+//! Serving experiments are open-loop: requests arrive on their own
+//! schedule regardless of how fast the replica drains them, which is
+//! what exposes queueing tails. The generator draws inter-arrival gaps,
+//! per-request sample counts and skewed embedding keys from one seeded
+//! generator, so a [`QueryStreamConfig`] *is* the request log — the same
+//! config always replays byte-for-byte the same stream.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use multipod_simnet::SimTime;
+
+use crate::ServeError;
+
+/// Parameters of the deterministic query stream.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QueryStreamConfig {
+    /// Requests to generate.
+    pub queries: u32,
+    /// Seed for the stream.
+    pub seed: u64,
+    /// Mean inter-arrival gap in simulated seconds (exponential).
+    pub mean_interarrival_seconds: f64,
+    /// Mean samples per request (shifted-exponential, ≥ 1).
+    pub mean_samples: f64,
+    /// Hard cap on samples per request.
+    pub max_samples: usize,
+    /// Embedding tables each sample indexes.
+    pub tables: usize,
+    /// Rows per table.
+    pub rows_per_table: usize,
+    /// Key skew exponent: row = rows · u^skew for uniform u, so
+    /// `skew > 1` concentrates traffic on low row ids (the hot head a
+    /// serving cache exploits); `skew = 1` is uniform.
+    pub skew: f64,
+}
+
+impl QueryStreamConfig {
+    /// A canned DLRM-shaped stream: Criteo's 26 sparse features over
+    /// moderately hot keys, a few thousand QPS offered.
+    pub fn dlrm(queries: u32, seed: u64) -> QueryStreamConfig {
+        QueryStreamConfig {
+            queries,
+            seed,
+            mean_interarrival_seconds: 2.0e-4,
+            mean_samples: 4.0,
+            max_samples: 64,
+            tables: 26,
+            rows_per_table: 100_000,
+            skew: 3.0,
+        }
+    }
+}
+
+/// One inference request.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Unique id, in arrival order.
+    pub id: u64,
+    /// When the request arrives.
+    pub arrival: SimTime,
+    /// `samples[i][t]` is sample `i`'s row in table `t`.
+    pub samples: Vec<Vec<usize>>,
+}
+
+/// Generates the request log for `config`. Deterministic: the same
+/// config always yields the same stream.
+///
+/// # Errors
+///
+/// [`ServeError::InvalidConfig`] when a parameter is non-positive,
+/// non-finite, or inconsistent (e.g. `mean_samples` above
+/// `max_samples`).
+pub fn query_stream(config: &QueryStreamConfig) -> Result<Vec<Request>, ServeError> {
+    if config.queries == 0 {
+        return Err(ServeError::InvalidConfig {
+            field: "queries",
+            value: 0.0,
+        });
+    }
+    let gap = config.mean_interarrival_seconds;
+    if !(gap.is_finite() && gap > 0.0) {
+        return Err(ServeError::InvalidConfig {
+            field: "mean_interarrival_seconds",
+            value: gap,
+        });
+    }
+    if !(config.mean_samples.is_finite() && config.mean_samples >= 1.0) {
+        return Err(ServeError::InvalidConfig {
+            field: "mean_samples",
+            value: config.mean_samples,
+        });
+    }
+    if config.max_samples == 0 || (config.max_samples as f64) < config.mean_samples {
+        return Err(ServeError::InvalidConfig {
+            field: "max_samples",
+            value: config.max_samples as f64,
+        });
+    }
+    if config.tables == 0 {
+        return Err(ServeError::InvalidConfig {
+            field: "tables",
+            value: 0.0,
+        });
+    }
+    if config.rows_per_table == 0 {
+        return Err(ServeError::InvalidConfig {
+            field: "rows_per_table",
+            value: 0.0,
+        });
+    }
+    if !(config.skew.is_finite() && config.skew > 0.0) {
+        return Err(ServeError::InvalidConfig {
+            field: "skew",
+            value: config.skew,
+        });
+    }
+
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut at = 0.0f64;
+    let mut requests = Vec::with_capacity(config.queries as usize);
+    for id in 0..u64::from(config.queries) {
+        at += -gap * (1.0 - rng.gen_range(0.0..1.0f64)).ln();
+        // Samples per request: 1 + Exp(mean - 1), truncated at the cap.
+        let extra = -(config.mean_samples - 1.0) * (1.0 - rng.gen_range(0.0..1.0f64)).ln();
+        let n = (1 + extra.floor() as usize).min(config.max_samples);
+        let samples = (0..n)
+            .map(|_| {
+                (0..config.tables)
+                    .map(|_| {
+                        let u: f64 = rng.gen_range(0.0..1.0);
+                        ((config.rows_per_table as f64 * u.powf(config.skew)) as usize)
+                            .min(config.rows_per_table - 1)
+                    })
+                    .collect()
+            })
+            .collect();
+        requests.push(Request {
+            id,
+            arrival: SimTime::from_seconds(at),
+            samples,
+        });
+    }
+    Ok(requests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic() {
+        let config = QueryStreamConfig::dlrm(300, 7);
+        assert_eq!(
+            query_stream(&config).unwrap(),
+            query_stream(&config).unwrap()
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = query_stream(&QueryStreamConfig::dlrm(100, 1)).unwrap();
+        let b = query_stream(&QueryStreamConfig::dlrm(100, 2)).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_samples_bounded() {
+        let config = QueryStreamConfig::dlrm(500, 42);
+        let requests = query_stream(&config).unwrap();
+        assert_eq!(requests.len(), 500);
+        let mut last = SimTime::ZERO;
+        for r in &requests {
+            assert!(r.arrival >= last);
+            last = r.arrival;
+            assert!(!r.samples.is_empty() && r.samples.len() <= config.max_samples);
+            for s in &r.samples {
+                assert_eq!(s.len(), config.tables);
+                assert!(s.iter().all(|&row| row < config.rows_per_table));
+            }
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_keys_on_the_head() {
+        let mut hot = QueryStreamConfig::dlrm(400, 9);
+        hot.skew = 4.0;
+        let mut uniform = hot.clone();
+        uniform.skew = 1.0;
+        let head_share = |requests: &[Request]| {
+            let head = hot.rows_per_table / 10;
+            let (mut in_head, mut total) = (0u64, 0u64);
+            for r in requests {
+                for s in &r.samples {
+                    for &row in s {
+                        total += 1;
+                        if row < head {
+                            in_head += 1;
+                        }
+                    }
+                }
+            }
+            in_head as f64 / total as f64
+        };
+        let hot_share = head_share(&query_stream(&hot).unwrap());
+        let uni_share = head_share(&query_stream(&uniform).unwrap());
+        assert!(
+            hot_share > 2.0 * uni_share,
+            "skewed head share {hot_share:.3} vs uniform {uni_share:.3}"
+        );
+    }
+
+    #[test]
+    fn invalid_configs_are_typed_errors() {
+        let ok = QueryStreamConfig::dlrm(10, 0);
+        for (mutate, field) in [
+            (
+                Box::new(|c: &mut QueryStreamConfig| c.queries = 0)
+                    as Box<dyn Fn(&mut QueryStreamConfig)>,
+                "queries",
+            ),
+            (
+                Box::new(|c: &mut QueryStreamConfig| c.mean_interarrival_seconds = 0.0),
+                "mean_interarrival_seconds",
+            ),
+            (
+                Box::new(|c: &mut QueryStreamConfig| c.mean_samples = 0.5),
+                "mean_samples",
+            ),
+            (
+                Box::new(|c: &mut QueryStreamConfig| c.max_samples = 2),
+                "max_samples",
+            ),
+            (Box::new(|c: &mut QueryStreamConfig| c.tables = 0), "tables"),
+            (
+                Box::new(|c: &mut QueryStreamConfig| c.rows_per_table = 0),
+                "rows_per_table",
+            ),
+            (
+                Box::new(|c: &mut QueryStreamConfig| c.skew = f64::NAN),
+                "skew",
+            ),
+        ] {
+            let mut bad = ok.clone();
+            mutate(&mut bad);
+            match query_stream(&bad) {
+                Err(ServeError::InvalidConfig { field: got, .. }) => assert_eq!(got, field),
+                other => panic!("expected InvalidConfig for {field}, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the serving layer.
+//!
+//! Three invariants the serving results hang on:
+//!
+//! * the per-host embedding cache is a true LRU, so a bigger cache never
+//!   serves fewer hits on the same access sequence (the inclusion
+//!   property) — without it the "bigger cache, fewer remote rows" story
+//!   in the bench would be noise;
+//! * the batcher conserves requests and respects both the sample cap
+//!   and causality (no batch dispatches before a member has arrived),
+//!   for arbitrary request logs;
+//! * the query-stream generator is a pure function of its config — the
+//!   replayable request log the whole serving pipeline leans on.
+
+use multipod_embedding::LruCache;
+use multipod_serve::{assemble, query_stream, BatchingConfig, QueryStreamConfig, Request};
+use multipod_simnet::SimTime;
+use proptest::prelude::*;
+
+fn access_strategy() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    // Small key universe so sequences actually revisit rows.
+    prop::collection::vec((0usize..4, 0usize..64), 1..400)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// LRU inclusion: on any access sequence, hits are nondecreasing in
+    /// cache capacity.
+    #[test]
+    fn lru_hits_are_monotone_in_capacity(accesses in access_strategy()) {
+        let mut last_hits = 0u64;
+        for capacity in [0usize, 1, 4, 16, 64, 256] {
+            let mut cache = LruCache::new(capacity);
+            for &(table, row) in &accesses {
+                cache.access(table, row);
+            }
+            prop_assert!(
+                cache.hits() >= last_hits,
+                "capacity {} served {} hits, smaller cache served {}",
+                capacity, cache.hits(), last_hits
+            );
+            last_hits = cache.hits();
+        }
+    }
+
+    /// The batcher partitions the request log exactly, never overfills a
+    /// batch, and never dispatches before a member has arrived.
+    #[test]
+    fn batches_conserve_requests_and_respect_the_cap(
+        gaps in prop::collection::vec((0.0f64..0.02, 1usize..12), 1..60),
+        cap in 12usize..64,
+        window in 0.0f64..0.05,
+    ) {
+        let mut at = 0.0;
+        let requests: Vec<Request> = gaps
+            .iter()
+            .enumerate()
+            .map(|(id, &(gap, samples))| {
+                at += gap;
+                Request {
+                    id: id as u64,
+                    arrival: SimTime::from_seconds(at),
+                    samples: vec![vec![0]; samples],
+                }
+            })
+            .collect();
+        let config = BatchingConfig {
+            max_batch_samples: cap,
+            window_seconds: window,
+        };
+        let batches = assemble(&requests, &config).unwrap();
+
+        let mut seen = vec![false; requests.len()];
+        for b in &batches {
+            prop_assert!(b.samples <= cap, "batch holds {} samples over cap {}", b.samples, cap);
+            prop_assert_eq!(
+                b.samples,
+                b.requests.iter().map(|&i| requests[i].samples.len()).sum::<usize>()
+            );
+            for &i in &b.requests {
+                prop_assert!(!seen[i], "request {} landed in two batches", i);
+                seen[i] = true;
+                prop_assert!(
+                    b.dispatch >= requests[i].arrival,
+                    "batch dispatches at {:?} before member {} arrives at {:?}",
+                    b.dispatch, i, requests[i].arrival
+                );
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "a request fell out of the batch plan");
+    }
+}
+
+/// The request log replays byte-for-byte across seeds 0..500: the same
+/// config serializes to the same JSON both times, and distinct seeds
+/// do not collide.
+#[test]
+fn request_log_replays_byte_identical_over_seeds() {
+    let mut previous: Option<String> = None;
+    for seed in 0..500u64 {
+        let mut config = QueryStreamConfig::dlrm(20, seed);
+        // Keep each stream small; 500 seeds still cover the generator.
+        config.tables = 4;
+        config.rows_per_table = 1000;
+        let a = serde_json::to_string(&query_stream(&config).unwrap()).unwrap();
+        let b = serde_json::to_string(&query_stream(&config).unwrap()).unwrap();
+        assert_eq!(a, b, "seed {seed} did not replay byte-identically");
+        if let Some(p) = &previous {
+            assert_ne!(p, &a, "seeds {} and {} collide", seed - 1, seed);
+        }
+        previous = Some(a);
+    }
+}

@@ -5,6 +5,8 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use multipod_simnet::SimTime;
+
 use crate::task::{Resource, Task, TaskId, TaskKind};
 
 /// Error raised while building a [`TaskGraph`].
@@ -71,6 +73,29 @@ impl TaskGraph {
         seconds: f64,
         deps: &[TaskId],
     ) -> Result<TaskId, TaskGraphError> {
+        self.add_released(kind, resource, seconds, SimTime::ZERO, deps)
+    }
+
+    /// Adds a task that starts once every task in `deps` has finished
+    /// **and** sim-time has reached `release`.
+    ///
+    /// Open-loop serving workloads use releases to pin each request
+    /// batch's work to its arrival time: the batch cannot start before
+    /// its accumulation window closes even if the mesh is idle.
+    /// ([`SimTime`] construction already rejects NaN/infinite/negative
+    /// values, so no release-specific validation is needed here.)
+    ///
+    /// # Errors
+    ///
+    /// Everything [`TaskGraph::add`] raises.
+    pub fn add_released(
+        &mut self,
+        kind: TaskKind,
+        resource: Resource,
+        seconds: f64,
+        release: SimTime,
+        deps: &[TaskId],
+    ) -> Result<TaskId, TaskGraphError> {
         let task = self.tasks.len();
         if !(seconds.is_finite() && seconds >= 0.0) {
             return Err(TaskGraphError::InvalidDuration { task, seconds });
@@ -82,6 +107,7 @@ impl TaskGraph {
             kind,
             resource,
             seconds,
+            release,
             deps: deps.to_vec(),
         });
         Ok(TaskId(task))

@@ -46,6 +46,14 @@ impl TaskGraph {
     /// [`Resource::ALL`] order, and completion ties pop FIFO — so the
     /// schedule is a pure function of the graph (the determinism
     /// contract in the crate docs).
+    ///
+    /// A task with a non-zero release time (see
+    /// [`TaskGraph::add_released`](crate::TaskGraph::add_released)) joins
+    /// its resource's ready set only once sim-time reaches the release:
+    /// the event queue carries both completion events (for tasks that
+    /// have started) and release events (for tasks whose dependencies
+    /// are done but whose release lies in the future), distinguished by
+    /// a per-task `started` flag.
     pub fn run(&self) -> TaskSchedule {
         let n = self.tasks.len();
         let mut remaining: Vec<usize> = self.tasks.iter().map(|t| t.deps.len()).collect();
@@ -58,19 +66,25 @@ impl TaskGraph {
 
         let mut ready: [BTreeSet<usize>; 4] = Default::default();
         let mut running: [Option<usize>; 4] = [None; 4];
+        let mut started: Vec<bool> = vec![false; n];
         let mut starts: Vec<SimTime> = vec![SimTime::ZERO; n];
         let mut ends: Vec<SimTime> = vec![SimTime::ZERO; n];
         let mut queue: EventQueue<usize> = EventQueue::new();
 
         for (i, t) in self.tasks.iter().enumerate() {
             if t.deps.is_empty() {
-                ready[t.resource.index()].insert(i);
+                if t.release > SimTime::ZERO {
+                    queue.schedule(t.release, i);
+                } else {
+                    ready[t.resource.index()].insert(i);
+                }
             }
         }
 
         let dispatch = |now: SimTime,
                         ready: &mut [BTreeSet<usize>; 4],
                         running: &mut [Option<usize>; 4],
+                        started: &mut Vec<bool>,
                         queue: &mut EventQueue<usize>,
                         starts: &mut Vec<SimTime>,
                         ends: &mut Vec<SimTime>| {
@@ -86,6 +100,7 @@ impl TaskGraph {
                 let end = now + self.tasks[next].seconds;
                 starts[next] = now;
                 ends[next] = end;
+                started[next] = true;
                 running[slot] = Some(next);
                 queue.schedule(end, next);
             }
@@ -95,6 +110,7 @@ impl TaskGraph {
             SimTime::ZERO,
             &mut ready,
             &mut running,
+            &mut started,
             &mut queue,
             &mut starts,
             &mut ends,
@@ -103,11 +119,23 @@ impl TaskGraph {
         while let Some((now, done)) = queue.pop_batch() {
             makespan = makespan.max(now);
             for i in done {
+                if !started[i] {
+                    // Release event: dependencies were already satisfied,
+                    // the task was only waiting for sim-time to reach its
+                    // release. It now contends for its resource.
+                    ready[self.tasks[i].resource.index()].insert(i);
+                    continue;
+                }
                 running[self.tasks[i].resource.index()] = None;
                 for &d in &dependents[i] {
                     remaining[d] -= 1;
                     if remaining[d] == 0 {
-                        ready[self.tasks[d].resource.index()].insert(d);
+                        let release = self.tasks[d].release;
+                        if release > now {
+                            queue.schedule(release, d);
+                        } else {
+                            ready[self.tasks[d].resource.index()].insert(d);
+                        }
                     }
                 }
             }
@@ -115,6 +143,7 @@ impl TaskGraph {
                 now,
                 &mut ready,
                 &mut running,
+                &mut started,
                 &mut queue,
                 &mut starts,
                 &mut ends,
@@ -177,6 +206,9 @@ impl TaskSchedule {
                 TaskKind::OptimizerShardUpdate { .. } => SpanCategory::Optimizer,
                 TaskKind::InputFetch => SpanCategory::Input,
                 TaskKind::CheckpointSave { .. } => SpanCategory::Checkpoint,
+                TaskKind::ServeLookup { .. }
+                | TaskKind::ServeAllToAll { .. }
+                | TaskKind::ServeDense { .. } => SpanCategory::Serve,
                 TaskKind::Serial { phase } => match phase {
                     crate::task::SerialPhase::GradientComm => SpanCategory::CollectivePhase,
                     crate::task::SerialPhase::WeightUpdate => SpanCategory::Optimizer,
@@ -340,6 +372,85 @@ mod tests {
         let a = serde_json::to_string(&build()).unwrap();
         let b = serde_json::to_string(&build()).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn release_time_delays_start_on_idle_resource() {
+        let mut g = TaskGraph::new();
+        g.add_released(
+            TaskKind::ServeLookup { batch: 0 },
+            Resource::Host,
+            0.5,
+            SimTime::from_seconds(2.0),
+            &[],
+        )
+        .unwrap();
+        let s = g.run();
+        assert_eq!(s.tasks[0].start, SimTime::from_seconds(2.0));
+        assert_eq!(s.makespan, SimTime::from_seconds(2.5));
+    }
+
+    #[test]
+    fn release_after_deps_done_gates_start() {
+        // Dependency finishes at t=1 but the dependent's release is t=3:
+        // the dependent starts at its release, not at the dep completion.
+        let mut g = TaskGraph::new();
+        let a = g
+            .add(TaskKind::ServeLookup { batch: 0 }, Resource::Host, 1.0, &[])
+            .unwrap();
+        let b = g
+            .add_released(
+                TaskKind::ServeAllToAll { batch: 0 },
+                Resource::Ici,
+                0.25,
+                SimTime::from_seconds(3.0),
+                &[a],
+            )
+            .unwrap();
+        let s = g.run();
+        assert_eq!(s.tasks[b.0].start, SimTime::from_seconds(3.0));
+        assert_eq!(s.makespan, SimTime::from_seconds(3.25));
+    }
+
+    #[test]
+    fn release_before_deps_done_is_a_no_op() {
+        // Release at t=0.5 but the dependency runs until t=2: the
+        // dependency chain dominates and the release adds nothing.
+        let mut g = TaskGraph::new();
+        let a = g.add(TaskKind::Forward, Resource::Mxu, 2.0, &[]).unwrap();
+        let b = g
+            .add_released(
+                TaskKind::ServeDense { batch: 0 },
+                Resource::Mxu,
+                1.0,
+                SimTime::from_seconds(0.5),
+                &[a],
+            )
+            .unwrap();
+        let s = g.run();
+        assert_eq!(s.tasks[b.0].start, SimTime::from_seconds(2.0));
+        assert_eq!(s.makespan, SimTime::from_seconds(3.0));
+    }
+
+    #[test]
+    fn released_tasks_queue_behind_running_work() {
+        // A batch released at t=1 while the Ici resource is busy until
+        // t=4 waits for the resource, not just the release.
+        let mut g = TaskGraph::new();
+        g.add(TaskKind::reduce_scatter_y(0), Resource::Ici, 4.0, &[])
+            .unwrap();
+        let b = g
+            .add_released(
+                TaskKind::ServeAllToAll { batch: 0 },
+                Resource::Ici,
+                0.5,
+                SimTime::from_seconds(1.0),
+                &[],
+            )
+            .unwrap();
+        let s = g.run();
+        assert_eq!(s.tasks[b.0].start, SimTime::from_seconds(4.0));
+        assert_eq!(s.makespan, SimTime::from_seconds(4.5));
     }
 
     #[test]

@@ -4,6 +4,8 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use multipod_simnet::SimTime;
+
 /// Identifies a task within a [`crate::TaskGraph`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct TaskId(pub usize);
@@ -80,6 +82,23 @@ pub enum TaskKind {
     Serial {
         /// Which analytic component this stands for.
         phase: SerialPhase,
+    },
+    /// Serving: host-side embedding-cache probe + local HBM gathers for
+    /// one request batch.
+    ServeLookup {
+        /// Request-batch index within the serving campaign.
+        batch: u32,
+    },
+    /// Serving: the small-batch all-to-all exchanging remote embedding
+    /// rows for one request batch.
+    ServeAllToAll {
+        /// Request-batch index within the serving campaign.
+        batch: u32,
+    },
+    /// Serving: the dense MLP forward pass over one request batch.
+    ServeDense {
+        /// Request-batch index within the serving campaign.
+        batch: u32,
     },
 }
 
@@ -164,6 +183,9 @@ impl TaskKind {
             TaskKind::InputFetch => "input-fetch".to_string(),
             TaskKind::CheckpointSave { shard } => format!("ckpt-save-s{shard}"),
             TaskKind::Serial { phase } => phase.label().to_string(),
+            TaskKind::ServeLookup { batch } => format!("serve-lookup-b{batch}"),
+            TaskKind::ServeAllToAll { batch } => format!("serve-all-to-all-b{batch}"),
+            TaskKind::ServeDense { batch } => format!("serve-dense-b{batch}"),
         }
     }
 }
@@ -218,6 +240,11 @@ pub struct Task {
     pub resource: Resource,
     /// How long it takes, seconds (finite, non-negative).
     pub seconds: f64,
+    /// Earliest sim-time the task may start, regardless of dependencies.
+    /// `SimTime::ZERO` (the [`crate::TaskGraph::add`] default) means
+    /// "as soon as dependencies allow"; open-loop serving workloads use
+    /// non-zero releases to model request arrival times.
+    pub release: SimTime,
     /// Tasks that must finish first (all ids precede this task's).
     pub deps: Vec<TaskId>,
 }

@@ -1,0 +1,134 @@
+//! Exact distribution summaries (nearest-rank percentiles).
+//!
+//! [`DistSummary`] started life inside `multipod-sched` (queue-wait and
+//! preemption-overhead distributions); the serving layer needs the same
+//! summary for request latencies — with tail percentiles (p95, p99.9)
+//! that matter for SLOs — so it lives here, below both crates.
+//! `multipod-sched` re-exports it, keeping its public API unchanged.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one distribution (exact, from the raw samples).
+///
+/// Percentiles are nearest-rank order statistics — no interpolation — so
+/// summaries are deterministic and byte-stable across reruns:
+///
+/// * `n = 0`: every field is zero (`count` distinguishes "no samples"
+///   from "all samples were zero").
+/// * `n = 1`: every percentile, the mean, and the max equal the single
+///   sample.
+/// * `p` of `n` samples: the `ceil(n · p)`-th smallest sample (1-based),
+///   clamped into `[1, n]`.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct DistSummary {
+    /// Sample count.
+    pub count: u64,
+    /// Mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile (the serving-SLO tail).
+    pub p999: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl DistSummary {
+    /// Summarizes `samples` (need not be sorted).
+    pub fn of(mut samples: Vec<f64>) -> DistSummary {
+        if samples.is_empty() {
+            return DistSummary::default();
+        }
+        samples.sort_by(f64::total_cmp);
+        let count = samples.len();
+        // Nearest-rank percentiles: exact order statistics, no
+        // interpolation. `ceil(n · p)` can land at 0 for tiny n·p and at
+        // n + 1 through floating-point round-up, so the rank is clamped
+        // into [1, n] — this is the n = 1 edge case (every percentile is
+        // the sample itself).
+        let pct = |p: f64| samples[((count as f64 * p).ceil() as usize).clamp(1, count) - 1];
+        DistSummary {
+            count: count as u64,
+            mean: samples.iter().sum::<f64>() / count as f64,
+            p50: pct(0.50),
+            p90: pct(0.90),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            p999: pct(0.999),
+            max: samples[count - 1],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_distribution_is_all_zero() {
+        let d = DistSummary::of(Vec::new());
+        assert_eq!(d, DistSummary::default());
+        assert_eq!(d.count, 0);
+        assert_eq!(d.mean, 0.0);
+        assert_eq!(d.p50, 0.0);
+        assert_eq!(d.p999, 0.0);
+        assert_eq!(d.max, 0.0);
+    }
+
+    #[test]
+    fn single_sample_fills_every_field() {
+        let d = DistSummary::of(vec![3.25]);
+        assert_eq!(d.count, 1);
+        for v in [d.mean, d.p50, d.p90, d.p95, d.p99, d.p999, d.max] {
+            assert_eq!(v, 3.25);
+        }
+    }
+
+    #[test]
+    fn two_samples_split_nearest_rank() {
+        // Ranks: p50 -> ceil(2·0.5) = 1st, p90/p95/p99/p999 -> 2nd.
+        let d = DistSummary::of(vec![10.0, 2.0]);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.mean, 6.0);
+        assert_eq!(d.p50, 2.0);
+        assert_eq!(d.p90, 10.0);
+        assert_eq!(d.p95, 10.0);
+        assert_eq!(d.p99, 10.0);
+        assert_eq!(d.p999, 10.0);
+        assert_eq!(d.max, 10.0);
+    }
+
+    #[test]
+    fn percentiles_are_exact_order_statistics() {
+        let d = DistSummary::of((1..=100).map(f64::from).collect());
+        assert_eq!(d.count, 100);
+        assert_eq!(d.mean, 50.5);
+        assert_eq!(d.p50, 50.0);
+        assert_eq!(d.p90, 90.0);
+        assert_eq!(d.p95, 95.0);
+        assert_eq!(d.p99, 99.0);
+        assert_eq!(d.p999, 100.0);
+        assert_eq!(d.max, 100.0);
+    }
+
+    #[test]
+    fn p999_separates_from_p99_at_large_n() {
+        // 2000 samples: p99 is the 1980th, p99.9 the 1998th.
+        let d = DistSummary::of((1..=2000).map(f64::from).collect());
+        assert_eq!(d.p99, 1980.0);
+        assert_eq!(d.p999, 1998.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_first() {
+        let d = DistSummary::of(vec![5.0, 1.0, 4.0, 2.0, 3.0]);
+        assert_eq!(d.p50, 3.0);
+        assert_eq!(d.max, 5.0);
+    }
+}

@@ -33,11 +33,13 @@
 //! assert_eq!(snapshot.counter(&MetricId::new(Subsystem::Simnet, "transfers")), 3);
 //! ```
 
+pub mod dist;
 pub mod fit;
 pub mod profiler;
 pub mod registry;
 pub mod report;
 
+pub use dist::DistSummary;
 pub use fit::{check_drift, collective_samples, fit_alpha_beta, AlphaBetaFit, DriftReport};
 pub use profiler::{profile, ProfileReport, SpanSlack, StepDecomposition, StepProfile};
 pub use registry::{LogHistogram, MetricId, Registry, Subsystem, Telemetry};

@@ -35,6 +35,9 @@ pub enum Subsystem {
     /// The multi-tenant pod scheduler (slices, gang scheduling,
     /// preemption).
     Pod,
+    /// Online serving (query batching, embedding cache, request
+    /// latency phases, RL actor rounds).
+    Serve,
 }
 
 impl Subsystem {
@@ -48,6 +51,7 @@ impl Subsystem {
             Subsystem::Ckpt => "ckpt",
             Subsystem::Sched => "sched",
             Subsystem::Pod => "pod",
+            Subsystem::Serve => "serve",
         }
     }
 }

@@ -94,6 +94,10 @@ pub enum SpanCategory {
     /// Pod-scheduler events: a job's queue wait, its run on a slice,
     /// preemption (save + requeue), and elastic resume.
     Sched,
+    /// Online-serving events: a request batch's accumulation window and
+    /// its lookup / all-to-all / dense phases, plus RL actor rounds and
+    /// learner parameter broadcasts.
+    Serve,
 }
 
 impl SpanCategory {
@@ -109,6 +113,7 @@ impl SpanCategory {
             SpanCategory::Fault => "fault",
             SpanCategory::Checkpoint => "checkpoint",
             SpanCategory::Sched => "sched",
+            SpanCategory::Serve => "serve",
         }
     }
 }

@@ -51,7 +51,7 @@ fn table2_init_ordering_holds_for_all_benchmarks() {
         "MaskRCNN",
         "DLRM",
     ] {
-        let p = profiles::by_name(name);
+        let p = profiles::by_name(name).expect("profile");
         let tf = m.init_seconds(FrameworkKind::TensorFlow, &p, 4096);
         let jax = m.init_seconds(FrameworkKind::Jax, &p, 4096);
         assert!(tf > jax, "{name}: TF init must exceed JAX");
